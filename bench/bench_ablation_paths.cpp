@@ -1,0 +1,62 @@
+// Ablation: number of paths per source/destination pair (SPT = 1,
+// DPT = 2, MPT = 2H(x)) for the pipelined 2D transpose on an n-port
+// machine.
+//
+// Shapes to reproduce (Section 6.1): for transfer-dominated sizes DPT is
+// ~2x SPT; MPT gains a further factor approaching n / (n+1) * 2H/2 on
+// the transfer term; for start-up dominated sizes the ordering
+// compresses (everyone pays ~n tau).
+#include "bench_common.hpp"
+#include "core/transpose1d.hpp"
+#include "core/transpose2d.hpp"
+
+namespace {
+
+using namespace nct;
+
+double run(const sim::MachineParams& machine, int pq_log2, int which) {
+  const int half = machine.n / 2;
+  const int p = pq_log2 / 2;
+  const cube::MatrixShape s{p, pq_log2 - p};
+  const auto before = cube::PartitionSpec::two_dim_cyclic(s, half, half);
+  const auto after = cube::PartitionSpec::two_dim_cyclic(s.transposed(), half, half);
+  sim::Program prog;
+  switch (which) {
+    case 0: prog = core::transpose_spt(before, after, machine); break;
+    case 1: prog = core::transpose_dpt(before, after, machine); break;
+    default: prog = core::transpose_mpt(before, after, machine); break;
+  }
+  const auto init = core::transpose_initial_memory(before, machine.n, prog.local_slots);
+  return bench::simulate(prog, machine, init).total_time;
+}
+
+void print_series() {
+  bench::Table t({"elements", "tau_s", "SPT_ms", "DPT_ms", "MPT_ms", "SPT/MPT"});
+  const int n = 6;
+  for (const int lg : {10, 14, 18}) {
+    for (const double tau : {1e-2, 1e-4, 1e-6}) {
+      auto m = sim::MachineParams::nport(n, tau, 1e-6);
+      m.element_bytes = 1;
+      const double s = run(m, lg, 0), d = run(m, lg, 1), q = run(m, lg, 2);
+      t.row({"2^" + std::to_string(lg), bench::num(tau, 6), bench::ms(s), bench::ms(d),
+             bench::ms(q), bench::num(s / q)});
+    }
+  }
+  t.print("Ablation: SPT (1 path) vs DPT (2 paths) vs MPT (2H(x) paths), 6-cube, n-port");
+}
+
+void BM_Spt(benchmark::State& state) {
+  auto m = sim::MachineParams::nport(6, 1e-4, 1e-6);
+  for (auto _ : state) benchmark::DoNotOptimize(run(m, static_cast<int>(state.range(0)), 0));
+}
+BENCHMARK(BM_Spt)->Arg(12)->Arg(16);
+
+void BM_Mpt(benchmark::State& state) {
+  auto m = sim::MachineParams::nport(6, 1e-4, 1e-6);
+  for (auto _ : state) benchmark::DoNotOptimize(run(m, static_cast<int>(state.range(0)), 2));
+}
+BENCHMARK(BM_Mpt)->Arg(12)->Arg(16);
+
+}  // namespace
+
+NCT_BENCH_MAIN(print_series)

@@ -1,0 +1,88 @@
+// Ablation: one-port vs n-port communication for the generic
+// personalized-communication algorithms (Sections 3.1, 3.2).
+//
+// Shapes to reproduce: with n ports, SBnT routing cuts the one-to-all
+// transfer term by ~n/2 over the SBT, and all-to-all loses the factor n
+// on its transfer term relative to the exchange algorithm; with one
+// port the exchange algorithm is already within 2x of optimal.
+#include "bench_common.hpp"
+#include "comm/all_to_all.hpp"
+#include "comm/one_to_all.hpp"
+
+namespace {
+
+using namespace nct;
+
+double run_one_to_all(int n, cube::word K, int which, sim::PortModel port) {
+  auto m = sim::MachineParams::nport(n, 1e-4, 1e-6);
+  m.element_bytes = 1;
+  m.port = port;
+  sim::Program prog;
+  switch (which) {
+    case 0: prog = comm::one_to_all_sbt(n, K); break;
+    case 1: prog = comm::one_to_all_sbnt(n, K); break;
+    default: prog = comm::one_to_all_rotated_sbts(n, K); break;
+  }
+  return bench::simulate(prog, m, comm::one_to_all_initial_memory(n, K)).total_time;
+}
+
+double run_all_to_all(int n, cube::word K, int which, sim::PortModel port) {
+  auto m = sim::MachineParams::nport(n, 1e-4, 1e-6);
+  m.element_bytes = 1;
+  m.port = port;
+  sim::Program prog;
+  switch (which) {
+    case 0: prog = comm::all_to_all_exchange(n, K); break;
+    case 1: prog = comm::all_to_all_sbnt(n, K); break;
+    default: prog = comm::all_to_all_direct(n, K); break;
+  }
+  return bench::simulate(prog, m, comm::all_to_all_initial_memory(n, K)).total_time;
+}
+
+void print_series() {
+  const int n = 6;
+  {
+    bench::Table t({"K(elems/node)", "SBT_1port_ms", "SBT_nport_ms", "SBnT_nport_ms",
+                    "rotSBTs_nport_ms"});
+    for (const cube::word K : {cube::word{8}, cube::word{64}, cube::word{512}}) {
+      t.row({std::to_string(K),
+             bench::ms(run_one_to_all(n, K, 0, sim::PortModel::one_port)),
+             bench::ms(run_one_to_all(n, K, 0, sim::PortModel::n_port)),
+             bench::ms(run_one_to_all(n, K, 1, sim::PortModel::n_port)),
+             bench::ms(run_one_to_all(n, K, 2, sim::PortModel::n_port))});
+    }
+    t.print("Ablation: one-to-all personalized communication routings, 6-cube");
+  }
+  {
+    bench::Table t({"K(elems/pair)", "exchange_1port_ms", "exchange_nport_ms",
+                    "SBnT_nport_ms", "direct_1port_ms"});
+    for (const cube::word K : {cube::word{2}, cube::word{16}, cube::word{128}}) {
+      t.row({std::to_string(K),
+             bench::ms(run_all_to_all(n, K, 0, sim::PortModel::one_port)),
+             bench::ms(run_all_to_all(n, K, 0, sim::PortModel::n_port)),
+             bench::ms(run_all_to_all(n, K, 1, sim::PortModel::n_port)),
+             bench::ms(run_all_to_all(n, K, 2, sim::PortModel::one_port))});
+    }
+    t.print("Ablation: all-to-all personalized communication routings, 6-cube");
+  }
+}
+
+void BM_AllToAllExchange(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_all_to_all(static_cast<int>(state.range(0)), 16, 0,
+                                            sim::PortModel::one_port));
+  }
+}
+BENCHMARK(BM_AllToAllExchange)->Arg(4)->Arg(6);
+
+void BM_AllToAllSbnt(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_all_to_all(static_cast<int>(state.range(0)), 16, 1,
+                                            sim::PortModel::n_port));
+  }
+}
+BENCHMARK(BM_AllToAllSbnt)->Arg(4)->Arg(6);
+
+}  // namespace
+
+NCT_BENCH_MAIN(print_series)

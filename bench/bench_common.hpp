@@ -1,0 +1,95 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Each bench binary first prints the data series of the paper figure or
+// table it regenerates (simulated times under the corresponding machine
+// model), then runs its google-benchmark cases (wall-clock cost of
+// planning + simulating on this host).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/model.hpp"
+#include "sim/program.hpp"
+
+namespace nct::bench {
+
+/// Run a program from an initial memory, returning the full result.
+inline sim::RunResult simulate(const sim::Program& prog, const sim::MachineParams& machine,
+                               sim::Memory initial) {
+  return sim::Engine(machine).run(prog, std::move(initial));
+}
+
+/// Column-aligned table printing.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void row(const std::vector<std::string>& cells) { rows_.push_back(cells); }
+
+  void print(const char* title) const {
+    std::printf("\n=== %s ===\n", title);
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], r[c].size());
+      }
+    }
+    const auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < headers_.size(); ++c) {
+        std::printf("%-*s  ", static_cast<int>(widths[c]),
+                    c < cells.size() ? cells[c].c_str() : "");
+      }
+      std::printf("\n");
+    };
+    line(headers_);
+    std::string rule;
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      rule += std::string(widths[c], '-') + "  ";
+    }
+    std::printf("%s\n", rule.c_str());
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string ms(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e3);
+  return buf;
+}
+
+inline std::string us(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f", seconds * 1e6);
+  return buf;
+}
+
+inline std::string num(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace nct::bench
+
+/// Boilerplate main: print the figure series, then run benchmarks.
+#define NCT_BENCH_MAIN(print_series_fn)                             \
+  int main(int argc, char** argv) {                                 \
+    print_series_fn();                                              \
+    ::benchmark::Initialize(&argc, argv);                           \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {     \
+      return 1;                                                     \
+    }                                                               \
+    ::benchmark::RunSpecifiedBenchmarks();                          \
+    ::benchmark::Shutdown();                                        \
+    return 0;                                                       \
+  }

@@ -1,0 +1,67 @@
+// Figure 9: measured times for copy of various data types on the Intel
+// iPSC.  The paper reports ~37 ms to copy 1024 single-precision floats
+// (4 KB), i.e. ~9 us/byte, which is the tcopy the machine model uses.
+// We print the model's copy times over the paper's size range and
+// benchmark this host's memcpy for contrast.
+#include <cstring>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+void print_series() {
+  const auto ipsc = nct::sim::MachineParams::ipsc(5);
+  nct::bench::Table t({"bytes", "floats", "model_copy_ms", "paper_anchor"});
+  for (int lg = 8; lg <= 17; ++lg) {
+    const std::size_t bytes = std::size_t{1} << lg;
+    const double model = static_cast<double>(bytes) * ipsc.tcopy;
+    std::string anchor;
+    if (bytes == 4096) anchor = "~37 ms (paper, 1024 floats)";
+    t.row({std::to_string(bytes), std::to_string(bytes / 4), nct::bench::ms(model), anchor});
+  }
+  t.print("Figure 9: iPSC copy-time model (tcopy = 9 us/byte)");
+  std::printf("One communication start-up (tau = %.1f ms) equals copying %.0f bytes\n",
+              ipsc.tau * 1e3, ipsc.tau / ipsc.tcopy);
+}
+
+void BM_HostMemcpy(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  std::vector<char> src(bytes, 1), dst(bytes);
+  for (auto _ : state) {
+    std::memcpy(dst.data(), src.data(), bytes);
+    benchmark::DoNotOptimize(dst.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_HostMemcpy)->Range(256, 1 << 17);
+
+void BM_SimulatedCopyCharge(benchmark::State& state) {
+  // Cost of simulating a charged local copy phase.
+  const nct::cube::word slots = static_cast<nct::cube::word>(state.range(0));
+  const auto ipsc = nct::sim::MachineParams::ipsc(0);
+  nct::sim::Program prog;
+  prog.n = 0;
+  prog.local_slots = slots;
+  nct::sim::Phase ph;
+  std::vector<nct::sim::slot> src(slots), dst(slots);
+  for (nct::cube::word s = 0; s < slots; ++s) {
+    src[static_cast<std::size_t>(s)] = s;
+    dst[static_cast<std::size_t>(s)] = slots - 1 - s;
+  }
+  ph.pre_copies.push_back(nct::sim::CopyOp{0, src, dst, true});
+  prog.phases.push_back(ph);
+  nct::sim::Memory init{std::vector<nct::cube::word>(static_cast<std::size_t>(slots))};
+  for (nct::cube::word s = 0; s < slots; ++s) init[0][static_cast<std::size_t>(s)] = s;
+  for (auto _ : state) {
+    auto res = nct::bench::simulate(prog, ipsc, init);
+    benchmark::DoNotOptimize(res.total_time);
+  }
+}
+BENCHMARK(BM_SimulatedCopyCharge)->Range(256, 1 << 14);
+
+}  // namespace
+
+NCT_BENCH_MAIN(print_series)

@@ -1,0 +1,66 @@
+// Figure 10: measured times on the Intel iPSC for the transpose of a
+// one-dimensionally partitioned matrix (equivalently the conversion of
+// consecutive to cyclic partitioning), unbuffered vs buffered.
+//
+// The paper's shape to reproduce: unbuffered time grows linearly in the
+// number of processors (exponentially in the cube dimension n) because
+// the exchange algorithm sends ~N separate blocks; buffered
+// communication grows only linearly in n; for small cubes (or large
+// matrices) the two coincide.
+#include "analysis/cost_model.hpp"
+#include "bench_common.hpp"
+#include "core/transpose1d.hpp"
+
+namespace {
+
+using namespace nct;
+
+// The one-dimensional transpose with cyclic column partitioning: the
+// exchange steps fragment the local array into 1, 2, 4, ... blocks, so
+// the unbuffered scheme's start-up count grows ~ linearly in N — the
+// effect buffering fights (Section 8.1).
+double run_conversion(int n, cube::word pq_log2, const comm::BufferPolicy& policy) {
+  const int lg = static_cast<int>(pq_log2);
+  const int q = std::max(n, lg / 2);
+  const cube::MatrixShape s{lg - q, q};
+  const auto before = cube::PartitionSpec::col_cyclic(s, n);
+  const auto after = cube::PartitionSpec::col_cyclic(s.transposed(), std::min(n, lg - q));
+  comm::RearrangeOptions opt;
+  opt.policy = policy;
+  const auto prog = core::transpose_1d(before, after, n, opt);
+  const auto machine = sim::MachineParams::ipsc(n);
+  const auto init = core::transpose_initial_memory(before, n, prog.local_slots);
+  return bench::simulate(prog, machine, init).total_time;
+}
+
+void print_series() {
+  const auto ipsc5 = sim::MachineParams::ipsc(5);
+  const cube::word b_copy =
+      static_cast<cube::word>(analysis::optimal_copy_threshold(ipsc5));
+  bench::Table t({"n", "N", "elements", "unbuffered_ms", "buffered_ms", "optimal_ms"});
+  for (const cube::word lg : {10, 13, 16}) {
+    for (int n = 1; n <= 6; ++n) {
+      const double unbuf = run_conversion(n, lg, comm::BufferPolicy::unbuffered());
+      const double buf = run_conversion(n, lg, comm::BufferPolicy::buffered());
+      const double opt = run_conversion(n, lg, comm::BufferPolicy::optimal(b_copy));
+      t.row({std::to_string(n), std::to_string(1 << n),
+             "2^" + std::to_string(lg), bench::ms(unbuf), bench::ms(buf), bench::ms(opt)});
+    }
+  }
+  t.print("Figure 10: one-dimensional (col-cyclic) transpose on the iPSC model");
+  std::printf("optimal policy sends runs of >= %llu elements directly (B_copy)\n",
+              static_cast<unsigned long long>(b_copy));
+}
+
+void BM_Conversion(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const double t = run_conversion(n, 14, comm::BufferPolicy::optimal(139));
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_Conversion)->DenseRange(2, 6);
+
+}  // namespace
+
+NCT_BENCH_MAIN(print_series)

@@ -1,0 +1,51 @@
+// Figure 11: performance sensitivity to the minimum unbuffered message
+// size (the B_copy threshold) on the Intel iPSC.
+//
+// Shape to reproduce: a clear optimum near B_copy = tau / t_copy
+// (~64-139 floats on the iPSC constants); too-small thresholds pay
+// start-ups for every block, too-large thresholds pay copies for blocks
+// that were cheap to send directly.
+#include "analysis/cost_model.hpp"
+#include "bench_common.hpp"
+#include "core/transpose1d.hpp"
+
+namespace {
+
+using namespace nct;
+
+double run_with_threshold(int n, int pq_log2, cube::word threshold) {
+  const int q = std::max(n, pq_log2 / 2);
+  const cube::MatrixShape s{pq_log2 - q, q};
+  const auto before = cube::PartitionSpec::col_cyclic(s, n);
+  const auto after = cube::PartitionSpec::col_cyclic(s.transposed(), std::min(n, pq_log2 - q));
+  comm::RearrangeOptions opt;
+  opt.policy = comm::BufferPolicy::optimal(threshold);
+  const auto prog = core::transpose_1d(before, after, n, opt);
+  const auto init = core::transpose_initial_memory(before, n, prog.local_slots);
+  return bench::simulate(prog, sim::MachineParams::ipsc(n), init).total_time;
+}
+
+void print_series() {
+  bench::Table t({"B_copy(elements)", "n=4_ms", "n=5_ms", "n=6_ms"});
+  for (const cube::word b : {cube::word{1}, cube::word{4}, cube::word{16}, cube::word{64},
+                             cube::word{139}, cube::word{256}, cube::word{1024},
+                             cube::word{1} << 20}) {
+    t.row({std::to_string(b), bench::ms(run_with_threshold(4, 15, b)),
+           bench::ms(run_with_threshold(5, 15, b)), bench::ms(run_with_threshold(6, 15, b))});
+  }
+  t.print("Figure 11: sensitivity to the minimum unbuffered message size (2^15 elements)");
+  std::printf("analytic optimum B_copy = tau/t_copy = %.0f elements\n",
+              analysis::optimal_copy_threshold(sim::MachineParams::ipsc(5)));
+}
+
+void BM_ThresholdSweep(benchmark::State& state) {
+  const cube::word b = static_cast<cube::word>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_with_threshold(5, 13, b));
+  }
+}
+BENCHMARK(BM_ThresholdSweep)->RangeMultiplier(4)->Range(1, 1024);
+
+}  // namespace
+
+NCT_BENCH_MAIN(print_series)

@@ -1,0 +1,53 @@
+// Figure 12: the effect of optimum buffering on 1D-transpose
+// performance: speedup of the optimal-buffering scheme over unbuffered
+// communication as a function of cube and matrix size.
+//
+// Shape to reproduce: for sufficiently small cubes (or large data sets)
+// the two schemes coincide (speedup -> 1); for large cubes with small
+// blocks the optimal scheme wins increasingly.
+#include "analysis/cost_model.hpp"
+#include "bench_common.hpp"
+#include "core/transpose1d.hpp"
+
+namespace {
+
+using namespace nct;
+
+double run_conv(int n, int pq_log2, const comm::BufferPolicy& policy) {
+  const int q = std::max(n, pq_log2 / 2);
+  const cube::MatrixShape s{pq_log2 - q, q};
+  const auto before = cube::PartitionSpec::col_cyclic(s, n);
+  const auto after = cube::PartitionSpec::col_cyclic(s.transposed(), std::min(n, pq_log2 - q));
+  comm::RearrangeOptions opt;
+  opt.policy = policy;
+  const auto prog = core::transpose_1d(before, after, n, opt);
+  const auto init = core::transpose_initial_memory(before, n, prog.local_slots);
+  return bench::simulate(prog, sim::MachineParams::ipsc(n), init).total_time;
+}
+
+void print_series() {
+  const cube::word b_copy = static_cast<cube::word>(
+      analysis::optimal_copy_threshold(sim::MachineParams::ipsc(5)));
+  bench::Table t({"elements", "n", "unbuffered_ms", "optimal_ms", "speedup"});
+  for (const int lg : {12, 15, 18}) {
+    for (int n = 2; n <= 7; ++n) {
+      const double u = run_conv(n, lg, comm::BufferPolicy::unbuffered());
+      const double o = run_conv(n, lg, comm::BufferPolicy::optimal(b_copy));
+      t.row({"2^" + std::to_string(lg), std::to_string(n), bench::ms(u), bench::ms(o),
+             bench::num(u / o)});
+    }
+  }
+  t.print("Figure 12: speedup of optimum buffering over unbuffered communication");
+}
+
+void BM_OptimalBuffering(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_conv(n, 14, comm::BufferPolicy::optimal(139)));
+  }
+}
+BENCHMARK(BM_OptimalBuffering)->DenseRange(3, 7);
+
+}  // namespace
+
+NCT_BENCH_MAIN(print_series)

@@ -1,0 +1,64 @@
+// Figure 13: performance breakdown of the two-dimensional (stepwise SPT)
+// matrix transpose on the Intel iPSC: copy time, communication time and
+// total time, for a 2-cube and a 6-cube.
+//
+// Shapes to reproduce: the copy time for the 6-cube lies below the
+// 2-cube's (local blocks are 16x smaller); the communication time of the
+// 6-cube is start-up dominated and stays nearly flat until the local
+// block exceeds one packet (PQ <= 64 KB in the paper).
+#include "bench_common.hpp"
+#include "core/transpose1d.hpp"
+#include "core/transpose2d.hpp"
+
+namespace {
+
+using namespace nct;
+
+struct Breakdown {
+  double copy, comm, total;
+};
+
+Breakdown run_stepwise(int n, int pq_log2) {
+  const int half = n / 2;
+  const int p = pq_log2 / 2, q = pq_log2 - p;
+  const cube::MatrixShape s{p, q};
+  const auto before = cube::PartitionSpec::two_dim_consecutive(s, half, half);
+  const auto after =
+      cube::PartitionSpec::two_dim_consecutive(s.transposed(), half, half);
+  auto machine = sim::MachineParams::ipsc(n);
+  const auto prog = core::transpose_2d_stepwise(before, after, machine);
+  const auto init = core::transpose_initial_memory(before, n, prog.local_slots);
+  const auto total = bench::simulate(prog, machine, init).total_time;
+  // The copy component is what vanishes on a machine with free copies
+  // (copies run in parallel across nodes, so summing per-node charges
+  // would overstate it).
+  auto no_copy = machine;
+  no_copy.tcopy = 0.0;
+  const auto comm = bench::simulate(prog, no_copy, init).total_time;
+  return {total - comm, comm, total};
+}
+
+void print_series() {
+  bench::Table t({"elements", "bytes", "cube", "copy_ms", "comm_ms", "total_ms"});
+  for (const int lg : {8, 10, 12, 14, 16}) {
+    for (const int n : {2, 6}) {
+      const auto b = run_stepwise(n, lg);
+      t.row({"2^" + std::to_string(lg), std::to_string((std::size_t{1} << lg) * 4),
+             std::to_string(n) + "-cube", bench::ms(b.copy), bench::ms(b.comm),
+             bench::ms(b.total)});
+    }
+  }
+  t.print("Figure 13: 2D stepwise transpose breakdown on the iPSC model");
+}
+
+void BM_Stepwise2D(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_stepwise(n, 12).total);
+  }
+}
+BENCHMARK(BM_Stepwise2D)->Arg(2)->Arg(4)->Arg(6);
+
+}  // namespace
+
+NCT_BENCH_MAIN(print_series)

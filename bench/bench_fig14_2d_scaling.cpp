@@ -1,0 +1,64 @@
+// Figure 14: measured times for the two-dimensional transpose on the
+// Intel iPSC (a) using the stepwise SPT algorithm, (b) using the routing
+// logic alone (direct sends).
+//
+// Shapes to reproduce: (a) for small matrices start-ups dominate and the
+// time *increases* with the cube dimension; as the matrix grows the time
+// decreases with cube size.  (b) the routing logic becomes significantly
+// worse than the SPT algorithm as the cube grows (more pairs contend for
+// the same links without scheduling).
+#include "bench_common.hpp"
+#include "core/transpose1d.hpp"
+#include "core/transpose2d.hpp"
+
+namespace {
+
+using namespace nct;
+
+double run(int n, int pq_log2, bool direct) {
+  const int half = n / 2;
+  const int p = pq_log2 / 2, q = pq_log2 - p;
+  const cube::MatrixShape s{p, q};
+  const auto before = cube::PartitionSpec::two_dim_consecutive(s, half, half);
+  const auto after = cube::PartitionSpec::two_dim_consecutive(s.transposed(), half, half);
+  auto machine = sim::MachineParams::ipsc(n);
+  const auto prog = direct ? core::transpose_2d_direct(before, after, machine)
+                           : core::transpose_2d_stepwise(before, after, machine);
+  const auto init = core::transpose_initial_memory(before, n, prog.local_slots);
+  return bench::simulate(prog, machine, init).total_time;
+}
+
+void print_series() {
+  {
+    bench::Table t({"elements", "n=2_ms", "n=4_ms", "n=6_ms", "n=8_ms"});
+    for (const int lg : {8, 10, 12, 14, 16}) {
+      t.row({"2^" + std::to_string(lg), bench::ms(run(2, lg, false)),
+             bench::ms(run(4, lg, false)), bench::ms(run(6, lg, false)),
+             bench::ms(run(8, lg, false))});
+    }
+    t.print("Figure 14a: 2D stepwise SPT transpose vs cube and matrix size (iPSC model)");
+  }
+  {
+    bench::Table t({"elements", "n=2_ms", "n=4_ms", "n=6_ms", "n=8_ms"});
+    for (const int lg : {8, 10, 12, 14, 16}) {
+      t.row({"2^" + std::to_string(lg), bench::ms(run(2, lg, true)),
+             bench::ms(run(4, lg, true)), bench::ms(run(6, lg, true)),
+             bench::ms(run(8, lg, true))});
+    }
+    t.print("Figure 14b: 2D transpose via routing logic (direct sends, iPSC model)");
+  }
+}
+
+void BM_Stepwise(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(run(static_cast<int>(state.range(0)), 12, false));
+}
+BENCHMARK(BM_Stepwise)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_Direct(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(run(static_cast<int>(state.range(0)), 12, true));
+}
+BENCHMARK(BM_Direct)->Arg(4)->Arg(6)->Arg(8);
+
+}  // namespace
+
+NCT_BENCH_MAIN(print_series)

@@ -1,0 +1,67 @@
+// Figure 15: measured times of transposing a matrix stored by mixed
+// encoding of rows (binary) and columns (Gray) on the Intel iPSC: the
+// naive 2n-2 step algorithm vs the n-step combined algorithm of
+// Section 6.3.
+//
+// Shape to reproduce: the combined algorithm wins by roughly the ratio
+// of routing steps (2n-2)/n, most visibly when start-ups dominate.
+#include "bench_common.hpp"
+#include "core/mixed_encoding.hpp"
+#include "core/transpose1d.hpp"
+
+namespace {
+
+using namespace nct;
+using cube::Encoding;
+
+struct Result {
+  double naive, combined;
+  std::size_t naive_steps, combined_steps;
+};
+
+Result run(int n, int pq_log2) {
+  const int half = n / 2;
+  const int p = pq_log2 / 2;
+  const cube::MatrixShape s{p, pq_log2 - p};
+  const auto before =
+      cube::PartitionSpec::two_dim_cyclic(s, half, half, Encoding::binary, Encoding::gray);
+  const auto inter =
+      cube::PartitionSpec::two_dim_cyclic(s, half, half, Encoding::gray, Encoding::binary);
+  const auto after = cube::PartitionSpec::two_dim_cyclic(s.transposed(), half, half,
+                                                         Encoding::binary, Encoding::gray);
+  const auto machine = sim::MachineParams::ipsc(n);
+  const auto naive = core::transpose_mixed_naive(before, inter, after);
+  const auto combined = core::transpose_mixed_combined(before, after);
+  const double tn = bench::simulate(naive, machine,
+                                    core::transpose_initial_memory(before, n,
+                                                                   naive.local_slots))
+                        .total_time;
+  const double tcb = bench::simulate(combined, machine,
+                                     core::transpose_initial_memory(before, n,
+                                                                    combined.local_slots))
+                         .total_time;
+  return {tn, tcb, core::routing_steps(naive), core::routing_steps(combined)};
+}
+
+void print_series() {
+  bench::Table t({"n", "elements", "naive_steps", "combined_steps", "naive_ms",
+                  "combined_ms", "speedup"});
+  for (const int n : {2, 4, 6, 8}) {
+    for (const int lg : {10, 14}) {
+      const auto r = run(n, lg);
+      t.row({std::to_string(n), "2^" + std::to_string(lg), std::to_string(r.naive_steps),
+             std::to_string(r.combined_steps), bench::ms(r.naive), bench::ms(r.combined),
+             bench::num(r.naive / r.combined)});
+    }
+  }
+  t.print("Figure 15: mixed-encoding transpose, naive (2n-2 steps) vs combined (n steps)");
+}
+
+void BM_Combined(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(run(static_cast<int>(state.range(0)), 12).combined);
+}
+BENCHMARK(BM_Combined)->Arg(4)->Arg(6);
+
+}  // namespace
+
+NCT_BENCH_MAIN(print_series)

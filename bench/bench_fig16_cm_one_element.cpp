@@ -1,0 +1,58 @@
+// Figure 16: matrix transpose on the Connection Machine using the
+// routing logic, one 32-bit element per processor, as a function of the
+// machine size.
+//
+// Shape to reproduce: with the bit-serial pipelined router (cut-through)
+// the time grows slowly (≈ linearly in n from the per-hop header
+// latency), and sits about two orders of magnitude below the iPSC at
+// comparable sizes.
+#include "bench_common.hpp"
+#include "core/transpose1d.hpp"
+#include "core/transpose2d.hpp"
+
+namespace {
+
+using namespace nct;
+
+double run_cm(int n) {
+  const int half = n / 2;
+  const cube::MatrixShape s{half, half};  // one element per processor
+  const auto before = cube::PartitionSpec::two_dim_cyclic(s, half, half);
+  const auto after = cube::PartitionSpec::two_dim_cyclic(s.transposed(), half, half);
+  const auto machine = sim::MachineParams::cm(n);
+  const auto prog = core::transpose_2d_direct(before, after, machine);
+  const auto init = core::transpose_initial_memory(before, n, prog.local_slots);
+  return bench::simulate(prog, machine, init).total_time;
+}
+
+double run_ipsc_reference(int n) {
+  const int half = n / 2;
+  const cube::MatrixShape s{half, half};
+  const auto before = cube::PartitionSpec::two_dim_cyclic(s, half, half);
+  const auto after = cube::PartitionSpec::two_dim_cyclic(s.transposed(), half, half);
+  const auto machine = sim::MachineParams::ipsc(n);
+  const auto prog = core::transpose_2d_direct(before, after, machine);
+  const auto init = core::transpose_initial_memory(before, n, prog.local_slots);
+  return bench::simulate(prog, machine, init).total_time;
+}
+
+void print_series() {
+  bench::Table t({"n", "processors", "matrix", "cm_us", "ipsc_ms", "cm_speedup"});
+  for (const int n : {4, 6, 8, 10, 12, 14}) {
+    const double cm = run_cm(n);
+    const double ip = run_ipsc_reference(n);
+    t.row({std::to_string(n), std::to_string(1 << n),
+           std::to_string(1 << (n / 2)) + "x" + std::to_string(1 << (n / 2)),
+           bench::us(cm), bench::ms(ip), bench::num(ip / cm, 0) + "x"});
+  }
+  t.print("Figure 16: CM-model transpose via routing logic, one element per processor");
+}
+
+void BM_CmOneElement(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(run_cm(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_CmOneElement)->Arg(8)->Arg(10)->Arg(12);
+
+}  // namespace
+
+NCT_BENCH_MAIN(print_series)

@@ -1,0 +1,46 @@
+// Figure 17: matrix transpose on the Connection Machine with multiple
+// elements per processor, for various machine sizes.
+//
+// Shape to reproduce: the time grows linearly in the number of elements
+// per processor once the payload serialisation dominates the router's
+// per-hop latency; larger machines carry more total data in the same
+// time.
+#include "bench_common.hpp"
+#include "core/transpose1d.hpp"
+#include "core/transpose2d.hpp"
+
+namespace {
+
+using namespace nct;
+
+double run_cm(int n, int elements_per_proc_log2) {
+  const int half = n / 2;
+  const int extra = elements_per_proc_log2;
+  const cube::MatrixShape s{half + (extra + 1) / 2, half + extra / 2};
+  const auto before = cube::PartitionSpec::two_dim_cyclic(s, half, half);
+  const auto after = cube::PartitionSpec::two_dim_cyclic(s.transposed(), half, half);
+  const auto machine = sim::MachineParams::cm(n);
+  const auto prog = core::transpose_2d_direct(before, after, machine);
+  const auto init = core::transpose_initial_memory(before, n, prog.local_slots);
+  return bench::simulate(prog, machine, init).total_time;
+}
+
+void print_series() {
+  bench::Table t({"elems/proc", "n=8_us", "n=10_us", "n=12_us"});
+  for (const int lg : {0, 1, 2, 3, 4, 5, 6}) {
+    t.row({std::to_string(1 << lg), bench::us(run_cm(8, lg)), bench::us(run_cm(10, lg)),
+           bench::us(run_cm(12, lg))});
+  }
+  t.print("Figure 17: CM-model transpose, multiple elements per processor");
+}
+
+void BM_CmMulti(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_cm(10, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_CmMulti)->Arg(2)->Arg(4)->Arg(6);
+
+}  // namespace
+
+NCT_BENCH_MAIN(print_series)

@@ -1,0 +1,45 @@
+// Figure 18: transpose of two fixed-size matrices on the Connection
+// Machine as a function of the machine size.
+//
+// Shape to reproduce: for a fixed matrix, growing the machine shrinks
+// the per-processor payload, so the time falls roughly geometrically
+// until the router latency floor.
+#include "bench_common.hpp"
+#include "core/transpose1d.hpp"
+#include "core/transpose2d.hpp"
+
+namespace {
+
+using namespace nct;
+
+double run_cm_fixed(int n, int pq_log2) {
+  const int half = n / 2;
+  const int p = pq_log2 / 2;
+  const cube::MatrixShape s{p, pq_log2 - p};
+  const auto before = cube::PartitionSpec::two_dim_cyclic(s, half, half);
+  const auto after = cube::PartitionSpec::two_dim_cyclic(s.transposed(), half, half);
+  const auto machine = sim::MachineParams::cm(n);
+  const auto prog = core::transpose_2d_direct(before, after, machine);
+  const auto init = core::transpose_initial_memory(before, n, prog.local_slots);
+  return bench::simulate(prog, machine, init).total_time;
+}
+
+void print_series() {
+  bench::Table t({"n", "processors", "256x256_us", "128x128_us"});
+  for (const int n : {8, 10, 12, 14}) {
+    t.row({std::to_string(n), std::to_string(1 << n), bench::us(run_cm_fixed(n, 16)),
+           bench::us(run_cm_fixed(n, 14))});
+  }
+  t.print("Figure 18: CM-model transpose of fixed matrices vs machine size");
+}
+
+void BM_CmFixedMatrix(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_cm_fixed(static_cast<int>(state.range(0)), 14));
+  }
+}
+BENCHMARK(BM_CmFixedMatrix)->Arg(8)->Arg(10)->Arg(12);
+
+}  // namespace
+
+NCT_BENCH_MAIN(print_series)

@@ -1,0 +1,78 @@
+// Figure 19 / Section 9: comparison of the matrix transpose with one-
+// and two-dimensional partitionings on the Intel iPSC.
+//
+// Shapes to reproduce: with one-port communication and copy time
+// included, the 1D exchange algorithm wins for small cubes / large
+// matrices (half the transfer volume), while the 2D partitioning
+// catches up for large cubes where the 1D scheme's extra start-ups and
+// copies bite; the analytic break-even N ~ c r / log^2 r grows with the
+// problem size.
+#include "analysis/cost_model.hpp"
+#include "bench_common.hpp"
+#include "comm/rearrange.hpp"
+#include "core/transpose1d.hpp"
+#include "core/transpose2d.hpp"
+
+namespace {
+
+using namespace nct;
+
+double run_1d(int n, int pq_log2) {
+  const int q = std::max(n, pq_log2 - pq_log2 / 2);  // column partitioning needs n <= q
+  const cube::MatrixShape s{pq_log2 - q, q};
+  const auto before = cube::PartitionSpec::col_consecutive(s, n);
+  const auto after = cube::PartitionSpec::col_consecutive(s.transposed(), n);
+  comm::RearrangeOptions opt;
+  opt.policy = comm::BufferPolicy::optimal(139);
+  const auto prog = core::transpose_1d(before, after, n, opt);
+  const auto machine = sim::MachineParams::ipsc(n);
+  const auto init = core::transpose_initial_memory(before, n, prog.local_slots);
+  return bench::simulate(prog, machine, init).total_time;
+}
+
+double run_2d(int n, int pq_log2) {
+  const int half = n / 2;
+  const int p = pq_log2 / 2;
+  const cube::MatrixShape s{p, pq_log2 - p};
+  const auto before = cube::PartitionSpec::two_dim_consecutive(s, half, half);
+  const auto after = cube::PartitionSpec::two_dim_consecutive(s.transposed(), half, half);
+  const auto machine = sim::MachineParams::ipsc(n);
+  const auto prog = core::transpose_2d_stepwise(before, after, machine);
+  const auto init = core::transpose_initial_memory(before, n, prog.local_slots);
+  return bench::simulate(prog, machine, init).total_time;
+}
+
+void print_series() {
+  bench::Table t({"elements", "n", "1D_ms", "2D_ms", "2D/1D"});
+  for (const int lg : {12, 14, 16}) {
+    for (const int n : {2, 4, 6}) {
+      const double t1 = run_1d(n, lg);
+      const double t2 = run_2d(n, lg);
+      t.row({"2^" + std::to_string(lg), std::to_string(n), bench::ms(t1), bench::ms(t2),
+             bench::num(t2 / t1)});
+    }
+  }
+  t.print("Figure 19: 1D vs 2D partitioned transpose on the iPSC model");
+
+  const auto m = sim::MachineParams::ipsc(6);
+  bench::Table b({"elements", "break_even_N (c=0.75)"});
+  for (const int lg : {12, 16, 20}) {
+    b.row({"2^" + std::to_string(lg),
+           bench::num(analysis::break_even_processors(m, static_cast<double>(1ULL << lg)), 0)});
+  }
+  b.print("Section 9: analytic 1D/2D break-even processor count, N ~ c r / log^2 r");
+}
+
+void BM_OneDim(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(run_1d(static_cast<int>(state.range(0)), 14));
+}
+BENCHMARK(BM_OneDim)->Arg(4)->Arg(6);
+
+void BM_TwoDim(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(run_2d(static_cast<int>(state.range(0)), 14));
+}
+BENCHMARK(BM_TwoDim)->Arg(4)->Arg(6);
+
+}  // namespace
+
+NCT_BENCH_MAIN(print_series)

@@ -1,0 +1,60 @@
+// Theorem 2: the MPT transpose time in its regimes, analytic vs
+// simulated, plus the optimal packet size.
+//
+// Shapes to reproduce: for start-up dominated machines (n large relative
+// to sqrt(PQ tc / N tau)) the time is ~ (n+1) tau; for transfer
+// dominated machines it approaches (sqrt(tau) + sqrt(PQ tc / 2N))^2, and
+// splitting the data over the 2H(x) paths beats SPT/DPT.
+#include <cmath>
+
+#include "analysis/cost_model.hpp"
+#include "bench_common.hpp"
+#include "core/transpose1d.hpp"
+#include "core/transpose2d.hpp"
+
+namespace {
+
+using namespace nct;
+
+double run_mpt(const sim::MachineParams& machine, int pq_log2) {
+  const int half = machine.n / 2;
+  const int p = pq_log2 / 2;
+  const cube::MatrixShape s{p, pq_log2 - p};
+  const auto before = cube::PartitionSpec::two_dim_cyclic(s, half, half);
+  const auto after = cube::PartitionSpec::two_dim_cyclic(s.transposed(), half, half);
+  const auto prog = core::transpose_mpt(before, after, machine);
+  const auto init = core::transpose_initial_memory(before, machine.n, prog.local_slots);
+  return bench::simulate(prog, machine, init).total_time;
+}
+
+void print_series() {
+  bench::Table t({"n", "tau_s", "regime", "analytic_Tmin_ms", "simulated_ms", "B_opt"});
+  const int pq_log2 = 14;
+  const double pq = static_cast<double>(1 << pq_log2);
+  struct Cfg {
+    int n;
+    double tau;
+  };
+  for (const Cfg cfg : {Cfg{6, 1.0}, Cfg{6, 1e-2}, Cfg{6, 2e-4}, Cfg{6, 1e-6},
+                        Cfg{4, 1e-3}, Cfg{8, 1e-3}}) {
+    auto m = sim::MachineParams::nport(cfg.n, cfg.tau, 1e-6);
+    m.element_bytes = 1;
+    const double r1 = std::sqrt(pq * m.element_tc() / (static_cast<double>(m.nodes()) * m.tau));
+    const double r2 = r1 / std::sqrt(2.0);
+    const char* regime = (m.n >= r1) ? "startup" : (m.n > r2 ? "middle" : "transfer");
+    t.row({std::to_string(cfg.n), bench::num(cfg.tau, 6), regime,
+           bench::ms(analysis::mpt_min_time(m, pq)), bench::ms(run_mpt(m, pq_log2)),
+           bench::num(analysis::mpt_optimal_packet(m, pq), 0)});
+  }
+  t.print("Theorem 2: MPT regimes, analytic T_min vs simulated (2^14 elements)");
+}
+
+void BM_Mpt(benchmark::State& state) {
+  auto m = sim::MachineParams::nport(static_cast<int>(state.range(0)), 1e-3, 1e-6);
+  for (auto _ : state) benchmark::DoNotOptimize(run_mpt(m, 12));
+}
+BENCHMARK(BM_Mpt)->Arg(4)->Arg(6)->Arg(8);
+
+}  // namespace
+
+NCT_BENCH_MAIN(print_series)

@@ -1,0 +1,57 @@
+// Wall-clock benchmarks of the thread-backed ensemble runtime executing
+// the planner programs with real message passing (one thread per cube
+// node, blocking channels, store-and-forward forwarding).
+#include "bench_common.hpp"
+#include "comm/all_to_all.hpp"
+#include "core/transpose1d.hpp"
+#include "runtime/executor.hpp"
+
+namespace {
+
+using namespace nct;
+
+void print_series() {
+  bench::Table t({"n", "threads", "algorithm", "result"});
+  for (const int n : {2, 4, 6}) {
+    const cube::MatrixShape s{n, n};
+    const auto before = cube::PartitionSpec::col_cyclic(s, n);
+    const auto after = cube::PartitionSpec::col_cyclic(s.transposed(), n);
+    const auto prog = core::transpose_1d(before, after, n);
+    const auto init = core::transpose_initial_memory(before, n, prog.local_slots);
+    const auto mem = runtime::execute_program_threads(prog, init);
+    const auto expected =
+        core::transpose_expected_memory(s, after, n, prog.local_slots);
+    t.row({std::to_string(n), std::to_string(1 << n), "1D exchange transpose",
+           sim::verify_memory(mem, expected).ok ? "verified" : "MISMATCH"});
+  }
+  t.print("Thread-backed ensemble runtime: real message-passing execution");
+}
+
+void BM_ThreadedTranspose1D(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const cube::MatrixShape s{n, n};
+  const auto before = cube::PartitionSpec::col_cyclic(s, n);
+  const auto after = cube::PartitionSpec::col_cyclic(s.transposed(), n);
+  const auto prog = core::transpose_1d(before, after, n);
+  const auto init = core::transpose_initial_memory(before, n, prog.local_slots);
+  for (auto _ : state) {
+    auto mem = runtime::execute_program_threads(prog, init);
+    benchmark::DoNotOptimize(mem.data());
+  }
+}
+BENCHMARK(BM_ThreadedTranspose1D)->Arg(2)->Arg(4)->Arg(6)->Unit(benchmark::kMillisecond);
+
+void BM_ThreadedAllToAll(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto prog = comm::all_to_all_exchange(n, 4);
+  const auto init = comm::all_to_all_initial_memory(n, 4);
+  for (auto _ : state) {
+    auto mem = runtime::execute_program_threads(prog, init);
+    benchmark::DoNotOptimize(mem.data());
+  }
+}
+BENCHMARK(BM_ThreadedAllToAll)->Arg(2)->Arg(4)->Arg(5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+NCT_BENCH_MAIN(print_series)

@@ -1,0 +1,64 @@
+// Table 3: estimated communication time for some-to-all personalized
+// communication with k splitting steps and l all-to-all steps, one-port
+// and n-port, compared against the simulated optimal-order rearrangement
+// (Theorem 1: splits first).
+#include "analysis/cost_model.hpp"
+#include "bench_common.hpp"
+#include "comm/rearrange.hpp"
+
+namespace {
+
+using namespace nct;
+
+double simulate_some_to_all(int k, int l, int pq_log2, comm::SplitTiming timing) {
+  // Data on 2^l processors spreads to 2^{k+l}: cyclic(l) -> consecutive(k+l)
+  // column storage of a square matrix.
+  const int n = k + l;
+  const int p = pq_log2 / 2;
+  const cube::MatrixShape s{p, pq_log2 - p};
+  const auto before = cube::PartitionSpec::col_cyclic(s, l);
+  const auto after = cube::PartitionSpec::col_consecutive(s, n);
+  comm::RearrangeOptions opt;
+  opt.split_timing = timing;
+  opt.charge_final_local = false;
+  auto machine = sim::MachineParams::ipsc(n);
+  machine.tcopy = 0.0;
+  const auto prog = comm::convert_storage(before, after, n, opt);
+  const auto init = comm::spec_memory(before, n, prog.local_slots);
+  return bench::simulate(prog, machine, init).total_time;
+}
+
+void print_series() {
+  const int pq_log2 = 14;
+  const double pq = static_cast<double>(1 << pq_log2);
+  bench::Table t({"k", "l", "one_port_model_ms", "n_port_model_ms", "sim_optimal_ms",
+                  "sim_pessimal_ms"});
+  for (const auto& [k, l] : {std::pair{1, 3}, std::pair{2, 2}, std::pair{3, 1},
+                            std::pair{4, 0}, std::pair{0, 4}, std::pair{2, 4},
+                            std::pair{4, 2}}) {
+    const auto one = sim::MachineParams::ipsc(k + l);
+    auto nport = sim::MachineParams::ipsc(k + l);
+    nport.port = sim::PortModel::n_port;
+    t.row({std::to_string(k), std::to_string(l),
+           bench::ms(analysis::some_to_all_time_one_port(one, pq, k, l)),
+           bench::ms(analysis::some_to_all_time_n_port(nport, pq, k, l)),
+           bench::ms(simulate_some_to_all(k, l, pq_log2, comm::SplitTiming::optimal)),
+           bench::ms(simulate_some_to_all(k, l, pq_log2, comm::SplitTiming::pessimal))});
+  }
+  t.print("Table 3: some-to-all personalized communication (2^l -> 2^{k+l} processors)");
+  std::printf("Theorem 1: the optimal order (splits first, gathers last) should never\n"
+              "lose to the pessimal order; the model columns are the closed forms.\n");
+}
+
+void BM_SomeToAll(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        simulate_some_to_all(k, 4 - k, 12, comm::SplitTiming::optimal));
+  }
+}
+BENCHMARK(BM_SomeToAll)->DenseRange(1, 3);
+
+}  // namespace
+
+NCT_BENCH_MAIN(print_series)

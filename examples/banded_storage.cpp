@@ -1,0 +1,80 @@
+// Banded-matrix storage with combined assignments (Section 2's
+// illustration): the nonzero band of a matrix is stored in a 2^p x 2^q
+// array; a two-dimensional partitioning uses n_c contiguous row-address
+// dimensions *below the top* for real processors (cyclic in the high
+// rows, consecutive below), and moving to the concurrent-elimination
+// phase adds S = 2^s block rows as a second real field — the address
+// field splits into two real-processor fields.
+//
+// The example builds both layouts directly from Field lists, converts
+// between them with the rearrangement planner (a some-to-all
+// personalized communication: the elimination phase uses 2^s times more
+// processors), and verifies the conversion is exact.
+//
+//   ./banded_storage [p] [q] [n_c] [s]
+#include <cstdio>
+#include <cstdlib>
+
+#include "comm/rearrange.hpp"
+#include "sim/engine.hpp"
+
+using namespace nct;
+
+int main(int argc, char** argv) {
+  const int p = argc > 1 ? std::atoi(argv[1]) : 7;
+  const int q = argc > 2 ? std::atoi(argv[2]) : 4;
+  const int nc = argc > 3 ? std::atoi(argv[3]) : 2;
+  const int s = argc > 4 ? std::atoi(argv[4]) : 2;
+  if (q + nc > p || nc > q || p + q > 20) {
+    std::fprintf(stderr, "need n_c <= q and q + n_c <= p (band storage), p+q <= 20\n");
+    return 1;
+  }
+  const cube::MatrixShape shape{p, q};
+
+  // Band-solver layout (paper, Section 2):
+  //   (u_{p-1}..u_q | u_{q-1}..u_{q-nc} rp | u_{q-nc-1}..u_0 |
+  //    v_{q-1}..v_{q-nc} rp | v_{q-nc-1}..v_0)
+  const cube::PartitionSpec band_layout(
+      shape, {cube::Field{q + q - nc, nc, cube::Encoding::binary},
+              cube::Field{q - nc, nc, cube::Encoding::binary}});
+
+  // Concurrent-elimination layout: S = 2^s block rows become a second
+  // real field at the top of the row address:
+  //   (u_{p-1}..u_{p-s} rp | ... | u_{q-1}..u_{q-nc} rp | ... |
+  //    v_{q-1}..v_{q-nc} rp | ...)
+  const cube::PartitionSpec elimination_layout(
+      shape, {cube::Field{q + p - s, s, cube::Encoding::binary},
+              cube::Field{q + q - nc, nc, cube::Encoding::binary},
+              cube::Field{q - nc, nc, cube::Encoding::binary}});
+
+  const int n = s + 2 * nc;  // machine dimensions
+  std::printf("Banded storage: %llu x %llu band array\n",
+              static_cast<unsigned long long>(shape.rows()),
+              static_cast<unsigned long long>(shape.cols()));
+  std::printf("band-solver layout:   %s  (%llu processors)\n",
+              band_layout.describe().c_str(),
+              static_cast<unsigned long long>(band_layout.processors()));
+  std::printf("elimination layout:   %s  (%llu processors)\n",
+              elimination_layout.describe().c_str(),
+              static_cast<unsigned long long>(elimination_layout.processors()));
+
+  for (const auto* dir : {"forward", "backward"}) {
+    const bool fwd = std::string(dir) == "forward";
+    const auto& from = fwd ? band_layout : elimination_layout;
+    const auto& to = fwd ? elimination_layout : band_layout;
+    const auto prog = comm::convert_storage(from, to, n);
+    const auto machine = sim::MachineParams::ipsc(n);
+    const auto init = comm::spec_memory(from, n, prog.local_slots);
+    const auto res = sim::Engine(machine).run(prog, init);
+    const auto ok =
+        sim::verify_memory(res.memory, comm::spec_memory(to, n, prog.local_slots));
+    std::printf(
+        "%s conversion (%s): %zu phases, %zu messages, %.3f ms on the iPSC model [%s]\n",
+        dir, fwd ? "splitting over 2^s block rows" : "gathering back", prog.phases.size(),
+        res.total_sends, res.total_time * 1e3, ok.ok ? "verified" : ok.message.c_str());
+  }
+  std::printf("\nThe forward conversion is some-to-all personalized communication\n"
+              "(k = %d splitting steps, Section 3.3); Theorem 1 schedules the splits\n"
+              "first so later steps move less data.\n", s);
+  return 0;
+}

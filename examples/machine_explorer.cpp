@@ -1,0 +1,83 @@
+// Machine explorer: sweep a custom machine's (tau, tc, B_m, ports,
+// switching) and report, for each transpose algorithm, the simulated
+// time next to the paper's analytic prediction — the tool a user would
+// reach for to pick an algorithm for their interconnect.
+//
+//   ./machine_explorer [n] [log2_elements] [tau_us] [tc_ns_per_byte]
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/cost_model.hpp"
+#include "comm/rearrange.hpp"
+#include "core/api.hpp"
+#include "core/transpose1d.hpp"
+#include "core/transpose2d.hpp"
+#include "sim/engine.hpp"
+#include "sim/report.hpp"
+
+using namespace nct;
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 6;
+  const int lg = argc > 2 ? std::atoi(argv[2]) : 14;
+  const double tau = (argc > 3 ? std::atof(argv[3]) : 100.0) * 1e-6;
+  const double tc = (argc > 4 ? std::atof(argv[4]) : 1000.0) * 1e-9;
+  if (n % 2 != 0 || lg < n) {
+    std::fprintf(stderr, "need even n and log2_elements >= n\n");
+    return 1;
+  }
+  const int half = n / 2;
+  const int p = lg / 2, q = lg - p;
+  const cube::MatrixShape s{p, q};
+  const double pq = static_cast<double>(s.elements());
+
+  std::printf("Machine: %d-cube, tau = %.1f us, tc = %.1f ns/B, 4 B elements\n", n,
+              tau * 1e6, tc * 1e9);
+  std::printf("Matrix: %llu x %llu (%g elements)\n\n",
+              static_cast<unsigned long long>(s.rows()),
+              static_cast<unsigned long long>(s.cols()), pq);
+
+  auto one_port = sim::MachineParams::nport(n, tau, tc);
+  one_port.port = sim::PortModel::one_port;
+  auto n_port = sim::MachineParams::nport(n, tau, tc);
+
+  const auto b2 = cube::PartitionSpec::two_dim_cyclic(s, half, half);
+  const auto a2 = cube::PartitionSpec::two_dim_cyclic(s.transposed(), half, half);
+  const auto b1 = cube::PartitionSpec::col_consecutive(s, std::min(n, q));
+  const auto a1 = cube::PartitionSpec::col_consecutive(s.transposed(), std::min(n, p));
+
+  std::printf("%-34s %14s %14s\n", "algorithm", "simulated_ms", "analytic_ms");
+  const auto row = [&](const char* name, const sim::MachineParams& m,
+                       const sim::Program& prog, const cube::PartitionSpec& before,
+                       double analytic) {
+    const auto init = core::transpose_initial_memory(before, n, prog.local_slots);
+    const auto res = sim::Engine(m).run(prog, init);
+    std::printf("%-34s %14.3f %14.3f\n", name, res.total_time * 1e3, analytic * 1e3);
+  };
+
+  row("1D exchange (one-port)", one_port, core::transpose_1d(b1, a1, n),
+      b1, analysis::all_to_all_exchange_time(one_port, pq));
+  row("2D SPT pipelined (n-port)", n_port, core::transpose_spt(b2, a2, n_port), b2,
+      analysis::spt_min_time(n_port, pq));
+  row("2D DPT pipelined (n-port)", n_port, core::transpose_dpt(b2, a2, n_port), b2,
+      analysis::dpt_min_time(n_port, pq));
+  row("2D MPT pipelined (n-port)", n_port, core::transpose_mpt(b2, a2, n_port), b2,
+      analysis::mpt_min_time(n_port, pq));
+  row("2D stepwise (one-port)", one_port, core::transpose_2d_stepwise(b2, a2, one_port),
+      b2, analysis::transpose_2d_stepwise_time(one_port, pq));
+  row("2D direct routing (n-port)", n_port, core::transpose_2d_direct(b2, a2, n_port), b2,
+      analysis::transpose_2d_lower_bound(n_port, pq));
+
+  std::printf("\nLower bound (Theorem 3):            %14.3f\n",
+              analysis::transpose_2d_lower_bound(n_port, pq) * 1e3);
+  std::printf("1D/2D break-even N (Section 9):     %14.0f\n",
+              analysis::break_even_processors(one_port, pq));
+
+  // Detailed report for the planner's own pick on the n-port machine.
+  const auto plan = core::plan_transpose(b2, a2, n_port);
+  const auto init = core::transpose_initial_memory(b2, n, plan.program.local_slots);
+  const auto res = sim::Engine(n_port).run(plan.program, init);
+  std::printf("\nplanner choice: %s\n%s", plan.algorithm.c_str(),
+              sim::format_report(plan.program, res).c_str());
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Quickstart: plan a two-dimensional matrix transpose on a Boolean
+// 6-cube, simulate it under the Intel iPSC and Connection Machine
+// models, verify the resulting data distribution, and compare the
+// single-path, dual-path and multiple-path algorithms.
+//
+//   ./quickstart [n] [log2_rows] [log2_cols]
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/cost_model.hpp"
+#include "core/transpose1d.hpp"
+#include "core/transpose2d.hpp"
+#include "sim/engine.hpp"
+
+using namespace nct;
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 6;
+  const int p = argc > 2 ? std::atoi(argv[2]) : 7;
+  const int q = argc > 3 ? std::atoi(argv[3]) : 7;
+  if (n < 2 || n % 2 != 0 || n / 2 > p || n / 2 > q) {
+    std::fprintf(stderr, "need even n >= 2 with n/2 <= log2_rows, log2_cols\n");
+    return 1;
+  }
+  const int half = n / 2;
+  const cube::MatrixShape shape{p, q};
+
+  std::printf("Transposing a %llu x %llu matrix on a %d-cube (%llu processors)\n",
+              static_cast<unsigned long long>(shape.rows()),
+              static_cast<unsigned long long>(shape.cols()), n,
+              static_cast<unsigned long long>(cube::word{1} << n));
+
+  // Two-dimensional cyclic partitioning, 2^{n/2} processors per axis.
+  const auto before = cube::PartitionSpec::two_dim_cyclic(shape, half, half);
+  const auto after = cube::PartitionSpec::two_dim_cyclic(shape.transposed(), half, half);
+  std::printf("before: %s\nafter:  %s\n", before.describe().c_str(),
+              after.describe().c_str());
+
+  const auto run = [&](const char* name, const sim::MachineParams& machine,
+                       const sim::Program& prog) {
+    const auto init = core::transpose_initial_memory(before, n, prog.local_slots);
+    const auto res = sim::Engine(machine).run(prog, init);
+    const auto expected =
+        core::transpose_expected_memory(shape, after, n, prog.local_slots);
+    const auto v = sim::verify_memory(res.memory, expected);
+    std::printf("  %-28s %10.3f ms   %zu messages, %zu hops   [%s]\n", name,
+                res.total_time * 1e3, res.total_sends, res.total_hops,
+                v.ok ? "verified" : v.message.c_str());
+    return res.total_time;
+  };
+
+  const auto ipsc = sim::MachineParams::ipsc(n);
+  const auto cm = sim::MachineParams::cm(n);
+  auto nport = sim::MachineParams::nport(n, 1e-4, 1e-6);
+
+  std::printf("\niPSC model (one-port, store-and-forward):\n");
+  run("stepwise SPT (Section 8.2.1)", ipsc, core::transpose_2d_stepwise(before, after, ipsc));
+  run("routing logic (direct)", ipsc, core::transpose_2d_direct(before, after, ipsc));
+
+  std::printf("\nGeneric n-port machine (tau=0.1ms, tc=1us/B):\n");
+  run("SPT  (1 path per pair)", nport, core::transpose_spt(before, after, nport));
+  run("DPT  (2 paths per pair)", nport, core::transpose_dpt(before, after, nport));
+  run("MPT  (2H(x) paths per pair)", nport, core::transpose_mpt(before, after, nport));
+  std::printf("  analytic MPT T_min (Thm 2): %10.3f ms\n",
+              analysis::mpt_min_time(nport, static_cast<double>(shape.elements())) * 1e3);
+
+  std::printf("\nConnection Machine model (n-port, cut-through):\n");
+  run("routing logic (direct)", cm, core::transpose_2d_direct(before, after, cm));
+
+  std::printf("\nTheorem 3 lower bound: %.3f ms\n",
+              analysis::transpose_2d_lower_bound(nport,
+                                                 static_cast<double>(shape.elements())) *
+                  1e3);
+  return 0;
+}

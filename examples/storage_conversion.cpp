@@ -1,0 +1,76 @@
+// Storage-form conversion tour (Corollaries 6 and 7): convert a matrix
+// among consecutive/cyclic row/column storage and Gray/binary processor
+// encodings, printing the communication structure and simulated iPSC
+// cost of each conversion, and round-tripping the data to show every
+// plan is exact.
+//
+//   ./storage_conversion [log2_rows] [log2_cols] [cube_dims]
+#include <cstdio>
+#include <cstdlib>
+
+#include "comm/rearrange.hpp"
+#include "core/transpose1d.hpp"
+#include "sim/engine.hpp"
+
+using namespace nct;
+
+int main(int argc, char** argv) {
+  const int p = argc > 1 ? std::atoi(argv[1]) : 6;
+  const int q = argc > 2 ? std::atoi(argv[2]) : 6;
+  const int n = argc > 3 ? std::atoi(argv[3]) : 4;
+  if (n > p || n > q) {
+    std::fprintf(stderr, "need cube_dims <= log2_rows and log2_cols\n");
+    return 1;
+  }
+  const cube::MatrixShape s{p, q};
+  const auto machine = sim::MachineParams::ipsc(n);
+
+  struct Form {
+    const char* name;
+    cube::PartitionSpec spec;
+  };
+  const std::vector<Form> forms = {
+      {"row-consecutive", cube::PartitionSpec::row_consecutive(s, n)},
+      {"row-cyclic", cube::PartitionSpec::row_cyclic(s, n)},
+      {"col-consecutive", cube::PartitionSpec::col_consecutive(s, n)},
+      {"col-cyclic", cube::PartitionSpec::col_cyclic(s, n)},
+      {"row-combined(split)", cube::PartitionSpec::row_combined_split(s, n, n / 2)},
+  };
+
+  std::printf("Storage conversions of a %llu x %llu matrix on a %d-cube (iPSC model)\n\n",
+              static_cast<unsigned long long>(s.rows()),
+              static_cast<unsigned long long>(s.cols()), n);
+  std::printf("%-22s %-22s %9s %9s %12s\n", "from", "to", "phases", "messages",
+              "time_ms");
+
+  for (const auto& from : forms) {
+    for (const auto& to : forms) {
+      if (from.spec == to.spec) continue;
+      comm::RearrangeOptions opt;
+      opt.policy = comm::BufferPolicy::optimal(139);
+      const auto prog = comm::convert_storage(from.spec, to.spec, n, opt);
+      const auto init = comm::spec_memory(from.spec, n, prog.local_slots);
+      const auto res = sim::Engine(machine).run(prog, init);
+      const auto ok =
+          sim::verify_memory(res.memory, comm::spec_memory(to.spec, n, prog.local_slots));
+      std::printf("%-22s %-22s %9zu %9zu %12.3f %s\n", from.name, to.name,
+                  prog.phases.size(), res.total_sends, res.total_time * 1e3,
+                  ok.ok ? "" : "  <- MISMATCH");
+    }
+  }
+
+  // Round trip: consecutive -> cyclic -> consecutive restores the layout.
+  {
+    const auto& a = forms[0].spec;
+    const auto& b = forms[1].spec;
+    const auto there = comm::convert_storage(a, b, n);
+    const auto back = comm::convert_storage(b, a, n);
+    auto memory = comm::spec_memory(a, n, there.local_slots);
+    memory = sim::apply_data(there, std::move(memory));
+    memory = sim::apply_data(back, std::move(memory));
+    const auto ok = sim::verify_memory(memory, comm::spec_memory(a, n, back.local_slots));
+    std::printf("\nround trip consecutive -> cyclic -> consecutive: %s\n",
+                ok.ok ? "exact" : ok.message.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,208 @@
+#include "analysis/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nct::analysis {
+
+namespace {
+
+double ceil_div(double a, double b) { return std::ceil(a / b); }
+
+/// B_m in elements.
+double bm_elements(const sim::MachineParams& m) {
+  if (m.max_packet_bytes == SIZE_MAX) return 1e30;
+  return static_cast<double>(m.max_packet_bytes) / m.element_bytes;
+}
+
+}  // namespace
+
+double one_to_all_sbt_time(const sim::MachineParams& m, double pq) {
+  const double N = static_cast<double>(m.nodes());
+  double startups = 0.0;
+  const double bm = bm_elements(m);
+  for (int i = 1; i <= m.n; ++i) {
+    startups += ceil_div(pq, std::pow(2.0, i) * bm);
+  }
+  return (1.0 - 1.0 / N) * pq * m.element_tc() + startups * m.tau;
+}
+
+double one_to_all_lower_bound_one_port(const sim::MachineParams& m, double pq) {
+  const double N = static_cast<double>(m.nodes());
+  return std::max((1.0 - 1.0 / N) * pq * m.element_tc(), m.n * m.tau);
+}
+
+double one_to_all_nport_time(const sim::MachineParams& m, double pq) {
+  const double N = static_cast<double>(m.nodes());
+  return (1.0 / m.n) * (1.0 - 1.0 / N) * pq * m.element_tc() + m.n * m.tau;
+}
+
+double one_to_all_lower_bound_n_port(const sim::MachineParams& m, double pq) {
+  const double N = static_cast<double>(m.nodes());
+  return std::max((1.0 / m.n) * (1.0 - 1.0 / N) * pq * m.element_tc(), m.n * m.tau);
+}
+
+double all_to_all_exchange_time(const sim::MachineParams& m, double pq) {
+  const double N = static_cast<double>(m.nodes());
+  const double half_local = pq / (2.0 * N);
+  return m.n * half_local * m.element_tc() +
+         m.n * ceil_div(half_local, bm_elements(m)) * m.tau;
+}
+
+double all_to_all_nport_time(const sim::MachineParams& m, double pq) {
+  const double N = static_cast<double>(m.nodes());
+  return pq / (2.0 * N) * m.element_tc() + m.n * m.tau;
+}
+
+double all_to_all_lower_bound(const sim::MachineParams& m, double pq) {
+  const double N = static_cast<double>(m.nodes());
+  return std::max(pq / (2.0 * N) * m.element_tc(), m.n * m.tau);
+}
+
+double some_to_all_time_one_port(const sim::MachineParams& m, double pq, int k, int l) {
+  // Table 3, one-port:
+  //   T = (l PQ/2^{k+l+1} + sum_{i=0}^{k-1} PQ/2^{k+l-i}) t_c
+  //     + (l ceil(PQ/(B_m 2^{k+l+1})) + sum ceil(PQ/(B_m 2^{k+l-i}))) tau.
+  const double bm = bm_elements(m);
+  double transfer = l * pq / std::pow(2.0, k + l + 1);
+  double startups = l * ceil_div(pq, bm * std::pow(2.0, k + l + 1));
+  for (int i = 0; i < k; ++i) {
+    transfer += pq / std::pow(2.0, k + l - i);
+    startups += ceil_div(pq, bm * std::pow(2.0, k + l - i));
+  }
+  return transfer * m.element_tc() + startups * m.tau;
+}
+
+double some_to_all_time_n_port(const sim::MachineParams& m, double pq, int k, int l) {
+  // Table 3, n-port.
+  const double bm = bm_elements(m);
+  double transfer = pq / std::pow(2.0, k + l + 1);
+  double startups =
+      (l > 0) ? l * ceil_div(pq, l * bm * std::pow(2.0, k + l + 1)) : 0.0;
+  double acc = 0.0;
+  for (int i = 0; i < k; ++i) {
+    acc += pq / std::pow(2.0, k + l - i);
+    startups += ceil_div(pq, k * bm * std::pow(2.0, k + l - i));
+  }
+  if (k > 0) transfer += acc / k;
+  return transfer * m.element_tc() + startups * m.tau;
+}
+
+double spt_time(const sim::MachineParams& m, double pq, double b) {
+  const double N = static_cast<double>(m.nodes());
+  return (ceil_div(pq, b * N) + m.n - 1) * (b * m.element_tc() + m.tau);
+}
+
+double spt_optimal_packet(const sim::MachineParams& m, double pq) {
+  const double N = static_cast<double>(m.nodes());
+  return std::sqrt(pq * m.tau / (N * (m.n - 1) * m.element_tc()));
+}
+
+double spt_min_time(const sim::MachineParams& m, double pq) {
+  const double N = static_cast<double>(m.nodes());
+  const double a = std::sqrt(pq / N * m.element_tc());
+  const double b = std::sqrt((m.n - 1) * m.tau);
+  return (a + b) * (a + b);
+}
+
+double dpt_time(const sim::MachineParams& m, double pq, double b) {
+  const double N = static_cast<double>(m.nodes());
+  return (ceil_div(pq, 2.0 * b * N) + m.n - 1) * (b * m.element_tc() + m.tau);
+}
+
+double dpt_min_time(const sim::MachineParams& m, double pq) {
+  const double N = static_cast<double>(m.nodes());
+  const double a = std::sqrt(pq / (2.0 * N) * m.element_tc());
+  const double b = std::sqrt((m.n - 1) * m.tau);
+  return (a + b) * (a + b);
+}
+
+double mpt_min_time(const sim::MachineParams& m, double pq) {
+  // Theorem 2.
+  const double N = static_cast<double>(m.nodes());
+  const int n = m.n;
+  const double tc = m.element_tc();
+  const double tau = m.tau;
+  const double r1 = std::sqrt(pq * tc / (N * tau));        // upper regime edge
+  const double r2 = std::sqrt(pq * tc / (2.0 * N * tau));  // lower regime edge
+  if (n >= r1) {
+    return (n + 1) * tau + (n + 1.0) / (2.0 * n) * pq / N * tc;
+  }
+  if (n > r2) {
+    if ((n / 2) % 2 == 0) {
+      return (n / 2.0 + 3.0) * tau + (n + 6.0) / (2.0 * n + 8.0) * pq / N * tc;
+    }
+    return (n / 2.0 + 2.0) * tau + (n + 4.0) / (2.0 * n + 4.0) * pq / N * tc;
+  }
+  const double a = std::sqrt(tau);
+  const double b = std::sqrt(pq * tc / (2.0 * N));
+  return (a + b) * (a + b);
+}
+
+double mpt_optimal_packet(const sim::MachineParams& m, double pq) {
+  const double N = static_cast<double>(m.nodes());
+  const int n = m.n;
+  const double r2 = std::sqrt(pq * m.element_tc() / (2.0 * N * m.tau));
+  if (n > r2) {
+    if ((n / 2) % 2 == 0) return std::ceil(pq / (N * (n + 4)));
+    return std::ceil(pq / (N * (n + 2)));
+  }
+  return std::sqrt(pq * m.tau / (2.0 * N * m.element_tc()));
+}
+
+double transpose_2d_lower_bound(const sim::MachineParams& m, double pq) {
+  const double N = static_cast<double>(m.nodes());
+  return std::max(m.n * m.tau, pq / (2.0 * N) * m.element_tc());
+}
+
+double transpose_1d_unbuffered_time(const sim::MachineParams& m, double pq) {
+  const double N = static_cast<double>(m.nodes());
+  const double bm = bm_elements(m);
+  const int n = m.n;
+  const double blocks = ceil_div(pq, bm * N);  // ceil(PQ / (B_m N))
+  const double startups =
+      N + ceil_div(pq, 2.0 * bm * N) * std::min<double>(n, std::log2(std::max(blocks, 1.0))) -
+      pq / (bm * N);
+  return n * pq / (2.0 * N) * m.element_tc() + std::max(startups, 0.0) * m.tau;
+}
+
+double transpose_1d_buffered_time(const sim::MachineParams& m, double pq,
+                                  double b_copy) {
+  const double N = static_cast<double>(m.nodes());
+  const double bm = bm_elements(m);
+  const int n = m.n;
+  const double local = pq / N;
+  const double copy_steps =
+      std::max(0.0, n - std::log2(std::max(ceil_div(pq, b_copy * N), 1.0)));
+  const double startups =
+      std::min(N, pq / (b_copy * N)) - std::min(N, pq / (bm * N)) +
+      ceil_div(pq, 2.0 * bm * N) *
+          (std::min<double>(n, std::log2(std::max(ceil_div(pq, bm * N), 1.0))) + copy_steps);
+  return n * pq / (2.0 * N) * m.element_tc() + local * copy_steps * m.element_tcopy() +
+         std::max(startups, 0.0) * m.tau;
+}
+
+double optimal_copy_threshold(const sim::MachineParams& m) {
+  if (m.element_tcopy() <= 0.0) return 1e30;
+  return m.tau / m.element_tcopy();
+}
+
+double transpose_2d_stepwise_time(const sim::MachineParams& m, double pq) {
+  const double N = static_cast<double>(m.nodes());
+  const double local = pq / N;
+  return (local * m.element_tc() + ceil_div(local, bm_elements(m)) * m.tau) * m.n +
+         2.0 * local * m.element_tcopy();
+}
+
+double transpose_1d_nport_min_time(const sim::MachineParams& m, double pq) {
+  const double N = static_cast<double>(m.nodes());
+  return pq / (2.0 * N) * m.element_tc() + m.n * m.tau;
+}
+
+double break_even_processors(const sim::MachineParams& m, double pq, double c) {
+  const double r = pq * m.element_tc() / m.tau;
+  const double lg = std::log2(std::max(r, 2.0));
+  return c * r / (lg * lg);
+}
+
+}  // namespace nct::analysis

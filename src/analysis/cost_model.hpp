@@ -1,0 +1,98 @@
+// Closed-form communication cost model: every T / T_min / B_opt
+// expression in the paper, expressed over a MachineParams.
+//
+// Conventions: PQ is the matrix element count, N = 2^n the processor
+// count; times are seconds.  t_c and t_copy below are *per element*
+// (machine.element_tc() / element_tcopy()), matching the paper's use of
+// "transfer time per element".
+#pragma once
+
+#include <cstddef>
+
+#include "sim/model.hpp"
+
+namespace nct::analysis {
+
+using cube::word;
+
+/// Section 3.1: one-to-all personalized communication.
+///
+/// SBT, subtree-at-once scheduling, one-port:
+///   T = (1 - 1/N) PQ t_c + sum_{i=1}^{n} ceil(PQ / (2^i B_m)) tau,
+/// minimised to (1 - 1/N) PQ t_c + n tau for B_m >= PQ/2.
+double one_to_all_sbt_time(const sim::MachineParams& m, double pq);
+
+/// Lower bound, one-port: max((1 - 1/N) PQ t_c, n tau).
+double one_to_all_lower_bound_one_port(const sim::MachineParams& m, double pq);
+
+/// SBnT / rotated-SBT n-port minimum: (1/n)(1 - 1/N) PQ t_c + n tau.
+double one_to_all_nport_time(const sim::MachineParams& m, double pq);
+
+/// n-port lower bound: max((1/n)(1 - 1/N) PQ t_c, n tau).
+double one_to_all_lower_bound_n_port(const sim::MachineParams& m, double pq);
+
+/// Section 3.2: all-to-all personalized communication.
+///
+/// Exchange algorithm, one-port:
+///   T = n PQ/(2N) t_c + n ceil(PQ/(2 N B_m)) tau
+/// (minimum n (PQ/(2N) t_c + tau) for B_m >= PQ/2N).
+double all_to_all_exchange_time(const sim::MachineParams& m, double pq);
+
+/// SBnT routing, n-port: PQ/(2N) t_c + n tau.
+double all_to_all_nport_time(const sim::MachineParams& m, double pq);
+
+/// Lower bound: max(PQ/(2N) t_c, n tau) / one-port factor-2 band.
+double all_to_all_lower_bound(const sim::MachineParams& m, double pq);
+
+/// Section 3.3, Table 3: some-to-all personalized communication with k
+/// splitting steps and l all-to-all steps (2^l -> 2^{l+k} processors).
+double some_to_all_time_one_port(const sim::MachineParams& m, double pq, int k, int l);
+double some_to_all_time_n_port(const sim::MachineParams& m, double pq, int k, int l);
+
+/// Section 6.1.1: pipelined SPT.
+///   T(B) = (ceil(PQ/(B N)) + n - 1)(B t_c + tau);
+///   B_opt = sqrt(PQ tau / (N (n-1) t_c));  T_min = (sqrt(PQ/N t_c) +
+///   sqrt((n-1) tau))^2.
+double spt_time(const sim::MachineParams& m, double pq, double packet_elements);
+double spt_optimal_packet(const sim::MachineParams& m, double pq);
+double spt_min_time(const sim::MachineParams& m, double pq);
+
+/// Section 6.1.2: DPT halves the per-path volume.
+double dpt_time(const sim::MachineParams& m, double pq, double packet_elements);
+double dpt_min_time(const sim::MachineParams& m, double pq);
+
+/// Section 6.1.3 / Theorem 2: MPT minimum time and optimal packet size.
+double mpt_min_time(const sim::MachineParams& m, double pq);
+double mpt_optimal_packet(const sim::MachineParams& m, double pq);
+
+/// Theorem 3: the 2D transpose lower bound max(n tau, PQ/(2N) t_c).
+double transpose_2d_lower_bound(const sim::MachineParams& m, double pq);
+
+/// Section 8.1: one-dimensional transpose on the iPSC.
+///
+/// Unbuffered: T = n PQ/(2N) t_c +
+///   (N + ceil(PQ/(2 B_m N)) min(n, log2 ceil(PQ/(B_m N))) - PQ/(B_m N)) tau.
+double transpose_1d_unbuffered_time(const sim::MachineParams& m, double pq);
+
+/// Buffered with copy threshold B_copy (elements): the paper's optimal
+/// buffering expression.
+double transpose_1d_buffered_time(const sim::MachineParams& m, double pq,
+                                  double b_copy_elements);
+
+/// The break-even copy block size: one start-up equals copying B_copy
+/// elements, B_copy = tau / t_copy.
+double optimal_copy_threshold(const sim::MachineParams& m);
+
+/// Section 8.2.1: stepwise 2D transpose on the iPSC,
+///   T = (PQ/N t_c + ceil(PQ/(B_m N)) tau) n + 2 PQ/N t_copy.
+double transpose_2d_stepwise_time(const sim::MachineParams& m, double pq);
+
+/// Section 9: T_min for the one-dimensional partitioning with n-port
+/// communication, PQ/(2N) t_c + n tau.
+double transpose_1d_nport_min_time(const sim::MachineParams& m, double pq);
+
+/// Section 9: the 1D/2D break-even processor count N ~ c r / log^2 r,
+/// r = PQ t_c / tau, 1/2 < c < 1.
+double break_even_processors(const sim::MachineParams& m, double pq, double c = 0.75);
+
+}  // namespace nct::analysis

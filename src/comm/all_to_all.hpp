@@ -1,0 +1,50 @@
+// All-to-all personalized communication (Section 3.2).
+//
+// Every node x holds a distinct block of K elements for every node j
+// (block j in slots [j*K, (j+1)*K)); afterwards node j holds node x's
+// block in its slots [x*K, (x+1)*K).
+//
+// Routings:
+//  * the standard exchange algorithm scanning the cube dimensions from
+//    the highest: n phases, each exchanging half the local data with the
+//    neighbour; T_min = n (PQ/(2N) t_c + tau) for B_m >= PQ/2N on
+//    one-port machines, optimal within a factor of two.  The buffer
+//    policy reproduces the iPSC unbuffered/buffered/optimal trade-off of
+//    Section 8.1.
+//  * SBnT routing: every pair communicates directly along the balanced
+//    tree paths of the tree rooted at the source (the trees are
+//    translations of one another); with n-port communication
+//    T_min = PQ/(2N) t_c + n tau.
+//  * direct routing ("routing logic"): every pair communicates along an
+//    ascending-dimension path in a single phase — the baseline the paper
+//    measures against on the iPSC (calling the router 2(N-1) times).
+#pragma once
+
+#include "comm/planner.hpp"
+#include "sim/program.hpp"
+
+namespace nct::comm {
+
+/// Standard exchange algorithm.  The cube dimensions can be scanned in
+/// either direction (Section 5: "the loop can also be performed with the
+/// loop index running in the opposite order"); scanning from the highest
+/// dimension keeps the first exchange a single contiguous block.
+sim::Program all_to_all_exchange(int n, word elements_per_pair,
+                                 const BufferPolicy& policy = BufferPolicy::buffered(),
+                                 bool descending = true);
+
+/// SBnT-routed all-to-all for n-port machines.
+sim::Program all_to_all_sbnt(int n, word elements_per_pair);
+
+/// Direct sends along ascending-dimension routes (router baseline).
+sim::Program all_to_all_direct(int n, word elements_per_pair);
+
+/// Initial memory: node x holds element id (x << (n + k_bits)) | (j*K+k)
+/// ... encoded as x * (N*K) + j*K + k, in slot j*K + k.
+sim::Memory all_to_all_initial_memory(int n, word elements_per_pair);
+
+/// Expected final memory: node j holds node x's block in slots
+/// [x*K, (x+1)*K): element id x*(N*K) + j*K + k at slot x*K + k.
+sim::Memory all_to_all_expected_memory(int n, word elements_per_pair);
+
+}  // namespace nct::comm

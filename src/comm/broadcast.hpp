@@ -1,0 +1,53 @@
+// One-to-all and all-to-all *broadcasting* (replication) on the cube —
+// the non-personalized counterparts of the Section 3 algorithms, built
+// on the same spanning-tree machinery (Ho & Johnsson's companion
+// results, the paper's references [5] and [7]).  A downstream user of
+// the transpose library invariably needs these (e.g. distributing solver
+// coefficients before an ADI sweep), so they ship as part of the
+// communication substrate.
+//
+//  * one_to_all_broadcast_sbt: the root's K elements reach every node by
+//    pipelined recursive doubling down a spanning binomial tree in
+//    packets of B elements; with n-port communication
+//    T = (n + ceil(K/B) - 1)(tau + B t_c).
+//  * one_to_all_broadcast_rotated_sbts: the data splits into n parts,
+//    each pipelined down a differently rotated SBT; with n-port
+//    communication the transfer term drops by ~n.
+//  * all_to_all_broadcast: every node's K elements reach every other
+//    node by the doubling exchange (gossip): T = (N-1) K t_c + n tau.
+#pragma once
+
+#include "sim/program.hpp"
+
+namespace nct::comm {
+
+using cube::word;
+
+/// Pipelined SBT broadcast of K elements from `root`; packets of
+/// `packet_elements` (0 = single packet).  Every node ends with the data
+/// in slots [0, K).
+sim::Program one_to_all_broadcast_sbt(int n, word elements, word packet_elements = 0,
+                                      word root = 0);
+
+/// Broadcast with the data split over n rotated SBTs (n-port machines).
+sim::Program one_to_all_broadcast_rotated_sbts(int n, word elements, word root = 0);
+
+/// Gossip: node x starts with K elements in slots [x*K, (x+1)*K) and
+/// every node ends with all N*K elements (block y from node y).
+sim::Program all_to_all_broadcast(int n, word elements_per_node);
+
+/// Initial memory for the one-to-all broadcasts: root holds ids
+/// 0..K-1 in slots [0, K).
+sim::Memory broadcast_initial_memory(int n, word elements, word root = 0);
+
+/// Expected memory after a one-to-all broadcast.
+sim::Memory broadcast_expected_memory(int n, word elements);
+
+/// Initial memory for the gossip: node x holds ids x*K..x*K+K-1 in its
+/// own block.
+sim::Memory gossip_initial_memory(int n, word elements_per_node);
+
+/// Expected memory after the gossip: every node holds every block.
+sim::Memory gossip_expected_memory(int n, word elements_per_node);
+
+}  // namespace nct::comm

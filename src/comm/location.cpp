@@ -1,0 +1,64 @@
+#include "comm/location.hpp"
+
+#include <cassert>
+
+namespace nct::comm {
+
+LocationMap LocationMap::from_spec(const cube::PartitionSpec& spec) {
+  LocationMap lm;
+  lm.map_.assign(static_cast<std::size_t>(spec.shape().m()), LocBit{});
+  // Node bits: the last field holds the lowest-order processor bits.
+  int next_proc_bit = spec.processor_bits();
+  for (const cube::Field& f : spec.fields()) {
+    assert(f.enc == cube::Encoding::binary &&
+           "location maps require binary-encoded fields");
+    // Field occupies processor bits [next - len, next); element dim
+    // pos + o maps to processor bit (next - len + o).
+    next_proc_bit -= f.len;
+    for (int o = 0; o < f.len; ++o) {
+      lm.map_[static_cast<std::size_t>(f.pos + o)] = LocBit::node_bit(next_proc_bit + o);
+    }
+  }
+  assert(next_proc_bit >= 0);
+  // Slot bits: local_dims() is descending; entry i is slot bit vp-1-i.
+  const auto& locals = spec.local_dims();
+  const int vp = static_cast<int>(locals.size());
+  for (int i = 0; i < vp; ++i) {
+    lm.map_[static_cast<std::size_t>(locals[static_cast<std::size_t>(i)])] =
+        LocBit::slot_bit(vp - 1 - i);
+  }
+  return lm;
+}
+
+std::pair<word, word> LocationMap::locate(word w) const {
+  word node = 0, slot = 0;
+  for (std::size_t d = 0; d < map_.size(); ++d) {
+    const int v = cube::get_bit(w, static_cast<int>(d));
+    if (map_[d].is_node()) {
+      node = cube::set_bit(node, map_[d].index, v);
+    } else {
+      slot = cube::set_bit(slot, map_[d].index, v);
+    }
+  }
+  return {node, slot};
+}
+
+int LocationMap::dim_at(const LocBit& bit) const {
+  for (std::size_t d = 0; d < map_.size(); ++d) {
+    if (map_[d] == bit) return static_cast<int>(d);
+  }
+  return -1;
+}
+
+LocationMap transposed_goal(const cube::MatrixShape& before_shape,
+                            const cube::PartitionSpec& after) {
+  assert(after.shape() == before_shape.transposed());
+  const LocationMap after_map = LocationMap::from_spec(after);
+  LocationMap goal = after_map;  // same size
+  for (int k = 0; k < before_shape.m(); ++k) {
+    goal.of_dim(k) = after_map.of_dim(transpose_dim(before_shape, k));
+  }
+  return goal;
+}
+
+}  // namespace nct::comm

@@ -1,0 +1,79 @@
+// Location-bit bookkeeping.
+//
+// A datum's *location* is a (node, slot) pair: n node bits and vp slot
+// bits.  For binary-encoded partition specs every element-address
+// dimension maps to exactly one location bit, so all of the paper's
+// exchange-style algorithms (standard and general exchange, Definitions
+// 10 and 11; the transpose, bit-reversal and shuffle permutations; the
+// cyclic/consecutive conversions) are sequences of *location-bit swaps*:
+// an exchange on address dimensions (g, f) moves the data for which
+// w_g xor w_f = 1 so that the values of the two corresponding location
+// bits swap.
+#pragma once
+
+#include <vector>
+
+#include "cube/partition.hpp"
+
+namespace nct::comm {
+
+using cube::word;
+
+/// One bit of a location: either a cube (node-address) dimension or a bit
+/// of the local slot index.
+struct LocBit {
+  enum class Kind { node, slot };
+  Kind kind = Kind::node;
+  int index = 0;
+
+  static LocBit node_bit(int d) { return {Kind::node, d}; }
+  static LocBit slot_bit(int b) { return {Kind::slot, b}; }
+
+  bool is_node() const noexcept { return kind == Kind::node; }
+
+  friend bool operator==(const LocBit&, const LocBit&) = default;
+};
+
+/// Map from element-address dimensions to location bits, valid for
+/// binary-encoded partition specs.  slot_bits() is derived from the
+/// spec's canonical local layout (descending virtual dimensions).
+class LocationMap {
+ public:
+  /// Build from a binary-encoded spec.  `node_bits` is the number of cube
+  /// dimensions of the machine (>= spec.processor_bits(); extra node bits
+  /// are unused by the spec and hold 0 on data-carrying nodes).
+  static LocationMap from_spec(const cube::PartitionSpec& spec);
+
+  int element_dims() const noexcept { return static_cast<int>(map_.size()); }
+
+  /// Location bit of element-address dimension d.
+  const LocBit& of_dim(int d) const { return map_.at(static_cast<std::size_t>(d)); }
+
+  LocBit& of_dim(int d) { return map_.at(static_cast<std::size_t>(d)); }
+
+  /// Location of the element with address w under this map, given that
+  /// unmapped node bits are zero.
+  std::pair<word, word> locate(word w) const;
+
+  /// The element-address dimension currently stored in `bit`, or -1.
+  int dim_at(const LocBit& bit) const;
+
+  friend bool operator==(const LocationMap&, const LocationMap&) = default;
+
+ private:
+  std::vector<LocBit> map_;
+};
+
+/// The element-dimension correspondence induced by matrix transposition:
+/// dimension k of A's address space appears as dimension transpose_dim(k)
+/// of A^T's address space ((u || v) -> (v || u)).
+inline int transpose_dim(const cube::MatrixShape& s, int k) {
+  return k < s.q ? k + s.p : k - s.q;
+}
+
+/// Location map that A's element dimensions must reach so that the data
+/// distribution equals `after` (a spec over the *transposed* shape).
+LocationMap transposed_goal(const cube::MatrixShape& before_shape,
+                            const cube::PartitionSpec& after);
+
+}  // namespace nct::comm

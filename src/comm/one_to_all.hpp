@@ -1,0 +1,51 @@
+// One-to-all personalized communication (Section 3.1).
+//
+// The source node holds a distinct block of K elements for every node of
+// the cube; after the communication every node holds its block in local
+// slots [0, K).
+//
+// Three routings:
+//  * SBT, "all data for a subtree at once" (recursive halving): n phases;
+//    T = (1 - 1/N) P Q t_c + sum_i ceil(PQ / 2^i B_m) tau, optimal within
+//    a factor of two for one-port machines.
+//  * SBnT, reverse breadth-first scheduling: single pipelined phase over
+//    the n balanced subtrees; with n-port communication the transfer
+//    time drops by a factor ~ n/2.
+//  * n rotated SBTs: each destination's block is split into n parts, one
+//    routed along each rotated spanning binomial tree; same order of
+//    complexity as the SBnT routing.
+#pragma once
+
+#include "sim/program.hpp"
+
+namespace nct::comm {
+
+using cube::word;
+
+/// SBT scatter from `root`; K elements per destination.  The program's
+/// node memories need local_slots = N * K; the source initially holds
+/// block y (for node y) in slots [y*K, (y+1)*K).
+sim::Program one_to_all_sbt(int n, word elements_per_node, word root = 0, int rotation = 0,
+                            bool reflected = false);
+
+/// SBnT scatter from `root` (single phase, per-destination packets routed
+/// along the balanced-tree paths, deepest destinations first).
+sim::Program one_to_all_sbnt(int n, word elements_per_node, word root = 0);
+
+/// Scatter using n rotated spanning binomial trees: block y splits into n
+/// nearly equal parts, part r routed along the tree rotated by r.
+sim::Program one_to_all_rotated_sbts(int n, word elements_per_node, word root = 0);
+
+/// Gather (all-to-one personalized communication): the reverse of the SBT
+/// scatter; every node starts with K elements in slots [0, K) and the
+/// root ends with block y of node y in slots [y*K, (y+1)*K).
+sim::Program all_to_one_sbt(int n, word elements_per_node, word root = 0);
+
+/// Initial memory for the scatter programs: source holds element ids
+/// y*K + k in slot y*K + k; all other nodes empty.
+sim::Memory one_to_all_initial_memory(int n, word elements_per_node, word root = 0);
+
+/// Expected final memory for the scatter programs.
+sim::Memory one_to_all_expected_memory(int n, word elements_per_node, word root = 0);
+
+}  // namespace nct::comm

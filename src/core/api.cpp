@@ -1,0 +1,103 @@
+#include "core/api.hpp"
+
+#include <algorithm>
+
+#include "analysis/cost_model.hpp"
+#include "comm/rearrange.hpp"
+#include "core/mixed_encoding.hpp"
+#include "core/transpose1d.hpp"
+#include "core/transpose2d.hpp"
+#include "cube/address.hpp"
+
+namespace nct::core {
+
+bool is_pairwise_transpose(const cube::PartitionSpec& before,
+                           const cube::PartitionSpec& after) {
+  if (after.shape() != before.shape().transposed()) return false;
+  const int n = before.processor_bits();
+  if (n != after.processor_bits() || n % 2 != 0 || n == 0) return false;
+  const int half = n / 2;
+  // Every element of every node must map to tr(x).  The node mapping is
+  // determined by the real fields alone, so checking the extreme slots
+  // of each node covers all field/virtual-dimension interactions.
+  for (word x = 0; x < before.processors(); ++x) {
+    const word target = cube::tr_node(x, half);
+    for (const word s : {word{0}, before.local_elements() - 1}) {
+      const word wt = cube::transpose_address(before.shape(), before.element_at(x, s));
+      if (after.processor_of(wt) != target) return false;
+    }
+  }
+  return true;
+}
+
+bool is_binary(const cube::PartitionSpec& spec) {
+  return std::all_of(spec.fields().begin(), spec.fields().end(), [](const cube::Field& f) {
+    return f.enc == cube::Encoding::binary;
+  });
+}
+
+sim::Program transpose_general(const cube::PartitionSpec& before,
+                               const cube::PartitionSpec& after, int machine_n,
+                               const comm::BufferPolicy& policy) {
+  comm::RearrangeOptions opt;
+  opt.policy = policy;
+  return transpose_1d(before, after, machine_n, opt);  // rearrange handles any layout
+}
+
+TransposePlan plan_transpose(const cube::PartitionSpec& before,
+                             const cube::PartitionSpec& after,
+                             const sim::MachineParams& machine) {
+  TransposePlan plan;
+  const double pq = static_cast<double>(before.shape().elements());
+  const bool binary = is_binary(before) && is_binary(after);
+  const bool same_encodings =
+      before.fields().size() == after.fields().size() &&
+      std::equal(before.fields().begin(), before.fields().end(), after.fields().begin(),
+                 [](const cube::Field& a, const cube::Field& b) { return a.enc == b.enc; });
+
+  if (is_pairwise_transpose(before, after)) {
+    if (machine.port == sim::PortModel::n_port) {
+      plan.algorithm = "MPT (pairwise 2D layout, n-port machine)";
+      plan.program = transpose_mpt(before, after, machine);
+      plan.predicted_seconds = analysis::mpt_min_time(machine, pq);
+    } else {
+      plan.algorithm = "stepwise SPT (pairwise 2D layout, one-port machine)";
+      plan.program = transpose_2d_stepwise(before, after, machine);
+      plan.predicted_seconds = analysis::transpose_2d_stepwise_time(machine, pq);
+    }
+    return plan;
+  }
+
+  if (before.fields().size() == 2 && after.fields().size() == 2 &&
+      before.processor_bits() == after.processor_bits() &&
+      before.processor_bits() % 2 == 0 && (!binary || !same_encodings)) {
+    // 2D layouts whose node permutation is not tr(x): the combined
+    // conversion/transpose sweep (Section 6.3) still needs only n steps.
+    plan.algorithm = "combined transpose + encoding conversion (Section 6.3)";
+    plan.program = transpose_mixed_combined(before, after);
+    plan.predicted_seconds = 0.0;
+    return plan;
+  }
+
+  if (!binary) {
+    plan.algorithm = "per-dimension element routing (Gray-coded partitions)";
+    RouterOptions ropt;
+    ropt.element_bytes = machine.element_bytes;
+    plan.program = transpose_1d_routed(before, after, machine.n, ropt);
+    plan.predicted_seconds = 0.0;
+    return plan;
+  }
+
+  plan.algorithm = "exchange algorithm with Theorem-1 ordering";
+  comm::RearrangeOptions opt;
+  const double b_copy = analysis::optimal_copy_threshold(machine);
+  opt.policy = b_copy < 1e18 ? comm::BufferPolicy::optimal(static_cast<word>(b_copy))
+                             : comm::BufferPolicy::buffered();
+  plan.program = transpose_1d(before, after, machine.n, opt);
+  plan.predicted_seconds = before.processors() == after.processors()
+                               ? analysis::all_to_all_exchange_time(machine, pq)
+                               : 0.0;
+  return plan;
+}
+
+}  // namespace nct::core

@@ -1,0 +1,53 @@
+// High-level transpose planning API.
+//
+// transpose_general handles *any* pair of binary-encoded partition specs
+// (one-dimensional, two-dimensional with n_r != n_c, combined/split
+// fields, different processor counts before and after) through the
+// location-bit rearrangement machinery — the "between these two
+// extremes" cases of Sections 6 and 6.2.
+//
+// plan_transpose inspects the specs and the machine and picks the
+// algorithm the paper's analysis recommends:
+//   * pairwise 2D layouts (n_r = n_c, same scheme/encoding): stepwise
+//     exchange on one-port machines, MPT on n-port machines;
+//   * mixed-encoding 2D layouts: the combined n-step algorithm;
+//   * Gray-coded 1D layouts: per-dimension element routing;
+//   * everything else binary: the exchange algorithm with Theorem-1
+//     ordering and optimal buffering.
+#pragma once
+
+#include <string>
+
+#include "comm/planner.hpp"
+#include "cube/partition.hpp"
+#include "sim/model.hpp"
+#include "sim/program.hpp"
+
+namespace nct::core {
+
+/// True when `before` -> transposed `after` moves every node's block
+/// wholesale to tr(x) (the precondition of the SPT/DPT/MPT planners).
+bool is_pairwise_transpose(const cube::PartitionSpec& before,
+                           const cube::PartitionSpec& after);
+
+/// True when every real field of the spec is binary encoded.
+bool is_binary(const cube::PartitionSpec& spec);
+
+/// Rearrangement-based transpose for arbitrary binary specs over a
+/// machine of `machine_n >= max(processor bits)` dimensions.
+sim::Program transpose_general(const cube::PartitionSpec& before,
+                               const cube::PartitionSpec& after, int machine_n,
+                               const comm::BufferPolicy& policy = comm::BufferPolicy::buffered());
+
+struct TransposePlan {
+  sim::Program program;
+  std::string algorithm;       ///< which planner was chosen and why.
+  double predicted_seconds{};  ///< the analytic model's estimate (0 if none).
+};
+
+/// Choose and build the recommended transpose plan for the machine.
+TransposePlan plan_transpose(const cube::PartitionSpec& before,
+                             const cube::PartitionSpec& after,
+                             const sim::MachineParams& machine);
+
+}  // namespace nct::core

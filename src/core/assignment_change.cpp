@@ -1,0 +1,91 @@
+#include "core/assignment_change.hpp"
+
+#include <cassert>
+
+#include "comm/rearrange.hpp"
+
+namespace nct::core {
+
+cube::PartitionSpec consecutive_before_spec(cube::MatrixShape shape, int n_c) {
+  return cube::PartitionSpec::two_dim_consecutive(shape, n_c, n_c);
+}
+
+cube::PartitionSpec cyclic_after_spec(cube::MatrixShape shape, int n_c) {
+  return cube::PartitionSpec::two_dim_cyclic(shape.transposed(), n_c, n_c);
+}
+
+sim::Program consecutive_to_cyclic_transpose(int algorithm, cube::MatrixShape shape, int n_c,
+                                             const AssignmentChangeOptions& options) {
+  const int p = shape.p, q = shape.q, h = n_c;
+  assert(algorithm >= 1 && algorithm <= 3);
+  assert(p >= 2 * h && q >= 2 * h);
+  assert((algorithm == 1 || p == q) && "algorithms 2 and 3 assume a square matrix");
+  const int n = 2 * h;
+
+  const auto before = consecutive_before_spec(shape, h);
+  const auto after = cyclic_after_spec(shape, h);
+  const auto goal = comm::transposed_goal(shape, after);
+
+  comm::LocationPlanner planner(n, before.local_elements());
+  planner.occupy_nodes(before.processors());
+  comm::ExchangeSequence seq(planner, comm::LocationMap::from_spec(before));
+
+  const auto swap_one = [&](int g, int f, const std::string& label) {
+    seq.exchange_dims(g, f, options.policy, label, comm::RouteOrder::descending,
+                      options.charge_local);
+  };
+
+  switch (algorithm) {
+    case 1: {
+      // Consecutive-row -> cyclic-row within column subcubes.
+      for (int j = 0; j < h; ++j) {
+        swap_one(q + p - 1 - j, q + h - 1 - j, "row-conv-" + std::to_string(j));
+      }
+      // Consecutive-column -> cyclic-column within row subcubes.
+      for (int j = 0; j < h; ++j) {
+        swap_one(q - 1 - j, h - 1 - j, "col-conv-" + std::to_string(j));
+      }
+      // Global transpose of the (now cyclic) node grid: pairwise
+      // distance-2 exchanges.
+      for (int o = h - 1; o >= 0; --o) {
+        swap_one(q + o, o, "transpose-" + std::to_string(o));
+      }
+      break;
+    }
+    case 2: {
+      // Local matrix transpose first: pair the virtual row and column
+      // dimensions (all slot-slot, one phase).
+      std::vector<std::pair<int, int>> local_pairs;
+      for (int j = 0; j < q - h; ++j) local_pairs.emplace_back(q + j, j);
+      seq.exchange_dims_parallel(local_pairs, options.policy, "local-transpose",
+                                 comm::RouteOrder::descending, options.charge_local);
+      // High row bits against low column bits, high column bits against
+      // low row bits: n single-hop exchange steps.
+      for (int j = 0; j < h; ++j) {
+        swap_one(q + p - 1 - j, h - 1 - j, "row-exch-" + std::to_string(j));
+      }
+      for (int j = 0; j < h; ++j) {
+        swap_one(q - 1 - j, q + h - 1 - j, "col-exch-" + std::to_string(j));
+      }
+      break;
+    }
+    case 3: {
+      // The same exchanges without the initial local transpose; the
+      // closing shuffle is folded into the final local permutation.
+      for (int j = 0; j < h; ++j) {
+        swap_one(q + p - 1 - j, h - 1 - j, "row-exch-" + std::to_string(j));
+      }
+      for (int j = 0; j < h; ++j) {
+        swap_one(q - 1 - j, q + h - 1 - j, "col-exch-" + std::to_string(j));
+      }
+      break;
+    }
+    default:
+      break;
+  }
+
+  comm::append_final_local_permutation(planner, seq.current(), goal, options.charge_local);
+  return std::move(planner).take();
+}
+
+}  // namespace nct::core

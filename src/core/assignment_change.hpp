@@ -1,0 +1,47 @@
+// Transposition with change of assignment scheme (Section 6.2): a matrix
+// stored two-dimensionally *consecutively* (rows and columns) becomes a
+// transposed matrix stored two-dimensionally *cyclically*, with
+// n_r = n_c = n/2.  Here I = phi, and the operation is all-to-all
+// personalized communication realised three ways:
+//
+//  Algorithm 1 (2n routing steps): convert consecutive-row -> cyclic-row
+//    within column subcubes (n/2 exchange steps), convert the columns
+//    likewise (n/2 steps), then transpose the node grid pairwise
+//    (n/2 distance-2 exchanges = n steps) and finish locally.
+//
+//  Algorithm 2 (n routing steps): transpose every local matrix first,
+//    then exchange the high row bits against the low *column* bits and
+//    the high column bits against the low row bits (n single-hop
+//    exchange steps), then transpose the N small local matrices.
+//
+//  Algorithm 3 (n routing steps): the same exchanges without the initial
+//    local transpose; a local shuffle completes the layout if p > 2 n_r.
+//
+// All three produce identical final distributions; they differ in
+// communication step count (2n vs n) and in where the local copies fall.
+#pragma once
+
+#include "comm/planner.hpp"
+#include "cube/partition.hpp"
+#include "sim/model.hpp"
+#include "sim/program.hpp"
+
+namespace nct::core {
+
+struct AssignmentChangeOptions {
+  comm::BufferPolicy policy = comm::BufferPolicy::buffered();
+  bool charge_local = true;
+};
+
+/// Plan algorithm 1, 2 or 3 for a 2^p x 2^q matrix (p, q >= 2*n_c) on a
+/// cube of n = 2*n_c dimensions: consecutive 2D before, cyclic 2D (over
+/// the transposed shape) after.
+sim::Program consecutive_to_cyclic_transpose(int algorithm, cube::MatrixShape shape, int n_c,
+                                             const AssignmentChangeOptions& options = {});
+
+/// The specs the planner converts between (for building initial and
+/// expected memories).
+cube::PartitionSpec consecutive_before_spec(cube::MatrixShape shape, int n_c);
+cube::PartitionSpec cyclic_after_spec(cube::MatrixShape shape, int n_c);
+
+}  // namespace nct::core

@@ -1,0 +1,50 @@
+// Combined transposition and Gray/binary code conversion (Section 6.3).
+//
+// When rows and columns use different encodings — e.g. rows binary and
+// columns Gray — matrix block (u, v) lives in processor (u || G(v)) and
+// its transposed position is processor (v || G(u)): the node permutation
+// is no longer x -> tr(x), so the pairwise 2D transpose does not apply.
+//
+// Two algorithms:
+//  * naive: convert the row encoding binary -> Gray within each column
+//    subcube (n/2 - 1 routing steps), convert the column encoding
+//    Gray -> binary within each row subcube (n/2 - 1 steps), then run
+//    the n-step transpose: 2n - 2 routing steps in total.
+//  * combined: fold the conversions into the transpose iterations —
+//    iteration j of the SPT-ordered sweep routes bits j + n/2 and j of
+//    the destination address directly: n routing steps.
+//
+// Both planners are element-wise (the paper's case table TT00/TF01/...
+// is the SPMD realisation of the same moves) and support all four
+// encoding mixes: (binary, gray), (gray, binary), and conversions
+// (binary, binary) -> Gray-coded transpose and vice versa.
+#pragma once
+
+#include "core/router.hpp"
+#include "cube/partition.hpp"
+#include "sim/program.hpp"
+
+namespace nct::core {
+
+/// Combined algorithm: n routing steps (n/2 iterations of the paired
+/// dimensions (j + n/2, j), highest first).  `before` and `after` may use
+/// any per-field encodings; `after` is over the transposed shape.
+sim::Program transpose_mixed_combined(const cube::PartitionSpec& before,
+                                      const cube::PartitionSpec& after,
+                                      const RouterOptions& options = {});
+
+/// Naive algorithm: per-dimension row-encoding conversion, then
+/// per-dimension column-encoding conversion, then the n-step stepwise
+/// transpose; 2n - 2 routing steps when one axis is Gray-coded.
+/// `intermediate` names the uniformly-encoded spec the conversions
+/// produce before transposing (e.g. both fields Gray).
+sim::Program transpose_mixed_naive(const cube::PartitionSpec& before,
+                                   const cube::PartitionSpec& intermediate,
+                                   const cube::PartitionSpec& after,
+                                   const RouterOptions& options = {});
+
+/// Number of routing steps (message hops on the longest route) of a
+/// program — the unit the paper counts in Figure 15.
+std::size_t routing_steps(const sim::Program& program);
+
+}  // namespace nct::core

@@ -1,0 +1,223 @@
+#include "core/router.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <stdexcept>
+
+namespace nct::core {
+
+namespace {
+
+/// Emit the sends for one source node grouped by destination, applying
+/// the buffer policy to contiguous source-slot runs (Section 8.1).
+void emit_group_sends(sim::Phase& phase, word x, word y, const std::vector<int>& route,
+                      std::vector<sim::slot> src, std::vector<sim::slot> dst,
+                      const BufferPolicy& policy, int element_bytes) {
+  const auto emit = [&](std::size_t first, std::size_t count) {
+    sim::SendOp op;
+    op.src = x;
+    op.route = route;
+    op.src_slots.assign(src.begin() + static_cast<std::ptrdiff_t>(first),
+                        src.begin() + static_cast<std::ptrdiff_t>(first + count));
+    op.dst_slots.assign(dst.begin() + static_cast<std::ptrdiff_t>(first),
+                        dst.begin() + static_cast<std::ptrdiff_t>(first + count));
+    phase.sends.push_back(std::move(op));
+  };
+
+  std::vector<std::pair<std::size_t, std::size_t>> runs;
+  {
+    std::size_t i = 0;
+    while (i < src.size()) {
+      std::size_t j = i + 1;
+      while (j < src.size() && src[j] == src[j - 1] + 1) ++j;
+      runs.emplace_back(i, j - i);
+      i = j;
+    }
+  }
+
+  switch (policy.mode) {
+    case comm::BufferMode::unbuffered:
+      for (const auto& [first, count] : runs) emit(first, count);
+      break;
+    case comm::BufferMode::buffered:
+      emit(0, src.size());
+      if (runs.size() > 1) {
+        const std::size_t bytes = src.size() * static_cast<std::size_t>(element_bytes);
+        phase.stage.push_back(sim::StageOp{x, bytes});
+        phase.post_stage.push_back(sim::StageOp{y, bytes});
+      }
+      break;
+    case comm::BufferMode::optimal: {
+      std::vector<sim::slot> ssrc, sdst;
+      for (const auto& [first, count] : runs) {
+        if (count >= policy.b_copy_elements) {
+          emit(first, count);
+        } else {
+          ssrc.insert(ssrc.end(), src.begin() + static_cast<std::ptrdiff_t>(first),
+                      src.begin() + static_cast<std::ptrdiff_t>(first + count));
+          sdst.insert(sdst.end(), dst.begin() + static_cast<std::ptrdiff_t>(first),
+                      dst.begin() + static_cast<std::ptrdiff_t>(first + count));
+        }
+      }
+      if (!ssrc.empty()) {
+        sim::SendOp op;
+        op.src = x;
+        op.route = route;
+        op.src_slots = ssrc;
+        op.dst_slots = sdst;
+        const bool needs_copy = ssrc.size() < src.size() || runs.size() > 1;
+        phase.sends.push_back(std::move(op));
+        if (needs_copy) {
+          const std::size_t bytes = ssrc.size() * static_cast<std::size_t>(element_bytes);
+          phase.stage.push_back(sim::StageOp{x, bytes});
+          phase.post_stage.push_back(sim::StageOp{y, bytes});
+        }
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+sim::Program route_elements(int n, const sim::Memory& initial,
+                            const std::function<Placement(word)>& dest,
+                            const std::vector<std::vector<int>>& schedule,
+                            const RouterOptions& options, const std::string& label_prefix) {
+  const word nnodes = word{1} << n;
+  if (initial.size() != nnodes) throw std::invalid_argument("initial memory size mismatch");
+  const word base_slots = initial.empty() ? 0 : static_cast<word>(initial[0].size());
+  const word capacity = base_slots * options.slot_headroom_factor;
+
+  // Working model of node memories.
+  sim::Memory model(static_cast<std::size_t>(nnodes),
+                    std::vector<word>(static_cast<std::size_t>(capacity), sim::kEmptySlot));
+  for (std::size_t x = 0; x < initial.size(); ++x) {
+    for (std::size_t s = 0; s < initial[x].size(); ++s) model[x][s] = initial[x][s];
+  }
+
+  sim::Program prog;
+  prog.n = n;
+  prog.local_slots = capacity;
+
+  for (std::size_t pi = 0; pi < schedule.size(); ++pi) {
+    const auto& dims = schedule[pi];
+    sim::Phase phase;
+    phase.label = label_prefix + "-phase-" + std::to_string(pi);
+
+    // Plan all departures first (mirrors the engine's snapshot: freed
+    // slots are reusable for arrivals within the phase).
+    struct Move {
+      word from_node;
+      sim::slot from_slot;
+      word to_node;
+      word element;
+    };
+    std::vector<Move> moves;
+    for (word x = 0; x < nnodes; ++x) {
+      for (word s = 0; s < capacity; ++s) {
+        const word e = model[static_cast<std::size_t>(x)][static_cast<std::size_t>(s)];
+        if (e == sim::kEmptySlot) continue;
+        const word y = dest(e).node;
+        word cur = x;
+        for (const int d : dims) {
+          if (cube::get_bit(cur, d) != cube::get_bit(y, d)) cur = cube::flip_bit(cur, d);
+        }
+        if (cur != x) moves.push_back({x, s, cur, e});
+      }
+    }
+    if (moves.empty()) continue;
+
+    for (const Move& m : moves) {
+      model[static_cast<std::size_t>(m.from_node)][static_cast<std::size_t>(m.from_slot)] =
+          sim::kEmptySlot;
+    }
+
+    // Assign arrival slots: the destination slot if the element has
+    // reached its final node and the slot is free, else the lowest free
+    // slot.
+    std::vector<word> next_free(static_cast<std::size_t>(nnodes), 0);
+    // (node, slot) -> taken this phase, tracked via the model itself.
+    // Group per (src, dst) with slots ascending for run detection.
+    std::map<std::pair<word, word>, std::vector<std::pair<sim::slot, word>>> groups;
+    for (const Move& m : moves) {
+      groups[{m.from_node, m.to_node}].push_back({m.from_slot, m.element});
+    }
+    for (auto& [key, items] : groups) {
+      const auto [x, y] = key;
+      std::sort(items.begin(), items.end());
+      std::vector<int> route;
+      for (const int d : dims) {
+        if (cube::get_bit(x, d) != cube::get_bit(y, d)) route.push_back(d);
+      }
+      assert(!route.empty());
+      std::vector<sim::slot> src, dst;
+      src.reserve(items.size());
+      dst.reserve(items.size());
+      auto& ymem = model[static_cast<std::size_t>(y)];
+      for (const auto& [s, e] : items) {
+        const Placement p = dest(e);
+        word t;
+        if (p.node == y && p.slot < capacity &&
+            ymem[static_cast<std::size_t>(p.slot)] == sim::kEmptySlot) {
+          t = p.slot;
+        } else {
+          word& nf = next_free[static_cast<std::size_t>(y)];
+          while (nf < capacity && ymem[static_cast<std::size_t>(nf)] != sim::kEmptySlot) ++nf;
+          if (nf >= capacity)
+            throw std::runtime_error("route_elements: slot capacity exhausted; "
+                                     "increase slot_headroom_factor");
+          t = nf;
+        }
+        ymem[static_cast<std::size_t>(t)] = e;
+        src.push_back(s);
+        dst.push_back(t);
+      }
+      emit_group_sends(phase, x, y, route, std::move(src), std::move(dst), options.policy,
+                       options.element_bytes);
+    }
+    prog.phases.push_back(std::move(phase));
+  }
+
+  // Final local permutation to destination slots.
+  {
+    sim::Phase fin;
+    fin.label = label_prefix + "-finalize";
+    for (word x = 0; x < nnodes; ++x) {
+      std::vector<sim::slot> src, dst;
+      for (word s = 0; s < capacity; ++s) {
+        const word e = model[static_cast<std::size_t>(x)][static_cast<std::size_t>(s)];
+        if (e == sim::kEmptySlot) continue;
+        const Placement p = dest(e);
+        assert(p.node == x && "element did not reach its node; bad schedule");
+        if (p.slot != s) {
+          src.push_back(s);
+          dst.push_back(p.slot);
+        }
+      }
+      if (!src.empty()) {
+        fin.pre_copies.push_back(
+            sim::CopyOp{x, std::move(src), std::move(dst), options.charge_final_local});
+      }
+    }
+    if (!fin.empty()) prog.phases.push_back(std::move(fin));
+  }
+  return prog;
+}
+
+sim::Program route_direct(int n, const sim::Memory& initial,
+                          const std::function<Placement(word)>& dest,
+                          const RouterOptions& options) {
+  std::vector<int> all;
+  for (int d = n - 1; d >= 0; --d) all.push_back(d);
+  return route_elements(n, initial, dest, {all}, options, "direct");
+}
+
+std::vector<std::vector<int>> per_dimension_schedule(int n) {
+  std::vector<std::vector<int>> s;
+  for (int d = n - 1; d >= 0; --d) s.push_back({d});
+  return s;
+}
+
+}  // namespace nct::core

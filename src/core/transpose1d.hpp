@@ -1,0 +1,56 @@
+// One-dimensional matrix transposition (Section 5).
+//
+// With a one-dimensional partitioning the real processor address fields
+// before and after the transpose are disjoint (I = phi), so the
+// transposition is all-to-all personalized communication when
+// |R_b| = |R_a|, and some-to-all / all-to-some when the processor counts
+// differ (Table 3, Theorem 1).
+//
+// Planners:
+//  * transpose_1d          — the standard exchange algorithm over the
+//    location-bit machinery (binary encodings); honours the buffer
+//    policy (unbuffered / buffered / optimal, Section 8.1) and the
+//    Theorem-1 split ordering when |R_b| != |R_a|.
+//  * transpose_1d_routed   — per-dimension scheduled routing computed
+//    element-wise; works for any encoding, including Gray-coded
+//    partitions (the local block-relabelling of Section 5 falls out of
+//    the element-wise destinations).
+//  * transpose_1d_direct   — one message per (source, destination) pair
+//    through the routing logic (the iPSC router baseline; the paper
+//    measures it a factor 5 to two orders of magnitude slower).
+#pragma once
+
+#include "comm/rearrange.hpp"
+#include "core/router.hpp"
+#include "cube/partition.hpp"
+#include "sim/program.hpp"
+
+namespace nct::core {
+
+/// Exchange-algorithm transpose between binary-encoded specs.  `after`
+/// is a spec over the transposed shape.
+sim::Program transpose_1d(const cube::PartitionSpec& before, const cube::PartitionSpec& after,
+                          int machine_n, const comm::RearrangeOptions& options = {});
+
+/// Element-wise per-dimension routed transpose (any encodings).
+sim::Program transpose_1d_routed(const cube::PartitionSpec& before,
+                                 const cube::PartitionSpec& after, int machine_n,
+                                 const RouterOptions& options = {});
+
+/// Direct routing-logic transpose.
+sim::Program transpose_1d_direct(const cube::PartitionSpec& before,
+                                 const cube::PartitionSpec& after, int machine_n,
+                                 const RouterOptions& options = {});
+
+/// Initial memory for `before` on a 2^machine_n node machine, sized for
+/// the given program.
+sim::Memory transpose_initial_memory(const cube::PartitionSpec& before, int machine_n,
+                                     word local_slots);
+
+/// Expected memory after the transpose: element payloads are original
+/// addresses; placement follows `after` over the transposed shape.
+sim::Memory transpose_expected_memory(const cube::MatrixShape& before_shape,
+                                      const cube::PartitionSpec& after, int machine_n,
+                                      word local_slots);
+
+}  // namespace nct::core

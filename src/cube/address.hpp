@@ -1,0 +1,62 @@
+// Matrix element addressing.
+//
+// A P x Q matrix with P = 2^p, Q = 2^q has elements a(u, v) addressed by
+// the m = p + q bit word w = (u || v): the row index u occupies the p
+// high-order bits (u_0 at bit q) and the column index v the q low-order
+// bits (Section 2 of the paper).  Transposition is the address permutation
+// (u || v) -> (v || u).
+#pragma once
+
+#include "cube/bits.hpp"
+
+namespace nct::cube {
+
+/// Shape of a 2^p x 2^q matrix.
+struct MatrixShape {
+  int p = 0;  ///< log2 of the number of rows.
+  int q = 0;  ///< log2 of the number of columns.
+
+  constexpr int m() const noexcept { return p + q; }
+  constexpr word rows() const noexcept { return word{1} << p; }
+  constexpr word cols() const noexcept { return word{1} << q; }
+  constexpr word elements() const noexcept { return word{1} << (p + q); }
+
+  /// Shape of the transposed matrix.
+  constexpr MatrixShape transposed() const noexcept { return {q, p}; }
+
+  friend constexpr bool operator==(MatrixShape a, MatrixShape b) noexcept {
+    return a.p == b.p && a.q == b.q;
+  }
+};
+
+/// Element address w = (u || v).
+constexpr word element_address(MatrixShape s, word u, word v) noexcept {
+  return (u << s.q) | (v & low_mask(s.q));
+}
+
+/// Row index u of element address w.
+constexpr word row_of(MatrixShape s, word w) noexcept { return extract_field(w, s.q, s.p); }
+
+/// Column index v of element address w.
+constexpr word col_of(MatrixShape s, word w) noexcept { return extract_field(w, 0, s.q); }
+
+/// Address of the transposed element: (u || v) -> (v || u).  Note the
+/// result is an address in the *transposed* shape {q, p}.
+constexpr word transpose_address(MatrixShape s, word w) noexcept {
+  return element_address(s.transposed(), col_of(s, w), row_of(s, w));
+}
+
+/// tr(x) for node addresses in a 2n_c-dimensional cube with equal row and
+/// column fields (Section 6.1): x = (x_r || x_c) -> (x_c || x_r).
+constexpr word tr_node(word x, int half) noexcept {
+  const word xr = extract_field(x, half, half);
+  const word xc = extract_field(x, 0, half);
+  return (xc << half) | xr;
+}
+
+/// H(x) = Hamming(x_r, x_c); the node-to-node transpose distance is 2H(x).
+constexpr int node_transpose_h(word x, int half) noexcept {
+  return hamming(extract_field(x, half, half), extract_field(x, 0, half));
+}
+
+}  // namespace nct::cube

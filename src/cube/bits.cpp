@@ -1,0 +1,16 @@
+#include "cube/bits.hpp"
+
+namespace nct::cube {
+
+std::vector<int> bit_positions(word w) {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(popcount(w)));
+  while (w != 0) {
+    const int i = lowest_set_bit(w);
+    out.push_back(i);
+    w &= w - 1;
+  }
+  return out;
+}
+
+}  // namespace nct::cube

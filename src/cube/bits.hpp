@@ -1,0 +1,114 @@
+// Bit-level utilities for Boolean n-cube address arithmetic.
+//
+// Throughout the library a "word" is an address in a 2^m element space,
+// stored in the low m bits of a std::uint64_t.  Dimension i corresponds to
+// bit i (bit 0 is the least significant bit), matching the paper's
+// convention that a node x is adjacent to x with any single bit
+// complemented (Definition 5).
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace nct::cube {
+
+using word = std::uint64_t;
+
+/// Maximum number of address bits supported by the word type.
+inline constexpr int kMaxBits = 63;
+
+/// Mask with the low `m` bits set.  `m` may be 0 (empty mask).
+constexpr word low_mask(int m) noexcept {
+  return m <= 0 ? 0 : (m >= 64 ? ~word{0} : ((word{1} << m) - 1));
+}
+
+/// Value of bit `i` of `w` (0 or 1).
+constexpr int get_bit(word w, int i) noexcept { return static_cast<int>((w >> i) & 1U); }
+
+/// `w` with bit `i` set to `v`.
+constexpr word set_bit(word w, int i, int v) noexcept {
+  return v ? (w | (word{1} << i)) : (w & ~(word{1} << i));
+}
+
+/// `w` with bit `i` complemented.
+constexpr word flip_bit(word w, int i) noexcept { return w ^ (word{1} << i); }
+
+/// Number of set bits.
+constexpr int popcount(word w) noexcept { return std::popcount(w); }
+
+/// Parity (popcount mod 2) of `w`.
+constexpr int parity(word w) noexcept { return std::popcount(w) & 1; }
+
+/// Hamming distance between two words (Definition 4).
+constexpr int hamming(word a, word b) noexcept { return std::popcount(a ^ b); }
+
+/// Extract `len` bits of `w` starting at bit `pos` (the field
+/// w_{pos+len-1} ... w_{pos}).
+constexpr word extract_field(word w, int pos, int len) noexcept {
+  return (w >> pos) & low_mask(len);
+}
+
+/// Insert the low `len` bits of `value` into `w` at bit position `pos`.
+constexpr word insert_field(word w, int pos, int len, word value) noexcept {
+  const word mask = low_mask(len) << pos;
+  return (w & ~mask) | ((value << pos) & mask);
+}
+
+/// Reverse the low `m` bits of `w` (the bit-reversal permutation of §7).
+constexpr word bit_reverse(word w, int m) noexcept {
+  word r = 0;
+  for (int i = 0; i < m; ++i) r |= static_cast<word>(get_bit(w, i)) << (m - 1 - i);
+  return r;
+}
+
+/// Left cyclic shift of the low `m` bits of `w` by `k` positions: the
+/// shuffle operation sh^k of Definition 3.  k may be any integer; it is
+/// reduced mod m.
+constexpr word rotate_left(word w, int m, int k) noexcept {
+  if (m <= 0) return 0;
+  k %= m;
+  if (k < 0) k += m;
+  if (k == 0) return w & low_mask(m);
+  const word lo = w & low_mask(m);
+  return ((lo << k) | (lo >> (m - k))) & low_mask(m);
+}
+
+/// Right cyclic shift (unshuffle, sh^{-k}).
+constexpr word rotate_right(word w, int m, int k) noexcept { return rotate_left(w, m, -k); }
+
+/// Index of the lowest set bit; -1 for zero.
+constexpr int lowest_set_bit(word w) noexcept {
+  return w == 0 ? -1 : std::countr_zero(w);
+}
+
+/// Index of the highest set bit; -1 for zero.
+constexpr int highest_set_bit(word w) noexcept {
+  return w == 0 ? -1 : 63 - std::countl_zero(w);
+}
+
+/// Greatest common divisor (used by Lemma 2's max-Hamming-over-shuffle
+/// formula).
+constexpr word gcd(word a, word b) noexcept {
+  while (b != 0) {
+    const word t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+/// Positions of the set bits of `w`, ascending.
+std::vector<int> bit_positions(word w);
+
+/// True iff `v` is a power of two (and nonzero).
+constexpr bool is_pow2(word v) noexcept { return v != 0 && (v & (v - 1)) == 0; }
+
+/// log2 of a power of two.
+constexpr int log2_exact(word v) noexcept {
+  assert(is_pow2(v));
+  return std::countr_zero(v);
+}
+
+}  // namespace nct::cube

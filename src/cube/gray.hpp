@@ -1,0 +1,44 @@
+// Binary-reflected Gray code (Reingold, Nievergelt & Deo), the encoding the
+// paper uses to embed matrix rows/columns in the cube while preserving
+// adjacency: G(w) and G(w+1) differ in exactly one bit.
+#pragma once
+
+#include "cube/bits.hpp"
+
+namespace nct::cube {
+
+/// Binary-reflected Gray code of `w`.
+constexpr word gray(word w) noexcept { return w ^ (w >> 1); }
+
+/// Inverse Gray code: the unique w with gray(w) == g.
+constexpr word gray_inverse(word g) noexcept {
+  word w = g;
+  for (int shift = 1; shift < 64; shift <<= 1) w ^= w >> shift;
+  return w;
+}
+
+/// The bit in which G(w) and G(w+1) differ, i.e. the cube dimension crossed
+/// when walking the Gray-code ring from w to w+1 (mod 2^m).
+constexpr int gray_transition_bit(word w, int m) noexcept {
+  const word a = gray(w & low_mask(m));
+  const word b = gray((w + 1) & low_mask(m));
+  return lowest_set_bit(a ^ b);
+}
+
+/// Parity of the binary encoding of `w`.  The paper's §6.3 combined
+/// transpose/conversion algorithm keys row/column exchanges off this
+/// parity: block column i needs a vertical exchange iff parity(i) is odd.
+constexpr bool odd_parity(word w) noexcept { return parity(w) != 0; }
+
+/// Gray-code a bit field in place: replace the `len`-bit field of `w` at
+/// `pos` by its Gray code (used for per-field encodings of Table 2).
+constexpr word gray_field(word w, int pos, int len) noexcept {
+  return insert_field(w, pos, len, gray(extract_field(w, pos, len)));
+}
+
+/// Inverse of gray_field.
+constexpr word gray_field_inverse(word w, int pos, int len) noexcept {
+  return insert_field(w, pos, len, gray_inverse(extract_field(w, pos, len)) & low_mask(len));
+}
+
+}  // namespace nct::cube

@@ -1,0 +1,149 @@
+#include "cube/partition.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace nct::cube {
+
+PartitionSpec::PartitionSpec(MatrixShape shape, std::vector<Field> fields)
+    : shape_(shape), fields_(std::move(fields)) {
+  rp_ = 0;
+  real_mask_ = 0;
+  for (const Field& f : fields_) {
+    assert(f.len >= 0);
+    assert(f.pos >= 0 && f.pos + f.len <= shape_.m());
+    const word mask = low_mask(f.len) << f.pos;
+    assert((real_mask_ & mask) == 0 && "real fields must not overlap");
+    real_mask_ |= mask;
+    rp_ += f.len;
+  }
+  local_dims_.reserve(static_cast<std::size_t>(shape_.m() - rp_));
+  for (int d = shape_.m() - 1; d >= 0; --d) {
+    if (get_bit(real_mask_, d) == 0) local_dims_.push_back(d);
+  }
+}
+
+word PartitionSpec::processor_of(word w) const noexcept {
+  word proc = 0;
+  for (const Field& f : fields_) {
+    word v = extract_field(w, f.pos, f.len);
+    if (f.enc == Encoding::gray) v = gray(v);
+    proc = (proc << f.len) | v;
+  }
+  return proc;
+}
+
+word PartitionSpec::local_of(word w) const noexcept {
+  word slot = 0;
+  for (const int d : local_dims_) slot = (slot << 1) | static_cast<word>(get_bit(w, d));
+  return slot;
+}
+
+word PartitionSpec::element_at(word proc, word slot) const noexcept {
+  word w = 0;
+  // Real fields: peel processor bits from the low end in reverse field
+  // order (the last field holds the lowest-order processor bits).
+  for (auto it = fields_.rbegin(); it != fields_.rend(); ++it) {
+    word v = proc & low_mask(it->len);
+    proc >>= it->len;
+    if (it->enc == Encoding::gray) v = gray_inverse(v) & low_mask(it->len);
+    w = insert_field(w, it->pos, it->len, v);
+  }
+  // Local dims: local_dims_ is descending, slot bits are packed with the
+  // highest dimension in the highest slot bit.
+  for (std::size_t i = 0; i < local_dims_.size(); ++i) {
+    const int bit = static_cast<int>(local_dims_.size() - 1 - i);
+    w = set_bit(w, local_dims_[i], get_bit(slot, bit));
+  }
+  return w;
+}
+
+std::string PartitionSpec::describe() const {
+  std::ostringstream os;
+  os << "PartitionSpec{m=" << shape_.m() << " (p=" << shape_.p << ", q=" << shape_.q
+     << "), fields=[";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << "{pos=" << fields_[i].pos << ", len=" << fields_[i].len << ", "
+       << (fields_[i].enc == Encoding::gray ? "gray" : "binary") << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+PartitionSpec PartitionSpec::row_cyclic(MatrixShape s, int n, Encoding e) {
+  assert(n <= s.p);
+  return PartitionSpec(s, {Field{s.q, n, e}});
+}
+
+PartitionSpec PartitionSpec::row_consecutive(MatrixShape s, int n, Encoding e) {
+  assert(n <= s.p);
+  return PartitionSpec(s, {Field{s.q + s.p - n, n, e}});
+}
+
+PartitionSpec PartitionSpec::col_cyclic(MatrixShape s, int n, Encoding e) {
+  assert(n <= s.q);
+  return PartitionSpec(s, {Field{0, n, e}});
+}
+
+PartitionSpec PartitionSpec::col_consecutive(MatrixShape s, int n, Encoding e) {
+  assert(n <= s.q);
+  return PartitionSpec(s, {Field{s.q - n, n, e}});
+}
+
+PartitionSpec PartitionSpec::two_dim_cyclic(MatrixShape s, int n_r, int n_c, Encoding row_enc,
+                                            Encoding col_enc) {
+  assert(n_r <= s.p && n_c <= s.q);
+  return PartitionSpec(s, {Field{s.q, n_r, row_enc}, Field{0, n_c, col_enc}});
+}
+
+PartitionSpec PartitionSpec::two_dim_consecutive(MatrixShape s, int n_r, int n_c,
+                                                 Encoding row_enc, Encoding col_enc) {
+  assert(n_r <= s.p && n_c <= s.q);
+  return PartitionSpec(s, {Field{s.q + s.p - n_r, n_r, row_enc}, Field{s.q - n_c, n_c, col_enc}});
+}
+
+PartitionSpec PartitionSpec::two_dim_row_consec_col_cyclic(MatrixShape s, int n_r, int n_c,
+                                                           Encoding row_enc, Encoding col_enc) {
+  assert(n_r <= s.p && n_c <= s.q);
+  return PartitionSpec(s, {Field{s.q + s.p - n_r, n_r, row_enc}, Field{0, n_c, col_enc}});
+}
+
+PartitionSpec PartitionSpec::row_combined_contiguous(MatrixShape s, int n, int i, Encoding e) {
+  // Real field is u_{p-i} ... u_{p-i-n+1}: n contiguous row bits starting
+  // i bits below the high end (i = 1 gives the consecutive assignment).
+  assert(i >= 1 && n + i - 1 <= s.p);
+  const int pos = s.q + s.p - i - n + 1;
+  return PartitionSpec(s, {Field{pos, n, e}});
+}
+
+PartitionSpec PartitionSpec::row_combined_split(MatrixShape s, int n, int s_bits, Encoding e) {
+  // Real field split into u_{p-1}..u_{p-s} (high) and u_{n-s-1}..u_0 (low),
+  // per Table 2 "Non-contiguous".
+  assert(s_bits >= 0 && s_bits <= n && n <= s.p);
+  std::vector<Field> fields;
+  if (s_bits > 0) fields.push_back(Field{s.q + s.p - s_bits, s_bits, e});
+  if (n - s_bits > 0) fields.push_back(Field{s.q, n - s_bits, e});
+  return PartitionSpec(s, std::move(fields));
+}
+
+word common_real_dims(const PartitionSpec& before, const PartitionSpec& after) {
+  return before.real_dim_mask() & after.real_dim_mask();
+}
+
+Distribution::Distribution(PartitionSpec spec) : spec_(std::move(spec)) {}
+
+std::vector<std::vector<word>> Distribution::node_memory() const {
+  const word nprocs = spec_.processors();
+  const word local = spec_.local_elements();
+  std::vector<std::vector<word>> mem(static_cast<std::size_t>(nprocs));
+  for (auto& m : mem) m.assign(static_cast<std::size_t>(local), 0);
+  for (word w = 0; w < spec_.shape().elements(); ++w) {
+    mem[static_cast<std::size_t>(spec_.processor_of(w))]
+       [static_cast<std::size_t>(spec_.local_of(w))] = w;
+  }
+  return mem;
+}
+
+}  // namespace nct::cube

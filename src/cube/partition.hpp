@@ -1,0 +1,159 @@
+// Partitioning of a matrix address space over the processors of a Boolean
+// n-cube.
+//
+// The paper describes every data layout by splitting the m-bit element
+// address into fields used for *real processor* (rp) addresses and fields
+// used for *virtual processor* (vp, i.e. local storage) addresses, and by
+// encoding each real field in binary or binary-reflected Gray code
+// (Section 2, Tables 1 and 2).  PartitionSpec captures exactly that: an
+// ordered list of real fields (first field = highest-order processor bits)
+// over the element address space; everything else is local.
+//
+// The factories cover the layouts the paper names:
+//   * one-dimensional row/column, cyclic or consecutive (Definition 6),
+//   * two-dimensional with (n_r, n_c) processor dimensions, cyclic or
+//     consecutive (Figure 2),
+//   * combined assignments with contiguous or split real address fields
+//     (the banded-matrix example and Table 2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cube/address.hpp"
+#include "cube/bits.hpp"
+#include "cube/gray.hpp"
+
+namespace nct::cube {
+
+/// Encoding of one real-processor address field.
+enum class Encoding { binary, gray };
+
+/// One contiguous field of the element address used for real processor
+/// addressing: bits [pos, pos+len) of w, encoded as a unit.
+struct Field {
+  int pos = 0;            ///< low bit position within the element address.
+  int len = 0;            ///< field width in bits.
+  Encoding enc = Encoding::binary;
+
+  friend bool operator==(const Field&, const Field&) = default;
+};
+
+/// A partition specification: how matrix elements map onto processors.
+class PartitionSpec {
+ public:
+  PartitionSpec() = default;
+
+  /// `fields` ordered from highest-order processor bits to lowest.
+  PartitionSpec(MatrixShape shape, std::vector<Field> fields);
+
+  const MatrixShape& shape() const noexcept { return shape_; }
+  const std::vector<Field>& fields() const noexcept { return fields_; }
+
+  /// Total number of real-processor address bits (rp = |R|).
+  int processor_bits() const noexcept { return rp_; }
+
+  /// Number of processors holding data, 2^rp.
+  word processors() const noexcept { return word{1} << rp_; }
+
+  /// Number of local (virtual-processor) address bits, vp = m - rp.
+  int local_bits() const noexcept { return shape_.m() - rp_; }
+
+  /// Local storage size per processor, 2^vp elements.
+  word local_elements() const noexcept { return word{1} << local_bits(); }
+
+  /// The set R of element-address dimensions used for real processors,
+  /// as a bit mask over the m address bits.
+  word real_dim_mask() const noexcept { return real_mask_; }
+
+  /// Processor address of element w (Table 1 / Table 2 mapping).
+  word processor_of(word w) const noexcept;
+
+  /// Canonical local slot of element w: the virtual-address bits of w
+  /// concatenated in descending dimension order.
+  word local_of(word w) const noexcept;
+
+  /// Inverse mapping: the element held by `proc` at local slot `slot`.
+  word element_at(word proc, word slot) const noexcept;
+
+  /// Dimensions used for local (virtual) addressing, descending order.
+  const std::vector<int>& local_dims() const noexcept { return local_dims_; }
+
+  /// Human-readable description for logs and error messages.
+  std::string describe() const;
+
+  friend bool operator==(const PartitionSpec&, const PartitionSpec&) = default;
+
+  // ---- factories -------------------------------------------------------
+
+  /// 1D partitioning by rows, cyclic: row u on processor u mod N.
+  static PartitionSpec row_cyclic(MatrixShape s, int n, Encoding e = Encoding::binary);
+
+  /// 1D partitioning by rows, consecutive: row u on processor floor(u/(P/N)).
+  static PartitionSpec row_consecutive(MatrixShape s, int n, Encoding e = Encoding::binary);
+
+  /// 1D partitioning by columns, cyclic.
+  static PartitionSpec col_cyclic(MatrixShape s, int n, Encoding e = Encoding::binary);
+
+  /// 1D partitioning by columns, consecutive.
+  static PartitionSpec col_consecutive(MatrixShape s, int n, Encoding e = Encoding::binary);
+
+  /// 2D cyclic partitioning with 2^{n_r} x 2^{n_c} processors.
+  static PartitionSpec two_dim_cyclic(MatrixShape s, int n_r, int n_c,
+                                      Encoding row_enc = Encoding::binary,
+                                      Encoding col_enc = Encoding::binary);
+
+  /// 2D consecutive partitioning with 2^{n_r} x 2^{n_c} processors.
+  static PartitionSpec two_dim_consecutive(MatrixShape s, int n_r, int n_c,
+                                           Encoding row_enc = Encoding::binary,
+                                           Encoding col_enc = Encoding::binary);
+
+  /// 2D mixed: consecutive rows, cyclic columns (Section 6 example).
+  static PartitionSpec two_dim_row_consec_col_cyclic(MatrixShape s, int n_r, int n_c,
+                                                     Encoding row_enc = Encoding::binary,
+                                                     Encoding col_enc = Encoding::binary);
+
+  /// Combined one-dimensional assignment with a contiguous real field at
+  /// offset i from the high end of the row address (Table 2, "Contiguous").
+  static PartitionSpec row_combined_contiguous(MatrixShape s, int n, int i,
+                                               Encoding e = Encoding::binary);
+
+  /// Combined one-dimensional assignment with the real field split into a
+  /// high part of `s_bits` and a low part of n - s_bits bits (Table 2,
+  /// "Non-contiguous").
+  static PartitionSpec row_combined_split(MatrixShape s, int n, int s_bits,
+                                          Encoding e = Encoding::binary);
+
+ private:
+  MatrixShape shape_{};
+  std::vector<Field> fields_{};
+  int rp_ = 0;
+  word real_mask_ = 0;
+  std::vector<int> local_dims_{};  // descending
+};
+
+/// I = R_b ∩ R_a: the element-address dimensions that address real
+/// processors both before and after a rearrangement (Section 2).  For any
+/// one-dimensional transposition I is empty; for the basic two-dimensional
+/// transposition I equals the full processor set.
+word common_real_dims(const PartitionSpec& before, const PartitionSpec& after);
+
+/// A full data distribution check: where every element of the matrix
+/// lives.  Computes (processor, slot) for each element and the inverse.
+class Distribution {
+ public:
+  explicit Distribution(PartitionSpec spec);
+
+  const PartitionSpec& spec() const noexcept { return spec_; }
+
+  word processor_of(word element) const noexcept { return spec_.processor_of(element); }
+  word local_of(word element) const noexcept { return spec_.local_of(element); }
+
+  /// Node-local memory image: node_memory()[proc][slot] = element address.
+  std::vector<std::vector<word>> node_memory() const;
+
+ private:
+  PartitionSpec spec_;
+};
+
+}  // namespace nct::cube

@@ -1,0 +1,54 @@
+#include "cube/shuffle.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace nct::cube {
+
+int max_hamming_under_shuffle_bruteforce(int m, int k) {
+  assert(m >= 0 && m <= 24);
+  int best = 0;
+  const word lim = word{1} << m;
+  for (word w = 0; w < lim; ++w) best = std::max(best, hamming(w, shuffle(w, m, k)));
+  return best;
+}
+
+word apply_dimension_permutation(word w, const std::vector<int>& delta) {
+  word out = 0;
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    assert(delta[i] >= 0 && static_cast<std::size_t>(delta[i]) < delta.size());
+    out |= static_cast<word>(get_bit(w, delta[i])) << i;
+  }
+  return out;
+}
+
+std::vector<int> shuffle_permutation(int m, int k) {
+  // sh^k moves bit j of the input to bit (j + k) mod m of the output, so
+  // output bit i reads input bit (i - k) mod m.
+  std::vector<int> delta(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    int j = (i - k) % m;
+    if (j < 0) j += m;
+    delta[static_cast<std::size_t>(i)] = j;
+  }
+  return delta;
+}
+
+std::vector<int> bit_reversal_permutation(int m) {
+  std::vector<int> delta(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) delta[static_cast<std::size_t>(i)] = m - 1 - i;
+  return delta;
+}
+
+std::vector<int> transpose_permutation(int p, int q) {
+  // Element address is (u || v): u occupies bits [q, q+p), v bits [0, q).
+  // Transposition maps (u || v) -> (v || u): the result's low p bits come
+  // from u (bits q..q+p-1) and its high q bits from v (bits 0..q-1).
+  std::vector<int> delta(static_cast<std::size_t>(p + q));
+  for (int i = 0; i < p; ++i) delta[static_cast<std::size_t>(i)] = q + i;
+  for (int i = 0; i < q; ++i) delta[static_cast<std::size_t>(p + i)] = i;
+  return delta;
+}
+
+}  // namespace nct::cube

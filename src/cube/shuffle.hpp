@@ -1,0 +1,51 @@
+// Shuffle/unshuffle operators on address spaces (Definition 3) and the
+// shuffle-based characterisation of matrix transposition (Lemma 1), plus
+// the max-Hamming-distance results (Lemmas 2 and 3) used for the lower
+// bounds on communication steps.
+#pragma once
+
+#include "cube/bits.hpp"
+
+namespace nct::cube {
+
+/// sh^k applied to the low `m` bits of `w`: a k-step left cyclic shift of
+/// the address.  sh^1(w_{m-1}...w_0) = (w_{m-2}...w_0 w_{m-1}).
+constexpr word shuffle(word w, int m, int k = 1) noexcept { return rotate_left(w, m, k); }
+
+/// sh^{-k}.
+constexpr word unshuffle(word w, int m, int k = 1) noexcept { return rotate_right(w, m, k); }
+
+/// Lemma 2: max over w of Hamming(w, sh^k w) for m-bit addresses:
+///   m               if m/gcd(m,k) is even,
+///   m - gcd(m,k)    if m/gcd(m,k) is odd.
+constexpr int max_hamming_under_shuffle(int m, int k) noexcept {
+  if (m <= 0) return 0;
+  int kk = k % m;
+  if (kk < 0) kk += m;
+  if (kk == 0) return 0;
+  const word g = gcd(static_cast<word>(m), static_cast<word>(kk));
+  const word cycle = static_cast<word>(m) / g;
+  return (cycle % 2 == 0) ? m : m - static_cast<int>(g);
+}
+
+/// Brute-force version of Lemma 2 for testing (exponential in m).
+int max_hamming_under_shuffle_bruteforce(int m, int k);
+
+/// Apply a dimension permutation delta to the low `m` bits of `w`:
+/// bit i of the result is bit delta(i) of `w` (Definition 17 applied to
+/// addresses; node (x_{n-1}...x_0) maps to (x_{delta(n-1)}...x_{delta(0)})).
+word apply_dimension_permutation(word w, const std::vector<int>& delta);
+
+/// The dimension permutation realising sh^k on m bits, as a delta vector
+/// usable with apply_dimension_permutation.
+std::vector<int> shuffle_permutation(int m, int k);
+
+/// The dimension permutation realising bit reversal on m bits.
+std::vector<int> bit_reversal_permutation(int m);
+
+/// The dimension permutation realising matrix transposition of a 2^p x 2^q
+/// address space: (u||v) -> (v||u).  Requires access to both fields, so the
+/// result permutes all p+q dimensions (Lemma 1: A^T = sh^p A = sh^{-q} A).
+std::vector<int> transpose_permutation(int p, int q);
+
+}  // namespace nct::cube

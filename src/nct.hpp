@@ -1,0 +1,36 @@
+// Umbrella header for the ncube-transpose library: matrix transposition
+// and personalized communication on Boolean n-cube ensembles
+// (Johnsson & Ho, 1987).
+//
+// Typical entry points:
+//   * cube::PartitionSpec     — describe how a matrix is distributed;
+//   * core::plan_transpose    — pick and build the recommended plan;
+//   * sim::Engine             — simulate it under a machine model;
+//   * runtime::execute_program_threads(_on) — run it for real.
+#pragma once
+
+#include "analysis/cost_model.hpp"
+#include "comm/all_to_all.hpp"
+#include "comm/broadcast.hpp"
+#include "comm/one_to_all.hpp"
+#include "comm/planner.hpp"
+#include "comm/rearrange.hpp"
+#include "core/api.hpp"
+#include "core/assignment_change.hpp"
+#include "core/mixed_encoding.hpp"
+#include "core/transpose1d.hpp"
+#include "core/transpose2d.hpp"
+#include "cube/address.hpp"
+#include "cube/gray.hpp"
+#include "cube/partition.hpp"
+#include "cube/shuffle.hpp"
+#include "perm/dimension_perm.hpp"
+#include "runtime/ensemble.hpp"
+#include "runtime/executor.hpp"
+#include "sim/engine.hpp"
+#include "sim/model.hpp"
+#include "sim/report.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/mpt_paths.hpp"
+#include "topology/sbnt.hpp"
+#include "topology/sbt.hpp"

@@ -1,0 +1,144 @@
+#include "perm/dimension_perm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "comm/all_to_all.hpp"
+#include "cube/shuffle.hpp"
+
+namespace nct::perm {
+
+namespace {
+
+/// Recursive halving of Lemma 15: make every position's content land in
+/// its destination half with one parallel swap round, then recurse.
+void build_rounds(std::vector<int>& dest, int lo, int hi, std::size_t depth,
+                  std::vector<std::vector<std::pair<int, int>>>& rounds) {
+  if (hi - lo <= 1) return;
+  const int mid = lo + (hi - lo + 1) / 2;
+  std::vector<int> cross_a, cross_b;
+  for (int p = lo; p < mid; ++p) {
+    if (dest[static_cast<std::size_t>(p)] >= mid) cross_a.push_back(p);
+  }
+  for (int p = mid; p < hi; ++p) {
+    if (dest[static_cast<std::size_t>(p)] < mid) cross_b.push_back(p);
+  }
+  assert(cross_a.size() == cross_b.size());
+  if (!cross_a.empty()) {
+    if (rounds.size() <= depth) rounds.resize(depth + 1);
+    for (std::size_t i = 0; i < cross_a.size(); ++i) {
+      rounds[depth].emplace_back(cross_a[i], cross_b[i]);
+      std::swap(dest[static_cast<std::size_t>(cross_a[i])],
+                dest[static_cast<std::size_t>(cross_b[i])]);
+    }
+  }
+  build_rounds(dest, lo, mid, depth + 1, rounds);
+  build_rounds(dest, mid, hi, depth + 1, rounds);
+}
+
+}  // namespace
+
+std::vector<std::vector<std::pair<int, int>>> parallel_swap_rounds(
+    const std::vector<int>& delta) {
+  const int n = static_cast<int>(delta.size());
+  // dest[p] = position where the content currently at p must end: the i
+  // with delta(i) = p.
+  std::vector<int> dest(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) dest[static_cast<std::size_t>(delta[static_cast<std::size_t>(i)])] = i;
+  std::vector<std::vector<std::pair<int, int>>> rounds;
+  build_rounds(dest, 0, n, 0, rounds);
+  return rounds;
+}
+
+sim::Program dimension_permutation(int n, word K, const std::vector<int>& delta,
+                                   const BufferPolicy& policy) {
+  assert(static_cast<int>(delta.size()) == n);
+  comm::LocationPlanner planner(n, K);
+  planner.occupy_nodes(word{1} << n);
+  const auto rounds = parallel_swap_rounds(delta);
+  for (std::size_t r = 0; r < rounds.size(); ++r) {
+    std::vector<std::pair<comm::LocBit, comm::LocBit>> swaps;
+    for (const auto& [a, b] : rounds[r]) {
+      swaps.emplace_back(comm::LocBit::node_bit(a), comm::LocBit::node_bit(b));
+    }
+    planner.parallel_swaps(swaps, policy, "parallel-swap-round-" + std::to_string(r));
+  }
+  return std::move(planner).take();
+}
+
+sim::Program bit_reversal(int n, word K, const BufferPolicy& policy) {
+  comm::LocationPlanner planner(n, K);
+  planner.occupy_nodes(word{1} << n);
+  for (int i = 0; i < n / 2; ++i) {
+    planner.parallel_swaps({{comm::LocBit::node_bit(i), comm::LocBit::node_bit(n - 1 - i)}},
+                           policy, "bit-reversal-" + std::to_string(i));
+  }
+  return std::move(planner).take();
+}
+
+sim::Program shuffle_permutation_program(int n, word K, int k, const BufferPolicy& policy) {
+  return dimension_permutation(n, K, cube::shuffle_permutation(n, k), policy);
+}
+
+sim::Program arbitrary_permutation_via_two_aapc(int n, word K, const std::vector<word>& pi) {
+  const word N = word{1} << n;
+  assert(pi.size() == N);
+  assert(K % N == 0 && "arbitrary permutation needs at least N elements per node");
+  const word c = K / N;
+
+  auto first = comm::all_to_all_exchange(n, c);
+  auto second = comm::all_to_all_exchange(n, c);
+
+  // Between the two: at node j, the piece of source x sits in slot block
+  // x; move it to slot block pi[x] so the second all-to-all delivers it
+  // to node pi[x] (where it lands in slot block j).
+  sim::Phase relabel;
+  relabel.label = "relabel-pieces";
+  for (word j = 0; j < N; ++j) {
+    std::vector<sim::slot> src, dst;
+    for (word x = 0; x < N; ++x) {
+      if (pi[static_cast<std::size_t>(x)] == x) continue;
+      for (word i = 0; i < c; ++i) {
+        src.push_back(x * c + i);
+        dst.push_back(pi[static_cast<std::size_t>(x)] * c + i);
+      }
+    }
+    if (!src.empty()) relabel.pre_copies.push_back(sim::CopyOp{j, src, dst, true});
+  }
+
+  sim::Program prog;
+  prog.n = n;
+  prog.local_slots = K;
+  for (auto& ph : first.phases) prog.phases.push_back(std::move(ph));
+  if (!relabel.empty()) prog.phases.push_back(std::move(relabel));
+  for (auto& ph : second.phases) prog.phases.push_back(std::move(ph));
+  return prog;
+}
+
+sim::Memory node_block_memory(int n, word K) {
+  const word N = word{1} << n;
+  sim::Memory mem(static_cast<std::size_t>(N),
+                  std::vector<word>(static_cast<std::size_t>(K)));
+  for (word x = 0; x < N; ++x) {
+    for (word k = 0; k < K; ++k) {
+      mem[static_cast<std::size_t>(x)][static_cast<std::size_t>(k)] = x * K + k;
+    }
+  }
+  return mem;
+}
+
+sim::Memory permuted_block_memory(int n, word K, const std::vector<word>& target) {
+  const word N = word{1} << n;
+  sim::Memory mem(static_cast<std::size_t>(N),
+                  std::vector<word>(static_cast<std::size_t>(K)));
+  for (word x = 0; x < N; ++x) {
+    const word y = target[static_cast<std::size_t>(x)];
+    for (word k = 0; k < K; ++k) {
+      mem[static_cast<std::size_t>(y)][static_cast<std::size_t>(k)] = x * K + k;
+    }
+  }
+  return mem;
+}
+
+}  // namespace nct::perm

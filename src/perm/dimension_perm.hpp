@@ -1,0 +1,69 @@
+// Matrix transposition as a building block for other permutations
+// (Section 7).
+//
+// A *dimension permutation* sends the data of processor
+// (x_{n-1} ... x_0) to processor (x_{delta(n-1)} ... x_{delta(0)})
+// (Definition 17).  Transposition (with the full data set on the cube),
+// bit reversal and the k-shuffles are all dimension permutations; there
+// are n! of them among the N! arbitrary permutations.
+//
+//  * bit reversal is realised by the general exchange algorithm with
+//    f(i) = i, g(i) = n-1-i;
+//  * any dimension permutation decomposes into at most ceil(log2 n)
+//    rounds of *parallel swapping* — disjoint transpositions executed
+//    concurrently (Lemma 15);
+//  * an arbitrary permutation of equal-size messages can be realised by
+//    two all-to-all personalized communications (Stout & Wagar), at
+//    higher cost than the dedicated transpose algorithms.
+#pragma once
+
+#include <vector>
+
+#include "comm/planner.hpp"
+#include "sim/program.hpp"
+
+namespace nct::perm {
+
+using comm::BufferPolicy;
+using cube::word;
+
+/// Decompose `delta` (a permutation of {0..n-1}) into rounds of disjoint
+/// transpositions: at most ceil(log2 n) rounds (Lemma 15's recursive
+/// halving construction).
+std::vector<std::vector<std::pair<int, int>>> parallel_swap_rounds(
+    const std::vector<int>& delta);
+
+/// Plan a dimension permutation of node data on an n-cube with
+/// 2^vp_bits elements per node: data of node x moves (wholesale) to node
+/// delta(x) = (x_{delta(n-1)} ... x_{delta(0)}).  One phase per parallel
+/// swapping round.
+sim::Program dimension_permutation(int n, word elements_per_node,
+                                   const std::vector<int>& delta,
+                                   const BufferPolicy& policy = BufferPolicy::buffered());
+
+/// Bit-reversal permutation via the general exchange algorithm
+/// (f(i) = i, g(i) = n-1-i): floor(n/2) sequential exchange phases.
+sim::Program bit_reversal(int n, word elements_per_node,
+                          const BufferPolicy& policy = BufferPolicy::buffered());
+
+/// k-step shuffle (left rotation of the node address) as a dimension
+/// permutation realised by parallel swapping.
+sim::Program shuffle_permutation_program(int n, word elements_per_node, int k,
+                                         const BufferPolicy& policy =
+                                             BufferPolicy::buffered());
+
+/// Arbitrary node permutation pi (data of node x moves to pi[x]) via two
+/// all-to-all personalized communications: node x scatters its data over
+/// all nodes, then the pieces converge on pi[x].  Needs
+/// elements_per_node >= N.
+sim::Program arbitrary_permutation_via_two_aapc(int n, word elements_per_node,
+                                                const std::vector<word>& pi);
+
+/// Initial memory: node x holds ids x*K .. x*K+K-1.
+sim::Memory node_block_memory(int n, word elements_per_node);
+
+/// Expected memory after moving node x's block to node target(x).
+sim::Memory permuted_block_memory(int n, word elements_per_node,
+                                  const std::vector<word>& target);
+
+}  // namespace nct::perm

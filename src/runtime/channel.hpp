@@ -1,0 +1,68 @@
+// A blocking multi-producer single-consumer channel: the message-passing
+// primitive of the thread-backed ensemble runtime.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace nct::runtime {
+
+template <class T>
+class Channel {
+ public:
+  void send(T value) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until a message is available.
+  T recv() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return !queue_.empty(); });
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    return value;
+  }
+
+  bool empty() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.empty();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> queue_;
+};
+
+/// A reusable barrier for 2^n node threads.
+class Barrier {
+ public:
+  explicit Barrier(std::size_t count) : count_(count) {}
+
+  void arrive_and_wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const std::size_t gen = generation_;
+    if (++waiting_ == count_) {
+      waiting_ = 0;
+      ++generation_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [this, gen] { return generation_ != gen; });
+    }
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t count_;
+  std::size_t waiting_ = 0;
+  std::size_t generation_ = 0;
+};
+
+}  // namespace nct::runtime

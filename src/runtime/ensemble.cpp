@@ -1,0 +1,51 @@
+#include "runtime/ensemble.hpp"
+
+#include <exception>
+#include <thread>
+
+namespace nct::runtime {
+
+int NodeCtx::dimensions() const noexcept { return ensemble_.dimensions(); }
+
+word NodeCtx::nodes() const noexcept { return ensemble_.nodes(); }
+
+void NodeCtx::send(int d, std::vector<double> data) {
+  ensemble_.channel(neighbor(d), d).send(std::move(data));
+}
+
+std::vector<double> NodeCtx::recv(int d) { return ensemble_.channel(rank_, d).recv(); }
+
+std::vector<double> NodeCtx::exchange(int d, std::vector<double> data) {
+  send(d, std::move(data));
+  return recv(d);
+}
+
+void NodeCtx::barrier() { ensemble_.barrier_.arrive_and_wait(); }
+
+Ensemble::Ensemble(int n)
+    : n_(n),
+      channels_(static_cast<std::size_t>(word{1} << n) *
+                static_cast<std::size_t>(n > 0 ? n : 1)),
+      barrier_(static_cast<std::size_t>(word{1} << n)) {}
+
+void Ensemble::run(const std::function<void(NodeCtx&)>& body) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nodes()));
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  for (word x = 0; x < nodes(); ++x) {
+    threads.emplace_back([this, x, &body, &first_error, &error_mutex] {
+      NodeCtx ctx(*this, x);
+      try {
+        body(ctx);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace nct::runtime

@@ -1,0 +1,10 @@
+#include "runtime/executor.hpp"
+
+namespace nct::runtime {
+
+sim::Memory execute_program_threads(const sim::Program& program, sim::Memory initial) {
+  return detail::run_threads<cube::word>(program, std::move(initial),
+                                         [](cube::word& w) { w = sim::kEmptySlot; });
+}
+
+}  // namespace nct::runtime

@@ -1,0 +1,157 @@
+// Execute any planner program on real threads.
+//
+// Every node of the cube runs as a thread; phases are separated by
+// barriers; messages are forwarded store-and-forward along their routes
+// by the intermediate node threads (each node knows from the plan how
+// many messages it must sink or forward per phase, so the receive loops
+// terminate without global coordination).
+//
+// Two entry points:
+//  * execute_program_threads       — element-id payloads; the final node
+//    memories are bit-identical to the simulator's, demonstrating the
+//    planner programs are real SPMD message-passing programs;
+//  * execute_program_threads_on<T> — arbitrary payloads (e.g. doubles):
+//    the program acts as a data-movement plan for application data, the
+//    mode the examples use (ADI sweeps, FFT transposes).
+#pragma once
+
+#include <cassert>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/channel.hpp"
+#include "runtime/ensemble.hpp"
+#include "sim/program.hpp"
+
+namespace nct::runtime {
+
+/// Run `program` from `initial` with one thread per node; returns the
+/// final node memories (same data semantics as sim::Engine / apply_data).
+sim::Memory execute_program_threads(const sim::Program& program, sim::Memory initial);
+
+namespace detail {
+
+/// Shared implementation.  `Clear` is invoked on vacated slots (the word
+/// instantiation writes kEmptySlot; value payloads leave slots stale —
+/// every slot the program later reads is written first).
+template <class T, class Clear>
+std::vector<std::vector<T>> run_threads(const sim::Program& program,
+                                        std::vector<std::vector<T>> memory, Clear clear) {
+  const cube::word nnodes = program.nodes();
+  if (memory.size() != nnodes) throw std::invalid_argument("memory/node count mismatch");
+
+  struct Packet {
+    std::vector<int> route;
+    std::size_t hop = 0;
+    std::vector<sim::slot> dst_slots;
+    std::vector<T> payload;
+  };
+
+  // Per-phase, per-node counts and op lists (deliveries plus forwards).
+  const std::size_t nphases = program.phases.size();
+  std::vector<std::vector<std::size_t>> incoming(
+      nphases, std::vector<std::size_t>(static_cast<std::size_t>(nnodes), 0));
+  std::vector<std::vector<std::vector<const sim::SendOp*>>> sends_by_node(
+      nphases, std::vector<std::vector<const sim::SendOp*>>(static_cast<std::size_t>(nnodes)));
+  std::vector<std::vector<std::vector<const sim::CopyOp*>>> pre_by_node(
+      nphases, std::vector<std::vector<const sim::CopyOp*>>(static_cast<std::size_t>(nnodes)));
+  std::vector<std::vector<std::vector<const sim::CopyOp*>>> post_by_node(
+      nphases, std::vector<std::vector<const sim::CopyOp*>>(static_cast<std::size_t>(nnodes)));
+
+  for (std::size_t ph = 0; ph < nphases; ++ph) {
+    const auto& phase = program.phases[ph];
+    for (const auto& op : phase.sends) {
+      sends_by_node[ph][static_cast<std::size_t>(op.src)].push_back(&op);
+      cube::word cur = op.src;
+      for (const int d : op.route) {
+        cur = cube::flip_bit(cur, d);
+        incoming[ph][static_cast<std::size_t>(cur)] += 1;
+      }
+    }
+    for (const auto& op : phase.pre_copies) {
+      pre_by_node[ph][static_cast<std::size_t>(op.node)].push_back(&op);
+    }
+    for (const auto& op : phase.post_copies) {
+      post_by_node[ph][static_cast<std::size_t>(op.node)].push_back(&op);
+    }
+  }
+
+  std::vector<Channel<Packet>> inbox(static_cast<std::size_t>(nnodes));
+
+  Ensemble ensemble(program.n);
+  ensemble.run([&](NodeCtx& ctx) {
+    const cube::word me = ctx.rank();
+    auto& local = memory[static_cast<std::size_t>(me)];
+
+    const auto apply_copy = [&](const sim::CopyOp& op) {
+      std::vector<T> values(op.src_slots.size());
+      for (std::size_t i = 0; i < op.src_slots.size(); ++i) {
+        values[i] = local[static_cast<std::size_t>(op.src_slots[i])];
+      }
+      for (const sim::slot s : op.src_slots) clear(local[static_cast<std::size_t>(s)]);
+      for (std::size_t i = 0; i < op.dst_slots.size(); ++i) {
+        local[static_cast<std::size_t>(op.dst_slots[i])] = values[i];
+      }
+    };
+
+    for (std::size_t ph = 0; ph < nphases; ++ph) {
+      for (const auto* op : pre_by_node[ph][static_cast<std::size_t>(me)]) apply_copy(*op);
+
+      // Read all outgoing payloads before any arrival can land
+      // (snapshot semantics: only this thread writes this memory).
+      std::vector<Packet> outgoing;
+      for (const auto* op : sends_by_node[ph][static_cast<std::size_t>(me)]) {
+        Packet pk;
+        pk.route = op->route;
+        pk.hop = 0;
+        pk.dst_slots = op->dst_slots;
+        pk.payload.reserve(op->src_slots.size());
+        for (const sim::slot s : op->src_slots) {
+          pk.payload.push_back(local[static_cast<std::size_t>(s)]);
+        }
+        outgoing.push_back(std::move(pk));
+      }
+      for (const auto* op : sends_by_node[ph][static_cast<std::size_t>(me)]) {
+        if (op->keep_source) continue;
+        for (const sim::slot s : op->src_slots) clear(local[static_cast<std::size_t>(s)]);
+      }
+      for (auto& pk : outgoing) {
+        const cube::word next = cube::flip_bit(me, pk.route[pk.hop]);
+        pk.hop += 1;
+        inbox[static_cast<std::size_t>(next)].send(std::move(pk));
+      }
+
+      // Sink or forward exactly the planned number of packets.
+      for (std::size_t r = 0; r < incoming[ph][static_cast<std::size_t>(me)]; ++r) {
+        Packet pk = inbox[static_cast<std::size_t>(me)].recv();
+        if (pk.hop == pk.route.size()) {
+          for (std::size_t i = 0; i < pk.dst_slots.size(); ++i) {
+            local[static_cast<std::size_t>(pk.dst_slots[i])] = pk.payload[i];
+          }
+        } else {
+          const cube::word next = cube::flip_bit(me, pk.route[pk.hop]);
+          pk.hop += 1;
+          inbox[static_cast<std::size_t>(next)].send(std::move(pk));
+        }
+      }
+
+      for (const auto* op : post_by_node[ph][static_cast<std::size_t>(me)]) apply_copy(*op);
+
+      ctx.barrier();
+    }
+  });
+
+  return memory;
+}
+
+}  // namespace detail
+
+/// Run a program as a data-movement plan for application payloads of
+/// type T (one value per slot).
+template <class T>
+std::vector<std::vector<T>> execute_program_threads_on(const sim::Program& program,
+                                                       std::vector<std::vector<T>> initial) {
+  return detail::run_threads<T>(program, std::move(initial), [](T&) {});
+}
+
+}  // namespace nct::runtime

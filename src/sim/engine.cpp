@@ -1,0 +1,335 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <sstream>
+
+namespace nct::sim {
+
+namespace {
+
+std::string slot_str(word node, slot s) {
+  std::ostringstream os;
+  os << "node " << node << " slot " << s;
+  return os.str();
+}
+
+/// A message in flight.
+struct Packet {
+  const SendOp* op = nullptr;
+  std::size_t seq = 0;     ///< global injection order (determinism tie-break).
+  std::size_t hop = 0;     ///< next hop index into op->route.
+  word at = 0;             ///< current node.
+  double ready = 0.0;      ///< earliest time the next hop may begin.
+};
+
+struct PacketOrder {
+  bool operator()(const Packet& a, const Packet& b) const {
+    if (a.ready != b.ready) return a.ready > b.ready;  // min-heap on time
+    if (a.seq != b.seq) return a.seq > b.seq;
+    return a.hop > b.hop;
+  }
+};
+
+}  // namespace
+
+Engine::Engine(MachineParams params, EngineOptions options)
+    : params_(params), options_(options) {}
+
+RunResult Engine::run(const Program& program, Memory initial) const {
+  if (program.n != params_.n) throw ProgramError("program/machine dimension mismatch");
+  const word nnodes = program.nodes();
+  if (initial.size() != nnodes) throw ProgramError("initial memory has wrong node count");
+  for (const auto& m : initial) {
+    if (m.size() != program.local_slots) throw ProgramError("node memory has wrong slot count");
+  }
+
+  RunResult result;
+  result.memory = std::move(initial);
+  Memory& mem = result.memory;
+
+  const std::size_t nlinks =
+      static_cast<std::size_t>(nnodes) * static_cast<std::size_t>(std::max(params_.n, 1));
+  std::vector<double> link_free(nlinks, 0.0);
+  std::vector<double> link_busy_total(nlinks, 0.0);
+  std::vector<double> send_free(static_cast<std::size_t>(nnodes), 0.0);
+  std::vector<double> recv_free(static_cast<std::size_t>(nnodes), 0.0);
+  if (options_.record_link_trace) result.link_trace.resize(nlinks);
+
+  double clock = 0.0;
+  std::size_t global_seq = 0;
+
+  std::vector<double> node_done(static_cast<std::size_t>(nnodes), 0.0);
+
+  auto apply_copy = [&](const CopyOp& op) {
+    if (op.src_slots.size() != op.dst_slots.size())
+      throw ProgramError("copy op slot count mismatch");
+    if (op.node >= nnodes) throw ProgramError("copy op node out of range");
+    auto& local = mem[static_cast<std::size_t>(op.node)];
+    std::vector<word> values(op.src_slots.size());
+    for (std::size_t i = 0; i < op.src_slots.size(); ++i) {
+      if (op.src_slots[i] >= local.size()) throw ProgramError("copy src slot out of range");
+      values[i] = local[static_cast<std::size_t>(op.src_slots[i])];
+      if (values[i] == kEmptySlot)
+        throw ProgramError("copy reads empty " + slot_str(op.node, op.src_slots[i]));
+    }
+    for (std::size_t i = 0; i < op.src_slots.size(); ++i)
+      local[static_cast<std::size_t>(op.src_slots[i])] = kEmptySlot;
+    for (std::size_t i = 0; i < op.dst_slots.size(); ++i) {
+      if (op.dst_slots[i] >= local.size()) throw ProgramError("copy dst slot out of range");
+      local[static_cast<std::size_t>(op.dst_slots[i])] = values[i];
+    }
+  };
+
+  for (const Phase& phase : program.phases) {
+    PhaseStats stats;
+    stats.label = phase.label;
+    stats.start = clock;
+
+    std::fill(node_done.begin(), node_done.end(), clock);
+
+    // 1. Pre-copies (live memory, per-op atomic, ordered).
+    for (const CopyOp& op : phase.pre_copies) {
+      apply_copy(op);
+      if (op.charged) {
+        const double cost =
+            static_cast<double>(op.elements()) * params_.element_tcopy();
+        node_done[static_cast<std::size_t>(op.node)] += cost;
+        stats.copy_time += cost;
+      }
+    }
+
+    // 2. Staging charges (buffer gather/scatter, no data movement).
+    for (const StageOp& op : phase.stage) {
+      if (op.node >= nnodes) throw ProgramError("stage op node out of range");
+      const double cost = static_cast<double>(op.bytes) * params_.tcopy;
+      node_done[static_cast<std::size_t>(op.node)] += cost;
+      stats.copy_time += cost;
+    }
+
+    // 3. Data movement for sends: reads from a snapshot, writes to live.
+    if (!phase.sends.empty()) {
+      const Memory snapshot = mem;
+      std::vector<std::vector<bool>> written(static_cast<std::size_t>(nnodes));
+      for (auto& w : written) w.assign(static_cast<std::size_t>(program.local_slots), false);
+
+      // First mark all sent slots empty, then deliver.
+      std::vector<std::vector<word>> payloads(phase.sends.size());
+      for (std::size_t k = 0; k < phase.sends.size(); ++k) {
+        const SendOp& op = phase.sends[k];
+        if (op.src >= nnodes) throw ProgramError("send src out of range");
+        if (op.route.empty()) throw ProgramError("send with empty route");
+        if (op.src_slots.size() != op.dst_slots.size())
+          throw ProgramError("send slot count mismatch");
+        const auto& src_local = snapshot[static_cast<std::size_t>(op.src)];
+        auto& live_src = mem[static_cast<std::size_t>(op.src)];
+        payloads[k].resize(op.src_slots.size());
+        for (std::size_t i = 0; i < op.src_slots.size(); ++i) {
+          const slot s = op.src_slots[i];
+          if (s >= src_local.size()) throw ProgramError("send src slot out of range");
+          payloads[k][i] = src_local[static_cast<std::size_t>(s)];
+          if (payloads[k][i] == kEmptySlot)
+            throw ProgramError("send reads empty " + slot_str(op.src, s));
+          // All emptying happens before any delivery, so a slot that is
+          // both sent from and delivered to ends up with the new value.
+          if (!op.keep_source) live_src[static_cast<std::size_t>(s)] = kEmptySlot;
+        }
+      }
+      for (std::size_t k = 0; k < phase.sends.size(); ++k) {
+        const SendOp& op = phase.sends[k];
+        word dst = op.src;
+        for (const int d : op.route) {
+          if (d < 0 || d >= params_.n) throw ProgramError("route dimension out of range");
+          dst = cube::flip_bit(dst, d);
+        }
+        auto& dst_local = mem[static_cast<std::size_t>(dst)];
+        auto& dst_written = written[static_cast<std::size_t>(dst)];
+        for (std::size_t i = 0; i < op.dst_slots.size(); ++i) {
+          const slot s = op.dst_slots[i];
+          if (s >= dst_local.size()) throw ProgramError("send dst slot out of range");
+          if (dst_written[static_cast<std::size_t>(s)])
+            throw ProgramError("double delivery to " + slot_str(dst, s));
+          dst_written[static_cast<std::size_t>(s)] = true;
+          dst_local[static_cast<std::size_t>(s)] = payloads[k][i];
+        }
+      }
+    }
+
+    // 4. Timing of sends: event-driven with link and port contention.
+    {
+      std::priority_queue<Packet, std::vector<Packet>, PacketOrder> queue;
+      for (const SendOp& op : phase.sends) {
+        Packet p;
+        p.op = &op;
+        p.seq = global_seq++;
+        p.hop = 0;
+        p.at = op.src;
+        p.ready = node_done[static_cast<std::size_t>(op.src)];
+        queue.push(p);
+        stats.sends += 1;
+        stats.elements += op.elements();
+        stats.hops += op.route.size();
+      }
+      result.total_sends += stats.sends;
+      result.total_elements += stats.elements;
+      result.total_hops += stats.hops;
+
+      const bool one_port = params_.port == PortModel::one_port;
+
+      while (!queue.empty()) {
+        Packet p = queue.top();
+        queue.pop();
+        const std::size_t bytes =
+            p.op->elements() * static_cast<std::size_t>(params_.element_bytes);
+
+        if (params_.switching == Switching::cut_through) {
+          // Reserve the whole route (circuit-style); header latency tau per
+          // hop, payload serialised once.
+          double start = p.ready;
+          word cur = p.at;
+          std::vector<std::size_t> lidx;
+          lidx.reserve(p.op->route.size());
+          for (const int d : p.op->route) {
+            lidx.push_back(topo::link_index(params_.n, {cur, d}));
+            cur = cube::flip_bit(cur, d);
+          }
+          for (const std::size_t li : lidx) start = std::max(start, link_free[li]);
+          if (one_port) {
+            start = std::max(start, send_free[static_cast<std::size_t>(p.at)]);
+            start = std::max(start, recv_free[static_cast<std::size_t>(cur)]);
+          }
+          const double serialise = static_cast<double>(bytes) * params_.tc;
+          const double arrive =
+              start + static_cast<double>(lidx.size()) * params_.tau + serialise;
+          for (std::size_t i = 0; i < lidx.size(); ++i) {
+            const double lstart = start + static_cast<double>(i) * params_.tau;
+            const double lend = lstart + params_.tau + serialise;
+            link_free[lidx[i]] = lend;
+            link_busy_total[lidx[i]] += lend - lstart;
+            if (options_.record_link_trace)
+              result.link_trace[lidx[i]].push_back({lstart, lend, p.seq});
+          }
+          if (one_port) {
+            send_free[static_cast<std::size_t>(p.at)] = start + params_.tau + serialise;
+            recv_free[static_cast<std::size_t>(cur)] = arrive;
+          }
+          node_done[static_cast<std::size_t>(cur)] =
+              std::max(node_done[static_cast<std::size_t>(cur)], arrive);
+          stats.end = std::max(stats.end, arrive);
+          continue;
+        }
+
+        // Store-and-forward: one hop at a time.
+        const int dim = p.op->route[p.hop];
+        const word next = cube::flip_bit(p.at, dim);
+        const std::size_t li = topo::link_index(params_.n, {p.at, dim});
+        const bool first_hop = p.hop == 0;
+        const bool last_hop = p.hop + 1 == p.op->route.size();
+
+        double start = std::max(p.ready, link_free[li]);
+        if (one_port && first_hop)
+          start = std::max(start, send_free[static_cast<std::size_t>(p.at)]);
+        if (one_port && last_hop)
+          start = std::max(start, recv_free[static_cast<std::size_t>(next)]);
+
+        const double end = start + params_.hop_time(bytes);
+        link_free[li] = end;
+        link_busy_total[li] += end - start;
+        if (options_.record_link_trace) result.link_trace[li].push_back({start, end, p.seq});
+        if (one_port && first_hop) send_free[static_cast<std::size_t>(p.at)] = end;
+        if (one_port && last_hop) recv_free[static_cast<std::size_t>(next)] = end;
+
+        if (last_hop) {
+          node_done[static_cast<std::size_t>(next)] =
+              std::max(node_done[static_cast<std::size_t>(next)], end);
+          stats.end = std::max(stats.end, end);
+        } else {
+          p.at = next;
+          p.hop += 1;
+          p.ready = end;
+          queue.push(p);
+        }
+      }
+    }
+
+    // 5. Scatter charges (receive-side buffer unpacking).
+    for (const StageOp& op : phase.post_stage) {
+      if (op.node >= nnodes) throw ProgramError("post-stage op node out of range");
+      const double cost = static_cast<double>(op.bytes) * params_.tcopy;
+      node_done[static_cast<std::size_t>(op.node)] += cost;
+      stats.copy_time += cost;
+    }
+
+    // 6. Post-copies.
+    for (const CopyOp& op : phase.post_copies) {
+      apply_copy(op);
+      if (op.charged) {
+        const double cost = static_cast<double>(op.elements()) * params_.element_tcopy();
+        node_done[static_cast<std::size_t>(op.node)] += cost;
+        stats.copy_time += cost;
+      }
+    }
+
+    for (const double t : node_done) stats.end = std::max(stats.end, t);
+    stats.end = std::max(stats.end, stats.start);
+    clock = stats.end;
+    result.total_copy_time += stats.copy_time;
+    result.phases.push_back(std::move(stats));
+
+    // Barrier: reset port/link availability for the next phase (all
+    // activity of this phase is complete by `clock`).
+    std::fill(link_free.begin(), link_free.end(), clock);
+    std::fill(send_free.begin(), send_free.end(), clock);
+    std::fill(recv_free.begin(), recv_free.end(), clock);
+  }
+
+  result.total_time = clock;
+  result.max_link_busy =
+      link_busy_total.empty()
+          ? 0.0
+          : *std::max_element(link_busy_total.begin(), link_busy_total.end());
+  return result;
+}
+
+VerifyResult verify_memory(const Memory& actual, const Memory& expected) {
+  VerifyResult r;
+  std::ostringstream os;
+  int mismatches = 0;
+  if (actual.size() != expected.size()) {
+    r.ok = false;
+    r.message = "node count mismatch";
+    return r;
+  }
+  for (std::size_t x = 0; x < actual.size(); ++x) {
+    if (actual[x].size() != expected[x].size()) {
+      r.ok = false;
+      os << "node " << x << ": slot count mismatch; ";
+      continue;
+    }
+    for (std::size_t s = 0; s < actual[x].size(); ++s) {
+      if (actual[x][s] != expected[x][s]) {
+        r.ok = false;
+        if (mismatches < 8) {
+          os << "node " << x << " slot " << s << ": got "
+             << static_cast<long long>(actual[x][s] == kEmptySlot
+                                           ? -1
+                                           : static_cast<long long>(actual[x][s]))
+             << " want "
+             << static_cast<long long>(expected[x][s] == kEmptySlot
+                                           ? -1
+                                           : static_cast<long long>(expected[x][s]))
+             << "; ";
+        }
+        ++mismatches;
+      }
+    }
+  }
+  if (!r.ok) {
+    os << "(" << mismatches << " slot mismatches)";
+    r.message = os.str();
+  }
+  return r;
+}
+
+}  // namespace nct::sim

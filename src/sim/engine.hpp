@@ -1,0 +1,103 @@
+// Event-driven execution of phased communication programs on a Boolean
+// n-cube machine model.
+//
+// Timing model:
+//  * store-and-forward: each hop of a message costs
+//    ceil(bytes/B_m) * tau + bytes * t_c and occupies the traversed
+//    directed link for that duration; a hop starts when the previous hop
+//    has completed and the link is free;
+//  * cut-through: a message reserves its whole route and arrives after
+//    hops * tau + bytes * t_c (bit-serial pipelining: the start-up is not
+//    multiplied by the serialisation time);
+//  * one-port machines serialise each node's own injections on a send
+//    port and its final-hop deliveries on a receive port; send and
+//    receive are concurrent (bidirectional links, Section 2).
+//    Intermediate forwarding is performed by the routing logic and is
+//    not charged to the ports;
+//  * charged local copies cost bytes * t_copy on the node's clock;
+//  * phases are separated by a global barrier.
+//
+// Data model: node memories hold element addresses; sends read their
+// source slots from a phase snapshot (so concurrent exchanges swap
+// cleanly) and deliver into destination slots; a slot written twice in
+// one phase is a planner bug and raises an error.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/model.hpp"
+#include "sim/program.hpp"
+#include "topology/hypercube.hpp"
+
+namespace nct::sim {
+
+/// Raised when a program violates the execution model (bad slot, double
+/// delivery, reading an empty slot, ...).  Always a planner bug.
+class ProgramError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct PhaseStats {
+  std::string label;
+  double start = 0.0;
+  double end = 0.0;
+  std::size_t sends = 0;
+  std::size_t elements = 0;
+  std::size_t hops = 0;
+  double copy_time = 0.0;  ///< summed charged copy/staging time.
+
+  double duration() const noexcept { return end - start; }
+};
+
+/// One busy interval of a directed link (recorded when tracing is on).
+struct LinkBusy {
+  double start = 0.0;
+  double end = 0.0;
+  std::size_t send_index = 0;  ///< global sequence number of the message.
+};
+
+struct RunResult {
+  double total_time = 0.0;
+  double total_copy_time = 0.0;
+  std::vector<PhaseStats> phases;
+  std::size_t total_sends = 0;
+  std::size_t total_elements = 0;   ///< elements injected (not hop-weighted).
+  std::size_t total_hops = 0;       ///< message-hops traversed.
+  double max_link_busy = 0.0;       ///< max cumulative busy time of any link.
+  Memory memory;                    ///< final node memories.
+  /// Optional: busy intervals per directed link, indexed by
+  /// topo::link_index; empty unless EngineOptions::record_link_trace.
+  std::vector<std::vector<LinkBusy>> link_trace;
+};
+
+struct EngineOptions {
+  bool record_link_trace = false;
+};
+
+class Engine {
+ public:
+  explicit Engine(MachineParams params, EngineOptions options = {});
+
+  const MachineParams& params() const noexcept { return params_; }
+
+  /// Execute `program` starting from `initial` node memories.
+  RunResult run(const Program& program, Memory initial) const;
+
+ private:
+  MachineParams params_;
+  EngineOptions options_;
+};
+
+/// Compare a final memory image against an expected one; reports the
+/// first few mismatches in `message`.
+struct VerifyResult {
+  bool ok = true;
+  std::string message;
+};
+
+VerifyResult verify_memory(const Memory& actual, const Memory& expected);
+
+}  // namespace nct::sim

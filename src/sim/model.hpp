@@ -1,0 +1,112 @@
+// Machine model for Boolean n-cube ensembles.
+//
+// The paper characterises a machine by a communication start-up time tau
+// (incurred per link traversal for store-and-forward machines, once per
+// message for pipelined bit-serial machines), a per-element transfer time
+// t_c, a maximum packet size B_m, a local copy cost, and whether a node
+// can drive one port or all n ports concurrently.  Communication is
+// bidirectional: an exchange between neighbours costs the same as a single
+// send (Section 2).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "cube/bits.hpp"
+
+namespace nct::sim {
+
+using cube::word;
+
+/// One-port: a node can drive a single send and a single receive at a
+/// time (the Intel iPSC).  n-port: all n links concurrently (Section 2).
+enum class PortModel { one_port, n_port };
+
+/// Store-and-forward: each hop pays tau + bytes * tc (the iPSC).
+/// Cut-through: the message pipelines through the route, paying tau per
+/// hop for the header but the serialisation time bytes * tc only once
+/// (the Connection Machine's bit-serial pipelined router).
+enum class Switching { store_and_forward, cut_through };
+
+struct MachineParams {
+  int n = 0;                       ///< cube dimensions; N = 2^n nodes.
+  double tau = 0.0;                ///< communication start-up (s).
+  double tc = 0.0;                 ///< transfer time per byte (s).
+  double tcopy = 0.0;              ///< local copy time per byte (s).
+  std::size_t max_packet_bytes = SIZE_MAX;  ///< B_m.
+  int element_bytes = 4;           ///< bytes per matrix element.
+  PortModel port = PortModel::one_port;
+  Switching switching = Switching::store_and_forward;
+  std::string name = "custom";
+
+  word nodes() const noexcept { return word{1} << n; }
+
+  double element_tc() const noexcept { return tc * element_bytes; }
+  double element_tcopy() const noexcept { return tcopy * element_bytes; }
+
+  /// Packets needed for a message of `bytes` (>= 1 for bytes == 0 so every
+  /// message pays at least one start-up).
+  std::size_t packets_for(std::size_t bytes) const noexcept {
+    if (bytes <= max_packet_bytes) return 1;
+    return (bytes + max_packet_bytes - 1) / max_packet_bytes;
+  }
+
+  /// Time for one hop of a `bytes`-size message under store-and-forward.
+  double hop_time(std::size_t bytes) const noexcept {
+    return static_cast<double>(packets_for(bytes)) * tau + static_cast<double>(bytes) * tc;
+  }
+
+  /// The Intel iPSC model the paper measured (Section 2 and Section 8):
+  /// tau ~ 5 ms, tc ~ 1 us/byte, B_m = 1 KB, significant copy cost
+  /// (~37 ms per 4 KB, Figure 9), one-port, store-and-forward.
+  static MachineParams ipsc(int n) {
+    MachineParams m;
+    m.n = n;
+    m.tau = 5.0e-3;
+    m.tc = 1.0e-6;
+    m.tcopy = 9.0e-6;
+    m.max_packet_bytes = 1024;
+    m.element_bytes = 4;
+    m.port = PortModel::one_port;
+    m.switching = Switching::store_and_forward;
+    m.name = "iPSC";
+    return m;
+  }
+
+  /// A Connection-Machine-like model: bit-serial pipelined router, so the
+  /// start-up is incurred only once per message (cut-through), all
+  /// dimensions usable concurrently, per-byte time higher than the iPSC
+  /// wire but with negligible software overhead (the paper measures the
+  /// CM about two orders of magnitude faster overall).
+  static MachineParams cm(int n) {
+    MachineParams m;
+    m.n = n;
+    m.tau = 2.0e-5;
+    m.tc = 2.0e-6;
+    m.tcopy = 1.0e-7;
+    m.max_packet_bytes = SIZE_MAX;
+    m.element_bytes = 4;
+    m.port = PortModel::n_port;
+    m.switching = Switching::cut_through;
+    m.name = "CM";
+    return m;
+  }
+
+  /// A generic n-port store-and-forward machine for algorithm studies.
+  static MachineParams nport(int n, double tau_ = 5.0e-3, double tc_ = 1.0e-6,
+                             std::size_t bm = SIZE_MAX) {
+    MachineParams m;
+    m.n = n;
+    m.tau = tau_;
+    m.tc = tc_;
+    m.tcopy = 0.0;
+    m.max_packet_bytes = bm;
+    m.element_bytes = 4;
+    m.port = PortModel::n_port;
+    m.switching = Switching::store_and_forward;
+    m.name = "n-port";
+    return m;
+  }
+};
+
+}  // namespace nct::sim

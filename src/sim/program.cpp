@@ -1,0 +1,58 @@
+#include "sim/program.hpp"
+
+#include <cassert>
+
+#include "cube/bits.hpp"
+
+namespace nct::sim {
+
+Memory make_memory(const std::vector<std::vector<word>>& node_layout, word nodes,
+                   word local_slots) {
+  Memory mem(static_cast<std::size_t>(nodes));
+  for (auto& m : mem) m.assign(static_cast<std::size_t>(local_slots), kEmptySlot);
+  assert(node_layout.size() <= mem.size());
+  for (std::size_t x = 0; x < node_layout.size(); ++x) {
+    assert(node_layout[x].size() <= mem[x].size());
+    for (std::size_t s = 0; s < node_layout[x].size(); ++s) mem[x][s] = node_layout[x][s];
+  }
+  return mem;
+}
+
+Memory apply_data(const Program& program, Memory memory) {
+  const auto apply_copy = [&](const CopyOp& op) {
+    auto& local = memory[static_cast<std::size_t>(op.node)];
+    std::vector<word> values(op.src_slots.size());
+    for (std::size_t i = 0; i < op.src_slots.size(); ++i) {
+      values[i] = local[static_cast<std::size_t>(op.src_slots[i])];
+    }
+    for (const slot s : op.src_slots) local[static_cast<std::size_t>(s)] = kEmptySlot;
+    for (std::size_t i = 0; i < op.dst_slots.size(); ++i) {
+      local[static_cast<std::size_t>(op.dst_slots[i])] = values[i];
+    }
+  };
+  for (const Phase& phase : program.phases) {
+    for (const CopyOp& op : phase.pre_copies) apply_copy(op);
+    if (!phase.sends.empty()) {
+      const Memory snapshot = memory;
+      for (const SendOp& op : phase.sends) {
+        if (op.keep_source) continue;
+        for (const slot s : op.src_slots) {
+          memory[static_cast<std::size_t>(op.src)][static_cast<std::size_t>(s)] = kEmptySlot;
+        }
+      }
+      for (const SendOp& op : phase.sends) {
+        word dst = op.src;
+        for (const int d : op.route) dst = cube::flip_bit(dst, d);
+        for (std::size_t i = 0; i < op.src_slots.size(); ++i) {
+          memory[static_cast<std::size_t>(dst)][static_cast<std::size_t>(op.dst_slots[i])] =
+              snapshot[static_cast<std::size_t>(op.src)]
+                      [static_cast<std::size_t>(op.src_slots[i])];
+        }
+      }
+    }
+    for (const CopyOp& op : phase.post_copies) apply_copy(op);
+  }
+  return memory;
+}
+
+}  // namespace nct::sim

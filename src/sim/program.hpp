@@ -1,0 +1,126 @@
+// Phased communication programs.
+//
+// Every algorithm in the library is a *planner*: it emits a Program — a
+// sequence of phases, each containing node-local copy operations and
+// message sends with explicit routes and memory slots.  The engine
+// executes a Program against a machine model, moving real element
+// payloads between node memories and computing the simulated time.  The
+// same Program is therefore both the timing artifact (reproducing the
+// paper's measurements) and the correctness artifact (the final node
+// memories must match the target distribution).
+//
+// Phase semantics (synchronous message passing):
+//   1. pre-copies run on each node's live memory (atomically per op);
+//   2. all sends read their source slots from a snapshot taken after the
+//      pre-copies, so concurrent exchanges swap cleanly;
+//   3. data arrives; writing the same destination slot twice in a phase
+//      is an error;
+//   4. post-copies run (e.g. the local shuffle of the blocked array in
+//      the one-dimensional exchange algorithm);
+//   5. a global barrier separates phases.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cube/bits.hpp"
+
+namespace nct::sim {
+
+using cube::word;
+
+/// Slot index within a node's local memory.
+using slot = std::uint64_t;
+
+/// A message: injected at `src`, traverses `route` (cube dimensions in
+/// order), delivering the elements read from `src_slots` into `dst_slots`
+/// of the final node.
+struct SendOp {
+  word src = 0;
+  std::vector<int> route;
+  std::vector<slot> src_slots;
+  std::vector<slot> dst_slots;
+  /// Broadcast semantics: the source retains its copy (the data is
+  /// replicated rather than moved).
+  bool keep_source = false;
+
+  std::size_t elements() const noexcept { return src_slots.size(); }
+};
+
+/// A node-local data movement: elements at `src_slots` move to
+/// `dst_slots` (atomically: all reads happen before all writes, so
+/// permutations are expressed directly).  If `charged` the node pays
+/// bytes * tcopy; an uncharged copy models free indirect addressing /
+/// relabeling.
+struct CopyOp {
+  word node = 0;
+  std::vector<slot> src_slots;
+  std::vector<slot> dst_slots;
+  bool charged = true;
+
+  std::size_t elements() const noexcept { return src_slots.size(); }
+};
+
+/// A staging charge: models gathering scattered blocks into a contiguous
+/// send buffer (the iPSC buffered exchange of Section 8.1) without moving
+/// any slots.
+struct StageOp {
+  word node = 0;
+  std::size_t bytes = 0;
+};
+
+struct Phase {
+  std::string label;
+  std::vector<CopyOp> pre_copies;
+  std::vector<StageOp> stage;        ///< gather charges before sending.
+  std::vector<SendOp> sends;
+  std::vector<StageOp> post_stage;   ///< scatter charges after receiving.
+  std::vector<CopyOp> post_copies;
+
+  bool empty() const noexcept {
+    return pre_copies.empty() && stage.empty() && sends.empty() && post_stage.empty() &&
+           post_copies.empty();
+  }
+};
+
+struct Program {
+  int n = 0;            ///< cube dimensions the program runs on.
+  word local_slots = 0; ///< per-node memory size in slots.
+  std::vector<Phase> phases;
+
+  word nodes() const noexcept { return word{1} << n; }
+
+  /// Total number of messages across all phases.
+  std::size_t total_sends() const noexcept {
+    std::size_t s = 0;
+    for (const auto& ph : phases) s += ph.sends.size();
+    return s;
+  }
+
+  /// Total elements transferred across all phases (hop-weighted variant in
+  /// engine stats).
+  std::size_t total_elements_sent() const noexcept {
+    std::size_t s = 0;
+    for (const auto& ph : phases)
+      for (const auto& op : ph.sends) s += op.elements();
+    return s;
+  }
+};
+
+/// Node memory image: memory[node][slot] = element address, or kEmpty.
+inline constexpr word kEmptySlot = ~word{0};
+
+using Memory = std::vector<std::vector<word>>;
+
+/// Build an initial memory image from a distribution's node layout,
+/// padding every node to `local_slots` slots.
+Memory make_memory(const std::vector<std::vector<word>>& node_layout, word nodes,
+                   word local_slots);
+
+/// Apply a program's data semantics to a memory image without timing:
+/// the result equals Engine::run(...).memory.  Used to compose staged
+/// planners (the output of one stage seeds the next stage's planning).
+Memory apply_data(const Program& program, Memory memory);
+
+}  // namespace nct::sim

@@ -1,0 +1,37 @@
+#include "topology/hypercube.hpp"
+
+#include <cassert>
+
+namespace nct::topo {
+
+Hypercube::Hypercube(int n) : n_(n) { assert(n >= 0 && n <= 30); }
+
+std::vector<word> Hypercube::neighbors(word x) const {
+  std::vector<word> out;
+  out.reserve(static_cast<std::size_t>(n_));
+  for (int d = 0; d < n_; ++d) out.push_back(neighbor(x, d));
+  return out;
+}
+
+std::vector<word> Hypercube::ascending_path(word x, word y) const {
+  std::vector<word> path{x};
+  word cur = x;
+  for (const int d : cube::bit_positions(x ^ y)) {
+    cur = cube::flip_bit(cur, d);
+    path.push_back(cur);
+  }
+  return path;
+}
+
+std::vector<word> Hypercube::walk(word x, const std::vector<int>& dims) const {
+  std::vector<word> path{x};
+  word cur = x;
+  for (const int d : dims) {
+    assert(d >= 0 && d < n_);
+    cur = cube::flip_bit(cur, d);
+    path.push_back(cur);
+  }
+  return path;
+}
+
+}  // namespace nct::topo

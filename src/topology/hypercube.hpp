@@ -1,0 +1,70 @@
+// The Boolean n-cube graph (Definition 5): 2^n nodes, node x adjacent to
+// x with any single bit complemented.  Provides neighbours, distances,
+// link enumeration and the multi-path structure used by the transpose
+// algorithms (between nodes x, y there are Hamming(x,y) vertex-disjoint
+// paths of length Hamming(x,y) and n - Hamming(x,y) of length
+// Hamming(x,y) + 2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cube/bits.hpp"
+
+namespace nct::topo {
+
+using cube::word;
+
+/// A directed cube link: from node `from` across dimension `dim`.
+struct DirectedLink {
+  word from = 0;
+  int dim = 0;
+
+  word to() const noexcept { return cube::flip_bit(from, dim); }
+
+  friend bool operator==(const DirectedLink&, const DirectedLink&) = default;
+};
+
+/// Dense index of a directed link for O(1) tables: 2^n * n entries.
+constexpr std::size_t link_index(int n, DirectedLink l) noexcept {
+  return static_cast<std::size_t>(l.from) * static_cast<std::size_t>(n) +
+         static_cast<std::size_t>(l.dim);
+}
+
+class Hypercube {
+ public:
+  explicit Hypercube(int n);
+
+  int dimensions() const noexcept { return n_; }
+  word nodes() const noexcept { return word{1} << n_; }
+  std::size_t directed_links() const noexcept {
+    return static_cast<std::size_t>(nodes()) * static_cast<std::size_t>(n_);
+  }
+
+  /// Neighbour of x across dimension d.
+  word neighbor(word x, int d) const noexcept { return cube::flip_bit(x, d); }
+
+  /// All n neighbours of x.
+  std::vector<word> neighbors(word x) const;
+
+  /// Hamming distance between nodes.
+  int distance(word x, word y) const noexcept { return cube::hamming(x, y); }
+
+  int diameter() const noexcept { return n_; }
+
+  /// Number of undirected links, n * 2^n / 2.
+  std::size_t undirected_links() const noexcept { return directed_links() / 2; }
+
+  /// The shortest path from x to y complementing differing bits in
+  /// ascending dimension order (one of the Hamming(x,y)! minimal paths).
+  std::vector<word> ascending_path(word x, word y) const;
+
+  /// Apply a route (sequence of dimensions) starting at x; returns the
+  /// node sequence including x.
+  std::vector<word> walk(word x, const std::vector<int>& dims) const;
+
+ private:
+  int n_;
+};
+
+}  // namespace nct::topo

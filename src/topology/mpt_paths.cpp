@@ -1,0 +1,90 @@
+#include "topology/mpt_paths.hpp"
+
+#include <cassert>
+
+namespace nct::topo {
+
+TransposeDims transpose_dims(word x, int n) {
+  assert(n % 2 == 0);
+  const int half = n / 2;
+  const word xr = cube::extract_field(x, half, half);
+  const word xc = cube::extract_field(x, 0, half);
+  const word diff = xr ^ xc;
+  TransposeDims out;
+  for (const int j : cube::bit_positions(diff)) {
+    out.alpha.push_back(j + half);  // ascending j => alpha[i] ascending
+    out.beta.push_back(j);
+  }
+  return out;
+}
+
+int transpose_h(word x, int n) {
+  assert(n % 2 == 0);
+  return cube::node_transpose_h(x, n / 2);
+}
+
+std::vector<int> mpt_path(word x, int n, int p) {
+  const TransposeDims d = transpose_dims(x, n);
+  const int h = static_cast<int>(d.alpha.size());
+  assert(h > 0 && p >= 0 && p < 2 * h);
+  std::vector<int> dims;
+  dims.reserve(static_cast<std::size_t>(2 * h));
+  const bool col_first = p >= h;
+  const int start = col_first ? p - h : p;
+  // Indices run (start + h - 1) mod h, (start + h - 2) mod h, ..., start.
+  for (int step = h - 1; step >= 0; --step) {
+    const int i = (start + step) % h;
+    if (col_first) {
+      dims.push_back(d.beta[static_cast<std::size_t>(i)]);
+      dims.push_back(d.alpha[static_cast<std::size_t>(i)]);
+    } else {
+      dims.push_back(d.alpha[static_cast<std::size_t>(i)]);
+      dims.push_back(d.beta[static_cast<std::size_t>(i)]);
+    }
+  }
+  return dims;
+}
+
+std::vector<std::vector<int>> mpt_paths(word x, int n) {
+  const int h = transpose_h(x, n);
+  std::vector<std::vector<int>> out;
+  out.reserve(static_cast<std::size_t>(2 * h));
+  for (int p = 0; p < 2 * h; ++p) out.push_back(mpt_path(x, n, p));
+  return out;
+}
+
+std::vector<DirectedLink> mpt_path_edges(word x, int n, int p) {
+  const auto dims = mpt_path(x, n, p);
+  std::vector<DirectedLink> edges;
+  edges.reserve(dims.size());
+  word cur = x;
+  for (const int d : dims) {
+    edges.push_back(DirectedLink{cur, d});
+    cur = cube::flip_bit(cur, d);
+  }
+  assert(cur == cube::tr_node(x, n / 2));
+  return edges;
+}
+
+bool same_anti_diagonal(word a, word b, int n) {
+  assert(n % 2 == 0);
+  const int half = n / 2;
+  return cube::extract_field(a, half, half) + cube::extract_field(a, 0, half) ==
+         cube::extract_field(b, half, half) + cube::extract_field(b, 0, half);
+}
+
+bool same_s_class(word a, word b, int n) {
+  const int half = n / 2;
+  return same_anti_diagonal(a, b, n) &&
+         (a ^ cube::tr_node(a, half)) == (b ^ cube::tr_node(b, half));
+}
+
+std::vector<word> s_class_of(word x, int n) {
+  std::vector<word> out;
+  for (word y = 0; y < (word{1} << n); ++y) {
+    if (same_s_class(x, y, n)) out.push_back(y);
+  }
+  return out;
+}
+
+}  // namespace nct::topo

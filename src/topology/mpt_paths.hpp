@@ -1,0 +1,67 @@
+// The Multiple Paths Transpose (MPT) path family of Section 6.1.3.
+//
+// For a node x = (x_r || x_c) of a 2n_c-dimensional cube (n even,
+// half = n/2), the transpose destination is tr(x) = (x_c || x_r) at
+// Hamming distance 2H(x) where H(x) = Hamming(x_r, x_c).  The paper
+// defines 2H(x) pairwise edge-disjoint directed paths from x to tr(x):
+// with alpha_{H-1} > ... > alpha_0 the row-field dimensions to route and
+// beta_{H-1} > ... > beta_0 the column-field dimensions (both descending),
+//
+//   path p          = alpha_{(p+H-1) mod H}, beta_{(p+H-1) mod H}, ...,
+//                     alpha_p, beta_p                    for 0 <= p < H,
+//   path p = H + j  = beta_{(j+H-1) mod H}, alpha_{(j+H-1) mod H}, ...,
+//                     beta_j, alpha_j                    for 0 <= j < H.
+//
+// Path 0 is the SPT path; paths 0 and H are the DPT pair.  The relations
+// ~ad (same anti-diagonal, Definition 12) and ~s (Definition 15) classify
+// which nodes' path sets share edges: Paths(x') and Paths(x'') are
+// edge-disjoint unless x' ~s x'' (Lemma 13), and within a ~s class the
+// paths are (2, 2H)-disjoint (Lemma 14).
+#pragma once
+
+#include <vector>
+
+#include "cube/address.hpp"
+#include "cube/bits.hpp"
+#include "topology/hypercube.hpp"
+
+namespace nct::topo {
+
+using cube::word;
+
+/// The alpha (row-field) and beta (column-field) dimensions node x must
+/// route, both in descending order, indexed so alpha[i] corresponds to
+/// alpha_i of the paper (alpha[H-1] is the largest).
+struct TransposeDims {
+  std::vector<int> alpha;  ///< alpha[i], i ascending => dimension ascending.
+  std::vector<int> beta;
+};
+
+/// Compute the dimensions node x must route to reach tr(x) in an n-cube
+/// (n even).  alpha[i] and beta[i] are paired: they are the row/column
+/// copies of the same index bit.
+TransposeDims transpose_dims(word x, int n);
+
+/// H(x) = Hamming(x_r, x_c).
+int transpose_h(word x, int n);
+
+/// The dimension sequence of MPT path `p` of node x, p in [0, 2H(x)).
+std::vector<int> mpt_path(word x, int n, int p);
+
+/// All 2H(x) MPT paths of node x (empty if x is on the diagonal).
+std::vector<std::vector<int>> mpt_paths(word x, int n);
+
+/// The directed edges of path p of node x, in traversal order.
+std::vector<DirectedLink> mpt_path_edges(word x, int n, int p);
+
+/// Definition 12: x' ~ad x''  iff  x'_r + x'_c == x''_r + x''_c.
+bool same_anti_diagonal(word a, word b, int n);
+
+/// Definition 15: x' ~s x''  iff  x' ~ad x''  and
+/// x' ^ tr(x') == x'' ^ tr(x'').
+bool same_s_class(word a, word b, int n);
+
+/// All nodes y with y ~s x (including x itself).
+std::vector<word> s_class_of(word x, int n);
+
+}  // namespace nct::topo

@@ -1,0 +1,84 @@
+#include "topology/sbnt.hpp"
+
+#include <cassert>
+
+namespace nct::topo {
+
+int sbnt_base(word j, int n) {
+  if (j == 0) return 0;
+  word best = cube::rotate_right(j, n, 0);
+  int best_i = 0;
+  for (int i = 1; i < n; ++i) {
+    const word r = cube::rotate_right(j, n, i);
+    if (r < best) {
+      best = r;
+      best_i = i;
+    }
+  }
+  return best_i;
+}
+
+SpanningBalancedNTree::SpanningBalancedNTree(int n, word root) : n_(n), root_(root) {
+  assert(n >= 1 && n <= 30);
+  assert(root < (word{1} << n));
+}
+
+int SpanningBalancedNTree::subtree_of(word x) const {
+  const word rel = x ^ root_;
+  if (rel == 0) return -1;
+  // The paper's pseudo code appends the message for relative address r to
+  // output-buf[b] with b = base(r): the first hop from the root is across
+  // dimension base(r), which names the subtree.
+  return sbnt_base(rel, n_);
+}
+
+std::vector<int> SpanningBalancedNTree::path_dims_from_root(word x) const {
+  const word rel = x ^ root_;
+  std::vector<int> dims;
+  if (rel == 0) return dims;
+  const int b = sbnt_base(rel, n_);
+  dims.reserve(static_cast<std::size_t>(cube::popcount(rel)));
+  // Walk bit positions of rel starting at b, ascending cyclically.
+  for (int off = 0; off < n_; ++off) {
+    const int d = (b + off) % n_;
+    if (cube::get_bit(rel, d)) dims.push_back(d);
+  }
+  // The minimum rotation of a nonzero word is odd, so bit `b` of rel is
+  // always set and the first hop is across dimension base(rel).
+  assert(!dims.empty() && dims.front() == b);
+  return dims;
+}
+
+word SpanningBalancedNTree::parent(word x) const {
+  assert(x != root_);
+  const auto dims = path_dims_from_root(x);
+  // The parent is reached by undoing the last traversed dimension.
+  return cube::flip_bit(x, dims.back());
+}
+
+std::vector<word> SpanningBalancedNTree::children(word x) const {
+  std::vector<word> out;
+  for (int d = 0; d < n_; ++d) {
+    const word y = cube::flip_bit(x, d);
+    if (y != root_ && parent(y) == x) out.push_back(y);
+  }
+  return out;
+}
+
+word SpanningBalancedNTree::subtree_size(int d) const {
+  word count = 0;
+  for (word x = 0; x < (word{1} << n_); ++x) {
+    if (x != root_ && subtree_of(x) == d) ++count;
+  }
+  return count;
+}
+
+std::vector<word> SpanningBalancedNTree::subtree_nodes(int d) const {
+  std::vector<word> out;
+  for (word x = 0; x < (word{1} << n_); ++x) {
+    if (x != root_ && subtree_of(x) == d) out.push_back(x);
+  }
+  return out;
+}
+
+}  // namespace nct::topo

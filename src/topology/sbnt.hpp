@@ -1,0 +1,64 @@
+// Spanning Balanced n-Tree (SBnT) of Ho & Johnsson.
+//
+// The SBnT rooted at node r partitions the other 2^n - 1 nodes into n
+// subtrees of nearly equal size, one per port of the root, so that with
+// concurrent communication on all n ports the transfer time of one-to-all
+// (and all-to-all) personalized communication drops by a factor ~n/2
+// relative to a single spanning binomial tree.
+//
+// Node j != 0 (relative address) belongs to the subtree rooted across
+// dimension base(j), where base(j) is the smallest number of right
+// rotations of j that yields the minimum value among all rotations
+// (the paper's transpose pseudo code, Section 5).  The path from the root
+// to j complements the set bits of j starting at base(j) and proceeding
+// upward cyclically; equivalently, each intermediate node forwards a
+// message by clearing the next 1-bit of the remaining relative address to
+// the left (cyclically) of the arrival port.
+#pragma once
+
+#include <vector>
+
+#include "cube/bits.hpp"
+
+namespace nct::topo {
+
+using cube::word;
+
+/// base(j): the minimum number of right rotations of the n-bit word j that
+/// yields the minimum value among all rotations.  Undefined for j == 0
+/// (returns 0 by convention; the root belongs to no subtree).
+int sbnt_base(word j, int n);
+
+class SpanningBalancedNTree {
+ public:
+  explicit SpanningBalancedNTree(int n, word root = 0);
+
+  int dimensions() const noexcept { return n_; }
+  word root() const noexcept { return root_; }
+
+  /// Subtree (root port dimension) that node x belongs to; -1 for root.
+  int subtree_of(word x) const;
+
+  /// Dimensions traversed from the root to x, in traversal order: the set
+  /// bits of the relative address starting at base and ascending
+  /// cyclically.
+  std::vector<int> path_dims_from_root(word x) const;
+
+  /// Parent of node x (x != root).
+  word parent(word x) const;
+
+  /// Children of node x.
+  std::vector<word> children(word x) const;
+
+  /// Number of nodes in the subtree hanging off root port d.
+  word subtree_size(int d) const;
+
+  /// All nodes in the subtree off root port d (excluding the root).
+  std::vector<word> subtree_nodes(int d) const;
+
+ private:
+  int n_;
+  word root_;
+};
+
+}  // namespace nct::topo

@@ -1,0 +1,76 @@
+#include "topology/sbt.hpp"
+
+#include <cassert>
+
+namespace nct::topo {
+
+SpanningBinomialTree::SpanningBinomialTree(int n, word root, int rotation, bool reflected)
+    : n_(n), root_(root), rotation_(rotation), reflected_(reflected) {
+  assert(n >= 0 && n <= 30);
+  assert(root < (word{1} << n));
+}
+
+word SpanningBinomialTree::to_canonical(word x) const noexcept {
+  word c = x ^ root_;                                  // translation
+  c = cube::unshuffle(c, n_, rotation_);               // undo rotation
+  if (reflected_) c = cube::bit_reverse(c, n_);        // undo reflection
+  return c;
+}
+
+word SpanningBinomialTree::from_canonical(word c) const noexcept {
+  if (reflected_) c = cube::bit_reverse(c, n_);
+  c = cube::shuffle(c, n_, rotation_);
+  return c ^ root_;
+}
+
+word SpanningBinomialTree::parent(word x) const {
+  const word c = to_canonical(x);
+  assert(c != 0 && "root has no parent");
+  return from_canonical(c & (c - 1));  // clear lowest set bit
+}
+
+std::vector<word> SpanningBinomialTree::children(word x) const {
+  const word c = to_canonical(x);
+  const int limit = (c == 0) ? n_ : cube::lowest_set_bit(c);
+  std::vector<word> out;
+  out.reserve(static_cast<std::size_t>(limit));
+  for (int j = 0; j < limit; ++j) out.push_back(from_canonical(cube::flip_bit(c, j)));
+  return out;
+}
+
+std::vector<int> SpanningBinomialTree::path_dims_from_root(word x) const {
+  // In canonical frame the path complements set bits of c in descending
+  // order (parent clears the lowest set bit, so walking down sets bits
+  // from high to low).  Map each canonical dimension to the physical one.
+  const word c = to_canonical(x);
+  std::vector<int> dims;
+  dims.reserve(static_cast<std::size_t>(cube::popcount(c)));
+  auto positions = cube::bit_positions(c);
+  for (auto it = positions.rbegin(); it != positions.rend(); ++it) {
+    int d = *it;
+    if (reflected_) d = n_ - 1 - d;
+    d = (d + rotation_) % n_;
+    if (d < 0) d += n_;
+    dims.push_back(d);
+  }
+  return dims;
+}
+
+int SpanningBinomialTree::depth(word x) const { return cube::popcount(to_canonical(x)); }
+
+word SpanningBinomialTree::subtree_size(word x) const {
+  const word c = to_canonical(x);
+  const int low = (c == 0) ? n_ : cube::lowest_set_bit(c);
+  return word{1} << low;
+}
+
+std::vector<word> SpanningBinomialTree::subtree(word x) const {
+  std::vector<word> out{x};
+  for (const word child : children(x)) {
+    const auto sub = subtree(child);
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+}  // namespace nct::topo

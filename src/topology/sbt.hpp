@@ -1,0 +1,69 @@
+// Spanning Binomial Trees (SBT) and their rotations, reflections and
+// translations (Definitions 8 and 9 and Section 3).
+//
+// The base SBT is rooted at node 0 with parent(x) = x with its lowest set
+// bit cleared; equivalently the path from the root to x complements the
+// set bits of x in ascending dimension order.  The subtree reached from
+// the root across dimension j contains every node whose lowest set bit is
+// j (size 2^{n-1-j}).
+//
+//  * A tree *translated* to root s maps node x of the base tree to x ^ s.
+//  * A tree *rotated* by k maps addresses through sh^k (Definition 8).
+//  * A *reflected* tree maps addresses through bit reversal (Definition 9);
+//    equivalently it complements trailing zeroes instead of leading ones.
+#pragma once
+
+#include <vector>
+
+#include "cube/bits.hpp"
+#include "cube/shuffle.hpp"
+
+namespace nct::topo {
+
+using cube::word;
+
+/// Spanning binomial tree of an n-cube with configurable root
+/// (translation), rotation and reflection.
+class SpanningBinomialTree {
+ public:
+  explicit SpanningBinomialTree(int n, word root = 0, int rotation = 0, bool reflected = false);
+
+  int dimensions() const noexcept { return n_; }
+  word root() const noexcept { return root_; }
+  int rotation() const noexcept { return rotation_; }
+  bool reflected() const noexcept { return reflected_; }
+
+  /// Parent of node x (x != root).
+  word parent(word x) const;
+
+  /// Children of node x, in ascending dimension order of the connecting
+  /// link.
+  std::vector<word> children(word x) const;
+
+  /// Dimensions traversed from the root to x, in traversal order.
+  std::vector<int> path_dims_from_root(word x) const;
+
+  /// Depth of x (= path length from root).
+  int depth(word x) const;
+
+  /// Size of the subtree rooted at x (including x).
+  word subtree_size(word x) const;
+
+  /// All nodes of the subtree rooted at x, in preorder.
+  std::vector<word> subtree(word x) const;
+
+  /// Map a physical node address into the canonical frame (root 0, no
+  /// rotation/reflection) and back.  In the canonical frame the parent
+  /// clears the lowest set bit; planners that schedule subtree messages
+  /// work in canonical coordinates.
+  word to_canonical(word x) const noexcept;
+  word from_canonical(word c) const noexcept;
+
+ private:
+  int n_;
+  word root_;
+  int rotation_;
+  bool reflected_;
+};
+
+}  // namespace nct::topo

@@ -1,0 +1,65 @@
+#include "comm/location.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nct::comm {
+namespace {
+
+using cube::MatrixShape;
+using cube::PartitionSpec;
+
+TEST(LocationMap, MatchesSpecMapping) {
+  // locate(w) must agree with (processor_of, local_of) for binary specs.
+  const MatrixShape s{3, 4};
+  for (const auto& spec :
+       {PartitionSpec::col_cyclic(s, 2), PartitionSpec::col_consecutive(s, 3),
+        PartitionSpec::row_cyclic(s, 2), PartitionSpec::row_consecutive(s, 1),
+        PartitionSpec::two_dim_cyclic(s, 2, 2), PartitionSpec::two_dim_consecutive(s, 1, 2),
+        PartitionSpec::row_combined_split(s, 2, 1)}) {
+    const auto lm = LocationMap::from_spec(spec);
+    for (word w = 0; w < s.elements(); ++w) {
+      const auto [node, slot] = lm.locate(w);
+      EXPECT_EQ(node, spec.processor_of(w)) << spec.describe() << " w=" << w;
+      EXPECT_EQ(slot, spec.local_of(w)) << spec.describe() << " w=" << w;
+    }
+  }
+}
+
+TEST(LocationMap, DimAtInverts) {
+  const MatrixShape s{3, 3};
+  const auto lm = LocationMap::from_spec(PartitionSpec::two_dim_cyclic(s, 2, 1));
+  for (int d = 0; d < s.m(); ++d) {
+    EXPECT_EQ(lm.dim_at(lm.of_dim(d)), d);
+  }
+  // An unused node bit has no dimension.
+  EXPECT_EQ(lm.dim_at(LocBit::node_bit(5)), -1);
+}
+
+TEST(LocationMap, TransposeDimCorrespondence) {
+  const MatrixShape s{3, 5};
+  for (int k = 0; k < s.m(); ++k) {
+    const int kt = transpose_dim(s, k);
+    // Bit k of w and bit kt of transpose_address(w) always agree.
+    for (word w = 0; w < s.elements(); w += 11) {
+      EXPECT_EQ(cube::get_bit(w, k),
+                cube::get_bit(cube::transpose_address(s, w), kt));
+    }
+  }
+}
+
+TEST(LocationMap, TransposedGoalPlacesData) {
+  // Element w of A must end at the location the after-spec assigns to its
+  // transposed address.
+  const MatrixShape s{3, 3};
+  const auto after = PartitionSpec::col_cyclic(s.transposed(), 2);
+  const auto goal = transposed_goal(s, after);
+  for (word w = 0; w < s.elements(); ++w) {
+    const word wt = cube::transpose_address(s, w);
+    const auto [node, slot] = goal.locate(w);
+    EXPECT_EQ(node, after.processor_of(wt));
+    EXPECT_EQ(slot, after.local_of(wt));
+  }
+}
+
+}  // namespace
+}  // namespace nct::comm

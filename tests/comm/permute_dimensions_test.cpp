@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "comm/rearrange.hpp"
+#include "cube/shuffle.hpp"
+#include "sim/engine.hpp"
+
+namespace nct::comm {
+namespace {
+
+using cube::MatrixShape;
+using cube::PartitionSpec;
+
+sim::MachineParams machine(int n) {
+  auto m = sim::MachineParams::nport(n, 1.0, 0.25);
+  m.port = sim::PortModel::one_port;
+  return m;
+}
+
+void expect_permutation(const PartitionSpec& before, const PartitionSpec& after,
+                        const std::vector<int>& delta, int n) {
+  const auto prog = permute_dimensions(before, after, delta, n);
+  const auto init = spec_memory(before, n, prog.local_slots);
+  const auto res = sim::Engine(machine(n)).run(prog, init);
+  const auto expected = permuted_memory(after, delta, n, prog.local_slots);
+  const auto v = sim::verify_memory(res.memory, expected);
+  EXPECT_TRUE(v.ok) << v.message;
+}
+
+TEST(PermuteDimensions, IdentityIsNoOp) {
+  const MatrixShape s{3, 3};
+  const auto spec = PartitionSpec::col_cyclic(s, 2);
+  std::vector<int> id(static_cast<std::size_t>(s.m()));
+  std::iota(id.begin(), id.end(), 0);
+  const auto prog = permute_dimensions(spec, spec, id, 2);
+  EXPECT_TRUE(prog.phases.empty());
+}
+
+TEST(PermuteDimensions, ShuffleByPEqualsTranspose) {
+  // Lemma 1: A^T = sh^p A.  The dimension permutation realising sh^p
+  // must land the data exactly as the transpose planner does.
+  const MatrixShape s{3, 4};
+  const int n = 3;
+  const auto before = PartitionSpec::col_cyclic(s, n);
+  // After the shuffle the address space is the transposed matrix's; use
+  // its col-cyclic layout.
+  const auto after = PartitionSpec::col_cyclic(s.transposed(), n);
+  // sh^p as a delta: output bit i = input bit (i - p) mod m.
+  const auto delta = cube::shuffle_permutation(s.m(), s.p);
+  const auto prog = permute_dimensions(before, after, delta, n);
+  const auto init = spec_memory(before, n, prog.local_slots);
+  const auto res = sim::Engine(machine(n)).run(prog, init);
+  const auto expected = transposed_memory(s, after, n, prog.local_slots);
+  const auto v = sim::verify_memory(res.memory, expected);
+  EXPECT_TRUE(v.ok) << v.message;
+}
+
+TEST(PermuteDimensions, BitReversalOfAddressSpace) {
+  const MatrixShape s{3, 3};
+  const int n = 3;
+  const auto spec = PartitionSpec::col_consecutive(s, n);
+  expect_permutation(spec, spec, cube::bit_reversal_permutation(s.m()), n);
+}
+
+TEST(PermuteDimensions, AllShuffles) {
+  const MatrixShape s{3, 3};
+  const int n = 3;
+  const auto spec = PartitionSpec::col_cyclic(s, n);
+  for (int k = 0; k < s.m(); ++k) {
+    expect_permutation(spec, spec, cube::shuffle_permutation(s.m(), k), n);
+  }
+}
+
+TEST(PermuteDimensions, RandomPermutationsAcrossSpecs) {
+  std::mt19937 rng(31);
+  const MatrixShape s{4, 3};
+  std::vector<int> delta(static_cast<std::size_t>(s.m()));
+  std::iota(delta.begin(), delta.end(), 0);
+  const int n = 3;
+  const auto before = PartitionSpec::row_cyclic(s, n);
+  const auto after = PartitionSpec::row_consecutive(s, n);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::shuffle(delta.begin(), delta.end(), rng);
+    expect_permutation(before, after, delta, n);
+  }
+}
+
+TEST(PermuteDimensions, ChangesProcessorCount) {
+  // Dimension permutation combined with spreading onto more processors.
+  const MatrixShape s{4, 4};
+  const int n = 4;
+  const auto before = PartitionSpec::col_cyclic(s, 2);
+  const auto after = PartitionSpec::col_cyclic(s, 4);
+  expect_permutation(before, after, cube::bit_reversal_permutation(s.m()), n);
+}
+
+}  // namespace
+}  // namespace nct::comm

@@ -1,0 +1,170 @@
+#include "comm/rearrange.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace nct::comm {
+namespace {
+
+using cube::MatrixShape;
+using cube::PartitionSpec;
+
+sim::MachineParams machine(int n) {
+  auto m = sim::MachineParams::nport(n, 1.0, 0.25);
+  m.port = sim::PortModel::one_port;
+  return m;
+}
+
+void expect_conversion(const PartitionSpec& before, const PartitionSpec& after, int n,
+                       const RearrangeOptions& opt = {}) {
+  const auto prog = convert_storage(before, after, n, opt);
+  const word slots = std::max(before.local_elements(), after.local_elements());
+  const auto init = spec_memory(before, n, slots);
+  const auto res = sim::Engine(machine(n)).run(prog, init);
+  const auto expected = spec_memory(after, n, slots);
+  const auto v = sim::verify_memory(res.memory, expected);
+  EXPECT_TRUE(v.ok) << before.describe() << " -> " << after.describe() << ": " << v.message;
+}
+
+TEST(Rearrange, ConsecutiveToCyclicRows) {
+  // Corollary 7: conversion between cyclic and consecutive storage.
+  const MatrixShape s{5, 3};
+  for (int n = 1; n <= 3; ++n) {
+    expect_conversion(PartitionSpec::row_consecutive(s, n), PartitionSpec::row_cyclic(s, n),
+                      n);
+    expect_conversion(PartitionSpec::row_cyclic(s, n), PartitionSpec::row_consecutive(s, n),
+                      n);
+  }
+}
+
+TEST(Rearrange, ColumnFormsAllPairs) {
+  // Corollary 6: conversion among the storage forms.
+  const MatrixShape s{3, 5};
+  const int n = 3;
+  const std::vector<PartitionSpec> forms = {
+      PartitionSpec::col_consecutive(s, n),
+      PartitionSpec::col_cyclic(s, n),
+      PartitionSpec::row_consecutive(s, n),
+      PartitionSpec::row_cyclic(s, n),
+  };
+  for (const auto& a : forms) {
+    for (const auto& b : forms) {
+      if (a == b) continue;
+      expect_conversion(a, b, n);
+    }
+  }
+}
+
+TEST(Rearrange, CombinedAssignments) {
+  const MatrixShape s{6, 2};
+  const int n = 3;
+  expect_conversion(PartitionSpec::row_combined_contiguous(s, n, 2),
+                    PartitionSpec::row_cyclic(s, n), n);
+  expect_conversion(PartitionSpec::row_combined_split(s, n, 1),
+                    PartitionSpec::row_consecutive(s, n), n);
+}
+
+TEST(Rearrange, SomeToAllGrowsProcessorSet) {
+  // |R_b| < |R_a|: data on 2^2 nodes spreads to 2^4 (k = 2 splitting
+  // steps + 2 all-to-all steps, Section 3.3).
+  const MatrixShape s{4, 4};
+  const int n = 4;
+  expect_conversion(PartitionSpec::col_cyclic(s, 2), PartitionSpec::col_cyclic(s, 4), n);
+  expect_conversion(PartitionSpec::col_consecutive(s, 2),
+                    PartitionSpec::col_consecutive(s, 4), n);
+}
+
+TEST(Rearrange, AllToSomeShrinksProcessorSet) {
+  const MatrixShape s{4, 4};
+  const int n = 4;
+  expect_conversion(PartitionSpec::col_cyclic(s, 4), PartitionSpec::col_cyclic(s, 2), n);
+  expect_conversion(PartitionSpec::row_consecutive(s, 4),
+                    PartitionSpec::row_consecutive(s, 1), n);
+}
+
+TEST(Rearrange, OneToAllExtreme) {
+  // From a single node to all nodes and back (the vector-transpose
+  // extreme of Section 2).
+  const MatrixShape s{4, 2};
+  const int n = 3;
+  expect_conversion(PartitionSpec::row_cyclic(s, 0), PartitionSpec::row_cyclic(s, 3), n);
+  expect_conversion(PartitionSpec::row_cyclic(s, 3), PartitionSpec::row_cyclic(s, 0), n);
+}
+
+TEST(Rearrange, Theorem1OptimalOrderIsFaster) {
+  // Splitting first (for some-to-all) moves less data per start-up later;
+  // the pessimal order pays full volume on every step.
+  // cyclic(1) -> consecutive(4): one all-to-all exchange step (cube
+  // dimension 0 carries different matrix dimensions before and after)
+  // plus three splitting steps.  Splitting first shrinks the local data
+  // before the exchange runs.
+  const MatrixShape s{5, 5};
+  const int n = 4;
+  const auto before = PartitionSpec::col_cyclic(s, 1);
+  const auto after = PartitionSpec::col_consecutive(s, 4);
+  const word slots = std::max(before.local_elements(), after.local_elements());
+  auto m = machine(n);
+  m.tcopy = 0.0;
+
+  RearrangeOptions opt_good, opt_bad;
+  opt_good.split_timing = SplitTiming::optimal;
+  opt_bad.split_timing = SplitTiming::pessimal;
+
+  const auto good = sim::Engine(m).run(convert_storage(before, after, n, opt_good),
+                                       spec_memory(before, n, slots));
+  const auto bad = sim::Engine(m).run(convert_storage(before, after, n, opt_bad),
+                                      spec_memory(before, n, slots));
+  // Both must still be correct.
+  const auto expected = spec_memory(after, n, slots);
+  EXPECT_TRUE(sim::verify_memory(good.memory, expected).ok);
+  EXPECT_TRUE(sim::verify_memory(bad.memory, expected).ok);
+  EXPECT_LT(good.total_time, bad.total_time);
+}
+
+TEST(Rearrange, Theorem1GatherLastIsFasterForAllToSome) {
+  // consecutive(4) -> cyclic(1): one exchange step plus three
+  // accumulation steps; gathering last keeps the exchange volume small.
+  const MatrixShape s{5, 5};
+  const int n = 4;
+  const auto before = PartitionSpec::col_consecutive(s, 4);
+  const auto after = PartitionSpec::col_cyclic(s, 1);
+  const word slots = std::max(before.local_elements(), after.local_elements());
+  auto m = machine(n);
+  m.tcopy = 0.0;
+
+  RearrangeOptions opt_good, opt_bad;
+  opt_good.split_timing = SplitTiming::optimal;   // accumulations last
+  opt_bad.split_timing = SplitTiming::pessimal;   // accumulations first
+
+  const auto good = sim::Engine(m).run(convert_storage(before, after, n, opt_good),
+                                       spec_memory(before, n, slots));
+  const auto bad = sim::Engine(m).run(convert_storage(before, after, n, opt_bad),
+                                      spec_memory(before, n, slots));
+  const auto expected = spec_memory(after, n, slots);
+  EXPECT_TRUE(sim::verify_memory(good.memory, expected).ok);
+  EXPECT_TRUE(sim::verify_memory(bad.memory, expected).ok);
+  EXPECT_LT(good.total_time, bad.total_time);
+}
+
+TEST(Rearrange, IdentityConversionIsEmpty) {
+  const MatrixShape s{3, 3};
+  const auto spec = PartitionSpec::col_cyclic(s, 2);
+  const auto prog = convert_storage(spec, spec, 2);
+  EXPECT_TRUE(prog.phases.empty());
+}
+
+TEST(Rearrange, BufferPoliciesAllCorrect) {
+  const MatrixShape s{4, 4};
+  const int n = 3;
+  for (const auto& policy :
+       {BufferPolicy::unbuffered(), BufferPolicy::buffered(), BufferPolicy::optimal(4)}) {
+    RearrangeOptions opt;
+    opt.policy = policy;
+    expect_conversion(PartitionSpec::row_consecutive(s, n), PartitionSpec::row_cyclic(s, n),
+                      n, opt);
+  }
+}
+
+}  // namespace
+}  // namespace nct::comm

@@ -1,0 +1,151 @@
+#include "core/api.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/transpose1d.hpp"
+#include "sim/engine.hpp"
+
+namespace nct::core {
+namespace {
+
+using cube::Encoding;
+using cube::MatrixShape;
+using cube::PartitionSpec;
+
+void expect_plan_correct(const PartitionSpec& before, const PartitionSpec& after,
+                         const sim::MachineParams& machine) {
+  const auto plan = plan_transpose(before, after, machine);
+  const auto init = transpose_initial_memory(before, machine.n, plan.program.local_slots);
+  const auto res = sim::Engine(machine).run(plan.program, init);
+  const auto expected =
+      transpose_expected_memory(before.shape(), after, machine.n, plan.program.local_slots);
+  const auto v = sim::verify_memory(res.memory, expected);
+  EXPECT_TRUE(v.ok) << plan.algorithm << ": " << v.message;
+}
+
+TEST(Api, IsPairwiseTranspose) {
+  const MatrixShape s{4, 4};
+  const auto b2 = PartitionSpec::two_dim_cyclic(s, 2, 2);
+  const auto a2 = PartitionSpec::two_dim_cyclic(s.transposed(), 2, 2);
+  EXPECT_TRUE(is_pairwise_transpose(b2, a2));
+  // Gray/Gray is still pairwise.
+  EXPECT_TRUE(is_pairwise_transpose(
+      PartitionSpec::two_dim_cyclic(s, 2, 2, Encoding::gray, Encoding::gray),
+      PartitionSpec::two_dim_cyclic(s.transposed(), 2, 2, Encoding::gray, Encoding::gray)));
+  // Mixed encodings are not.
+  EXPECT_FALSE(is_pairwise_transpose(
+      PartitionSpec::two_dim_cyclic(s, 2, 2, Encoding::binary, Encoding::gray),
+      PartitionSpec::two_dim_cyclic(s.transposed(), 2, 2, Encoding::binary,
+                                    Encoding::gray)));
+  // 1D layouts are not.
+  EXPECT_FALSE(is_pairwise_transpose(PartitionSpec::col_cyclic(s, 2),
+                                     PartitionSpec::col_cyclic(s.transposed(), 2)));
+  // Consecutive rows with cyclic columns is not pairwise either.
+  EXPECT_FALSE(is_pairwise_transpose(
+      PartitionSpec::two_dim_row_consec_col_cyclic(s, 2, 2),
+      PartitionSpec::two_dim_row_consec_col_cyclic(s.transposed(), 2, 2)));
+}
+
+TEST(Api, IsBinary) {
+  const MatrixShape s{3, 3};
+  EXPECT_TRUE(is_binary(PartitionSpec::col_cyclic(s, 2)));
+  EXPECT_FALSE(is_binary(PartitionSpec::col_cyclic(s, 2, Encoding::gray)));
+}
+
+TEST(Api, PlannerPicksMptOnNPort) {
+  const MatrixShape s{4, 4};
+  const auto before = PartitionSpec::two_dim_cyclic(s, 2, 2);
+  const auto after = PartitionSpec::two_dim_cyclic(s.transposed(), 2, 2);
+  const auto m = sim::MachineParams::nport(4, 1e-4, 1e-6);
+  const auto plan = plan_transpose(before, after, m);
+  EXPECT_NE(plan.algorithm.find("MPT"), std::string::npos);
+  EXPECT_GT(plan.predicted_seconds, 0.0);
+  expect_plan_correct(before, after, m);
+}
+
+TEST(Api, PlannerPicksStepwiseOnOnePort) {
+  const MatrixShape s{4, 4};
+  const auto before = PartitionSpec::two_dim_consecutive(s, 2, 2);
+  const auto after = PartitionSpec::two_dim_consecutive(s.transposed(), 2, 2);
+  const auto m = sim::MachineParams::ipsc(4);
+  const auto plan = plan_transpose(before, after, m);
+  EXPECT_NE(plan.algorithm.find("stepwise"), std::string::npos);
+  expect_plan_correct(before, after, m);
+}
+
+TEST(Api, PlannerPicksCombinedForMixedEncoding) {
+  const MatrixShape s{4, 4};
+  const auto before =
+      PartitionSpec::two_dim_cyclic(s, 2, 2, Encoding::binary, Encoding::gray);
+  const auto after =
+      PartitionSpec::two_dim_cyclic(s.transposed(), 2, 2, Encoding::binary, Encoding::gray);
+  const auto m = sim::MachineParams::ipsc(4);
+  const auto plan = plan_transpose(before, after, m);
+  EXPECT_NE(plan.algorithm.find("combined"), std::string::npos);
+  expect_plan_correct(before, after, m);
+}
+
+TEST(Api, PlannerPicksExchangeFor1D) {
+  const MatrixShape s{4, 4};
+  const auto before = PartitionSpec::col_consecutive(s, 3);
+  const auto after = PartitionSpec::col_consecutive(s.transposed(), 3);
+  const auto m = sim::MachineParams::ipsc(3);
+  const auto plan = plan_transpose(before, after, m);
+  EXPECT_NE(plan.algorithm.find("exchange"), std::string::npos);
+  EXPECT_GT(plan.predicted_seconds, 0.0);
+  expect_plan_correct(before, after, m);
+}
+
+TEST(Api, PlannerHandlesGray1D) {
+  const MatrixShape s{4, 4};
+  const auto before = PartitionSpec::col_cyclic(s, 3, Encoding::gray);
+  const auto after = PartitionSpec::col_cyclic(s.transposed(), 3, Encoding::gray);
+  const auto m = sim::MachineParams::ipsc(3);
+  const auto plan = plan_transpose(before, after, m);
+  EXPECT_NE(plan.algorithm.find("routing"), std::string::npos);
+  expect_plan_correct(before, after, m);
+}
+
+TEST(Api, TransposeGeneralHandlesAsymmetric2D) {
+  // n_r != n_c: no longer pairwise; still exact via the rearrangement.
+  const MatrixShape s{5, 4};
+  const int n = 3;
+  const auto before = PartitionSpec::two_dim_consecutive(s, 2, 1);
+  const auto after = PartitionSpec::two_dim_consecutive(s.transposed(), 1, 2);
+  const auto prog = transpose_general(before, after, n);
+  const auto m = sim::MachineParams::ipsc(n);
+  const auto init = transpose_initial_memory(before, n, prog.local_slots);
+  const auto res = sim::Engine(m).run(prog, init);
+  const auto expected = transpose_expected_memory(s, after, n, prog.local_slots);
+  EXPECT_TRUE(sim::verify_memory(res.memory, expected).ok);
+}
+
+TEST(Api, TransposeGeneralHandlesDifferentSchemes2D) {
+  // Consecutive 2D -> cyclic 2D with different processor grids.
+  const MatrixShape s{5, 5};
+  const int n = 4;
+  const auto before = PartitionSpec::two_dim_consecutive(s, 2, 2);
+  const auto after = PartitionSpec::two_dim_cyclic(s.transposed(), 1, 3);
+  const auto prog = transpose_general(before, after, n);
+  const auto m = sim::MachineParams::ipsc(n);
+  const auto init = transpose_initial_memory(before, n, prog.local_slots);
+  const auto res = sim::Engine(m).run(prog, init);
+  const auto expected = transpose_expected_memory(s, after, n, prog.local_slots);
+  EXPECT_TRUE(sim::verify_memory(res.memory, expected).ok);
+}
+
+TEST(Api, TransposeGeneral2DToOneD) {
+  const MatrixShape s{4, 4};
+  const int n = 4;
+  const auto before = PartitionSpec::two_dim_cyclic(s, 2, 2);
+  const auto after = PartitionSpec::col_consecutive(s.transposed(), 4);
+  const auto prog = transpose_general(before, after, n);
+  const auto m = sim::MachineParams::ipsc(n);
+  const auto init = transpose_initial_memory(before, n, prog.local_slots);
+  const auto res = sim::Engine(m).run(prog, init);
+  const auto expected = transpose_expected_memory(s, after, n, prog.local_slots);
+  EXPECT_TRUE(sim::verify_memory(res.memory, expected).ok);
+}
+
+}  // namespace
+}  // namespace nct::core

@@ -1,0 +1,111 @@
+#include "core/assignment_change.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/mixed_encoding.hpp"
+#include "core/transpose1d.hpp"
+#include "sim/engine.hpp"
+
+namespace nct::core {
+namespace {
+
+using cube::MatrixShape;
+
+sim::MachineParams machine(int n) {
+  auto m = sim::MachineParams::nport(n, 1.0, 0.25);
+  m.port = sim::PortModel::one_port;
+  return m;
+}
+
+struct ACCase {
+  int p, q, h;
+};
+
+class AssignmentChange : public ::testing::TestWithParam<ACCase> {};
+
+TEST_P(AssignmentChange, AllAlgorithmsProduceTargetDistribution) {
+  const auto [p, q, h] = GetParam();
+  const MatrixShape s{p, q};
+  const int n = 2 * h;
+  const auto before = consecutive_before_spec(s, h);
+  const auto after = cyclic_after_spec(s, h);
+  for (const int algo : {1, 2, 3}) {
+    if (algo >= 2 && p != q) continue;
+    const auto prog = consecutive_to_cyclic_transpose(algo, s, h);
+    const auto init = transpose_initial_memory(before, n, prog.local_slots);
+    const auto res = sim::Engine(machine(n)).run(prog, init);
+    const auto expected = transpose_expected_memory(s, after, n, prog.local_slots);
+    const auto v = sim::verify_memory(res.memory, expected);
+    EXPECT_TRUE(v.ok) << "algorithm " << algo << " p=" << p << " q=" << q << " h=" << h
+                      << ": " << v.message;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, AssignmentChange,
+                         ::testing::Values(ACCase{2, 2, 1}, ACCase{3, 3, 1}, ACCase{4, 4, 1},
+                                           ACCase{4, 4, 2}, ACCase{5, 5, 2}, ACCase{6, 6, 2},
+                                           ACCase{5, 4, 2}, ACCase{4, 6, 2},
+                                           ACCase{6, 6, 3}));
+
+TEST(AssignmentChange, RoutingStepCounts) {
+  // Algorithm 1 uses 2n communication steps; algorithms 2 and 3 use n
+  // (Section 6.2).
+  const MatrixShape s{6, 6};
+  const int h = 2, n = 2 * h;
+  const auto p1 = consecutive_to_cyclic_transpose(1, s, h);
+  const auto p2 = consecutive_to_cyclic_transpose(2, s, h);
+  const auto p3 = consecutive_to_cyclic_transpose(3, s, h);
+  EXPECT_EQ(routing_steps(p1), static_cast<std::size_t>(2 * n));
+  EXPECT_EQ(routing_steps(p2), static_cast<std::size_t>(n));
+  EXPECT_EQ(routing_steps(p3), static_cast<std::size_t>(n));
+}
+
+TEST(AssignmentChange, FewerStepsIsFasterWithoutCopyCost) {
+  const MatrixShape s{6, 6};
+  const int h = 2, n = 2 * h;
+  auto m = machine(n);
+  m.tcopy = 0.0;
+  const auto before = consecutive_before_spec(s, h);
+  AssignmentChangeOptions opt;
+  opt.charge_local = false;
+  const auto p1 = consecutive_to_cyclic_transpose(1, s, h, opt);
+  const auto p3 = consecutive_to_cyclic_transpose(3, s, h, opt);
+  const auto r1 =
+      sim::Engine(m).run(p1, transpose_initial_memory(before, n, p1.local_slots));
+  const auto r3 =
+      sim::Engine(m).run(p3, transpose_initial_memory(before, n, p3.local_slots));
+  EXPECT_LT(r3.total_time, r1.total_time);
+}
+
+TEST(AssignmentChange, Algorithm2PaysLocalTransposeUpFront) {
+  const MatrixShape s{6, 6};
+  const int h = 2;
+  const auto p2 = consecutive_to_cyclic_transpose(2, s, h);
+  // First phase is purely local (the local matrix transpose).
+  ASSERT_FALSE(p2.phases.empty());
+  EXPECT_TRUE(p2.phases.front().sends.empty());
+  EXPECT_FALSE(p2.phases.front().pre_copies.empty());
+}
+
+TEST(AssignmentChange, ConversionEquivalentToIndependent1DConversions) {
+  // "Conversion between cyclic and consecutive assignment in the row or
+  // column direction is equivalent to a number of independent
+  // one-dimensional conversions": row conversion messages stay within
+  // column subcubes (never cross column dimensions).
+  const MatrixShape s{6, 6};
+  const int h = 2;
+  const auto p1 = consecutive_to_cyclic_transpose(1, s, h);
+  // The first h phases are the row conversion: all routes use row-field
+  // cube dimensions (h..2h-1).
+  for (int i = 0; i < h; ++i) {
+    for (const auto& op : p1.phases[static_cast<std::size_t>(i)].sends) {
+      for (const int d : op.route) {
+        EXPECT_GE(d, h);
+        EXPECT_LT(d, 2 * h);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nct::core

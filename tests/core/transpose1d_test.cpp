@@ -1,0 +1,215 @@
+#include "core/transpose1d.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace nct::core {
+namespace {
+
+using comm::BufferPolicy;
+using comm::RearrangeOptions;
+using cube::Encoding;
+using cube::MatrixShape;
+using cube::PartitionSpec;
+
+sim::MachineParams machine(int n) {
+  auto m = sim::MachineParams::nport(n, 1.0, 0.25);
+  m.port = sim::PortModel::one_port;
+  return m;
+}
+
+void expect_transpose(const PartitionSpec& before, const PartitionSpec& after, int n,
+                      const sim::Program& prog, const char* what) {
+  const auto init = transpose_initial_memory(before, n, prog.local_slots);
+  const auto res = sim::Engine(machine(n)).run(prog, init);
+  const auto expected =
+      transpose_expected_memory(before.shape(), after, n, prog.local_slots);
+  const auto v = sim::verify_memory(res.memory, expected);
+  EXPECT_TRUE(v.ok) << what << ": " << before.describe() << " -> " << after.describe()
+                    << ": " << v.message;
+}
+
+struct ShapeCase {
+  int p, q, n;
+};
+
+class Transpose1D : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(Transpose1D, ExchangeAllSpecCombos) {
+  const auto [p, q, n] = GetParam();
+  const MatrixShape s{p, q};
+  const MatrixShape st = s.transposed();
+  struct Maker {
+    const char* name;
+    PartitionSpec (*make)(MatrixShape, int, Encoding);
+  };
+  const Maker makers[] = {
+      {"row_cyclic", &PartitionSpec::row_cyclic},
+      {"row_consecutive", &PartitionSpec::row_consecutive},
+      {"col_cyclic", &PartitionSpec::col_cyclic},
+      {"col_consecutive", &PartitionSpec::col_consecutive},
+  };
+  for (const auto& mb : makers) {
+    for (const auto& ma : makers) {
+      // Skip specs that do not fit the shape (n > p for row, n > q for col).
+      const bool row_b = std::string(mb.name).starts_with("row");
+      const bool row_a = std::string(ma.name).starts_with("row");
+      if ((row_b && n > s.p) || (!row_b && n > s.q)) continue;
+      if ((row_a && n > st.p) || (!row_a && n > st.q)) continue;
+      const auto before = mb.make(s, n, Encoding::binary);
+      const auto after = ma.make(st, n, Encoding::binary);
+      const auto prog = transpose_1d(before, after, n);
+      expect_transpose(before, after, n, prog, "exchange");
+    }
+  }
+}
+
+TEST_P(Transpose1D, RoutedMatchesForBinary) {
+  const auto [p, q, n] = GetParam();
+  const MatrixShape s{p, q};
+  if (n > s.q || n > s.p) GTEST_SKIP();
+  const auto before = PartitionSpec::col_cyclic(s, n);
+  const auto after = PartitionSpec::col_cyclic(s.transposed(), n);
+  expect_transpose(before, after, n, transpose_1d_routed(before, after, n), "routed");
+}
+
+TEST_P(Transpose1D, DirectMatches) {
+  const auto [p, q, n] = GetParam();
+  const MatrixShape s{p, q};
+  if (n > s.q || n > s.p) GTEST_SKIP();
+  const auto before = PartitionSpec::col_consecutive(s, n);
+  const auto after = PartitionSpec::col_consecutive(s.transposed(), n);
+  expect_transpose(before, after, n, transpose_1d_direct(before, after, n), "direct");
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, Transpose1D,
+                         ::testing::Values(ShapeCase{3, 3, 2}, ShapeCase{4, 4, 3},
+                                           ShapeCase{3, 5, 3}, ShapeCase{5, 3, 3},
+                                           ShapeCase{4, 4, 4}, ShapeCase{2, 6, 2},
+                                           ShapeCase{5, 5, 1}));
+
+TEST(Transpose1D, GrayEncodedPartitions) {
+  // Gray code encoding of the partitions, binary virtual processors
+  // (Section 5's closing remark): the routed planner handles the block
+  // relabelling element-wise.
+  const MatrixShape s{4, 4};
+  for (const int n : {1, 2, 3, 4}) {
+    const auto before = PartitionSpec::col_cyclic(s, n, Encoding::gray);
+    const auto after = PartitionSpec::col_cyclic(s.transposed(), n, Encoding::gray);
+    expect_transpose(before, after, n, transpose_1d_routed(before, after, n), "gray-routed");
+    expect_transpose(before, after, n, transpose_1d_direct(before, after, n), "gray-direct");
+  }
+}
+
+TEST(Transpose1D, GrayToBinaryConversionTranspose) {
+  // Transpose combined with a change from Gray to binary partition
+  // encoding (all 16 embeddings are equivalent, Section 2).
+  const MatrixShape s{4, 4};
+  const int n = 3;
+  const auto before = PartitionSpec::row_consecutive(s, n, Encoding::gray);
+  const auto after = PartitionSpec::row_consecutive(s.transposed(), n, Encoding::binary);
+  expect_transpose(before, after, n, transpose_1d_routed(before, after, n), "gray-to-bin");
+}
+
+TEST(Transpose1D, SomeToAllTranspose) {
+  // |R_b| != |R_a|: a matrix on 4 processors transposed onto 16.
+  const MatrixShape s{5, 5};
+  const int n = 4;
+  const auto before = PartitionSpec::col_cyclic(s, 2);
+  const auto after = PartitionSpec::col_cyclic(s.transposed(), 4);
+  expect_transpose(before, after, n, transpose_1d(before, after, n), "some-to-all");
+}
+
+TEST(Transpose1D, AllToOneVectorTranspose) {
+  // The extreme case: transposing onto a single processor (all-to-one
+  // personalized communication).
+  const MatrixShape s{4, 3};
+  const int n = 3;
+  const auto before = PartitionSpec::row_cyclic(s, 3);
+  const auto after = PartitionSpec::row_cyclic(s.transposed(), 0);
+  expect_transpose(before, after, n, transpose_1d(before, after, n), "all-to-one");
+}
+
+TEST(Transpose1D, ExchangePhaseCountIsNPlusLocal) {
+  // The square all-to-all case needs exactly n exchange phases plus the
+  // completing local permutation.
+  const MatrixShape s{4, 4};
+  const int n = 3;
+  const auto before = PartitionSpec::col_cyclic(s, n);
+  const auto after = PartitionSpec::col_cyclic(s.transposed(), n);
+  const auto prog = transpose_1d(before, after, n);
+  std::size_t comm_phases = 0, local_phases = 0;
+  for (const auto& ph : prog.phases) {
+    if (!ph.sends.empty()) {
+      ++comm_phases;
+    } else {
+      ++local_phases;
+    }
+  }
+  EXPECT_EQ(comm_phases, static_cast<std::size_t>(n));
+  EXPECT_LE(local_phases, 1U);
+}
+
+TEST(Transpose1D, TimeMatchesAllToAllFormula) {
+  // T_min = n (PQ/(2N) tc + tau) with B_m large, no copy cost
+  // (Section 5: the exchange algorithm is optimal within a factor 2 for
+  // one-port communication).
+  const MatrixShape s{4, 4};
+  const int n = 3;
+  auto m = machine(n);
+  m.element_bytes = 1;
+  m.tcopy = 0.0;
+  const auto before = PartitionSpec::col_consecutive(s, n);
+  const auto after = PartitionSpec::col_consecutive(s.transposed(), n);
+  RearrangeOptions opt;
+  opt.charge_final_local = false;
+  const auto prog = transpose_1d(before, after, n, opt);
+  const auto res =
+      sim::Engine(m).run(prog, transpose_initial_memory(before, n, prog.local_slots));
+  const double per_node = static_cast<double>(s.elements()) / (1 << n);
+  EXPECT_NEAR(res.total_time, n * (per_node / 2.0 * m.tc + m.tau), 1e-9);
+}
+
+TEST(Transpose1D, BufferPoliciesAgreeOnData) {
+  const MatrixShape s{5, 4};
+  const int n = 3;
+  const auto before = PartitionSpec::row_consecutive(s, n);
+  const auto after = PartitionSpec::row_consecutive(s.transposed(), n);
+  for (const auto& policy :
+       {BufferPolicy::unbuffered(), BufferPolicy::buffered(), BufferPolicy::optimal(8)}) {
+    RearrangeOptions opt;
+    opt.policy = policy;
+    expect_transpose(before, after, n, transpose_1d(before, after, n, opt), "policy");
+  }
+}
+
+TEST(Transpose1D, UnbufferedStartupsGrowWithCube) {
+  // The unbuffered scheme's start-up count grows ~ linearly in N
+  // (Figure 10's exponential-in-n growth).
+  const MatrixShape s{6, 6};
+  RearrangeOptions unbuf;
+  unbuf.policy = BufferPolicy::unbuffered();
+  std::size_t prev = 0;
+  for (const int n : {2, 3, 4}) {
+    const auto before = PartitionSpec::col_consecutive(s, n);
+    const auto after = PartitionSpec::col_consecutive(s.transposed(), n);
+    const auto prog = transpose_1d(before, after, n, unbuf);
+    std::size_t sends = prog.total_sends();
+    EXPECT_GT(sends, prev);
+    prev = sends;
+  }
+}
+
+TEST(Transpose1D, DirectSendCountIsAllPairs) {
+  const MatrixShape s{4, 4};
+  const int n = 2;
+  const auto before = PartitionSpec::col_cyclic(s, n);
+  const auto after = PartitionSpec::col_cyclic(s.transposed(), n);
+  const auto prog = transpose_1d_direct(before, after, n);
+  // Every processor sends to the other N-1 (buffered: one message each).
+  EXPECT_EQ(prog.total_sends(), static_cast<std::size_t>(4 * 3));
+}
+
+}  // namespace
+}  // namespace nct::core

@@ -1,0 +1,82 @@
+#include "cube/address.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nct::cube {
+namespace {
+
+TEST(Address, ConcatAndExtract) {
+  const MatrixShape s{3, 4};
+  EXPECT_EQ(s.m(), 7);
+  EXPECT_EQ(s.rows(), 8U);
+  EXPECT_EQ(s.cols(), 16U);
+  EXPECT_EQ(s.elements(), 128U);
+  for (word u = 0; u < s.rows(); ++u) {
+    for (word v = 0; v < s.cols(); ++v) {
+      const word w = element_address(s, u, v);
+      EXPECT_EQ(row_of(s, w), u);
+      EXPECT_EQ(col_of(s, w), v);
+    }
+  }
+}
+
+TEST(Address, TransposedShape) {
+  const MatrixShape s{2, 5};
+  EXPECT_EQ(s.transposed(), (MatrixShape{5, 2}));
+  EXPECT_EQ(s.transposed().transposed(), s);
+}
+
+TEST(Address, TransposeAddressDefinition) {
+  // Definition 1: loc(u || v) <- loc(v || u).
+  const MatrixShape s{3, 2};
+  for (word u = 0; u < s.rows(); ++u) {
+    for (word v = 0; v < s.cols(); ++v) {
+      const word w = element_address(s, u, v);
+      const word t = transpose_address(s, w);
+      EXPECT_EQ(row_of(s.transposed(), t), v);
+      EXPECT_EQ(col_of(s.transposed(), t), u);
+      // Transposing twice is the identity.
+      EXPECT_EQ(transpose_address(s.transposed(), t), w);
+    }
+  }
+}
+
+TEST(Address, TrNodeSwapsHalves) {
+  EXPECT_EQ(tr_node(0b1001'0100, 4), 0b0100'1001U);
+  EXPECT_EQ(tr_node(0b000111, 3), 0b111000U);
+  for (word x = 0; x < 256; ++x) EXPECT_EQ(tr_node(tr_node(x, 4), 4), x);
+}
+
+TEST(Address, NodeTransposeDistanceIs2H) {
+  // Hamming(x, tr(x)) = 2 H(x) where H(x) = Hamming(x_r, x_c).
+  const int half = 4;
+  for (word x = 0; x < 256; ++x) {
+    const int h = node_transpose_h(x, half);
+    EXPECT_EQ(hamming(x, tr_node(x, half)), 2 * h);
+  }
+}
+
+TEST(Address, DiagonalNodesAreFixed) {
+  const int half = 3;
+  for (word r = 0; r < 8; ++r) {
+    const word x = (r << half) | r;
+    EXPECT_EQ(tr_node(x, half), x);
+    EXPECT_EQ(node_transpose_h(x, half), 0);
+  }
+}
+
+TEST(Lemma5, ExchangePairsAreAtDistanceTwo) {
+  // Lemma 5: p = q, u and v differ in exactly bit i  =>
+  // Hamming((u||v), (v||u)) = 2.
+  const MatrixShape s{4, 4};
+  for (word u = 0; u < s.rows(); ++u) {
+    for (int i = 0; i < 4; ++i) {
+      const word v = flip_bit(u, i);
+      const word w = element_address(s, u, v);
+      EXPECT_EQ(hamming(w, transpose_address(s, w)), 2);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nct::cube

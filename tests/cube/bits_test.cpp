@@ -1,0 +1,119 @@
+#include "cube/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nct::cube {
+namespace {
+
+TEST(Bits, LowMask) {
+  EXPECT_EQ(low_mask(0), 0U);
+  EXPECT_EQ(low_mask(1), 1U);
+  EXPECT_EQ(low_mask(4), 0xFU);
+  EXPECT_EQ(low_mask(63), (word{1} << 63) - 1);
+  EXPECT_EQ(low_mask(64), ~word{0});
+}
+
+TEST(Bits, GetSetFlip) {
+  word w = 0b1010;
+  EXPECT_EQ(get_bit(w, 0), 0);
+  EXPECT_EQ(get_bit(w, 1), 1);
+  EXPECT_EQ(set_bit(w, 0, 1), 0b1011U);
+  EXPECT_EQ(set_bit(w, 1, 0), 0b1000U);
+  EXPECT_EQ(set_bit(w, 1, 1), w);
+  EXPECT_EQ(flip_bit(w, 3), 0b0010U);
+  EXPECT_EQ(flip_bit(flip_bit(w, 5), 5), w);
+}
+
+TEST(Bits, PopcountParity) {
+  EXPECT_EQ(popcount(0), 0);
+  EXPECT_EQ(popcount(0b1011), 3);
+  EXPECT_EQ(parity(0b1011), 1);
+  EXPECT_EQ(parity(0b1001), 0);
+}
+
+TEST(Bits, HammingDefinition4) {
+  // Definition 4: Hamming(w, z) = sum of XORed bits.
+  EXPECT_EQ(hamming(0, 0), 0);
+  EXPECT_EQ(hamming(0b0101, 0b1010), 4);
+  EXPECT_EQ(hamming(0b111, 0b110), 1);
+  for (word w = 0; w < 64; ++w) {
+    for (word z = 0; z < 64; ++z) {
+      int sum = 0;
+      for (int i = 0; i < 6; ++i) sum += get_bit(w, i) ^ get_bit(z, i);
+      EXPECT_EQ(hamming(w, z), sum);
+    }
+  }
+}
+
+TEST(Bits, ExtractInsertField) {
+  const word w = 0b110101;
+  EXPECT_EQ(extract_field(w, 0, 3), 0b101U);
+  EXPECT_EQ(extract_field(w, 3, 3), 0b110U);
+  EXPECT_EQ(extract_field(w, 2, 2), 0b01U);
+  EXPECT_EQ(insert_field(w, 0, 3, 0b010), 0b110010U);
+  EXPECT_EQ(insert_field(w, 3, 3, 0b001), 0b001101U);
+  // Round trip.
+  for (int pos = 0; pos < 6; ++pos) {
+    for (int len = 0; len + pos <= 6; ++len) {
+      EXPECT_EQ(insert_field(w, pos, len, extract_field(w, pos, len)), w);
+    }
+  }
+}
+
+TEST(Bits, BitReverse) {
+  EXPECT_EQ(bit_reverse(0b001, 3), 0b100U);
+  EXPECT_EQ(bit_reverse(0b110, 3), 0b011U);
+  EXPECT_EQ(bit_reverse(0, 8), 0U);
+  EXPECT_EQ(bit_reverse(low_mask(8), 8), low_mask(8));
+  // Involution.
+  for (word w = 0; w < 1024; ++w) EXPECT_EQ(bit_reverse(bit_reverse(w, 10), 10), w);
+}
+
+TEST(Bits, RotateLeftRight) {
+  EXPECT_EQ(rotate_left(0b0011, 4, 1), 0b0110U);
+  EXPECT_EQ(rotate_left(0b1001, 4, 1), 0b0011U);
+  EXPECT_EQ(rotate_right(0b0011, 4, 1), 0b1001U);
+  EXPECT_EQ(rotate_left(0b1001, 4, 0), 0b1001U);
+  // k and k mod m agree; negative k wraps.
+  for (word w = 0; w < 32; ++w) {
+    for (int k = -11; k < 11; ++k) {
+      EXPECT_EQ(rotate_left(w, 5, k), rotate_left(w, 5, k + 5));
+      EXPECT_EQ(rotate_left(rotate_right(w, 5, k), 5, k), w);
+    }
+  }
+}
+
+TEST(Bits, LowestHighestSetBit) {
+  EXPECT_EQ(lowest_set_bit(0), -1);
+  EXPECT_EQ(highest_set_bit(0), -1);
+  EXPECT_EQ(lowest_set_bit(0b1010), 1);
+  EXPECT_EQ(highest_set_bit(0b1010), 3);
+  EXPECT_EQ(lowest_set_bit(word{1} << 40), 40);
+  EXPECT_EQ(highest_set_bit(word{1} << 40), 40);
+}
+
+TEST(Bits, Gcd) {
+  EXPECT_EQ(gcd(12, 8), 4U);
+  EXPECT_EQ(gcd(8, 12), 4U);
+  EXPECT_EQ(gcd(7, 13), 1U);
+  EXPECT_EQ(gcd(0, 5), 5U);
+  EXPECT_EQ(gcd(5, 0), 5U);
+}
+
+TEST(Bits, BitPositions) {
+  EXPECT_TRUE(bit_positions(0).empty());
+  EXPECT_EQ(bit_positions(0b1011), (std::vector<int>{0, 1, 3}));
+  EXPECT_EQ(bit_positions(word{1} << 50), (std::vector<int>{50}));
+}
+
+TEST(Bits, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(12));
+  EXPECT_EQ(log2_exact(1), 0);
+  EXPECT_EQ(log2_exact(1024), 10);
+}
+
+}  // namespace
+}  // namespace nct::cube

@@ -1,0 +1,99 @@
+#include "cube/gray.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace nct::cube {
+namespace {
+
+TEST(Gray, KnownValues) {
+  EXPECT_EQ(gray(0), 0U);
+  EXPECT_EQ(gray(1), 1U);
+  EXPECT_EQ(gray(2), 3U);
+  EXPECT_EQ(gray(3), 2U);
+  EXPECT_EQ(gray(4), 6U);
+  EXPECT_EQ(gray(5), 7U);
+  EXPECT_EQ(gray(6), 5U);
+  EXPECT_EQ(gray(7), 4U);
+}
+
+// The defining property of the binary-reflected Gray code: consecutive
+// codes differ in exactly one bit, which is why it embeds a ring (and
+// hence matrix rows/columns) in the cube preserving adjacency.
+class GrayAdjacency : public ::testing::TestWithParam<int> {};
+
+TEST_P(GrayAdjacency, ConsecutiveCodesAreCubeNeighbors) {
+  const int m = GetParam();
+  const word lim = word{1} << m;
+  for (word w = 0; w + 1 < lim; ++w) {
+    EXPECT_EQ(hamming(gray(w), gray(w + 1)), 1) << "w=" << w;
+  }
+  // Wrap-around: G(2^m - 1) and G(0) also differ in one bit (ring).
+  EXPECT_EQ(hamming(gray(lim - 1), gray(0)), 1);
+}
+
+TEST_P(GrayAdjacency, Bijection) {
+  const int m = GetParam();
+  const word lim = word{1} << m;
+  std::set<word> seen;
+  for (word w = 0; w < lim; ++w) {
+    const word g = gray(w);
+    EXPECT_LT(g, lim);
+    seen.insert(g);
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(lim));
+}
+
+TEST_P(GrayAdjacency, InverseRoundTrip) {
+  const int m = GetParam();
+  const word lim = word{1} << m;
+  for (word w = 0; w < lim; ++w) {
+    EXPECT_EQ(gray_inverse(gray(w)), w);
+    EXPECT_EQ(gray(gray_inverse(w)), w);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, GrayAdjacency, ::testing::Values(1, 2, 3, 4, 6, 8, 10, 12));
+
+TEST(Gray, InverseLargeValues) {
+  for (const word w : {word{0x123456789ABCDEFULL}, word{1} << 62, ~word{0} >> 1}) {
+    EXPECT_EQ(gray_inverse(gray(w)), w);
+  }
+}
+
+TEST(Gray, TransitionBit) {
+  // The transition sequence of a 3-bit Gray code is 0,1,0,2,0,1,0,2.
+  const int expected[] = {0, 1, 0, 2, 0, 1, 0, 2};
+  for (word w = 0; w < 8; ++w) EXPECT_EQ(gray_transition_bit(w, 3), expected[w]) << w;
+}
+
+TEST(Gray, MostSignificantBitIsPreserved) {
+  // Binary and Gray codes have identical most significant bits; the
+  // combined transpose algorithm (Section 6.3) relies on this for its
+  // first iteration.
+  for (int m = 1; m <= 10; ++m) {
+    const word lim = word{1} << m;
+    for (word w = 0; w < lim; ++w) {
+      EXPECT_EQ(get_bit(gray(w), m - 1), get_bit(w, m - 1));
+    }
+  }
+}
+
+TEST(Gray, FieldEncoding) {
+  const word w = 0b110'101'0;  // arbitrary
+  const word g = gray_field(w, 1, 3);
+  EXPECT_EQ(extract_field(g, 1, 3), gray(0b101));
+  EXPECT_EQ(extract_field(g, 4, 3), extract_field(w, 4, 3));
+  EXPECT_EQ(extract_field(g, 0, 1), extract_field(w, 0, 1));
+  EXPECT_EQ(gray_field_inverse(g, 1, 3), w);
+}
+
+TEST(Gray, ParityOfGrayCodeEqualsLsbOfBinary) {
+  // parity(G(w)) == w mod 2 is the standard coupling used when mixing
+  // Gray-coded and binary-coded fields (Section 6.3's parity control).
+  for (word w = 0; w < 4096; ++w) EXPECT_EQ(parity(gray(w)), static_cast<int>(w & 1));
+}
+
+}  // namespace
+}  // namespace nct::cube

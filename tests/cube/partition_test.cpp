@@ -1,0 +1,223 @@
+#include "cube/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace nct::cube {
+namespace {
+
+// Definition 6 brute force: cyclic assigns row u to processor u mod N;
+// consecutive assigns row u to floor(u / (P/N)).
+TEST(Partition, RowCyclicMatchesDefinition6) {
+  const MatrixShape s{4, 3};
+  for (int n = 0; n <= 4; ++n) {
+    const auto spec = PartitionSpec::row_cyclic(s, n);
+    const word N = word{1} << n;
+    for (word w = 0; w < s.elements(); ++w) {
+      EXPECT_EQ(spec.processor_of(w), row_of(s, w) % N) << spec.describe();
+    }
+  }
+}
+
+TEST(Partition, RowConsecutiveMatchesDefinition6) {
+  const MatrixShape s{4, 3};
+  for (int n = 0; n <= 4; ++n) {
+    const auto spec = PartitionSpec::row_consecutive(s, n);
+    const word N = word{1} << n;
+    const word per = s.rows() / N;
+    for (word w = 0; w < s.elements(); ++w) {
+      EXPECT_EQ(spec.processor_of(w), row_of(s, w) / per);
+    }
+  }
+}
+
+TEST(Partition, ColCyclicAndConsecutiveMatchDefinition6) {
+  const MatrixShape s{3, 4};
+  for (int n = 0; n <= 4; ++n) {
+    const auto cyc = PartitionSpec::col_cyclic(s, n);
+    const auto con = PartitionSpec::col_consecutive(s, n);
+    const word N = word{1} << n;
+    const word per = s.cols() / N;
+    for (word w = 0; w < s.elements(); ++w) {
+      EXPECT_EQ(cyc.processor_of(w), col_of(s, w) % N);
+      EXPECT_EQ(con.processor_of(w), col_of(s, w) / per);
+    }
+  }
+}
+
+TEST(Partition, TwoDimCyclicMatchesDefinition) {
+  // Element (u, v) -> partition (u mod N_r, v mod N_c).
+  const MatrixShape s{4, 4};
+  const int nr = 2, nc = 2;
+  const auto spec = PartitionSpec::two_dim_cyclic(s, nr, nc);
+  for (word w = 0; w < s.elements(); ++w) {
+    const word pr = row_of(s, w) % (word{1} << nr);
+    const word pc = col_of(s, w) % (word{1} << nc);
+    EXPECT_EQ(spec.processor_of(w), (pr << nc) | pc);
+  }
+}
+
+TEST(Partition, TwoDimConsecutiveMatchesDefinition) {
+  const MatrixShape s{4, 4};
+  const int nr = 2, nc = 1;
+  const auto spec = PartitionSpec::two_dim_consecutive(s, nr, nc);
+  const word row_per = s.rows() >> nr;
+  const word col_per = s.cols() >> nc;
+  for (word w = 0; w < s.elements(); ++w) {
+    const word pr = row_of(s, w) / row_per;
+    const word pc = col_of(s, w) / col_per;
+    EXPECT_EQ(spec.processor_of(w), (pr << nc) | pc);
+  }
+}
+
+TEST(Partition, GrayEncodingAppliesTable1) {
+  // Table 1: Gray, Row, Cyclic: processor = G(u_{n-1} ... u_0).
+  const MatrixShape s{4, 2};
+  const int n = 3;
+  const auto spec = PartitionSpec::row_cyclic(s, n, Encoding::gray);
+  for (word w = 0; w < s.elements(); ++w) {
+    EXPECT_EQ(spec.processor_of(w), gray(row_of(s, w) & low_mask(n)));
+  }
+}
+
+TEST(Partition, GrayTwoDimEncodesFieldsSeparately) {
+  // Gray code encoding of row and column indices: element (u, v) is
+  // stored in processor (G(u) || G(v)) (Section 6.1).
+  const MatrixShape s{3, 3};
+  const auto spec = PartitionSpec::two_dim_cyclic(s, 3, 3, Encoding::gray, Encoding::gray);
+  for (word w = 0; w < s.elements(); ++w) {
+    EXPECT_EQ(spec.processor_of(w), (gray(row_of(s, w)) << 3) | gray(col_of(s, w)));
+  }
+}
+
+TEST(Partition, LocalSlotsArePermutationPerProcessor) {
+  // Every (processor, slot) pair is hit exactly once.
+  const MatrixShape s{4, 4};
+  for (const auto& spec :
+       {PartitionSpec::row_cyclic(s, 3), PartitionSpec::col_consecutive(s, 2),
+        PartitionSpec::two_dim_cyclic(s, 2, 2),
+        PartitionSpec::two_dim_consecutive(s, 1, 3),
+        PartitionSpec::row_combined_split(s, 3, 1),
+        PartitionSpec::two_dim_cyclic(s, 2, 2, Encoding::gray, Encoding::gray)}) {
+    std::set<std::pair<word, word>> seen;
+    for (word w = 0; w < s.elements(); ++w) {
+      const auto key = std::pair{spec.processor_of(w), spec.local_of(w)};
+      EXPECT_LT(key.first, spec.processors());
+      EXPECT_LT(key.second, spec.local_elements());
+      EXPECT_TRUE(seen.insert(key).second) << spec.describe() << " w=" << w;
+    }
+    EXPECT_EQ(seen.size(), s.elements());
+  }
+}
+
+TEST(Partition, ElementAtInvertsMapping) {
+  const MatrixShape s{3, 4};
+  for (const auto& spec :
+       {PartitionSpec::row_cyclic(s, 2), PartitionSpec::col_cyclic(s, 3, Encoding::gray),
+        PartitionSpec::two_dim_consecutive(s, 2, 2),
+        PartitionSpec::row_combined_contiguous(s, 2, 2),
+        PartitionSpec::two_dim_cyclic(s, 1, 2, Encoding::gray, Encoding::binary)}) {
+    for (word w = 0; w < s.elements(); ++w) {
+      EXPECT_EQ(spec.element_at(spec.processor_of(w), spec.local_of(w)), w)
+          << spec.describe();
+    }
+  }
+}
+
+TEST(Partition, OneDimensionalIAlwaysEmpty) {
+  // "Clearly, for any one-dimensional partitioning I = phi": the row and
+  // column real-address fields are disjoint before/after a transpose.
+  const MatrixShape s{4, 4};
+  const auto before = PartitionSpec::col_cyclic(s, 3);
+  // After the transpose the matrix is Q x P and is column partitioned;
+  // in the *original* address field those are row dimensions.
+  const auto after_in_original = PartitionSpec::row_cyclic(s, 3);
+  EXPECT_EQ(common_real_dims(before, after_in_original), 0U);
+}
+
+TEST(Partition, TwoDimensionalSameSchemeIFull) {
+  // For the basic 2D transposition with the same scheme both ways,
+  // I = R_b = R_a (Section 6).
+  const MatrixShape s{4, 4};
+  const auto spec = PartitionSpec::two_dim_cyclic(s, 2, 2);
+  EXPECT_EQ(common_real_dims(spec, spec), spec.real_dim_mask());
+  EXPECT_EQ(popcount(spec.real_dim_mask()), 4);
+}
+
+TEST(Partition, MixedSchemeIMayBeEmpty) {
+  // Section 6: consecutive rows / cyclic columns with q - n_c >= n_r and
+  // p - n_r >= n_c has I = phi against its transpose-counterpart.
+  const MatrixShape s{4, 4};
+  const int nr = 2, nc = 2;
+  const auto before = PartitionSpec::two_dim_row_consec_col_cyclic(s, nr, nc);
+  // After transposing with the same mixed scheme, the real dims in the
+  // original field are the column-consecutive and row-cyclic ones.
+  const PartitionSpec after_in_original(
+      s, {Field{s.q - nc, nc, Encoding::binary}, Field{s.q, nr, Encoding::binary}});
+  EXPECT_EQ(common_real_dims(before, after_in_original), 0U);
+}
+
+TEST(Partition, CombinedSplitFieldHasTwoFields) {
+  const MatrixShape s{6, 2};
+  const auto spec = PartitionSpec::row_combined_split(s, 4, 2);
+  EXPECT_EQ(spec.fields().size(), 2U);
+  EXPECT_EQ(spec.processor_bits(), 4);
+  // High field: u_5 u_4 (bits 7..6 of w); low field: u_1 u_0 (bits 3..2).
+  for (word w = 0; w < s.elements(); w += 3) {
+    const word u = row_of(s, w);
+    const word expected = (extract_field(u, 4, 2) << 2) | extract_field(u, 0, 2);
+    EXPECT_EQ(spec.processor_of(w), expected);
+  }
+}
+
+TEST(Partition, CombinedContiguousOffset) {
+  // Table 2 contiguous: real field u_{p-i} ... u_{p-i-n+1}.
+  const MatrixShape s{6, 2};
+  const int n = 3, i = 2;
+  const auto spec = PartitionSpec::row_combined_contiguous(s, n, i);
+  for (word w = 0; w < s.elements(); w += 5) {
+    const word u = row_of(s, w);
+    EXPECT_EQ(spec.processor_of(w), extract_field(u, s.p - i - n + 1, n));
+  }
+}
+
+TEST(Partition, ProcessorAndLocalCounts) {
+  const MatrixShape s{5, 5};
+  const auto spec = PartitionSpec::two_dim_cyclic(s, 3, 2);
+  EXPECT_EQ(spec.processor_bits(), 5);
+  EXPECT_EQ(spec.processors(), 32U);
+  EXPECT_EQ(spec.local_bits(), 5);
+  EXPECT_EQ(spec.local_elements(), 32U);
+}
+
+TEST(Distribution, NodeMemoryCoversMatrixExactlyOnce) {
+  const MatrixShape s{3, 4};
+  const Distribution dist(PartitionSpec::col_consecutive(s, 2));
+  const auto mem = dist.node_memory();
+  ASSERT_EQ(mem.size(), 4U);
+  std::set<word> all;
+  for (const auto& node : mem) {
+    EXPECT_EQ(node.size(), 32U);
+    for (const word w : node) all.insert(w);
+  }
+  EXPECT_EQ(all.size(), s.elements());
+}
+
+TEST(Distribution, ConsecutiveLayoutIsRowMajorWithinBlock) {
+  // With column-consecutive partitioning the local slot order follows the
+  // element address order restricted to the block (descending virtual
+  // dimensions = natural row-major of the block).
+  const MatrixShape s{2, 3};
+  const Distribution dist(PartitionSpec::col_consecutive(s, 1));
+  const auto mem = dist.node_memory();
+  // Node 0 holds columns 0..3; first row's elements first.
+  EXPECT_EQ(mem[0][0], element_address(s, 0, 0));
+  EXPECT_EQ(mem[0][1], element_address(s, 0, 1));
+  EXPECT_EQ(mem[0][3], element_address(s, 0, 3));
+  EXPECT_EQ(mem[0][4], element_address(s, 1, 0));
+  EXPECT_EQ(mem[1][0], element_address(s, 0, 4));
+}
+
+}  // namespace
+}  // namespace nct::cube

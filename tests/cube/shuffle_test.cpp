@@ -1,0 +1,166 @@
+#include "cube/shuffle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "cube/address.hpp"
+
+namespace nct::cube {
+namespace {
+
+TEST(Shuffle, Definition3) {
+  // sh^1: loc(w_{m-1} ... w_0) <- loc(w_{m-2} ... w_0 w_{m-1}); as an
+  // address map that is a one-step left cyclic shift.
+  EXPECT_EQ(shuffle(0b1000, 4, 1), 0b0001U);
+  EXPECT_EQ(shuffle(0b0011, 4, 1), 0b0110U);
+  EXPECT_EQ(unshuffle(0b0001, 4, 1), 0b1000U);
+}
+
+TEST(Shuffle, ShuffleUnshuffleIdentity) {
+  // sh^1 sh^{-1} = I, and sh^k(w) = sh^{-(m-k)}(w).
+  for (int m = 1; m <= 12; ++m) {
+    const word lim = word{1} << m;
+    for (word w = 0; w < lim; w += (m > 8 ? 7 : 1)) {
+      for (int k = 0; k < m; ++k) {
+        EXPECT_EQ(unshuffle(shuffle(w, m, k), m, k), w);
+        EXPECT_EQ(shuffle(w, m, k), unshuffle(w, m, m - k));
+      }
+    }
+  }
+}
+
+TEST(Shuffle, ComposedShufflesAdd) {
+  // sh^k = sh sh^{k-1}.
+  for (int m = 2; m <= 10; ++m) {
+    for (word w = 0; w < (word{1} << m); w += 3) {
+      for (int k = 1; k < m; ++k) {
+        EXPECT_EQ(shuffle(w, m, k), shuffle(shuffle(w, m, k - 1), m, 1));
+      }
+    }
+  }
+}
+
+// Lemma 1: A^T <- sh^p A for a 2^p x 2^q matrix: shuffling the address
+// of element (u||v) p times yields (v||u).
+class Lemma1 : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(Lemma1, ShufflePerformsTranspose) {
+  const auto [p, q] = GetParam();
+  const MatrixShape s{p, q};
+  for (word u = 0; u < s.rows(); ++u) {
+    for (word v = 0; v < s.cols(); ++v) {
+      const word w = element_address(s, u, v);
+      const word t = element_address(s.transposed(), v, u);
+      EXPECT_EQ(shuffle(w, s.m(), p), t);
+      EXPECT_EQ(unshuffle(w, s.m(), q), t);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, Lemma1,
+                         ::testing::Values(std::pair{1, 1}, std::pair{2, 2}, std::pair{3, 3},
+                                           std::pair{2, 4}, std::pair{4, 2}, std::pair{5, 3},
+                                           std::pair{1, 6}, std::pair{6, 1}));
+
+// Lemma 2: max_w Hamming(w, sh^k w) = m if m/gcd(m,k) even, else
+// m - gcd(m,k).
+class Lemma2 : public ::testing::TestWithParam<int> {};
+
+TEST_P(Lemma2, FormulaMatchesBruteForce) {
+  const int m = GetParam();
+  for (int k = 1; k < m; ++k) {
+    EXPECT_EQ(max_hamming_under_shuffle(m, k), max_hamming_under_shuffle_bruteforce(m, k))
+        << "m=" << m << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, Lemma2, ::testing::Range(2, 13));
+
+TEST(Lemma2, AlternatingWordAchievesBound) {
+  // For m even, w = 0101...01 achieves Hamming(w, sh^1 w) = m.
+  for (int m = 2; m <= 16; m += 2) {
+    word w = 0;
+    for (int i = 0; i < m; i += 2) w |= word{1} << i;
+    EXPECT_EQ(hamming(w, shuffle(w, m, 1)), m);
+  }
+}
+
+TEST(Corollary2, HalfShuffleOfEvenWidthReachesM) {
+  // max_w Hamming(w, sh^{m/2} w) = m for m even: the transpose distance
+  // lower bound (elements on the anti-diagonal travel all dimensions).
+  for (int m = 2; m <= 16; m += 2) {
+    EXPECT_EQ(max_hamming_under_shuffle(m, m / 2), m);
+  }
+}
+
+TEST(Lemma3, MaxHammingAtLeastK) {
+  for (int m = 1; m <= 16; ++m) {
+    for (int k = 0; k < m; ++k) {
+      EXPECT_GE(max_hamming_under_shuffle(m, k), k) << "m=" << m << " k=" << k;
+    }
+  }
+}
+
+TEST(DimensionPermutation, ApplyIdentity) {
+  std::vector<int> id(8);
+  std::iota(id.begin(), id.end(), 0);
+  for (word w = 0; w < 256; ++w) EXPECT_EQ(apply_dimension_permutation(w, id), w);
+}
+
+TEST(DimensionPermutation, ShufflePermutationMatchesShuffle) {
+  for (int m = 1; m <= 10; ++m) {
+    for (int k = 0; k < m; ++k) {
+      const auto delta = shuffle_permutation(m, k);
+      for (word w = 0; w < (word{1} << m); w += 5) {
+        EXPECT_EQ(apply_dimension_permutation(w, delta), shuffle(w, m, k));
+      }
+    }
+  }
+}
+
+TEST(DimensionPermutation, BitReversalPermutationMatchesBitReverse) {
+  for (int m = 1; m <= 10; ++m) {
+    const auto delta = bit_reversal_permutation(m);
+    for (word w = 0; w < (word{1} << m); ++w) {
+      EXPECT_EQ(apply_dimension_permutation(w, delta), bit_reverse(w, m));
+    }
+  }
+}
+
+TEST(DimensionPermutation, TransposePermutationSwapsFields) {
+  for (int p = 1; p <= 5; ++p) {
+    for (int q = 1; q <= 5; ++q) {
+      const MatrixShape s{p, q};
+      const auto delta = transpose_permutation(p, q);
+      for (word w = 0; w < s.elements(); ++w) {
+        EXPECT_EQ(apply_dimension_permutation(w, delta), transpose_address(s, w));
+      }
+    }
+  }
+}
+
+TEST(DimensionPermutation, CompositionOfRandomPermutations) {
+  std::mt19937 rng(7);
+  const int m = 10;
+  std::vector<int> a(m), b(m);
+  std::iota(a.begin(), a.end(), 0);
+  std::iota(b.begin(), b.end(), 0);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::shuffle(a.begin(), a.end(), rng);
+    std::shuffle(b.begin(), b.end(), rng);
+    // Applying a then b equals applying the composed permutation
+    // c(i) = a[b[i]].
+    std::vector<int> c(m);
+    for (int i = 0; i < m; ++i) c[i] = a[static_cast<std::size_t>(b[i])];
+    for (word w = 0; w < (word{1} << m); w += 37) {
+      EXPECT_EQ(
+          apply_dimension_permutation(apply_dimension_permutation(w, a), b),
+          apply_dimension_permutation(w, c));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nct::cube

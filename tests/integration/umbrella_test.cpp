@@ -1,0 +1,29 @@
+// The umbrella header compiles standalone and exposes the documented
+// entry points.
+#include "nct.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, EndToEnd) {
+  using namespace nct;
+  const cube::MatrixShape shape{5, 5};
+  const auto before = cube::PartitionSpec::two_dim_cyclic(shape, 2, 2);
+  const auto after = cube::PartitionSpec::two_dim_cyclic(shape.transposed(), 2, 2);
+  const auto machine = sim::MachineParams::ipsc(4);
+  const auto plan = core::plan_transpose(before, after, machine);
+  const auto init =
+      core::transpose_initial_memory(before, machine.n, plan.program.local_slots);
+  const auto res = sim::Engine(machine).run(plan.program, init);
+  const auto expected = core::transpose_expected_memory(shape, after, machine.n,
+                                                        plan.program.local_slots);
+  EXPECT_TRUE(sim::verify_memory(res.memory, expected).ok);
+  EXPECT_FALSE(plan.algorithm.empty());
+  EXPECT_GT(res.total_time, 0.0);
+  // And the same plan runs on threads.
+  const auto threaded = runtime::execute_program_threads(plan.program, init);
+  EXPECT_TRUE(sim::verify_memory(threaded, expected).ok);
+}
+
+}  // namespace

@@ -1,0 +1,180 @@
+#include "perm/dimension_perm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+#include <set>
+
+#include "cube/shuffle.hpp"
+#include "sim/engine.hpp"
+
+namespace nct::perm {
+namespace {
+
+sim::MachineParams machine(int n) {
+  auto m = sim::MachineParams::nport(n, 1.0, 0.25);
+  m.port = sim::PortModel::one_port;
+  return m;
+}
+
+std::vector<word> targets_of(int n, const std::vector<int>& delta) {
+  std::vector<word> t(std::size_t{1} << n);
+  for (word x = 0; x < (word{1} << n); ++x) {
+    t[static_cast<std::size_t>(x)] = cube::apply_dimension_permutation(x, delta);
+  }
+  return t;
+}
+
+void expect_dimension_perm(int n, word K, const std::vector<int>& delta) {
+  const auto prog = dimension_permutation(n, K, delta);
+  const auto res = sim::Engine(machine(n)).run(prog, node_block_memory(n, K));
+  const auto v =
+      sim::verify_memory(res.memory, permuted_block_memory(n, K, targets_of(n, delta)));
+  EXPECT_TRUE(v.ok) << v.message;
+}
+
+TEST(ParallelSwapRounds, IdentityNeedsNoRounds) {
+  std::vector<int> id(8);
+  std::iota(id.begin(), id.end(), 0);
+  EXPECT_TRUE(parallel_swap_rounds(id).empty());
+}
+
+TEST(ParallelSwapRounds, RoundCountIsAtMostCeilLog2N) {
+  std::mt19937 rng(11);
+  for (const int n : {2, 3, 4, 5, 6, 7, 8, 12, 16}) {
+    std::vector<int> delta(static_cast<std::size_t>(n));
+    std::iota(delta.begin(), delta.end(), 0);
+    for (int trial = 0; trial < 30; ++trial) {
+      std::shuffle(delta.begin(), delta.end(), rng);
+      const auto rounds = parallel_swap_rounds(delta);
+      int log2n = 0;
+      while ((1 << log2n) < n) ++log2n;
+      EXPECT_LE(rounds.size(), static_cast<std::size_t>(log2n)) << "n=" << n;
+      // Swaps within a round are disjoint.
+      for (const auto& round : rounds) {
+        std::set<int> used;
+        for (const auto& [a, b] : round) {
+          EXPECT_TRUE(used.insert(a).second);
+          EXPECT_TRUE(used.insert(b).second);
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelSwapRounds, CompositionRealizesDelta) {
+  std::mt19937 rng(13);
+  const int n = 9;
+  std::vector<int> delta(n);
+  std::iota(delta.begin(), delta.end(), 0);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::shuffle(delta.begin(), delta.end(), rng);
+    const auto rounds = parallel_swap_rounds(delta);
+    for (word x = 0; x < (word{1} << n); x += 17) {
+      word y = x;
+      for (const auto& round : rounds) {
+        for (const auto& [a, b] : round) {
+          const int va = cube::get_bit(y, a);
+          const int vb = cube::get_bit(y, b);
+          y = cube::set_bit(cube::set_bit(y, a, vb), b, va);
+        }
+      }
+      EXPECT_EQ(y, cube::apply_dimension_permutation(x, delta));
+    }
+  }
+}
+
+TEST(DimensionPermutation, RandomPermutationsDeliverBlocks) {
+  std::mt19937 rng(17);
+  for (const int n : {2, 3, 4, 5}) {
+    std::vector<int> delta(static_cast<std::size_t>(n));
+    std::iota(delta.begin(), delta.end(), 0);
+    for (int trial = 0; trial < 5; ++trial) {
+      std::shuffle(delta.begin(), delta.end(), rng);
+      expect_dimension_perm(n, 4, delta);
+    }
+  }
+}
+
+TEST(BitReversal, MatchesBitReversedTargets) {
+  for (const int n : {2, 3, 4, 5, 6}) {
+    const word K = 2;
+    const auto prog = bit_reversal(n, K);
+    const auto res = sim::Engine(machine(n)).run(prog, node_block_memory(n, K));
+    std::vector<word> targets(std::size_t{1} << n);
+    for (word x = 0; x < (word{1} << n); ++x) {
+      targets[static_cast<std::size_t>(x)] = cube::bit_reverse(x, n);
+    }
+    const auto v = sim::verify_memory(res.memory, permuted_block_memory(n, K, targets));
+    EXPECT_TRUE(v.ok) << "n=" << n << ": " << v.message;
+    // floor(n/2) exchange phases, each over distance 2.
+    EXPECT_EQ(prog.phases.size(), static_cast<std::size_t>(n / 2));
+  }
+}
+
+TEST(ShufflePermutation, MatchesShuffledTargets) {
+  const int n = 5;
+  const word K = 2;
+  for (int k = 0; k < n; ++k) {
+    const auto prog = shuffle_permutation_program(n, K, k);
+    const auto res = sim::Engine(machine(n)).run(prog, node_block_memory(n, K));
+    std::vector<word> targets(std::size_t{1} << n);
+    for (word x = 0; x < (word{1} << n); ++x) {
+      targets[static_cast<std::size_t>(x)] = cube::shuffle(x, n, k);
+    }
+    const auto v = sim::verify_memory(res.memory, permuted_block_memory(n, K, targets));
+    EXPECT_TRUE(v.ok) << "k=" << k << ": " << v.message;
+  }
+}
+
+TEST(ArbitraryPermutation, TwoAapcRealizeRandomPermutations) {
+  std::mt19937 rng(23);
+  for (const int n : {2, 3, 4}) {
+    const word N = word{1} << n;
+    const word K = N;  // minimum: one element per (node, node) pair
+    std::vector<word> pi(static_cast<std::size_t>(N));
+    std::iota(pi.begin(), pi.end(), word{0});
+    for (int trial = 0; trial < 4; ++trial) {
+      std::shuffle(pi.begin(), pi.end(), rng);
+      const auto prog = arbitrary_permutation_via_two_aapc(n, K, pi);
+      const auto res = sim::Engine(machine(n)).run(prog, node_block_memory(n, K));
+      const auto v = sim::verify_memory(res.memory, permuted_block_memory(n, K, pi));
+      EXPECT_TRUE(v.ok) << "n=" << n << ": " << v.message;
+    }
+  }
+}
+
+TEST(ArbitraryPermutation, CostsMoreThanDedicatedTranspose) {
+  // Section 7: realizing the transpose by two all-to-all personalized
+  // communications is more expensive than the dedicated algorithms.
+  const int n = 4;
+  const word N = word{1} << n;
+  const word K = N * 2;
+  std::vector<word> tr(static_cast<std::size_t>(N));
+  for (word x = 0; x < N; ++x) tr[static_cast<std::size_t>(x)] = cube::tr_node(x, n / 2);
+  auto m = machine(n);
+  m.tcopy = 0.0;
+  const auto via_aapc = arbitrary_permutation_via_two_aapc(n, K, tr);
+  // The dedicated route: a dimension permutation (transpose is one).
+  std::vector<int> delta(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) delta[static_cast<std::size_t>(i)] = (i + n / 2) % n;
+  const auto dedicated = dimension_permutation(n, K, delta);
+  const auto r1 = sim::Engine(m).run(via_aapc, node_block_memory(n, K));
+  const auto r2 = sim::Engine(m).run(dedicated, node_block_memory(n, K));
+  EXPECT_GT(r1.total_time, r2.total_time);
+}
+
+TEST(DimensionPermutation, TransposeDeltaMatchesTrNode) {
+  // The node-level transpose is the dimension permutation rotating by
+  // n/2: check the delta formulation agrees with tr(x).
+  const int n = 6;
+  std::vector<int> delta(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) delta[static_cast<std::size_t>(i)] = (i + n / 2) % n;
+  for (word x = 0; x < (word{1} << n); ++x) {
+    EXPECT_EQ(cube::apply_dimension_permutation(x, delta), cube::tr_node(x, n / 2));
+  }
+}
+
+}  // namespace
+}  // namespace nct::perm

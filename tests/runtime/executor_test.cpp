@@ -1,0 +1,156 @@
+#include "runtime/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "comm/all_to_all.hpp"
+#include "comm/one_to_all.hpp"
+#include "core/assignment_change.hpp"
+#include "core/mixed_encoding.hpp"
+#include "core/transpose1d.hpp"
+#include "core/transpose2d.hpp"
+#include "perm/dimension_perm.hpp"
+#include "runtime/ensemble.hpp"
+#include "sim/engine.hpp"
+
+namespace nct::runtime {
+namespace {
+
+using cube::Encoding;
+using cube::MatrixShape;
+using cube::PartitionSpec;
+using cube::word;
+
+/// Threads must reproduce the simulator's data movement bit for bit.
+void expect_threads_match_simulator(const sim::Program& prog, const sim::Memory& init) {
+  auto m = sim::MachineParams::nport(prog.n > 0 ? prog.n : 1, 1.0, 0.25);
+  const auto sim_mem = sim::Engine(m).run(prog, init).memory;
+  const auto thr_mem = execute_program_threads(prog, init);
+  const auto v = sim::verify_memory(thr_mem, sim_mem);
+  EXPECT_TRUE(v.ok) << v.message;
+}
+
+TEST(Executor, AllToAllExchange) {
+  for (const int n : {1, 2, 3, 4}) {
+    const word K = 2;
+    expect_threads_match_simulator(comm::all_to_all_exchange(n, K),
+                                   comm::all_to_all_initial_memory(n, K));
+  }
+}
+
+TEST(Executor, AllToAllSbntMultiHop) {
+  const int n = 4;
+  const word K = 1;
+  expect_threads_match_simulator(comm::all_to_all_sbnt(n, K),
+                                 comm::all_to_all_initial_memory(n, K));
+}
+
+TEST(Executor, OneToAllSbt) {
+  const int n = 4;
+  const word K = 3;
+  expect_threads_match_simulator(comm::one_to_all_sbt(n, K),
+                                 comm::one_to_all_initial_memory(n, K));
+}
+
+TEST(Executor, OneToAllSbnt) {
+  const int n = 5;
+  const word K = 2;
+  expect_threads_match_simulator(comm::one_to_all_sbnt(n, K),
+                                 comm::one_to_all_initial_memory(n, K));
+}
+
+TEST(Executor, Transpose1D) {
+  const MatrixShape s{4, 4};
+  const int n = 3;
+  const auto before = PartitionSpec::col_cyclic(s, n);
+  const auto after = PartitionSpec::col_cyclic(s.transposed(), n);
+  const auto prog = core::transpose_1d(before, after, n);
+  expect_threads_match_simulator(prog,
+                                 core::transpose_initial_memory(before, n, prog.local_slots));
+}
+
+TEST(Executor, Transpose2DPipelined) {
+  const MatrixShape s{4, 4};
+  const int half = 2, n = 4;
+  const auto before = PartitionSpec::two_dim_cyclic(s, half, half);
+  const auto after = PartitionSpec::two_dim_cyclic(s.transposed(), half, half);
+  const auto m = sim::MachineParams::nport(n, 1.0, 0.25);
+  for (const auto& prog :
+       {core::transpose_spt(before, after, m), core::transpose_dpt(before, after, m),
+        core::transpose_mpt(before, after, m)}) {
+    expect_threads_match_simulator(
+        prog, core::transpose_initial_memory(before, n, prog.local_slots));
+  }
+}
+
+TEST(Executor, MixedEncodingCombined) {
+  const MatrixShape s{4, 4};
+  const int half = 2, n = 4;
+  const auto before =
+      PartitionSpec::two_dim_cyclic(s, half, half, Encoding::binary, Encoding::gray);
+  const auto after = PartitionSpec::two_dim_cyclic(s.transposed(), half, half,
+                                                   Encoding::binary, Encoding::gray);
+  const auto prog = core::transpose_mixed_combined(before, after);
+  expect_threads_match_simulator(prog,
+                                 core::transpose_initial_memory(before, n, prog.local_slots));
+}
+
+TEST(Executor, AssignmentChangeAlgorithms) {
+  const MatrixShape s{4, 4};
+  const int h = 2;
+  const auto before = core::consecutive_before_spec(s, h);
+  for (const int algo : {1, 2, 3}) {
+    const auto prog = core::consecutive_to_cyclic_transpose(algo, s, h);
+    expect_threads_match_simulator(
+        prog, core::transpose_initial_memory(before, 2 * h, prog.local_slots));
+  }
+}
+
+TEST(Executor, BitReversal) {
+  const int n = 5;
+  expect_threads_match_simulator(perm::bit_reversal(n, 2), perm::node_block_memory(n, 2));
+}
+
+TEST(Ensemble, SendRecvExchangeBarrier) {
+  Ensemble e(3);
+  std::vector<double> sums(8, 0.0);
+  e.run([&](NodeCtx& ctx) {
+    // Recursive-doubling all-reduce of the ranks.
+    double value = static_cast<double>(ctx.rank());
+    for (int d = 0; d < ctx.dimensions(); ++d) {
+      const auto got = ctx.exchange(d, {value});
+      value += got.at(0);
+    }
+    sums[static_cast<std::size_t>(ctx.rank())] = value;
+    ctx.barrier();
+  });
+  for (const double s : sums) EXPECT_DOUBLE_EQ(s, 28.0);  // 0+1+...+7
+}
+
+TEST(Ensemble, ExceptionsPropagate) {
+  Ensemble e(2);
+  EXPECT_THROW(e.run([](NodeCtx& ctx) {
+    if (ctx.rank() == 2) throw std::runtime_error("node failure");
+  }),
+               std::runtime_error);
+}
+
+TEST(Ensemble, PerDimensionChannelsAreIndependent) {
+  Ensemble e(2);
+  std::vector<double> got(4, -1.0);
+  e.run([&](NodeCtx& ctx) {
+    // Send on both dimensions, receive in the opposite order.
+    ctx.send(0, {static_cast<double>(ctx.rank()) * 10});
+    ctx.send(1, {static_cast<double>(ctx.rank()) * 100});
+    const auto hi = ctx.recv(1);
+    const auto lo = ctx.recv(0);
+    got[static_cast<std::size_t>(ctx.rank())] = lo.at(0) + hi.at(0);
+  });
+  // Node x receives 10*(x^1) + 100*(x^2).
+  for (word x = 0; x < 4; ++x) {
+    EXPECT_DOUBLE_EQ(got[static_cast<std::size_t>(x)],
+                     10.0 * static_cast<double>(x ^ 1) + 100.0 * static_cast<double>(x ^ 2));
+  }
+}
+
+}  // namespace
+}  // namespace nct::runtime

@@ -1,0 +1,116 @@
+// Section 3.1's edge-load analysis for one-to-all personalized
+// communication with PQ/N = k < n elements per destination routed over k
+// spanning binomial trees: the maximum number of element transfers over
+// any directed link decides the transfer time.
+//
+//  * For k = 2 and trees rotated by n/2 (the optimum rotation), the
+//    maximum edge load is N/2 + sqrt(N/2).
+//  * For k = 2 with one tree reflected, the maximum drops to N/2 + 1
+//    (and the minimum edge load is sqrt(2N) for even n).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "topology/sbt.hpp"
+
+namespace nct::topo {
+namespace {
+
+/// Load per directed physical link when every destination receives one
+/// element routed along its tree path from root 0.
+std::map<std::pair<word, int>, word> link_loads(const SpanningBinomialTree& tree) {
+  std::map<std::pair<word, int>, word> load;
+  const word N = word{1} << tree.dimensions();
+  for (word y = 1; y < N; ++y) {
+    word cur = tree.root();
+    for (const int d : tree.path_dims_from_root(y)) {
+      load[{cur, d}] += 1;
+      cur = cube::flip_bit(cur, d);
+    }
+  }
+  return load;
+}
+
+word max_combined_load(const SpanningBinomialTree& a, const SpanningBinomialTree& b) {
+  auto la = link_loads(a);
+  const auto lb = link_loads(b);
+  for (const auto& [k, v] : lb) la[k] += v;
+  word mx = 0;
+  for (const auto& [k, v] : la) mx = std::max(mx, v);
+  return mx;
+}
+
+TEST(EdgeLoad, SingleSbtMaxLoadIsHalfTheNodes) {
+  // The dimension-(n-1) subtree holds N/2 nodes, all of whose elements
+  // cross the root's dimension-(n-1) link: the reason a single SBT
+  // cannot beat PQ/2 t_c.
+  for (int n = 2; n <= 8; ++n) {
+    const SpanningBinomialTree t(n);
+    const auto loads = link_loads(t);
+    word mx = 0;
+    for (const auto& [k, v] : loads) mx = std::max(mx, v);
+    EXPECT_EQ(mx, word{1} << (n - 1));
+  }
+}
+
+TEST(EdgeLoad, TwoRotatedByHalfTrees) {
+  // k = 2, rotation by n/2 (the optimum rotation for k = 2): maximum
+  // ~ N/2 + sqrt(N/2) element transfers over any edge.
+  for (int n = 2; n <= 10; n += 2) {
+    const SpanningBinomialTree base(n), rot(n, 0, n / 2);
+    const word mx = max_combined_load(base, rot);
+    const double N = static_cast<double>(word{1} << n);
+    EXPECT_NEAR(static_cast<double>(mx), N / 2 + std::sqrt(N / 2),
+                std::sqrt(N / 2) + 1.0)
+        << "n=" << n;
+  }
+}
+
+TEST(EdgeLoad, ReflectedPairBeatsRotatedPair) {
+  // k = 2 with reflection: maximum N/2 + 1 — strictly better than the
+  // best rotation for n >= 4.
+  for (int n = 2; n <= 10; n += 2) {
+    const SpanningBinomialTree base(n), refl(n, 0, 0, true);
+    const word mx = max_combined_load(base, refl);
+    const word N = word{1} << n;
+    EXPECT_EQ(mx, N / 2 + 1) << "n=" << n;
+    if (n >= 4) {
+      const SpanningBinomialTree rot(n, 0, n / 2);
+      EXPECT_LT(mx, max_combined_load(base, rot)) << "n=" << n;
+    }
+  }
+}
+
+TEST(EdgeLoad, HalfRotationIsTheOptimumRotationForK2) {
+  for (int n = 4; n <= 8; n += 2) {
+    const SpanningBinomialTree base(n);
+    const word at_half = max_combined_load(base, SpanningBinomialTree(n, 0, n / 2));
+    for (int r = 1; r < n; ++r) {
+      EXPECT_GE(max_combined_load(base, SpanningBinomialTree(n, 0, r)), at_half)
+          << "n=" << n << " r=" << r;
+    }
+  }
+}
+
+TEST(EdgeLoad, MoreTreesSpreadLoadFurther) {
+  // Rotating k trees by n/k steps divides the bottleneck load roughly by
+  // k relative to one tree carrying k elements.
+  const int n = 8;
+  const word N = word{1} << n;
+  for (const int k : {2, 4}) {
+    std::map<std::pair<word, int>, word> combined;
+    for (int t = 0; t < k; ++t) {
+      const SpanningBinomialTree tree(n, 0, t * (n / k));
+      for (const auto& [key, v] : link_loads(tree)) combined[key] += v;
+    }
+    word mx = 0;
+    for (const auto& [key, v] : combined) mx = std::max(mx, v);
+    // One tree carrying k elements per destination has bottleneck k*N/2.
+    EXPECT_LT(mx, static_cast<word>(k) * (N / 2));
+    EXPECT_LE(mx, N / 2 + N / 4) << "k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace nct::topo

@@ -1,0 +1,80 @@
+#include "topology/hypercube.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace nct::topo {
+namespace {
+
+TEST(Hypercube, BasicCounts) {
+  // N = 2^n nodes, n neighbours per node, diameter n, n*N/2 links
+  // (Definition 5 and the surrounding text).
+  for (int n = 0; n <= 6; ++n) {
+    const Hypercube cube(n);
+    EXPECT_EQ(cube.nodes(), word{1} << n);
+    EXPECT_EQ(cube.diameter(), n);
+    EXPECT_EQ(cube.undirected_links(), static_cast<std::size_t>(n) * (word{1} << n) / 2);
+    for (word x = 0; x < cube.nodes(); ++x) {
+      EXPECT_EQ(cube.neighbors(x).size(), static_cast<std::size_t>(n));
+    }
+  }
+}
+
+TEST(Hypercube, NeighborsDifferInOneBit) {
+  const Hypercube cube(5);
+  for (word x = 0; x < cube.nodes(); ++x) {
+    std::set<word> nb;
+    for (int d = 0; d < 5; ++d) {
+      const word y = cube.neighbor(x, d);
+      EXPECT_EQ(cube.distance(x, y), 1);
+      nb.insert(y);
+    }
+    EXPECT_EQ(nb.size(), 5U);
+  }
+}
+
+TEST(Hypercube, AscendingPathIsShortest) {
+  const Hypercube cube(6);
+  for (word x = 0; x < cube.nodes(); x += 5) {
+    for (word y = 0; y < cube.nodes(); y += 7) {
+      const auto path = cube.ascending_path(x, y);
+      ASSERT_FALSE(path.empty());
+      EXPECT_EQ(path.front(), x);
+      EXPECT_EQ(path.back(), y);
+      EXPECT_EQ(path.size(), static_cast<std::size_t>(cube.distance(x, y)) + 1);
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        EXPECT_EQ(cube.distance(path[i], path[i + 1]), 1);
+      }
+    }
+  }
+}
+
+TEST(Hypercube, WalkFollowsDims) {
+  const Hypercube cube(4);
+  const auto path = cube.walk(0b0000, {3, 0, 3});
+  const std::vector<word> expected{0b0000, 0b1000, 0b1001, 0b0001};
+  EXPECT_EQ(path, expected);
+}
+
+TEST(Hypercube, LinkIndexIsDense) {
+  const int n = 4;
+  const Hypercube cube(n);
+  std::set<std::size_t> seen;
+  for (word x = 0; x < cube.nodes(); ++x) {
+    for (int d = 0; d < n; ++d) {
+      const auto idx = link_index(n, DirectedLink{x, d});
+      EXPECT_LT(idx, cube.directed_links());
+      EXPECT_TRUE(seen.insert(idx).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), cube.directed_links());
+}
+
+TEST(Hypercube, DirectedLinkTo) {
+  EXPECT_EQ((DirectedLink{0b0101, 1}).to(), 0b0111U);
+  EXPECT_EQ((DirectedLink{0b0101, 0}).to(), 0b0100U);
+}
+
+}  // namespace
+}  // namespace nct::topo

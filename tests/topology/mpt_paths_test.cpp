@@ -1,0 +1,225 @@
+#include "topology/mpt_paths.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "cube/address.hpp"
+
+namespace nct::topo {
+namespace {
+
+using cube::word;
+
+TEST(MptPaths, PaperExamplePaths) {
+  // Section 6.1.3 example: x = (1001 || 0100), H(x) = 3, the six paths.
+  const word x = 0b1001'0100;
+  const int n = 8;
+  EXPECT_EQ(transpose_h(x, n), 3);
+  EXPECT_EQ(mpt_path(x, n, 0), (std::vector<int>{7, 3, 6, 2, 4, 0}));
+  EXPECT_EQ(mpt_path(x, n, 1), (std::vector<int>{4, 0, 7, 3, 6, 2}));
+  EXPECT_EQ(mpt_path(x, n, 2), (std::vector<int>{6, 2, 4, 0, 7, 3}));
+  EXPECT_EQ(mpt_path(x, n, 3), (std::vector<int>{3, 7, 2, 6, 0, 4}));
+  EXPECT_EQ(mpt_path(x, n, 4), (std::vector<int>{0, 4, 3, 7, 2, 6}));
+  EXPECT_EQ(mpt_path(x, n, 5), (std::vector<int>{2, 6, 0, 4, 3, 7}));
+}
+
+TEST(MptPaths, PaperExamplePath0Nodes) {
+  // "Path 0 starts from the source node (10010100) and goes through
+  // nodes (00010100), (00011100), (01011100), (01011000), (01001000)
+  // and reaches the destination node (01001001)."
+  // (The printed destination has a typo in the paper; tr(10010100) =
+  // 01001001 indeed matches the last address given.)
+  const word x = 0b1001'0100;
+  const auto edges = mpt_path_edges(x, 8, 0);
+  std::vector<word> nodes{x};
+  for (const auto& e : edges) nodes.push_back(e.to());
+  const std::vector<word> expected{0b10010100, 0b00010100, 0b00011100, 0b01011100,
+                                   0b01011000, 0b01001000, 0b01001001};
+  EXPECT_EQ(nodes, expected);
+}
+
+TEST(MptPaths, AllPathsEndAtTrX) {
+  const int n = 6;
+  for (word x = 0; x < 64; ++x) {
+    const int h = transpose_h(x, n);
+    for (int p = 0; p < 2 * h; ++p) {
+      const auto edges = mpt_path_edges(x, n, p);
+      EXPECT_EQ(edges.size(), static_cast<std::size_t>(2 * h));
+    }
+  }
+}
+
+// Lemma 9: the 2H(x) paths of a node are pairwise edge-disjoint.
+class MptDisjointness : public ::testing::TestWithParam<int> {};
+
+TEST_P(MptDisjointness, Lemma9PathsOfOneNodeEdgeDisjoint) {
+  const int n = GetParam();
+  for (word x = 0; x < (word{1} << n); ++x) {
+    const int h = transpose_h(x, n);
+    std::set<std::pair<word, int>> seen;
+    for (int p = 0; p < 2 * h; ++p) {
+      for (const auto& e : mpt_path_edges(x, n, p)) {
+        EXPECT_TRUE(seen.insert({e.from, e.dim}).second)
+            << "x=" << x << " path=" << p << " reuses edge";
+      }
+    }
+  }
+}
+
+// Lemma 13: if x' !~s x'' then Paths(x') and Paths(x'') share no edge.
+TEST_P(MptDisjointness, Lemma13DifferentClassesEdgeDisjoint) {
+  const int n = GetParam();
+  const word N = word{1} << n;
+  // Collect each node's edge set.
+  std::vector<std::set<std::pair<word, int>>> edges(static_cast<std::size_t>(N));
+  for (word x = 0; x < N; ++x) {
+    const int h = transpose_h(x, n);
+    for (int p = 0; p < 2 * h; ++p) {
+      for (const auto& e : mpt_path_edges(x, n, p)) {
+        edges[static_cast<std::size_t>(x)].insert({e.from, e.dim});
+      }
+    }
+  }
+  for (word a = 0; a < N; ++a) {
+    for (word b = a + 1; b < N; ++b) {
+      if (same_s_class(a, b, n)) continue;
+      for (const auto& e : edges[static_cast<std::size_t>(a)]) {
+        EXPECT_EQ(edges[static_cast<std::size_t>(b)].count(e), 0U)
+            << "a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+// Lemma 14: within a ~s class the paths are (2, 2H)-disjoint: if every
+// node of the class sends one packet on every path at cycles 1 and 2,
+// no directed edge is used twice in the same cycle, and odd-cycle edges
+// are disjoint from even-cycle edges.
+TEST_P(MptDisjointness, Lemma14TwoTwoHDisjointWithinClass) {
+  const int n = GetParam();
+  const word N = word{1} << n;
+  std::set<word> done;
+  for (word x = 0; x < N; ++x) {
+    if (done.count(x) || transpose_h(x, n) == 0) continue;
+    const auto cls = s_class_of(x, n);
+    for (const word y : cls) done.insert(y);
+    const int h = transpose_h(x, n);
+    // cycle -> set of directed edges used in that cycle across the class.
+    std::map<int, std::set<std::pair<word, int>>> by_cycle;
+    std::set<std::pair<word, int>> odd_edges, even_edges;
+    for (const word y : cls) {
+      for (int p = 0; p < 2 * h; ++p) {
+        const auto edges = mpt_path_edges(y, n, p);
+        for (std::size_t e = 0; e < edges.size(); ++e) {
+          const auto key = std::pair{edges[e].from, edges[e].dim};
+          const int cycle = static_cast<int>(e) + 1;  // 1-based
+          EXPECT_TRUE(by_cycle[cycle].insert(key).second)
+              << "class of x=" << x << ": edge reused in cycle " << cycle;
+          if (cycle % 2 == 1) {
+            odd_edges.insert(key);
+          } else {
+            even_edges.insert(key);
+          }
+        }
+      }
+    }
+    // Odd-cycle and even-cycle edge sets are disjoint, so a second wave
+    // of packets can follow one cycle behind (the "(2, 2H)" part).
+    for (const auto& e : odd_edges) {
+      EXPECT_EQ(even_edges.count(e), 0U) << "class of x=" << x;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cubes, MptDisjointness, ::testing::Values(2, 4, 6, 8));
+
+TEST(MptPaths, Lemma10OddAndEvenNodeProperties) {
+  const int n = 6;
+  for (word x = 0; x < 64; ++x) {
+    const int h = transpose_h(x, n);
+    for (int p = 0; p < 2 * h; ++p) {
+      const auto edges = mpt_path_edges(x, n, p);
+      for (std::size_t e = 0; e < edges.size(); ++e) {
+        const word y = edges[e].to();
+        if (e % 2 == 0) {
+          // Odd edge (1-based): leaves the anti-diagonal class, H drops.
+          EXPECT_FALSE(same_anti_diagonal(x, y, n));
+          EXPECT_EQ(transpose_h(y, n), h - 1);
+        } else {
+          // Even edge: back on the anti-diagonal, same XOR signature.
+          EXPECT_TRUE(same_anti_diagonal(x, y, n));
+          EXPECT_TRUE(same_s_class(x, y, n));
+          EXPECT_EQ(transpose_h(y, n), h);
+        }
+      }
+    }
+  }
+}
+
+TEST(MptPaths, SClassIsEquivalence) {
+  const int n = 6;
+  for (word a = 0; a < 64; a += 3) {
+    EXPECT_TRUE(same_s_class(a, a, n));
+    for (word b = 0; b < 64; b += 5) {
+      EXPECT_EQ(same_s_class(a, b, n), same_s_class(b, a, n));
+    }
+  }
+}
+
+TEST(MptPaths, PaperCounterexamplesForRelations) {
+  // "There exists x', x'' such that x' ~ad x'' and
+  //  x' xor tr(x') != x'' xor tr(x'')": (001||111) and (010||110).
+  const int n = 6;
+  const word a = 0b001'111, b = 0b010'110;
+  EXPECT_TRUE(same_anti_diagonal(a, b, n));
+  EXPECT_NE(a ^ cube::tr_node(a, 3), b ^ cube::tr_node(b, 3));
+  EXPECT_FALSE(same_s_class(a, b, n));
+}
+
+TEST(MptPaths, SClassFormsLogicalHCube) {
+  // The nodes of a ~s class form a logical H(x)-cube (Figure 3): class
+  // size is 2^{H(x)}.
+  const int n = 8;
+  for (word x = 0; x < 256; x += 7) {
+    const int h = transpose_h(x, n);
+    EXPECT_EQ(s_class_of(x, n).size(), static_cast<std::size_t>(word{1} << h)) << "x=" << x;
+  }
+}
+
+TEST(MptPaths, Path0IsSptOrder) {
+  // Path 0 routes alpha (row) then beta (column) per index, highest
+  // first: the SPT routing order restricted to differing dimensions.
+  const int n = 6;
+  for (word x = 0; x < 64; ++x) {
+    if (transpose_h(x, n) == 0) continue;
+    const auto d = transpose_dims(x, n);
+    std::vector<int> expected;
+    for (int i = static_cast<int>(d.alpha.size()) - 1; i >= 0; --i) {
+      expected.push_back(d.alpha[static_cast<std::size_t>(i)]);
+      expected.push_back(d.beta[static_cast<std::size_t>(i)]);
+    }
+    EXPECT_EQ(mpt_path(x, n, 0), expected);
+  }
+}
+
+TEST(MptPaths, DualPathIsColumnFirstMirror) {
+  // Path H is path 0 with row/column dimensions permuted pairwise — the
+  // DPT second path.
+  const int n = 6;
+  for (word x = 0; x < 64; ++x) {
+    const int h = transpose_h(x, n);
+    if (h == 0) continue;
+    const auto p0 = mpt_path(x, n, 0);
+    const auto ph = mpt_path(x, n, h);
+    ASSERT_EQ(p0.size(), ph.size());
+    for (std::size_t i = 0; i < p0.size(); i += 2) {
+      EXPECT_EQ(p0[i], ph[i + 1]);
+      EXPECT_EQ(p0[i + 1], ph[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nct::topo

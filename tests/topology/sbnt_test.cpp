@@ -1,0 +1,137 @@
+#include "topology/sbnt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace nct::topo {
+namespace {
+
+TEST(SBnT, BaseIsMinimumRotation) {
+  // base(j) is the smallest right-rotation count reaching the minimum
+  // rotation value.
+  EXPECT_EQ(sbnt_base(0b0001, 4), 0);
+  EXPECT_EQ(sbnt_base(0b0010, 4), 1);
+  EXPECT_EQ(sbnt_base(0b0100, 4), 2);
+  EXPECT_EQ(sbnt_base(0b1000, 4), 3);
+  EXPECT_EQ(sbnt_base(0b0110, 4), 1);   // rotations: 6,3,9,12 -> min 3 at i=1
+  EXPECT_EQ(sbnt_base(0b0101, 4), 0);   // 5,10,5,10 -> min 5 first at i=0
+  EXPECT_EQ(sbnt_base(0b1111, 4), 0);
+}
+
+TEST(SBnT, BaseBitIsAlwaysSet) {
+  // The minimum rotation of a nonzero word is odd, so the base dimension
+  // always carries a set bit: the first hop from the root is valid.
+  for (int n = 1; n <= 10; ++n) {
+    for (word j = 1; j < (word{1} << n); ++j) {
+      EXPECT_EQ(cube::get_bit(j, sbnt_base(j, n)), 1) << "n=" << n << " j=" << j;
+    }
+  }
+}
+
+TEST(SBnT, PathReachesNodeAndHasMinimalLength) {
+  for (int n = 1; n <= 7; ++n) {
+    const SpanningBalancedNTree t(n);
+    for (word x = 1; x < (word{1} << n); ++x) {
+      const auto dims = t.path_dims_from_root(x);
+      EXPECT_EQ(dims.size(), static_cast<std::size_t>(cube::popcount(x)));
+      word cur = 0;
+      for (const int d : dims) cur = cube::flip_bit(cur, d);
+      EXPECT_EQ(cur, x);
+    }
+  }
+}
+
+TEST(SBnT, IsSpanningTree) {
+  for (int n = 1; n <= 7; ++n) {
+    const SpanningBalancedNTree t(n);
+    // Every non-root node has a parent closer to the root along its path,
+    // and parent/children agree.
+    for (word x = 1; x < (word{1} << n); ++x) {
+      const word p = t.parent(x);
+      EXPECT_EQ(cube::hamming(p, x), 1);
+      const auto kids = t.children(p);
+      EXPECT_NE(std::find(kids.begin(), kids.end(), x), kids.end());
+    }
+  }
+}
+
+TEST(SBnT, SubtreesPartitionNodes) {
+  const int n = 6;
+  const SpanningBalancedNTree t(n);
+  word total = 0;
+  for (int d = 0; d < n; ++d) total += t.subtree_size(d);
+  EXPECT_EQ(total, (word{1} << n) - 1);
+}
+
+TEST(SBnT, SubtreesAreBalanced) {
+  // The point of the SBnT: each of the n subtrees holds ~ (2^n - 1)/n
+  // nodes.  The exact sizes are the necklace-counting split; we check
+  // the balance factor stays under 2 for n up to 10 (vs n/2 for SBT).
+  for (int n = 2; n <= 10; ++n) {
+    const SpanningBalancedNTree t(n);
+    word mn = ~word{0}, mx = 0;
+    for (int d = 0; d < n; ++d) {
+      const word s = t.subtree_size(d);
+      mn = std::min(mn, s);
+      mx = std::max(mx, s);
+    }
+    const double avg = static_cast<double>((word{1} << n) - 1) / n;
+    EXPECT_LE(static_cast<double>(mx), 2.0 * avg) << "n=" << n;
+    EXPECT_GE(static_cast<double>(mn), avg / 2.0) << "n=" << n;
+  }
+}
+
+TEST(SBnT, SubtreeOfMatchesFirstPathDimension) {
+  const int n = 6;
+  const SpanningBalancedNTree t(n);
+  for (word x = 1; x < 64; ++x) {
+    EXPECT_EQ(t.subtree_of(x), t.path_dims_from_root(x).front());
+  }
+  EXPECT_EQ(t.subtree_of(0), -1);
+}
+
+TEST(SBnT, PathWalksSetBitsCyclicallyFromBase) {
+  // Paper's forwarding rule: each hop clears the next 1-bit to the left
+  // (cyclically) of the previous dimension.
+  const int n = 8;
+  const SpanningBalancedNTree t(n);
+  for (word x = 1; x < 256; ++x) {
+    const auto dims = t.path_dims_from_root(x);
+    for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+      // The next dimension is the nearest set bit above dims[i]
+      // cyclically.
+      int d = dims[i];
+      int next = -1;
+      for (int off = 1; off <= n; ++off) {
+        const int cand = (d + off) % n;
+        if (cube::get_bit(x, cand) && cand != d) {
+          // skip bits already cleared (those before i in dims)
+          bool used = false;
+          for (std::size_t j = 0; j <= i; ++j) used |= (dims[j] == cand);
+          if (!used) {
+            next = cand;
+            break;
+          }
+        }
+      }
+      EXPECT_EQ(dims[i + 1], next) << "x=" << x << " i=" << i;
+    }
+  }
+}
+
+TEST(SBnT, TranslatedRoot) {
+  const int n = 5;
+  const word root = 0b01101;
+  const SpanningBalancedNTree t(n, root);
+  for (word x = 0; x < 32; ++x) {
+    if (x == root) continue;
+    const auto dims = t.path_dims_from_root(x);
+    word cur = root;
+    for (const int d : dims) cur = cube::flip_bit(cur, d);
+    EXPECT_EQ(cur, x);
+  }
+}
+
+}  // namespace
+}  // namespace nct::topo

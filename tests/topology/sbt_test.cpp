@@ -1,0 +1,149 @@
+#include "topology/sbt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cube/shuffle.hpp"
+
+namespace nct::topo {
+namespace {
+
+TEST(SBT, RootHasNChildren) {
+  const SpanningBinomialTree t(4);
+  EXPECT_EQ(t.children(0).size(), 4U);
+}
+
+TEST(SBT, ParentClearsLowestSetBit) {
+  const SpanningBinomialTree t(5);
+  for (word x = 1; x < 32; ++x) {
+    EXPECT_EQ(t.parent(x), x & (x - 1));
+  }
+}
+
+TEST(SBT, ParentChildConsistency) {
+  for (int n = 1; n <= 6; ++n) {
+    const SpanningBinomialTree t(n);
+    for (word x = 0; x < (word{1} << n); ++x) {
+      for (const word c : t.children(x)) {
+        EXPECT_EQ(t.parent(c), x);
+      }
+    }
+  }
+}
+
+TEST(SBT, IsSpanningTree) {
+  for (int n = 1; n <= 7; ++n) {
+    const SpanningBinomialTree t(n);
+    const auto nodes = t.subtree(0);
+    const std::set<word> unique(nodes.begin(), nodes.end());
+    EXPECT_EQ(unique.size(), word{1} << n);
+  }
+}
+
+TEST(SBT, SubtreeSizesAreBinomial) {
+  // The subtree across root dimension j holds all nodes whose highest set
+  // bit is j: 2^j nodes.  Half the nodes hang off the dimension-(n-1)
+  // child: the reason SBT one-to-all personalized communication cannot
+  // beat PQ/2 * tc transfer time on one link (Section 3.1).
+  const int n = 6;
+  const SpanningBinomialTree t(n);
+  const auto kids = t.children(0);
+  ASSERT_EQ(kids.size(), 6U);
+  word total = 1;
+  for (const word c : kids) {
+    const int j = cube::lowest_set_bit(c);  // c = 2^j
+    EXPECT_EQ(t.subtree_size(c), word{1} << j);
+    // Membership: exactly the nodes whose highest set bit is j.
+    for (const word y : t.subtree(c)) EXPECT_EQ(cube::highest_set_bit(y), j);
+    total += t.subtree_size(c);
+  }
+  EXPECT_EQ(total, word{1} << n);
+}
+
+TEST(SBT, DepthEqualsPopcount) {
+  const SpanningBinomialTree t(6);
+  for (word x = 0; x < 64; ++x) EXPECT_EQ(t.depth(x), cube::popcount(x));
+}
+
+TEST(SBT, PathFromRootReachesNode) {
+  const int n = 6;
+  const SpanningBinomialTree t(n);
+  for (word x = 0; x < 64; ++x) {
+    word cur = 0;
+    for (const int d : t.path_dims_from_root(x)) cur = cube::flip_bit(cur, d);
+    EXPECT_EQ(cur, x);
+    EXPECT_EQ(t.path_dims_from_root(x).size(), static_cast<std::size_t>(cube::popcount(x)));
+  }
+}
+
+TEST(SBT, TranslationXorsAddresses) {
+  // The tree rooted at s is a translation: node x of the base tree maps
+  // to x ^ s (Section 3.2).
+  const int n = 5;
+  const word root = 0b10110;
+  const SpanningBinomialTree base(n), trans(n, root);
+  for (word x = 1; x < 32; ++x) {
+    EXPECT_EQ(trans.parent(x ^ root), base.parent(x) ^ root);
+  }
+}
+
+TEST(SBT, RotationShufflesAddresses) {
+  // Definition 8: a rotated graph's addresses are sh^k of the original's.
+  const int n = 6;
+  for (int k = 0; k < n; ++k) {
+    const SpanningBinomialTree base(n), rot(n, 0, k);
+    for (word x = 1; x < 64; ++x) {
+      const word rx = cube::shuffle(x, n, k);
+      EXPECT_EQ(rot.parent(rx), cube::shuffle(base.parent(x), n, k));
+    }
+  }
+}
+
+TEST(SBT, ReflectionBitReversesAddresses) {
+  // Definition 9: a reflected graph's addresses are bit reversals.
+  const int n = 5;
+  const SpanningBinomialTree base(n), refl(n, 0, 0, true);
+  for (word x = 1; x < 32; ++x) {
+    const word rx = cube::bit_reverse(x, n);
+    EXPECT_EQ(refl.parent(rx), cube::bit_reverse(base.parent(x), n));
+  }
+}
+
+TEST(SBT, ReflectedTreeComplementsTrailingZeroes) {
+  // "a reflected SBT can be obtained by complementing trailing zeroes,
+  // instead of leading zeroes": the reflected parent clears the highest
+  // set bit.
+  const int n = 5;
+  const SpanningBinomialTree refl(n, 0, 0, true);
+  for (word x = 1; x < 32; ++x) {
+    EXPECT_EQ(refl.parent(x), cube::flip_bit(x, cube::highest_set_bit(x)));
+  }
+}
+
+TEST(SBT, RotatedTreesAreDistinct) {
+  // The n rotations used by the n-rotated-SBT one-to-all algorithm are
+  // pairwise different trees (different root-port loads).
+  const int n = 4;
+  std::set<std::vector<word>> parent_tables;
+  for (int k = 0; k < n; ++k) {
+    const SpanningBinomialTree t(n, 0, k);
+    std::vector<word> parents;
+    for (word x = 1; x < 16; ++x) parents.push_back(t.parent(x));
+    parent_tables.insert(parents);
+  }
+  EXPECT_EQ(parent_tables.size(), static_cast<std::size_t>(n));
+}
+
+TEST(SBT, RotatedReflectedSpanning) {
+  for (int k = 0; k < 5; ++k) {
+    for (const bool refl : {false, true}) {
+      const SpanningBinomialTree t(5, 3, k, refl);
+      const auto nodes = t.subtree(3);
+      EXPECT_EQ(std::set<word>(nodes.begin(), nodes.end()).size(), 32U);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nct::topo
