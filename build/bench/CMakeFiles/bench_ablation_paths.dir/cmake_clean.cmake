@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_paths.dir/bench_ablation_paths.cpp.o"
+  "CMakeFiles/bench_ablation_paths.dir/bench_ablation_paths.cpp.o.d"
+  "bench_ablation_paths"
+  "bench_ablation_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

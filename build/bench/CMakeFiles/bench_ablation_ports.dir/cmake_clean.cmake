@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ports.dir/bench_ablation_ports.cpp.o"
+  "CMakeFiles/bench_ablation_ports.dir/bench_ablation_ports.cpp.o.d"
+  "bench_ablation_ports"
+  "bench_ablation_ports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

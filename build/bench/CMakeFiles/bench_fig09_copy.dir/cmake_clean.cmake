@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_copy.dir/bench_fig09_copy.cpp.o"
+  "CMakeFiles/bench_fig09_copy.dir/bench_fig09_copy.cpp.o.d"
+  "bench_fig09_copy"
+  "bench_fig09_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_1d_buffering.dir/bench_fig10_1d_buffering.cpp.o"
+  "CMakeFiles/bench_fig10_1d_buffering.dir/bench_fig10_1d_buffering.cpp.o.d"
+  "bench_fig10_1d_buffering"
+  "bench_fig10_1d_buffering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_1d_buffering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

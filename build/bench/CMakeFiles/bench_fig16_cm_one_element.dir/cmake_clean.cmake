@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_cm_one_element.dir/bench_fig16_cm_one_element.cpp.o"
+  "CMakeFiles/bench_fig16_cm_one_element.dir/bench_fig16_cm_one_element.cpp.o.d"
+  "bench_fig16_cm_one_element"
+  "bench_fig16_cm_one_element.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_cm_one_element.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

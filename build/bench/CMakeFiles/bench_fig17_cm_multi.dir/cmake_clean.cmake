@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_cm_multi.dir/bench_fig17_cm_multi.cpp.o"
+  "CMakeFiles/bench_fig17_cm_multi.dir/bench_fig17_cm_multi.cpp.o.d"
+  "bench_fig17_cm_multi"
+  "bench_fig17_cm_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_cm_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

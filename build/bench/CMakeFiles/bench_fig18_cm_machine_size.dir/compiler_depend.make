@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig18_cm_machine_size.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig19_1d_vs_2d.
+# This may be replaced when dependencies are built.

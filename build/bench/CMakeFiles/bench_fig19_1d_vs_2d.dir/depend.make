@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig19_1d_vs_2d.
+# This may be replaced when dependencies are built.

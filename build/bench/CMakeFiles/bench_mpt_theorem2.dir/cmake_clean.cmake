@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mpt_theorem2.dir/bench_mpt_theorem2.cpp.o"
+  "CMakeFiles/bench_mpt_theorem2.dir/bench_mpt_theorem2.cpp.o.d"
+  "bench_mpt_theorem2"
+  "bench_mpt_theorem2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mpt_theorem2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

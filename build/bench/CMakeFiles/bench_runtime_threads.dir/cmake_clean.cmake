@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_runtime_threads.dir/bench_runtime_threads.cpp.o"
+  "CMakeFiles/bench_runtime_threads.dir/bench_runtime_threads.cpp.o.d"
+  "bench_runtime_threads"
+  "bench_runtime_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_runtime_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adm_heat.dir/adm_heat.cpp.o"
+  "CMakeFiles/adm_heat.dir/adm_heat.cpp.o.d"
+  "adm_heat"
+  "adm_heat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adm_heat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banded_storage.dir/banded_storage.cpp.o"
+  "CMakeFiles/banded_storage.dir/banded_storage.cpp.o.d"
+  "banded_storage"
+  "banded_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banded_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

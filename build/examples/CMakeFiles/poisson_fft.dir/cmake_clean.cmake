@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poisson_fft.dir/poisson_fft.cpp.o"
+  "CMakeFiles/poisson_fft.dir/poisson_fft.cpp.o.d"
+  "poisson_fft"
+  "poisson_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poisson_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

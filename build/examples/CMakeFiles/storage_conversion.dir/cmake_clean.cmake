@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_conversion.dir/storage_conversion.cpp.o"
+  "CMakeFiles/storage_conversion.dir/storage_conversion.cpp.o.d"
+  "storage_conversion"
+  "storage_conversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_conversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

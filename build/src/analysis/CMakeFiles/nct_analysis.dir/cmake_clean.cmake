@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nct_analysis.dir/cost_model.cpp.o"
+  "CMakeFiles/nct_analysis.dir/cost_model.cpp.o.d"
+  "libnct_analysis.a"
+  "libnct_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nct_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/all_to_all.cpp" "src/comm/CMakeFiles/nct_comm.dir/all_to_all.cpp.o" "gcc" "src/comm/CMakeFiles/nct_comm.dir/all_to_all.cpp.o.d"
+  "/root/repo/src/comm/broadcast.cpp" "src/comm/CMakeFiles/nct_comm.dir/broadcast.cpp.o" "gcc" "src/comm/CMakeFiles/nct_comm.dir/broadcast.cpp.o.d"
+  "/root/repo/src/comm/location.cpp" "src/comm/CMakeFiles/nct_comm.dir/location.cpp.o" "gcc" "src/comm/CMakeFiles/nct_comm.dir/location.cpp.o.d"
+  "/root/repo/src/comm/one_to_all.cpp" "src/comm/CMakeFiles/nct_comm.dir/one_to_all.cpp.o" "gcc" "src/comm/CMakeFiles/nct_comm.dir/one_to_all.cpp.o.d"
+  "/root/repo/src/comm/planner.cpp" "src/comm/CMakeFiles/nct_comm.dir/planner.cpp.o" "gcc" "src/comm/CMakeFiles/nct_comm.dir/planner.cpp.o.d"
+  "/root/repo/src/comm/rearrange.cpp" "src/comm/CMakeFiles/nct_comm.dir/rearrange.cpp.o" "gcc" "src/comm/CMakeFiles/nct_comm.dir/rearrange.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cube/CMakeFiles/nct_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/nct_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nct_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nct_comm.dir/all_to_all.cpp.o"
+  "CMakeFiles/nct_comm.dir/all_to_all.cpp.o.d"
+  "CMakeFiles/nct_comm.dir/broadcast.cpp.o"
+  "CMakeFiles/nct_comm.dir/broadcast.cpp.o.d"
+  "CMakeFiles/nct_comm.dir/location.cpp.o"
+  "CMakeFiles/nct_comm.dir/location.cpp.o.d"
+  "CMakeFiles/nct_comm.dir/one_to_all.cpp.o"
+  "CMakeFiles/nct_comm.dir/one_to_all.cpp.o.d"
+  "CMakeFiles/nct_comm.dir/planner.cpp.o"
+  "CMakeFiles/nct_comm.dir/planner.cpp.o.d"
+  "CMakeFiles/nct_comm.dir/rearrange.cpp.o"
+  "CMakeFiles/nct_comm.dir/rearrange.cpp.o.d"
+  "libnct_comm.a"
+  "libnct_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nct_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/api.cpp" "src/core/CMakeFiles/nct_core.dir/api.cpp.o" "gcc" "src/core/CMakeFiles/nct_core.dir/api.cpp.o.d"
+  "/root/repo/src/core/assignment_change.cpp" "src/core/CMakeFiles/nct_core.dir/assignment_change.cpp.o" "gcc" "src/core/CMakeFiles/nct_core.dir/assignment_change.cpp.o.d"
+  "/root/repo/src/core/mixed_encoding.cpp" "src/core/CMakeFiles/nct_core.dir/mixed_encoding.cpp.o" "gcc" "src/core/CMakeFiles/nct_core.dir/mixed_encoding.cpp.o.d"
+  "/root/repo/src/core/router.cpp" "src/core/CMakeFiles/nct_core.dir/router.cpp.o" "gcc" "src/core/CMakeFiles/nct_core.dir/router.cpp.o.d"
+  "/root/repo/src/core/transpose1d.cpp" "src/core/CMakeFiles/nct_core.dir/transpose1d.cpp.o" "gcc" "src/core/CMakeFiles/nct_core.dir/transpose1d.cpp.o.d"
+  "/root/repo/src/core/transpose2d.cpp" "src/core/CMakeFiles/nct_core.dir/transpose2d.cpp.o" "gcc" "src/core/CMakeFiles/nct_core.dir/transpose2d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cube/CMakeFiles/nct_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/nct_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/nct_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/nct_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

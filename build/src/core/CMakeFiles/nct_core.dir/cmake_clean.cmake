@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nct_core.dir/api.cpp.o"
+  "CMakeFiles/nct_core.dir/api.cpp.o.d"
+  "CMakeFiles/nct_core.dir/assignment_change.cpp.o"
+  "CMakeFiles/nct_core.dir/assignment_change.cpp.o.d"
+  "CMakeFiles/nct_core.dir/mixed_encoding.cpp.o"
+  "CMakeFiles/nct_core.dir/mixed_encoding.cpp.o.d"
+  "CMakeFiles/nct_core.dir/router.cpp.o"
+  "CMakeFiles/nct_core.dir/router.cpp.o.d"
+  "CMakeFiles/nct_core.dir/transpose1d.cpp.o"
+  "CMakeFiles/nct_core.dir/transpose1d.cpp.o.d"
+  "CMakeFiles/nct_core.dir/transpose2d.cpp.o"
+  "CMakeFiles/nct_core.dir/transpose2d.cpp.o.d"
+  "libnct_core.a"
+  "libnct_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nct_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nct_cube.dir/bits.cpp.o"
+  "CMakeFiles/nct_cube.dir/bits.cpp.o.d"
+  "CMakeFiles/nct_cube.dir/partition.cpp.o"
+  "CMakeFiles/nct_cube.dir/partition.cpp.o.d"
+  "CMakeFiles/nct_cube.dir/shuffle.cpp.o"
+  "CMakeFiles/nct_cube.dir/shuffle.cpp.o.d"
+  "libnct_cube.a"
+  "libnct_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nct_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

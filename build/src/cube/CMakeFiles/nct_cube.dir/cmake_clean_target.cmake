@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnct_cube.a"
+)

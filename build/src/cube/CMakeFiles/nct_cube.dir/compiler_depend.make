@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nct_cube.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nct_perm.dir/dimension_perm.cpp.o"
+  "CMakeFiles/nct_perm.dir/dimension_perm.cpp.o.d"
+  "libnct_perm.a"
+  "libnct_perm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nct_perm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

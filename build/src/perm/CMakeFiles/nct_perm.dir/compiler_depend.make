@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nct_perm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nct_runtime.dir/ensemble.cpp.o"
+  "CMakeFiles/nct_runtime.dir/ensemble.cpp.o.d"
+  "CMakeFiles/nct_runtime.dir/executor.cpp.o"
+  "CMakeFiles/nct_runtime.dir/executor.cpp.o.d"
+  "libnct_runtime.a"
+  "libnct_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nct_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/nct_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/nct_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/program.cpp" "src/sim/CMakeFiles/nct_sim.dir/program.cpp.o" "gcc" "src/sim/CMakeFiles/nct_sim.dir/program.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "src/sim/CMakeFiles/nct_sim.dir/report.cpp.o" "gcc" "src/sim/CMakeFiles/nct_sim.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cube/CMakeFiles/nct_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/nct_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nct_sim.dir/engine.cpp.o"
+  "CMakeFiles/nct_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/nct_sim.dir/program.cpp.o"
+  "CMakeFiles/nct_sim.dir/program.cpp.o.d"
+  "CMakeFiles/nct_sim.dir/report.cpp.o"
+  "CMakeFiles/nct_sim.dir/report.cpp.o.d"
+  "libnct_sim.a"
+  "libnct_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nct_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/hypercube.cpp" "src/topology/CMakeFiles/nct_topology.dir/hypercube.cpp.o" "gcc" "src/topology/CMakeFiles/nct_topology.dir/hypercube.cpp.o.d"
+  "/root/repo/src/topology/mpt_paths.cpp" "src/topology/CMakeFiles/nct_topology.dir/mpt_paths.cpp.o" "gcc" "src/topology/CMakeFiles/nct_topology.dir/mpt_paths.cpp.o.d"
+  "/root/repo/src/topology/sbnt.cpp" "src/topology/CMakeFiles/nct_topology.dir/sbnt.cpp.o" "gcc" "src/topology/CMakeFiles/nct_topology.dir/sbnt.cpp.o.d"
+  "/root/repo/src/topology/sbt.cpp" "src/topology/CMakeFiles/nct_topology.dir/sbt.cpp.o" "gcc" "src/topology/CMakeFiles/nct_topology.dir/sbt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cube/CMakeFiles/nct_cube.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

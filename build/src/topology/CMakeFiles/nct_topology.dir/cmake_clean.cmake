@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nct_topology.dir/hypercube.cpp.o"
+  "CMakeFiles/nct_topology.dir/hypercube.cpp.o.d"
+  "CMakeFiles/nct_topology.dir/mpt_paths.cpp.o"
+  "CMakeFiles/nct_topology.dir/mpt_paths.cpp.o.d"
+  "CMakeFiles/nct_topology.dir/sbnt.cpp.o"
+  "CMakeFiles/nct_topology.dir/sbnt.cpp.o.d"
+  "CMakeFiles/nct_topology.dir/sbt.cpp.o"
+  "CMakeFiles/nct_topology.dir/sbt.cpp.o.d"
+  "libnct_topology.a"
+  "libnct_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nct_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

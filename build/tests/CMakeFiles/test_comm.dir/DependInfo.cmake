@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/comm/all_to_all_test.cpp" "tests/CMakeFiles/test_comm.dir/comm/all_to_all_test.cpp.o" "gcc" "tests/CMakeFiles/test_comm.dir/comm/all_to_all_test.cpp.o.d"
+  "/root/repo/tests/comm/broadcast_test.cpp" "tests/CMakeFiles/test_comm.dir/comm/broadcast_test.cpp.o" "gcc" "tests/CMakeFiles/test_comm.dir/comm/broadcast_test.cpp.o.d"
+  "/root/repo/tests/comm/location_test.cpp" "tests/CMakeFiles/test_comm.dir/comm/location_test.cpp.o" "gcc" "tests/CMakeFiles/test_comm.dir/comm/location_test.cpp.o.d"
+  "/root/repo/tests/comm/one_to_all_test.cpp" "tests/CMakeFiles/test_comm.dir/comm/one_to_all_test.cpp.o" "gcc" "tests/CMakeFiles/test_comm.dir/comm/one_to_all_test.cpp.o.d"
+  "/root/repo/tests/comm/permute_dimensions_test.cpp" "tests/CMakeFiles/test_comm.dir/comm/permute_dimensions_test.cpp.o" "gcc" "tests/CMakeFiles/test_comm.dir/comm/permute_dimensions_test.cpp.o.d"
+  "/root/repo/tests/comm/rearrange_test.cpp" "tests/CMakeFiles/test_comm.dir/comm/rearrange_test.cpp.o" "gcc" "tests/CMakeFiles/test_comm.dir/comm/rearrange_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cube/CMakeFiles/nct_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/nct_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/nct_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/nct_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

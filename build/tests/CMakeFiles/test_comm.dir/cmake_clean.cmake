@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm.dir/comm/all_to_all_test.cpp.o"
+  "CMakeFiles/test_comm.dir/comm/all_to_all_test.cpp.o.d"
+  "CMakeFiles/test_comm.dir/comm/broadcast_test.cpp.o"
+  "CMakeFiles/test_comm.dir/comm/broadcast_test.cpp.o.d"
+  "CMakeFiles/test_comm.dir/comm/location_test.cpp.o"
+  "CMakeFiles/test_comm.dir/comm/location_test.cpp.o.d"
+  "CMakeFiles/test_comm.dir/comm/one_to_all_test.cpp.o"
+  "CMakeFiles/test_comm.dir/comm/one_to_all_test.cpp.o.d"
+  "CMakeFiles/test_comm.dir/comm/permute_dimensions_test.cpp.o"
+  "CMakeFiles/test_comm.dir/comm/permute_dimensions_test.cpp.o.d"
+  "CMakeFiles/test_comm.dir/comm/rearrange_test.cpp.o"
+  "CMakeFiles/test_comm.dir/comm/rearrange_test.cpp.o.d"
+  "test_comm"
+  "test_comm.pdb"
+  "test_comm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

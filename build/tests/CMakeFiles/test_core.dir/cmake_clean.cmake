@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/api_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/api_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/assignment_change_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/assignment_change_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/mixed_encoding_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/mixed_encoding_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/paper_claims_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/paper_claims_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/transpose1d_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/transpose1d_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/transpose2d_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/transpose2d_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cube/address_test.cpp" "tests/CMakeFiles/test_cube.dir/cube/address_test.cpp.o" "gcc" "tests/CMakeFiles/test_cube.dir/cube/address_test.cpp.o.d"
+  "/root/repo/tests/cube/bits_test.cpp" "tests/CMakeFiles/test_cube.dir/cube/bits_test.cpp.o" "gcc" "tests/CMakeFiles/test_cube.dir/cube/bits_test.cpp.o.d"
+  "/root/repo/tests/cube/gray_test.cpp" "tests/CMakeFiles/test_cube.dir/cube/gray_test.cpp.o" "gcc" "tests/CMakeFiles/test_cube.dir/cube/gray_test.cpp.o.d"
+  "/root/repo/tests/cube/partition_test.cpp" "tests/CMakeFiles/test_cube.dir/cube/partition_test.cpp.o" "gcc" "tests/CMakeFiles/test_cube.dir/cube/partition_test.cpp.o.d"
+  "/root/repo/tests/cube/shuffle_test.cpp" "tests/CMakeFiles/test_cube.dir/cube/shuffle_test.cpp.o" "gcc" "tests/CMakeFiles/test_cube.dir/cube/shuffle_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cube/CMakeFiles/nct_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/nct_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nct_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cube.dir/cube/address_test.cpp.o"
+  "CMakeFiles/test_cube.dir/cube/address_test.cpp.o.d"
+  "CMakeFiles/test_cube.dir/cube/bits_test.cpp.o"
+  "CMakeFiles/test_cube.dir/cube/bits_test.cpp.o.d"
+  "CMakeFiles/test_cube.dir/cube/gray_test.cpp.o"
+  "CMakeFiles/test_cube.dir/cube/gray_test.cpp.o.d"
+  "CMakeFiles/test_cube.dir/cube/partition_test.cpp.o"
+  "CMakeFiles/test_cube.dir/cube/partition_test.cpp.o.d"
+  "CMakeFiles/test_cube.dir/cube/shuffle_test.cpp.o"
+  "CMakeFiles/test_cube.dir/cube/shuffle_test.cpp.o.d"
+  "test_cube"
+  "test_cube.pdb"
+  "test_cube[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perm.dir/perm/dimension_perm_test.cpp.o"
+  "CMakeFiles/test_perm.dir/perm/dimension_perm_test.cpp.o.d"
+  "test_perm"
+  "test_perm.pdb"
+  "test_perm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/topology/edge_load_test.cpp" "tests/CMakeFiles/test_topology.dir/topology/edge_load_test.cpp.o" "gcc" "tests/CMakeFiles/test_topology.dir/topology/edge_load_test.cpp.o.d"
+  "/root/repo/tests/topology/hypercube_test.cpp" "tests/CMakeFiles/test_topology.dir/topology/hypercube_test.cpp.o" "gcc" "tests/CMakeFiles/test_topology.dir/topology/hypercube_test.cpp.o.d"
+  "/root/repo/tests/topology/mpt_paths_test.cpp" "tests/CMakeFiles/test_topology.dir/topology/mpt_paths_test.cpp.o" "gcc" "tests/CMakeFiles/test_topology.dir/topology/mpt_paths_test.cpp.o.d"
+  "/root/repo/tests/topology/sbnt_test.cpp" "tests/CMakeFiles/test_topology.dir/topology/sbnt_test.cpp.o" "gcc" "tests/CMakeFiles/test_topology.dir/topology/sbnt_test.cpp.o.d"
+  "/root/repo/tests/topology/sbt_test.cpp" "tests/CMakeFiles/test_topology.dir/topology/sbt_test.cpp.o" "gcc" "tests/CMakeFiles/test_topology.dir/topology/sbt_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cube/CMakeFiles/nct_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/nct_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nct_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

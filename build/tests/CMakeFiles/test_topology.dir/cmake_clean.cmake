@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topology.dir/topology/edge_load_test.cpp.o"
+  "CMakeFiles/test_topology.dir/topology/edge_load_test.cpp.o.d"
+  "CMakeFiles/test_topology.dir/topology/hypercube_test.cpp.o"
+  "CMakeFiles/test_topology.dir/topology/hypercube_test.cpp.o.d"
+  "CMakeFiles/test_topology.dir/topology/mpt_paths_test.cpp.o"
+  "CMakeFiles/test_topology.dir/topology/mpt_paths_test.cpp.o.d"
+  "CMakeFiles/test_topology.dir/topology/sbnt_test.cpp.o"
+  "CMakeFiles/test_topology.dir/topology/sbnt_test.cpp.o.d"
+  "CMakeFiles/test_topology.dir/topology/sbt_test.cpp.o"
+  "CMakeFiles/test_topology.dir/topology/sbt_test.cpp.o.d"
+  "test_topology"
+  "test_topology.pdb"
+  "test_topology[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
