@@ -6,6 +6,8 @@
 // ~2x SPT; MPT gains a further factor approaching n / (n+1) * 2H/2 on
 // the transfer term; for start-up dominated sizes the ordering
 // compresses (everyone pays ~n tau).
+#include <array>
+
 #include "bench_common.hpp"
 #include "core/transpose1d.hpp"
 #include "core/transpose2d.hpp"
@@ -26,21 +28,25 @@ double run(const sim::MachineParams& machine, int pq_log2, int which) {
     case 1: prog = core::transpose_dpt(before, after, machine); break;
     default: prog = core::transpose_mpt(before, after, machine); break;
   }
-  const auto init = core::transpose_initial_memory(before, machine.n, prog.local_slots);
-  return bench::simulate(prog, machine, init).total_time;
+  return bench::simulated_time(prog, machine);
 }
 
 void print_series() {
   bench::Table t({"elements", "tau_s", "SPT_ms", "DPT_ms", "MPT_ms", "SPT/MPT"});
   const int n = 6;
-  for (const int lg : {10, 14, 18}) {
-    for (const double tau : {1e-2, 1e-4, 1e-6}) {
-      auto m = sim::MachineParams::nport(n, tau, 1e-6);
-      m.element_bytes = 1;
-      const double s = run(m, lg, 0), d = run(m, lg, 1), q = run(m, lg, 2);
-      t.row({"2^" + std::to_string(lg), bench::num(tau, 6), bench::ms(s), bench::ms(d),
-             bench::ms(q), bench::num(s / q)});
-    }
+  const std::vector<int> lgs{10, 14, 18};
+  const std::vector<double> taus{1e-2, 1e-4, 1e-6};
+  const auto rows = bench::parallel_sweep(lgs.size() * taus.size(), [&](std::size_t i) {
+    auto m = sim::MachineParams::nport(n, taus[i % taus.size()], 1e-6);
+    m.element_bytes = 1;
+    const int lg = lgs[i / taus.size()];
+    return std::array<double, 3>{run(m, lg, 0), run(m, lg, 1), run(m, lg, 2)};
+  });
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    t.row({"2^" + std::to_string(lgs[i / taus.size()]),
+           bench::num(taus[i % taus.size()], 6), bench::ms(rows[i][0]),
+           bench::ms(rows[i][1]), bench::ms(rows[i][2]),
+           bench::num(rows[i][0] / rows[i][2])});
   }
   t.print("Ablation: SPT (1 path) vs DPT (2 paths) vs MPT (2H(x) paths), 6-cube, n-port");
 }

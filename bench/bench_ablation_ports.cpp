@@ -5,6 +5,8 @@
 // transfer term by ~n/2 over the SBT, and all-to-all loses the factor n
 // on its transfer term relative to the exchange algorithm; with one
 // port the exchange algorithm is already within 2x of optimal.
+#include <array>
+
 #include "bench_common.hpp"
 #include "comm/all_to_all.hpp"
 #include "comm/one_to_all.hpp"
@@ -23,7 +25,7 @@ double run_one_to_all(int n, cube::word K, int which, sim::PortModel port) {
     case 1: prog = comm::one_to_all_sbnt(n, K); break;
     default: prog = comm::one_to_all_rotated_sbts(n, K); break;
   }
-  return bench::simulate(prog, m, comm::one_to_all_initial_memory(n, K)).total_time;
+  return bench::simulated_time(prog, m);
 }
 
 double run_all_to_all(int n, cube::word K, int which, sim::PortModel port) {
@@ -36,7 +38,7 @@ double run_all_to_all(int n, cube::word K, int which, sim::PortModel port) {
     case 1: prog = comm::all_to_all_sbnt(n, K); break;
     default: prog = comm::all_to_all_direct(n, K); break;
   }
-  return bench::simulate(prog, m, comm::all_to_all_initial_memory(n, K)).total_time;
+  return bench::simulated_time(prog, m);
 }
 
 void print_series() {
@@ -44,24 +46,32 @@ void print_series() {
   {
     bench::Table t({"K(elems/node)", "SBT_1port_ms", "SBT_nport_ms", "SBnT_nport_ms",
                     "rotSBTs_nport_ms"});
-    for (const cube::word K : {cube::word{8}, cube::word{64}, cube::word{512}}) {
-      t.row({std::to_string(K),
-             bench::ms(run_one_to_all(n, K, 0, sim::PortModel::one_port)),
-             bench::ms(run_one_to_all(n, K, 0, sim::PortModel::n_port)),
-             bench::ms(run_one_to_all(n, K, 1, sim::PortModel::n_port)),
-             bench::ms(run_one_to_all(n, K, 2, sim::PortModel::n_port))});
+    const std::vector<cube::word> Ks{8, 64, 512};
+    const auto rows = bench::parallel_sweep(Ks.size(), [&](std::size_t i) {
+      return std::array<double, 4>{run_one_to_all(n, Ks[i], 0, sim::PortModel::one_port),
+                                   run_one_to_all(n, Ks[i], 0, sim::PortModel::n_port),
+                                   run_one_to_all(n, Ks[i], 1, sim::PortModel::n_port),
+                                   run_one_to_all(n, Ks[i], 2, sim::PortModel::n_port)};
+    });
+    for (std::size_t i = 0; i < Ks.size(); ++i) {
+      t.row({std::to_string(Ks[i]), bench::ms(rows[i][0]), bench::ms(rows[i][1]),
+             bench::ms(rows[i][2]), bench::ms(rows[i][3])});
     }
     t.print("Ablation: one-to-all personalized communication routings, 6-cube");
   }
   {
     bench::Table t({"K(elems/pair)", "exchange_1port_ms", "exchange_nport_ms",
                     "SBnT_nport_ms", "direct_1port_ms"});
-    for (const cube::word K : {cube::word{2}, cube::word{16}, cube::word{128}}) {
-      t.row({std::to_string(K),
-             bench::ms(run_all_to_all(n, K, 0, sim::PortModel::one_port)),
-             bench::ms(run_all_to_all(n, K, 0, sim::PortModel::n_port)),
-             bench::ms(run_all_to_all(n, K, 1, sim::PortModel::n_port)),
-             bench::ms(run_all_to_all(n, K, 2, sim::PortModel::one_port))});
+    const std::vector<cube::word> Ks{2, 16, 128};
+    const auto rows = bench::parallel_sweep(Ks.size(), [&](std::size_t i) {
+      return std::array<double, 4>{run_all_to_all(n, Ks[i], 0, sim::PortModel::one_port),
+                                   run_all_to_all(n, Ks[i], 0, sim::PortModel::n_port),
+                                   run_all_to_all(n, Ks[i], 1, sim::PortModel::n_port),
+                                   run_all_to_all(n, Ks[i], 2, sim::PortModel::one_port)};
+    });
+    for (std::size_t i = 0; i < Ks.size(); ++i) {
+      t.row({std::to_string(Ks[i]), bench::ms(rows[i][0]), bench::ms(rows[i][1]),
+             bench::ms(rows[i][2]), bench::ms(rows[i][3])});
     }
     t.print("Ablation: all-to-all personalized communication routings, 6-cube");
   }

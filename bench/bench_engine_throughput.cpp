@@ -1,0 +1,163 @@
+// Engine throughput microbenchmark: the regression anchor for the
+// simulation core.  Measures, on a fixed workload (2D stepwise
+// transpose, iPSC 8-cube, 2^14 elements; CM direct transpose, 10-cube):
+//
+//   * Plan          - planner cost (program construction);
+//   * Compile       - sim::compile() flattening + validation cost;
+//   * Interpreted   - Engine::run(Program, Memory), the reference path;
+//   * CompiledData  - Engine::run(CompiledProgram, Memory);
+//   * TimingOnly    - Engine::run_timing(CompiledProgram).
+//
+// The execution cases report packets/s (router packets traversing their
+// full route per wall-clock second).  Run with --json to record the
+// series table into BENCH_<binary>.json.
+#include <algorithm>
+#include <chrono>
+
+#include "bench_common.hpp"
+#include "core/transpose1d.hpp"
+#include "core/transpose2d.hpp"
+
+namespace {
+
+using namespace nct;
+
+struct Workload {
+  const char* name;
+  sim::MachineParams machine;
+  sim::Program program;
+  sim::Memory init;
+};
+
+Workload make_ipsc_stepwise() {
+  const int n = 8, half = 4, lg = 14;
+  const cube::MatrixShape s{lg / 2, lg - lg / 2};
+  const auto before = cube::PartitionSpec::two_dim_consecutive(s, half, half);
+  const auto after = cube::PartitionSpec::two_dim_consecutive(s.transposed(), half, half);
+  const auto machine = sim::MachineParams::ipsc(n);
+  auto prog = core::transpose_2d_stepwise(before, after, machine);
+  auto init = core::transpose_initial_memory(before, n, prog.local_slots);
+  return {"ipsc8_stepwise_2^14", machine, std::move(prog), std::move(init)};
+}
+
+Workload make_cm_direct() {
+  const int n = 10, half = 5, lg = 14;
+  const cube::MatrixShape s{lg / 2, lg - lg / 2};
+  const auto before = cube::PartitionSpec::two_dim_cyclic(s, half, half);
+  const auto after = cube::PartitionSpec::two_dim_cyclic(s.transposed(), half, half);
+  const auto machine = sim::MachineParams::cm(n);
+  auto prog = core::transpose_2d_direct(before, after, machine);
+  auto init = core::transpose_initial_memory(before, n, prog.local_slots);
+  return {"cm10_direct_2^14", machine, std::move(prog), std::move(init)};
+}
+
+Workload& workload(int which) {
+  static Workload w0 = make_ipsc_stepwise();
+  static Workload w1 = make_cm_direct();
+  return which ? w1 : w0;
+}
+
+/// Router packets injected by the program (each traverses its route).
+std::size_t total_packets(const sim::CompiledProgram& compiled) {
+  std::size_t packets = 0;
+  for (const auto& s : compiled.send_ops()) {
+    packets += compiled.machine().packets_for(
+        static_cast<std::size_t>(s.count) *
+        static_cast<std::size_t>(compiled.machine().element_bytes));
+  }
+  return packets;
+}
+
+void BM_Plan(benchmark::State& state) {
+  const int which = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(which ? make_cm_direct().program
+                                   : make_ipsc_stepwise().program);
+  }
+}
+BENCHMARK(BM_Plan)->Arg(0)->Arg(1);
+
+void BM_Compile(benchmark::State& state) {
+  const Workload& w = workload(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::compile(w.program, w.machine).total_sends());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(sim::compile(w.program, w.machine).total_sends()));
+}
+BENCHMARK(BM_Compile)->Arg(0)->Arg(1);
+
+void BM_Interpreted(benchmark::State& state) {
+  const Workload& w = workload(static_cast<int>(state.range(0)));
+  const sim::Engine engine(w.machine);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(w.program, w.init).total_time);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(total_packets(sim::compile(w.program, w.machine))));
+}
+BENCHMARK(BM_Interpreted)->Arg(0)->Arg(1);
+
+void BM_CompiledData(benchmark::State& state) {
+  const Workload& w = workload(static_cast<int>(state.range(0)));
+  const auto compiled = sim::compile(w.program, w.machine);
+  const sim::Engine engine(w.machine);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(compiled, w.init).total_time);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(total_packets(compiled)));
+}
+BENCHMARK(BM_CompiledData)->Arg(0)->Arg(1);
+
+void BM_TimingOnly(benchmark::State& state) {
+  const Workload& w = workload(static_cast<int>(state.range(0)));
+  const auto compiled = sim::compile(w.program, w.machine);
+  const sim::Engine engine(w.machine);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run_timing(compiled).total_time);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(total_packets(compiled)));
+}
+BENCHMARK(BM_TimingOnly)->Arg(0)->Arg(1);
+
+/// One-shot stage timings for the series table (median of `reps` runs).
+template <class Fn>
+double stage_seconds(Fn fn, int reps = 5) {
+  std::vector<double> ts;
+  ts.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    ts.push_back(std::chrono::duration<double>(t1 - t0).count());
+  }
+  std::sort(ts.begin(), ts.end());
+  return ts[ts.size() / 2];
+}
+
+void print_series() {
+  bench::Table t({"workload", "packets", "compile_ms", "interpreted_ms",
+                  "compiled_data_ms", "timing_only_ms", "timing_pkts_per_s"});
+  for (const int which : {0, 1}) {
+    Workload& w = workload(which);
+    const sim::Engine engine(w.machine);
+    const auto compiled = sim::compile(w.program, w.machine);
+    const std::size_t packets = total_packets(compiled);
+    const double c = stage_seconds([&] { sim::compile(w.program, w.machine); });
+    const double interp = stage_seconds([&] { engine.run(w.program, w.init); });
+    const double data = stage_seconds([&] { engine.run(compiled, w.init); });
+    const double timing = stage_seconds([&] { engine.run_timing(compiled); });
+    t.row({w.name, std::to_string(packets), bench::ms(c), bench::ms(interp),
+           bench::ms(data), bench::ms(timing),
+           bench::num(static_cast<double>(packets) / timing, 0)});
+  }
+  t.print("Engine throughput: compile vs execution paths (wall-clock on this host)");
+}
+
+}  // namespace
+
+NCT_BENCH_MAIN(print_series)

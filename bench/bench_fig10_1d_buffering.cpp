@@ -7,6 +7,8 @@
 // the exchange algorithm sends ~N separate blocks; buffered
 // communication grows only linearly in n; for small cubes (or large
 // matrices) the two coincide.
+#include <array>
+
 #include "analysis/cost_model.hpp"
 #include "bench_common.hpp"
 #include "core/transpose1d.hpp"
@@ -28,9 +30,7 @@ double run_conversion(int n, cube::word pq_log2, const comm::BufferPolicy& polic
   comm::RearrangeOptions opt;
   opt.policy = policy;
   const auto prog = core::transpose_1d(before, after, n, opt);
-  const auto machine = sim::MachineParams::ipsc(n);
-  const auto init = core::transpose_initial_memory(before, n, prog.local_slots);
-  return bench::simulate(prog, machine, init).total_time;
+  return bench::simulated_time(prog, sim::MachineParams::ipsc(n));
 }
 
 void print_series() {
@@ -38,14 +38,19 @@ void print_series() {
   const cube::word b_copy =
       static_cast<cube::word>(analysis::optimal_copy_threshold(ipsc5));
   bench::Table t({"n", "N", "elements", "unbuffered_ms", "buffered_ms", "optimal_ms"});
-  for (const cube::word lg : {10, 13, 16}) {
-    for (int n = 1; n <= 6; ++n) {
-      const double unbuf = run_conversion(n, lg, comm::BufferPolicy::unbuffered());
-      const double buf = run_conversion(n, lg, comm::BufferPolicy::buffered());
-      const double opt = run_conversion(n, lg, comm::BufferPolicy::optimal(b_copy));
-      t.row({std::to_string(n), std::to_string(1 << n),
-             "2^" + std::to_string(lg), bench::ms(unbuf), bench::ms(buf), bench::ms(opt)});
-    }
+  const std::vector<cube::word> lgs{10, 13, 16};
+  const auto rows = bench::parallel_sweep(lgs.size() * 6, [&](std::size_t i) {
+    const cube::word lg = lgs[i / 6];
+    const int n = static_cast<int>(i % 6) + 1;
+    return std::array<double, 3>{run_conversion(n, lg, comm::BufferPolicy::unbuffered()),
+                                 run_conversion(n, lg, comm::BufferPolicy::buffered()),
+                                 run_conversion(n, lg, comm::BufferPolicy::optimal(b_copy))};
+  });
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const cube::word lg = lgs[i / 6];
+    const int n = static_cast<int>(i % 6) + 1;
+    t.row({std::to_string(n), std::to_string(1 << n), "2^" + std::to_string(lg),
+           bench::ms(rows[i][0]), bench::ms(rows[i][1]), bench::ms(rows[i][2])});
   }
   t.print("Figure 10: one-dimensional (col-cyclic) transpose on the iPSC model");
   std::printf("optimal policy sends runs of >= %llu elements directly (B_copy)\n",

@@ -21,17 +21,18 @@ double run_with_threshold(int n, int pq_log2, cube::word threshold) {
   comm::RearrangeOptions opt;
   opt.policy = comm::BufferPolicy::optimal(threshold);
   const auto prog = core::transpose_1d(before, after, n, opt);
-  const auto init = core::transpose_initial_memory(before, n, prog.local_slots);
-  return bench::simulate(prog, sim::MachineParams::ipsc(n), init).total_time;
+  return bench::simulated_time(prog, sim::MachineParams::ipsc(n));
 }
 
 void print_series() {
   bench::Table t({"B_copy(elements)", "n=4_ms", "n=5_ms", "n=6_ms"});
-  for (const cube::word b : {cube::word{1}, cube::word{4}, cube::word{16}, cube::word{64},
-                             cube::word{139}, cube::word{256}, cube::word{1024},
-                             cube::word{1} << 20}) {
-    t.row({std::to_string(b), bench::ms(run_with_threshold(4, 15, b)),
-           bench::ms(run_with_threshold(5, 15, b)), bench::ms(run_with_threshold(6, 15, b))});
+  const std::vector<cube::word> bs{1, 4, 16, 64, 139, 256, 1024, cube::word{1} << 20};
+  const auto times = bench::parallel_sweep(bs.size() * 3, [&](std::size_t i) {
+    return run_with_threshold(4 + static_cast<int>(i % 3), 15, bs[i / 3]);
+  });
+  for (std::size_t r = 0; r < bs.size(); ++r) {
+    t.row({std::to_string(bs[r]), bench::ms(times[r * 3 + 0]), bench::ms(times[r * 3 + 1]),
+           bench::ms(times[r * 3 + 2])});
   }
   t.print("Figure 11: sensitivity to the minimum unbuffered message size (2^15 elements)");
   std::printf("analytic optimum B_copy = tau/t_copy = %.0f elements\n",

@@ -5,6 +5,8 @@
 // Shape to reproduce: for sufficiently small cubes (or large data sets)
 // the two schemes coincide (speedup -> 1); for large cubes with small
 // blocks the optimal scheme wins increasingly.
+#include <array>
+
 #include "analysis/cost_model.hpp"
 #include "bench_common.hpp"
 #include "core/transpose1d.hpp"
@@ -21,21 +23,23 @@ double run_conv(int n, int pq_log2, const comm::BufferPolicy& policy) {
   comm::RearrangeOptions opt;
   opt.policy = policy;
   const auto prog = core::transpose_1d(before, after, n, opt);
-  const auto init = core::transpose_initial_memory(before, n, prog.local_slots);
-  return bench::simulate(prog, sim::MachineParams::ipsc(n), init).total_time;
+  return bench::simulated_time(prog, sim::MachineParams::ipsc(n));
 }
 
 void print_series() {
   const cube::word b_copy = static_cast<cube::word>(
       analysis::optimal_copy_threshold(sim::MachineParams::ipsc(5)));
   bench::Table t({"elements", "n", "unbuffered_ms", "optimal_ms", "speedup"});
-  for (const int lg : {12, 15, 18}) {
-    for (int n = 2; n <= 7; ++n) {
-      const double u = run_conv(n, lg, comm::BufferPolicy::unbuffered());
-      const double o = run_conv(n, lg, comm::BufferPolicy::optimal(b_copy));
-      t.row({"2^" + std::to_string(lg), std::to_string(n), bench::ms(u), bench::ms(o),
-             bench::num(u / o)});
-    }
+  const std::vector<int> lgs{12, 15, 18};
+  const auto rows = bench::parallel_sweep(lgs.size() * 6, [&](std::size_t i) {
+    const int lg = lgs[i / 6];
+    const int n = 2 + static_cast<int>(i % 6);
+    return std::array<double, 2>{run_conv(n, lg, comm::BufferPolicy::unbuffered()),
+                                 run_conv(n, lg, comm::BufferPolicy::optimal(b_copy))};
+  });
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    t.row({"2^" + std::to_string(lgs[i / 6]), std::to_string(2 + static_cast<int>(i % 6)),
+           bench::ms(rows[i][0]), bench::ms(rows[i][1]), bench::num(rows[i][0] / rows[i][1])});
   }
   t.print("Figure 12: speedup of optimum buffering over unbuffered communication");
 }

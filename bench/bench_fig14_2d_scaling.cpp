@@ -15,49 +15,71 @@ namespace {
 
 using namespace nct;
 
-double run(int n, int pq_log2, bool direct) {
+sim::Program plan(int n, int pq_log2, bool direct) {
   const int half = n / 2;
   const int p = pq_log2 / 2, q = pq_log2 - p;
   const cube::MatrixShape s{p, q};
   const auto before = cube::PartitionSpec::two_dim_consecutive(s, half, half);
   const auto after = cube::PartitionSpec::two_dim_consecutive(s.transposed(), half, half);
-  auto machine = sim::MachineParams::ipsc(n);
-  const auto prog = direct ? core::transpose_2d_direct(before, after, machine)
-                           : core::transpose_2d_stepwise(before, after, machine);
-  const auto init = core::transpose_initial_memory(before, n, prog.local_slots);
-  return bench::simulate(prog, machine, init).total_time;
+  const auto machine = sim::MachineParams::ipsc(n);
+  return direct ? core::transpose_2d_direct(before, after, machine)
+                : core::transpose_2d_stepwise(before, after, machine);
+}
+
+double run(int n, int pq_log2, bool direct) {
+  return bench::simulated_time(plan(n, pq_log2, direct), sim::MachineParams::ipsc(n));
 }
 
 void print_series() {
-  {
+  const std::vector<int> lgs{8, 10, 12, 14, 16};
+  const std::vector<int> ns{2, 4, 6, 8};
+  for (const bool direct : {false, true}) {
+    const auto times = bench::parallel_sweep(lgs.size() * ns.size(), [&](std::size_t i) {
+      return run(ns[i % ns.size()], lgs[i / ns.size()], direct);
+    });
     bench::Table t({"elements", "n=2_ms", "n=4_ms", "n=6_ms", "n=8_ms"});
-    for (const int lg : {8, 10, 12, 14, 16}) {
-      t.row({"2^" + std::to_string(lg), bench::ms(run(2, lg, false)),
-             bench::ms(run(4, lg, false)), bench::ms(run(6, lg, false)),
-             bench::ms(run(8, lg, false))});
+    for (std::size_t r = 0; r < lgs.size(); ++r) {
+      t.row({"2^" + std::to_string(lgs[r]), bench::ms(times[r * ns.size() + 0]),
+             bench::ms(times[r * ns.size() + 1]), bench::ms(times[r * ns.size() + 2]),
+             bench::ms(times[r * ns.size() + 3])});
     }
-    t.print("Figure 14a: 2D stepwise SPT transpose vs cube and matrix size (iPSC model)");
-  }
-  {
-    bench::Table t({"elements", "n=2_ms", "n=4_ms", "n=6_ms", "n=8_ms"});
-    for (const int lg : {8, 10, 12, 14, 16}) {
-      t.row({"2^" + std::to_string(lg), bench::ms(run(2, lg, true)),
-             bench::ms(run(4, lg, true)), bench::ms(run(6, lg, true)),
-             bench::ms(run(8, lg, true))});
-    }
-    t.print("Figure 14b: 2D transpose via routing logic (direct sends, iPSC model)");
+    t.print(direct
+                ? "Figure 14b: 2D transpose via routing logic (direct sends, iPSC model)"
+                : "Figure 14a: 2D stepwise SPT transpose vs cube and matrix size (iPSC model)");
   }
 }
 
-void BM_Stepwise(benchmark::State& state) {
-  for (auto _ : state) benchmark::DoNotOptimize(run(static_cast<int>(state.range(0)), 12, false));
+// Stage benchmarks: planning cost and compiled timing-only execution
+// cost are reported separately (planning dominates end-to-end).
+void BM_StepwisePlan(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(plan(n, 12, false));
 }
-BENCHMARK(BM_Stepwise)->Arg(4)->Arg(6)->Arg(8);
+BENCHMARK(BM_StepwisePlan)->Arg(4)->Arg(6)->Arg(8);
 
-void BM_Direct(benchmark::State& state) {
-  for (auto _ : state) benchmark::DoNotOptimize(run(static_cast<int>(state.range(0)), 12, true));
+void BM_StepwiseTiming(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto machine = sim::MachineParams::ipsc(n);
+  const auto compiled = sim::compile(plan(n, 12, false), machine);
+  const sim::Engine engine(machine);
+  for (auto _ : state) benchmark::DoNotOptimize(engine.run_timing(compiled).total_time);
 }
-BENCHMARK(BM_Direct)->Arg(4)->Arg(6)->Arg(8);
+BENCHMARK(BM_StepwiseTiming)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_DirectPlan(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(plan(n, 12, true));
+}
+BENCHMARK(BM_DirectPlan)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_DirectTiming(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto machine = sim::MachineParams::ipsc(n);
+  const auto compiled = sim::compile(plan(n, 12, true), machine);
+  const sim::Engine engine(machine);
+  for (auto _ : state) benchmark::DoNotOptimize(engine.run_timing(compiled).total_time);
+}
+BENCHMARK(BM_DirectTiming)->Arg(4)->Arg(6)->Arg(8);
 
 }  // namespace
 

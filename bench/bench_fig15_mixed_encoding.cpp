@@ -32,27 +32,24 @@ Result run(int n, int pq_log2) {
   const auto machine = sim::MachineParams::ipsc(n);
   const auto naive = core::transpose_mixed_naive(before, inter, after);
   const auto combined = core::transpose_mixed_combined(before, after);
-  const double tn = bench::simulate(naive, machine,
-                                    core::transpose_initial_memory(before, n,
-                                                                   naive.local_slots))
-                        .total_time;
-  const double tcb = bench::simulate(combined, machine,
-                                     core::transpose_initial_memory(before, n,
-                                                                    combined.local_slots))
-                         .total_time;
+  const double tn = bench::simulated_time(naive, machine);
+  const double tcb = bench::simulated_time(combined, machine);
   return {tn, tcb, core::routing_steps(naive), core::routing_steps(combined)};
 }
 
 void print_series() {
   bench::Table t({"n", "elements", "naive_steps", "combined_steps", "naive_ms",
                   "combined_ms", "speedup"});
-  for (const int n : {2, 4, 6, 8}) {
-    for (const int lg : {10, 14}) {
-      const auto r = run(n, lg);
-      t.row({std::to_string(n), "2^" + std::to_string(lg), std::to_string(r.naive_steps),
-             std::to_string(r.combined_steps), bench::ms(r.naive), bench::ms(r.combined),
-             bench::num(r.naive / r.combined)});
-    }
+  const std::vector<int> ns{2, 4, 6, 8};
+  const std::vector<int> lgs{10, 14};
+  const auto rows = bench::parallel_sweep(ns.size() * lgs.size(), [&](std::size_t i) {
+    return run(ns[i / lgs.size()], lgs[i % lgs.size()]);
+  });
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    t.row({std::to_string(ns[i / lgs.size()]), "2^" + std::to_string(lgs[i % lgs.size()]),
+           std::to_string(r.naive_steps), std::to_string(r.combined_steps),
+           bench::ms(r.naive), bench::ms(r.combined), bench::num(r.naive / r.combined)});
   }
   t.print("Figure 15: mixed-encoding transpose, naive (2n-2 steps) vs combined (n steps)");
 }

@@ -21,8 +21,7 @@ double run_cm(int n) {
   const auto after = cube::PartitionSpec::two_dim_cyclic(s.transposed(), half, half);
   const auto machine = sim::MachineParams::cm(n);
   const auto prog = core::transpose_2d_direct(before, after, machine);
-  const auto init = core::transpose_initial_memory(before, n, prog.local_slots);
-  return bench::simulate(prog, machine, init).total_time;
+  return bench::simulated_time(prog, machine);
 }
 
 double run_ipsc_reference(int n) {
@@ -32,15 +31,18 @@ double run_ipsc_reference(int n) {
   const auto after = cube::PartitionSpec::two_dim_cyclic(s.transposed(), half, half);
   const auto machine = sim::MachineParams::ipsc(n);
   const auto prog = core::transpose_2d_direct(before, after, machine);
-  const auto init = core::transpose_initial_memory(before, n, prog.local_slots);
-  return bench::simulate(prog, machine, init).total_time;
+  return bench::simulated_time(prog, machine);
 }
 
 void print_series() {
   bench::Table t({"n", "processors", "matrix", "cm_us", "ipsc_ms", "cm_speedup"});
-  for (const int n : {4, 6, 8, 10, 12, 14}) {
-    const double cm = run_cm(n);
-    const double ip = run_ipsc_reference(n);
+  const std::vector<int> ns{4, 6, 8, 10, 12, 14};
+  const auto rows = bench::parallel_sweep(ns.size() * 2, [&](std::size_t i) {
+    return i % 2 ? run_ipsc_reference(ns[i / 2]) : run_cm(ns[i / 2]);
+  });
+  for (std::size_t r = 0; r < ns.size(); ++r) {
+    const int n = ns[r];
+    const double cm = rows[r * 2], ip = rows[r * 2 + 1];
     t.row({std::to_string(n), std::to_string(1 << n),
            std::to_string(1 << (n / 2)) + "x" + std::to_string(1 << (n / 2)),
            bench::us(cm), bench::ms(ip), bench::num(ip / cm, 0) + "x"});

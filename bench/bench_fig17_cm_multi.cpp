@@ -13,33 +13,49 @@ namespace {
 
 using namespace nct;
 
-double run_cm(int n, int elements_per_proc_log2) {
+sim::Program plan_cm(int n, int elements_per_proc_log2) {
   const int half = n / 2;
   const int extra = elements_per_proc_log2;
   const cube::MatrixShape s{half + (extra + 1) / 2, half + extra / 2};
   const auto before = cube::PartitionSpec::two_dim_cyclic(s, half, half);
   const auto after = cube::PartitionSpec::two_dim_cyclic(s.transposed(), half, half);
-  const auto machine = sim::MachineParams::cm(n);
-  const auto prog = core::transpose_2d_direct(before, after, machine);
-  const auto init = core::transpose_initial_memory(before, n, prog.local_slots);
-  return bench::simulate(prog, machine, init).total_time;
+  return core::transpose_2d_direct(before, after, sim::MachineParams::cm(n));
+}
+
+double run_cm(int n, int elements_per_proc_log2) {
+  return bench::simulated_time(plan_cm(n, elements_per_proc_log2),
+                               sim::MachineParams::cm(n));
 }
 
 void print_series() {
+  const std::vector<int> lgs{0, 1, 2, 3, 4, 5, 6};
+  const std::vector<int> ns{8, 10, 12};
+  const auto times = bench::parallel_sweep(lgs.size() * ns.size(), [&](std::size_t i) {
+    return run_cm(ns[i % ns.size()], lgs[i / ns.size()]);
+  });
   bench::Table t({"elems/proc", "n=8_us", "n=10_us", "n=12_us"});
-  for (const int lg : {0, 1, 2, 3, 4, 5, 6}) {
-    t.row({std::to_string(1 << lg), bench::us(run_cm(8, lg)), bench::us(run_cm(10, lg)),
-           bench::us(run_cm(12, lg))});
+  for (std::size_t r = 0; r < lgs.size(); ++r) {
+    t.row({std::to_string(1 << lgs[r]), bench::us(times[r * ns.size() + 0]),
+           bench::us(times[r * ns.size() + 1]), bench::us(times[r * ns.size() + 2])});
   }
   t.print("Figure 17: CM-model transpose, multiple elements per processor");
 }
 
-void BM_CmMulti(benchmark::State& state) {
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(run_cm(10, static_cast<int>(state.range(0))));
-  }
+// Stage benchmarks: planning cost vs compiled timing-only execution.
+void BM_CmMultiPlan(benchmark::State& state) {
+  const int lg = static_cast<int>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(plan_cm(10, lg));
 }
-BENCHMARK(BM_CmMulti)->Arg(2)->Arg(4)->Arg(6);
+BENCHMARK(BM_CmMultiPlan)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_CmMultiTiming(benchmark::State& state) {
+  const int lg = static_cast<int>(state.range(0));
+  const auto machine = sim::MachineParams::cm(10);
+  const auto compiled = sim::compile(plan_cm(10, lg), machine);
+  const sim::Engine engine(machine);
+  for (auto _ : state) benchmark::DoNotOptimize(engine.run_timing(compiled).total_time);
+}
+BENCHMARK(BM_CmMultiTiming)->Arg(2)->Arg(4)->Arg(6);
 
 }  // namespace
 

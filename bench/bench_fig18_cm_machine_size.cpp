@@ -20,15 +20,18 @@ double run_cm_fixed(int n, int pq_log2) {
   const auto after = cube::PartitionSpec::two_dim_cyclic(s.transposed(), half, half);
   const auto machine = sim::MachineParams::cm(n);
   const auto prog = core::transpose_2d_direct(before, after, machine);
-  const auto init = core::transpose_initial_memory(before, n, prog.local_slots);
-  return bench::simulate(prog, machine, init).total_time;
+  return bench::simulated_time(prog, machine);
 }
 
 void print_series() {
   bench::Table t({"n", "processors", "256x256_us", "128x128_us"});
-  for (const int n : {8, 10, 12, 14}) {
-    t.row({std::to_string(n), std::to_string(1 << n), bench::us(run_cm_fixed(n, 16)),
-           bench::us(run_cm_fixed(n, 14))});
+  const std::vector<int> ns{8, 10, 12, 14};
+  const auto rows = bench::parallel_sweep(ns.size() * 2, [&](std::size_t i) {
+    return run_cm_fixed(ns[i / 2], i % 2 ? 14 : 16);
+  });
+  for (std::size_t r = 0; r < ns.size(); ++r) {
+    t.row({std::to_string(ns[r]), std::to_string(1 << ns[r]), bench::us(rows[r * 2]),
+           bench::us(rows[r * 2 + 1])});
   }
   t.print("Figure 18: CM-model transpose of fixed matrices vs machine size");
 }

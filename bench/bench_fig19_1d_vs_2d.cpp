@@ -7,6 +7,8 @@
 // catches up for large cubes where the 1D scheme's extra start-ups and
 // copies bite; the analytic break-even N ~ c r / log^2 r grows with the
 // problem size.
+#include <array>
+
 #include "analysis/cost_model.hpp"
 #include "bench_common.hpp"
 #include "comm/rearrange.hpp"
@@ -25,9 +27,7 @@ double run_1d(int n, int pq_log2) {
   comm::RearrangeOptions opt;
   opt.policy = comm::BufferPolicy::optimal(139);
   const auto prog = core::transpose_1d(before, after, n, opt);
-  const auto machine = sim::MachineParams::ipsc(n);
-  const auto init = core::transpose_initial_memory(before, n, prog.local_slots);
-  return bench::simulate(prog, machine, init).total_time;
+  return bench::simulated_time(prog, sim::MachineParams::ipsc(n));
 }
 
 double run_2d(int n, int pq_log2) {
@@ -38,19 +38,21 @@ double run_2d(int n, int pq_log2) {
   const auto after = cube::PartitionSpec::two_dim_consecutive(s.transposed(), half, half);
   const auto machine = sim::MachineParams::ipsc(n);
   const auto prog = core::transpose_2d_stepwise(before, after, machine);
-  const auto init = core::transpose_initial_memory(before, n, prog.local_slots);
-  return bench::simulate(prog, machine, init).total_time;
+  return bench::simulated_time(prog, machine);
 }
 
 void print_series() {
   bench::Table t({"elements", "n", "1D_ms", "2D_ms", "2D/1D"});
-  for (const int lg : {12, 14, 16}) {
-    for (const int n : {2, 4, 6}) {
-      const double t1 = run_1d(n, lg);
-      const double t2 = run_2d(n, lg);
-      t.row({"2^" + std::to_string(lg), std::to_string(n), bench::ms(t1), bench::ms(t2),
-             bench::num(t2 / t1)});
-    }
+  const std::vector<int> lgs{12, 14, 16};
+  const std::vector<int> ns{2, 4, 6};
+  const auto rows = bench::parallel_sweep(lgs.size() * ns.size(), [&](std::size_t i) {
+    const int lg = lgs[i / ns.size()];
+    const int n = ns[i % ns.size()];
+    return std::array<double, 2>{run_1d(n, lg), run_2d(n, lg)};
+  });
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    t.row({"2^" + std::to_string(lgs[i / ns.size()]), std::to_string(ns[i % ns.size()]),
+           bench::ms(rows[i][0]), bench::ms(rows[i][1]), bench::num(rows[i][1] / rows[i][0])});
   }
   t.print("Figure 19: 1D vs 2D partitioned transpose on the iPSC model");
 

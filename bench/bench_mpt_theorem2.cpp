@@ -23,8 +23,7 @@ double run_mpt(const sim::MachineParams& machine, int pq_log2) {
   const auto before = cube::PartitionSpec::two_dim_cyclic(s, half, half);
   const auto after = cube::PartitionSpec::two_dim_cyclic(s.transposed(), half, half);
   const auto prog = core::transpose_mpt(before, after, machine);
-  const auto init = core::transpose_initial_memory(before, machine.n, prog.local_slots);
-  return bench::simulate(prog, machine, init).total_time;
+  return bench::simulated_time(prog, machine);
 }
 
 void print_series() {
@@ -35,15 +34,22 @@ void print_series() {
     int n;
     double tau;
   };
-  for (const Cfg cfg : {Cfg{6, 1.0}, Cfg{6, 1e-2}, Cfg{6, 2e-4}, Cfg{6, 1e-6},
-                        Cfg{4, 1e-3}, Cfg{8, 1e-3}}) {
+  const std::vector<Cfg> cfgs{Cfg{6, 1.0}, Cfg{6, 1e-2}, Cfg{6, 2e-4}, Cfg{6, 1e-6},
+                              Cfg{4, 1e-3}, Cfg{8, 1e-3}};
+  const auto times = bench::parallel_sweep(cfgs.size(), [&](std::size_t i) {
+    auto m = sim::MachineParams::nport(cfgs[i].n, cfgs[i].tau, 1e-6);
+    m.element_bytes = 1;
+    return run_mpt(m, pq_log2);
+  });
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    const Cfg cfg = cfgs[i];
     auto m = sim::MachineParams::nport(cfg.n, cfg.tau, 1e-6);
     m.element_bytes = 1;
     const double r1 = std::sqrt(pq * m.element_tc() / (static_cast<double>(m.nodes()) * m.tau));
     const double r2 = r1 / std::sqrt(2.0);
     const char* regime = (m.n >= r1) ? "startup" : (m.n > r2 ? "middle" : "transfer");
     t.row({std::to_string(cfg.n), bench::num(cfg.tau, 6), regime,
-           bench::ms(analysis::mpt_min_time(m, pq)), bench::ms(run_mpt(m, pq_log2)),
+           bench::ms(analysis::mpt_min_time(m, pq)), bench::ms(times[i]),
            bench::num(analysis::mpt_optimal_packet(m, pq), 0)});
   }
   t.print("Theorem 2: MPT regimes, analytic T_min vs simulated (2^14 elements)");

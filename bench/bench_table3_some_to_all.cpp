@@ -2,6 +2,9 @@
 // communication with k splitting steps and l all-to-all steps, one-port
 // and n-port, compared against the simulated optimal-order rearrangement
 // (Theorem 1: splits first).
+#include <array>
+#include <utility>
+
 #include "analysis/cost_model.hpp"
 #include "bench_common.hpp"
 #include "comm/rearrange.hpp"
@@ -24,8 +27,7 @@ double simulate_some_to_all(int k, int l, int pq_log2, comm::SplitTiming timing)
   auto machine = sim::MachineParams::ipsc(n);
   machine.tcopy = 0.0;
   const auto prog = comm::convert_storage(before, after, n, opt);
-  const auto init = comm::spec_memory(before, n, prog.local_slots);
-  return bench::simulate(prog, machine, init).total_time;
+  return bench::simulated_time(prog, machine);
 }
 
 void print_series() {
@@ -33,17 +35,23 @@ void print_series() {
   const double pq = static_cast<double>(1 << pq_log2);
   bench::Table t({"k", "l", "one_port_model_ms", "n_port_model_ms", "sim_optimal_ms",
                   "sim_pessimal_ms"});
-  for (const auto& [k, l] : {std::pair{1, 3}, std::pair{2, 2}, std::pair{3, 1},
-                            std::pair{4, 0}, std::pair{0, 4}, std::pair{2, 4},
-                            std::pair{4, 2}}) {
+  const std::vector<std::pair<int, int>> kls{{1, 3}, {2, 2}, {3, 1}, {4, 0},
+                                             {0, 4}, {2, 4}, {4, 2}};
+  const auto rows = bench::parallel_sweep(kls.size(), [&](std::size_t i) {
+    const auto [k, l] = kls[i];
+    return std::array<double, 2>{
+        simulate_some_to_all(k, l, pq_log2, comm::SplitTiming::optimal),
+        simulate_some_to_all(k, l, pq_log2, comm::SplitTiming::pessimal)};
+  });
+  for (std::size_t i = 0; i < kls.size(); ++i) {
+    const auto [k, l] = kls[i];
     const auto one = sim::MachineParams::ipsc(k + l);
     auto nport = sim::MachineParams::ipsc(k + l);
     nport.port = sim::PortModel::n_port;
     t.row({std::to_string(k), std::to_string(l),
            bench::ms(analysis::some_to_all_time_one_port(one, pq, k, l)),
            bench::ms(analysis::some_to_all_time_n_port(nport, pq, k, l)),
-           bench::ms(simulate_some_to_all(k, l, pq_log2, comm::SplitTiming::optimal)),
-           bench::ms(simulate_some_to_all(k, l, pq_log2, comm::SplitTiming::pessimal))});
+           bench::ms(rows[i][0]), bench::ms(rows[i][1])});
   }
   t.print("Table 3: some-to-all personalized communication (2^l -> 2^{k+l} processors)");
   std::printf("Theorem 1: the optimal order (splits first, gathers last) should never\n"

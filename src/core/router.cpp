@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
-#include <map>
 #include <stdexcept>
+#include <tuple>
 
 namespace nct::core {
 
@@ -101,6 +101,27 @@ sim::Program route_elements(int n, const sim::Memory& initial,
   prog.n = n;
   prog.local_slots = capacity;
 
+  // dest() is a pure function of the element address but gets consulted
+  // several times per element per phase; resolve it once per element up
+  // front.  Element addresses are dense (matrix addresses), so a flat
+  // table indexed by address suffices.
+  word max_element = 0;
+  std::size_t n_elements = 0;
+  for (const auto& mem : model) {
+    for (const word e : mem) {
+      if (e == sim::kEmptySlot) continue;
+      ++n_elements;
+      max_element = std::max(max_element, e);
+    }
+  }
+  std::vector<Placement> placement(n_elements ? static_cast<std::size_t>(max_element) + 1
+                                              : 0);
+  for (const auto& mem : model) {
+    for (const word e : mem) {
+      if (e != sim::kEmptySlot) placement[static_cast<std::size_t>(e)] = dest(e);
+    }
+  }
+
   for (std::size_t pi = 0; pi < schedule.size(); ++pi) {
     const auto& dims = schedule[pi];
     sim::Phase phase;
@@ -115,11 +136,12 @@ sim::Program route_elements(int n, const sim::Memory& initial,
       word element;
     };
     std::vector<Move> moves;
+    moves.reserve(n_elements);
     for (word x = 0; x < nnodes; ++x) {
       for (word s = 0; s < capacity; ++s) {
         const word e = model[static_cast<std::size_t>(x)][static_cast<std::size_t>(s)];
         if (e == sim::kEmptySlot) continue;
-        const word y = dest(e).node;
+        const word y = placement[static_cast<std::size_t>(e)].node;
         word cur = x;
         for (const int d : dims) {
           if (cube::get_bit(cur, d) != cube::get_bit(y, d)) cur = cube::flip_bit(cur, d);
@@ -139,25 +161,33 @@ sim::Program route_elements(int n, const sim::Memory& initial,
     // slot.
     std::vector<word> next_free(static_cast<std::size_t>(nnodes), 0);
     // (node, slot) -> taken this phase, tracked via the model itself.
-    // Group per (src, dst) with slots ascending for run detection.
-    std::map<std::pair<word, word>, std::vector<std::pair<sim::slot, word>>> groups;
-    for (const Move& m : moves) {
-      groups[{m.from_node, m.to_node}].push_back({m.from_slot, m.element});
-    }
-    for (auto& [key, items] : groups) {
-      const auto [x, y] = key;
-      std::sort(items.begin(), items.end());
+    // Group per (src, dst) with slots ascending for run detection; sends
+    // are emitted in ascending (src, dst) order.
+    std::sort(moves.begin(), moves.end(), [](const Move& a, const Move& b) {
+      return std::tie(a.from_node, a.to_node, a.from_slot) <
+             std::tie(b.from_node, b.to_node, b.from_slot);
+    });
+    for (std::size_t gi = 0; gi < moves.size();) {
+      std::size_t ge = gi + 1;
+      while (ge < moves.size() && moves[ge].from_node == moves[gi].from_node &&
+             moves[ge].to_node == moves[gi].to_node) {
+        ++ge;
+      }
+      const word x = moves[gi].from_node;
+      const word y = moves[gi].to_node;
       std::vector<int> route;
+      route.reserve(dims.size());
       for (const int d : dims) {
         if (cube::get_bit(x, d) != cube::get_bit(y, d)) route.push_back(d);
       }
       assert(!route.empty());
       std::vector<sim::slot> src, dst;
-      src.reserve(items.size());
-      dst.reserve(items.size());
+      src.reserve(ge - gi);
+      dst.reserve(ge - gi);
       auto& ymem = model[static_cast<std::size_t>(y)];
-      for (const auto& [s, e] : items) {
-        const Placement p = dest(e);
+      for (std::size_t mi = gi; mi < ge; ++mi) {
+        const sim::slot s = moves[mi].from_slot;
+        const Placement p = placement[static_cast<std::size_t>(moves[mi].element)];
         word t;
         if (p.node == y && p.slot < capacity &&
             ymem[static_cast<std::size_t>(p.slot)] == sim::kEmptySlot) {
@@ -170,12 +200,13 @@ sim::Program route_elements(int n, const sim::Memory& initial,
                                      "increase slot_headroom_factor");
           t = nf;
         }
-        ymem[static_cast<std::size_t>(t)] = e;
+        ymem[static_cast<std::size_t>(t)] = moves[mi].element;
         src.push_back(s);
         dst.push_back(t);
       }
       emit_group_sends(phase, x, y, route, std::move(src), std::move(dst), options.policy,
                        options.element_bytes);
+      gi = ge;
     }
     prog.phases.push_back(std::move(phase));
   }
@@ -189,7 +220,7 @@ sim::Program route_elements(int n, const sim::Memory& initial,
       for (word s = 0; s < capacity; ++s) {
         const word e = model[static_cast<std::size_t>(x)][static_cast<std::size_t>(s)];
         if (e == sim::kEmptySlot) continue;
-        const Placement p = dest(e);
+        const Placement p = placement[static_cast<std::size_t>(e)];
         assert(p.node == x && "element did not reach its node; bad schedule");
         if (p.slot != s) {
           src.push_back(s);

@@ -86,6 +86,7 @@ sim::Program pipelined_transpose(
     // packet index w*np + p.
     const word B = std::max<word>(1, packet_elements);
     const word total_packets = (L + B - 1) / B;
+    packets.reserve(packets.size() + static_cast<std::size_t>(total_packets));
     for (word i = 0; i < total_packets; ++i) {
       Packet pk;
       pk.src = x;
@@ -111,11 +112,14 @@ sim::Program pipelined_transpose(
     dst_tables[static_cast<std::size_t>(x)] = destination_slots(before, after, x);
   }
 
+  phase.sends.reserve(packets.size());
   for (const Packet& pk : packets) {
     sim::SendOp op;
     op.src = pk.src;
     op.route = *pk.route;
     const auto& dt = dst_tables[static_cast<std::size_t>(pk.src)];
+    op.src_slots.reserve(static_cast<std::size_t>(pk.count));
+    op.dst_slots.reserve(static_cast<std::size_t>(pk.count));
     for (word s = pk.first; s < pk.first + pk.count; ++s) {
       op.src_slots.push_back(s);
       op.dst_slots.push_back(dt[static_cast<std::size_t>(s)]);

@@ -1,0 +1,448 @@
+#include "sim/compile.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "cube/bits.hpp"
+#include "sim/engine.hpp"
+#include "topology/hypercube.hpp"
+
+namespace nct::sim {
+
+namespace {
+
+std::string node_slot_str(word node, slot s) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "node %llu slot %llu",
+                static_cast<unsigned long long>(node), static_cast<unsigned long long>(s));
+  return buf;
+}
+
+[[noreturn]] void fail_slot(const char* what, word node, slot s) {
+  throw ProgramError(std::string(what) + node_slot_str(node, s));
+}
+
+/// Timing-relevant machine parameters must match between compile time and
+/// run time or the precomputed costs are stale.
+bool same_machine(const MachineParams& a, const MachineParams& b) noexcept {
+  return a.n == b.n && a.tau == b.tau && a.tc == b.tc && a.tcopy == b.tcopy &&
+         a.max_packet_bytes == b.max_packet_bytes && a.element_bytes == b.element_bytes &&
+         a.port == b.port && a.switching == b.switching;
+}
+
+/// A message in flight through the compiled timing loop.  Mirrors the
+/// interpreted engine's Packet minus the pointer chasing: the send record
+/// and link pool are addressed by index.
+struct FastPacket {
+  double ready = 0.0;
+  std::uint64_t seq = 0;
+  std::uint32_t send = 0;
+  std::uint32_t hop = 0;
+};
+
+/// Identical ordering to the interpreted engine's PacketOrder, so the
+/// heap pops in the same sequence and simulated times are bit-identical.
+struct FastOrder {
+  bool operator()(const FastPacket& a, const FastPacket& b) const {
+    if (a.ready != b.ready) return a.ready > b.ready;  // min-heap on time
+    if (a.seq != b.seq) return a.seq > b.seq;
+    return a.hop > b.hop;
+  }
+};
+
+/// Shared executor for data mode and timing-only mode.  The event heap
+/// and all availability arrays are allocated once per run and reused
+/// across phases (the interpreted path rebuilds its priority_queue per
+/// phase); in timing-only mode no memory image is touched at all.
+template <bool kData>
+RunResult run_compiled(const MachineParams& params, const EngineOptions& options,
+                       const CompiledProgram& cp, Memory initial) {
+  const word nnodes = cp.nodes();
+  RunResult result;
+  if constexpr (kData) {
+    if (initial.size() != nnodes) throw ProgramError("initial memory has wrong node count");
+    for (const auto& m : initial) {
+      if (m.size() != cp.local_slots()) throw ProgramError("node memory has wrong slot count");
+    }
+    result.memory = std::move(initial);
+  }
+
+  const auto& phases = cp.phases();
+  const auto& sends = cp.send_ops();
+  const auto& copies = cp.copy_ops();
+  const auto& stages = cp.stage_ops();
+  const auto& slot_pool = cp.slot_pool();
+  const auto& link_pool = cp.link_pool();
+
+  const std::size_t nlinks =
+      static_cast<std::size_t>(nnodes) * static_cast<std::size_t>(std::max(params.n, 1));
+  std::vector<double> link_free(nlinks, 0.0);
+  std::vector<double> link_busy_total(nlinks, 0.0);
+  std::vector<double> send_free(static_cast<std::size_t>(nnodes), 0.0);
+  std::vector<double> recv_free(static_cast<std::size_t>(nnodes), 0.0);
+  std::vector<double> node_done(static_cast<std::size_t>(nnodes), 0.0);
+  if (options.record_link_trace) result.link_trace.resize(nlinks);
+
+  std::vector<FastPacket> heap;  // reusable event arena, cleared per phase
+  std::vector<word> payload;     // data mode: per-phase payload arena
+  std::vector<word> copy_vals;   // data mode: copy-op scratch
+  if constexpr (kData) payload.resize(cp.max_phase_payload());
+
+  const bool one_port = params.port == PortModel::one_port;
+  const bool cut_through = params.switching == Switching::cut_through;
+
+  double clock = 0.0;
+  std::uint64_t global_seq = 0;
+
+  auto apply_copy = [&](const CompiledCopy& c) {
+    auto& local = result.memory[static_cast<std::size_t>(c.node)];
+    copy_vals.resize(c.count);
+    const slot* src = slot_pool.data() + c.slot_off;
+    const slot* dst = src + c.count;
+    for (std::uint32_t i = 0; i < c.count; ++i) {
+      const word v = local[static_cast<std::size_t>(src[i])];
+      if (v == kEmptySlot) fail_slot("copy reads empty ", c.node, src[i]);
+      copy_vals[i] = v;
+    }
+    for (std::uint32_t i = 0; i < c.count; ++i)
+      local[static_cast<std::size_t>(src[i])] = kEmptySlot;
+    for (std::uint32_t i = 0; i < c.count; ++i)
+      local[static_cast<std::size_t>(dst[i])] = copy_vals[i];
+  };
+
+  for (const CompiledPhase& ph : phases) {
+    PhaseStats stats;
+    stats.label = ph.label;
+    stats.start = clock;
+
+    std::fill(node_done.begin(), node_done.end(), clock);
+
+    // 1. Pre-copies.
+    for (std::uint32_t i = ph.pre_copy_begin; i < ph.pre_copy_end; ++i) {
+      const CompiledCopy& c = copies[i];
+      if constexpr (kData) apply_copy(c);
+      if (c.charged) node_done[static_cast<std::size_t>(c.node)] += c.cost;
+    }
+
+    // 2. Staging charges.
+    for (std::uint32_t i = ph.stage_begin; i < ph.stage_end; ++i) {
+      node_done[static_cast<std::size_t>(stages[i].node)] += stages[i].cost;
+    }
+
+    // 3. Data movement.  Reading every payload before emptying any source
+    // slot reproduces the interpreted engine's snapshot semantics without
+    // copying the whole memory image.
+    if constexpr (kData) {
+      Memory& mem = result.memory;
+      for (std::uint32_t k = ph.send_begin; k < ph.send_end; ++k) {
+        const CompiledSend& s = sends[k];
+        const auto& local = mem[static_cast<std::size_t>(s.src)];
+        const slot* src = slot_pool.data() + s.slot_off;
+        for (std::uint32_t i = 0; i < s.count; ++i) {
+          const word v = local[static_cast<std::size_t>(src[i])];
+          if (v == kEmptySlot) fail_slot("send reads empty ", s.src, src[i]);
+          payload[s.payload_off + i] = v;
+        }
+      }
+      for (std::uint32_t k = ph.send_begin; k < ph.send_end; ++k) {
+        const CompiledSend& s = sends[k];
+        if (s.keep_source) continue;
+        auto& local = mem[static_cast<std::size_t>(s.src)];
+        const slot* src = slot_pool.data() + s.slot_off;
+        for (std::uint32_t i = 0; i < s.count; ++i)
+          local[static_cast<std::size_t>(src[i])] = kEmptySlot;
+      }
+      for (std::uint32_t k = ph.send_begin; k < ph.send_end; ++k) {
+        const CompiledSend& s = sends[k];
+        auto& local = mem[static_cast<std::size_t>(s.dst)];
+        const slot* dst = slot_pool.data() + s.slot_off + s.count;
+        for (std::uint32_t i = 0; i < s.count; ++i)
+          local[static_cast<std::size_t>(dst[i])] = payload[s.payload_off + i];
+      }
+    }
+
+    // 4. Timing: event-driven with link and port contention.
+    heap.clear();
+    for (std::uint32_t k = ph.send_begin; k < ph.send_end; ++k) {
+      heap.push_back(FastPacket{node_done[static_cast<std::size_t>(sends[k].src)],
+                                global_seq++, k, 0});
+      std::push_heap(heap.begin(), heap.end(), FastOrder{});
+    }
+    stats.sends = ph.sends;
+    stats.elements = ph.elements;
+    stats.hops = ph.hops;
+    result.total_sends += stats.sends;
+    result.total_elements += stats.elements;
+    result.total_hops += stats.hops;
+
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), FastOrder{});
+      FastPacket p = heap.back();
+      heap.pop_back();
+      const CompiledSend& s = sends[p.send];
+
+      if (cut_through) {
+        double start = p.ready;
+        const std::uint32_t* links = link_pool.data() + s.link_off;
+        for (std::uint32_t i = 0; i < s.route_len; ++i)
+          start = std::max(start, link_free[links[i]]);
+        if (one_port) {
+          start = std::max(start, send_free[static_cast<std::size_t>(s.src)]);
+          start = std::max(start, recv_free[static_cast<std::size_t>(s.dst)]);
+        }
+        const double arrive =
+            start + static_cast<double>(s.route_len) * params.tau + s.serialise;
+        for (std::uint32_t i = 0; i < s.route_len; ++i) {
+          const double lstart = start + static_cast<double>(i) * params.tau;
+          const double lend = lstart + params.tau + s.serialise;
+          link_free[links[i]] = lend;
+          link_busy_total[links[i]] += lend - lstart;
+          if (options.record_link_trace)
+            result.link_trace[links[i]].push_back({lstart, lend, p.seq});
+        }
+        if (one_port) {
+          send_free[static_cast<std::size_t>(s.src)] = start + params.tau + s.serialise;
+          recv_free[static_cast<std::size_t>(s.dst)] = arrive;
+        }
+        node_done[static_cast<std::size_t>(s.dst)] =
+            std::max(node_done[static_cast<std::size_t>(s.dst)], arrive);
+        stats.end = std::max(stats.end, arrive);
+        continue;
+      }
+
+      // Store-and-forward: one hop at a time.
+      const std::size_t li = link_pool[s.link_off + p.hop];
+      const bool first_hop = p.hop == 0;
+      const bool last_hop = p.hop + 1 == s.route_len;
+
+      double start = std::max(p.ready, link_free[li]);
+      if (one_port && first_hop)
+        start = std::max(start, send_free[static_cast<std::size_t>(s.src)]);
+      if (one_port && last_hop)
+        start = std::max(start, recv_free[static_cast<std::size_t>(s.dst)]);
+
+      const double end = start + s.hop_cost;
+      link_free[li] = end;
+      link_busy_total[li] += end - start;
+      if (options.record_link_trace) result.link_trace[li].push_back({start, end, p.seq});
+      if (one_port && first_hop) send_free[static_cast<std::size_t>(s.src)] = end;
+      if (one_port && last_hop) recv_free[static_cast<std::size_t>(s.dst)] = end;
+
+      if (last_hop) {
+        node_done[static_cast<std::size_t>(s.dst)] =
+            std::max(node_done[static_cast<std::size_t>(s.dst)], end);
+        stats.end = std::max(stats.end, end);
+      } else {
+        p.hop += 1;
+        p.ready = end;
+        heap.push_back(p);
+        std::push_heap(heap.begin(), heap.end(), FastOrder{});
+      }
+    }
+
+    // 5. Scatter charges.
+    for (std::uint32_t i = ph.post_stage_begin; i < ph.post_stage_end; ++i) {
+      node_done[static_cast<std::size_t>(stages[i].node)] += stages[i].cost;
+    }
+
+    // 6. Post-copies.
+    for (std::uint32_t i = ph.post_copy_begin; i < ph.post_copy_end; ++i) {
+      const CompiledCopy& c = copies[i];
+      if constexpr (kData) apply_copy(c);
+      if (c.charged) node_done[static_cast<std::size_t>(c.node)] += c.cost;
+    }
+
+    stats.copy_time = ph.copy_time;
+    for (const double t : node_done) stats.end = std::max(stats.end, t);
+    stats.end = std::max(stats.end, stats.start);
+    clock = stats.end;
+    result.total_copy_time += stats.copy_time;
+    result.phases.push_back(std::move(stats));
+
+    std::fill(link_free.begin(), link_free.end(), clock);
+    std::fill(send_free.begin(), send_free.end(), clock);
+    std::fill(recv_free.begin(), recv_free.end(), clock);
+  }
+
+  result.total_time = clock;
+  result.max_link_busy =
+      link_busy_total.empty()
+          ? 0.0
+          : *std::max_element(link_busy_total.begin(), link_busy_total.end());
+  return result;
+}
+
+}  // namespace
+
+CompiledProgram compile(const Program& program, const MachineParams& machine) {
+  if (program.n != machine.n) throw ProgramError("program/machine dimension mismatch");
+
+  CompiledProgram cp;
+  cp.n_ = program.n;
+  cp.local_slots_ = program.local_slots;
+  cp.machine_ = machine;
+
+  const word nnodes = program.nodes();
+  const word nslots = program.local_slots;
+
+  std::size_t n_sends = 0, n_copies = 0, n_stages = 0, n_slots = 0, n_links = 0;
+  for (const Phase& ph : program.phases) {
+    n_sends += ph.sends.size();
+    n_copies += ph.pre_copies.size() + ph.post_copies.size();
+    n_stages += ph.stage.size() + ph.post_stage.size();
+    for (const SendOp& op : ph.sends) {
+      n_slots += 2 * op.src_slots.size();
+      n_links += op.route.size();
+    }
+    for (const CopyOp& op : ph.pre_copies) n_slots += 2 * op.src_slots.size();
+    for (const CopyOp& op : ph.post_copies) n_slots += 2 * op.src_slots.size();
+  }
+  cp.phases_.reserve(program.phases.size());
+  cp.sends_.reserve(n_sends);
+  cp.copies_.reserve(n_copies);
+  cp.stages_.reserve(n_stages);
+  cp.slot_pool_.reserve(n_slots);
+  cp.link_pool_.reserve(n_links);
+
+  // Epoch-stamped delivery map: detects double delivery within a phase
+  // without an O(nodes * slots) clear per phase.
+  std::vector<std::uint32_t> delivered(
+      static_cast<std::size_t>(nnodes) * static_cast<std::size_t>(nslots), 0);
+  std::uint32_t epoch = 0;
+
+  const auto pack_copy = [&](const CopyOp& op) {
+    if (op.src_slots.size() != op.dst_slots.size())
+      throw ProgramError("copy op slot count mismatch");
+    if (op.node >= nnodes) throw ProgramError("copy op node out of range");
+    CompiledCopy c;
+    c.node = op.node;
+    c.slot_off = static_cast<std::uint32_t>(cp.slot_pool_.size());
+    c.count = static_cast<std::uint32_t>(op.src_slots.size());
+    c.charged = op.charged;
+    if (op.charged)
+      c.cost = static_cast<double>(op.elements()) * machine.element_tcopy();
+    for (const slot s : op.src_slots) {
+      if (s >= nslots) throw ProgramError("copy src slot out of range");
+      cp.slot_pool_.push_back(s);
+    }
+    for (const slot s : op.dst_slots) {
+      if (s >= nslots) throw ProgramError("copy dst slot out of range");
+      cp.slot_pool_.push_back(s);
+    }
+    cp.copies_.push_back(c);
+  };
+
+  const auto pack_stage = [&](const StageOp& op, const char* kind) {
+    if (op.node >= nnodes) throw ProgramError(std::string(kind) + " op node out of range");
+    cp.stages_.push_back(
+        CompiledStage{op.node, static_cast<double>(op.bytes) * machine.tcopy});
+  };
+
+  for (const Phase& phase : program.phases) {
+    CompiledPhase ph;
+    ph.label = phase.label;
+
+    ph.pre_copy_begin = static_cast<std::uint32_t>(cp.copies_.size());
+    for (const CopyOp& op : phase.pre_copies) {
+      pack_copy(op);
+      if (op.charged) ph.copy_time += cp.copies_.back().cost;
+    }
+    ph.pre_copy_end = static_cast<std::uint32_t>(cp.copies_.size());
+
+    ph.stage_begin = static_cast<std::uint32_t>(cp.stages_.size());
+    for (const StageOp& op : phase.stage) {
+      pack_stage(op, "stage");
+      ph.copy_time += cp.stages_.back().cost;
+    }
+    ph.stage_end = static_cast<std::uint32_t>(cp.stages_.size());
+
+    ph.send_begin = static_cast<std::uint32_t>(cp.sends_.size());
+    ++epoch;
+    std::uint32_t payload_off = 0;
+    for (const SendOp& op : phase.sends) {
+      if (op.src >= nnodes) throw ProgramError("send src out of range");
+      if (op.route.empty()) throw ProgramError("send with empty route");
+      if (op.src_slots.size() != op.dst_slots.size())
+        throw ProgramError("send slot count mismatch");
+
+      CompiledSend s;
+      s.src = op.src;
+      s.slot_off = static_cast<std::uint32_t>(cp.slot_pool_.size());
+      s.count = static_cast<std::uint32_t>(op.src_slots.size());
+      s.link_off = static_cast<std::uint32_t>(cp.link_pool_.size());
+      s.route_len = static_cast<std::uint32_t>(op.route.size());
+      s.payload_off = payload_off;
+      s.keep_source = op.keep_source;
+      payload_off += s.count;
+
+      word at = op.src;
+      for (const int d : op.route) {
+        if (d < 0 || d >= machine.n) throw ProgramError("route dimension out of range");
+        cp.link_pool_.push_back(
+            static_cast<std::uint32_t>(topo::link_index(machine.n, {at, d})));
+        at = cube::flip_bit(at, d);
+      }
+      s.dst = at;
+
+      for (const slot sl : op.src_slots) {
+        if (sl >= nslots) throw ProgramError("send src slot out of range");
+        cp.slot_pool_.push_back(sl);
+      }
+      const std::size_t dst_base =
+          static_cast<std::size_t>(s.dst) * static_cast<std::size_t>(nslots);
+      for (const slot sl : op.dst_slots) {
+        if (sl >= nslots) throw ProgramError("send dst slot out of range");
+        if (delivered[dst_base + static_cast<std::size_t>(sl)] == epoch)
+          fail_slot("double delivery to ", s.dst, sl);
+        delivered[dst_base + static_cast<std::size_t>(sl)] = epoch;
+        cp.slot_pool_.push_back(sl);
+      }
+
+      const std::size_t bytes =
+          op.elements() * static_cast<std::size_t>(machine.element_bytes);
+      s.hop_cost = machine.hop_time(bytes);
+      s.serialise = static_cast<double>(bytes) * machine.tc;
+
+      ph.sends += 1;
+      ph.elements += s.count;
+      ph.hops += s.route_len;
+      cp.sends_.push_back(s);
+    }
+    ph.send_end = static_cast<std::uint32_t>(cp.sends_.size());
+    ph.payload_elems = payload_off;
+    cp.max_phase_payload_ =
+        std::max(cp.max_phase_payload_, static_cast<std::size_t>(payload_off));
+
+    ph.post_stage_begin = static_cast<std::uint32_t>(cp.stages_.size());
+    for (const StageOp& op : phase.post_stage) {
+      pack_stage(op, "post-stage");
+      ph.copy_time += cp.stages_.back().cost;
+    }
+    ph.post_stage_end = static_cast<std::uint32_t>(cp.stages_.size());
+
+    ph.post_copy_begin = static_cast<std::uint32_t>(cp.copies_.size());
+    for (const CopyOp& op : phase.post_copies) {
+      pack_copy(op);
+      if (op.charged) ph.copy_time += cp.copies_.back().cost;
+    }
+    ph.post_copy_end = static_cast<std::uint32_t>(cp.copies_.size());
+
+    cp.phases_.push_back(std::move(ph));
+  }
+
+  return cp;
+}
+
+RunResult Engine::run(const CompiledProgram& compiled, Memory initial) const {
+  if (!same_machine(compiled.machine(), params_))
+    throw ProgramError("compiled program / engine machine mismatch");
+  return run_compiled<true>(params_, options_, compiled, std::move(initial));
+}
+
+RunResult Engine::run_timing(const CompiledProgram& compiled) const {
+  if (!same_machine(compiled.machine(), params_))
+    throw ProgramError("compiled program / engine machine mismatch");
+  return run_compiled<false>(params_, options_, compiled, Memory{});
+}
+
+}  // namespace nct::sim

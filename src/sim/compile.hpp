@@ -1,0 +1,135 @@
+// Program compilation: flatten a phased communication Program into
+// contiguous structure-of-arrays pools, validated once against a fixed
+// machine, so execution sheds the per-op pointer chasing and the
+// bounds/ProgramError checks of the interpreted path.
+//
+// The interpreted `Engine::run(Program, Memory)` walks `SendOp`/`CopyOp`
+// records whose slot lists and routes are per-op heap-allocated vectors,
+// and re-validates every operand on every run.  `compile()` performs that
+// walk exactly once:
+//
+//  * all slot lists are packed into one slot pool, all routes into one
+//    pool of precomputed directed-link indices (`topo::link_index`), with
+//    per-op {offset, length} records;
+//  * destination nodes, per-hop store-and-forward times, cut-through
+//    serialisation times and copy/staging charges are precomputed for the
+//    given `MachineParams` with the same expressions the engine uses, so
+//    simulated times are bit-identical to the interpreted path;
+//  * every structural property the engine would raise `ProgramError` for
+//    (operand ranges, route dimensions, slot-count mismatches, double
+//    delivery within a phase) is checked here, once.  Only the
+//    data-dependent "read of an empty slot" check remains at run time,
+//    and only in data mode.
+//
+// Execution of a compiled program comes in two modes (see engine.hpp):
+//  * data mode — `Engine::run(compiled, initial)` moves payloads and
+//    produces the same `RunResult` (times, stats, final memory) as the
+//    interpreted engine;
+//  * timing-only mode — `Engine::run_timing(compiled)` computes times and
+//    stats without touching any memory image, for parameter sweeps whose
+//    data correctness was already established by a data-mode run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/model.hpp"
+#include "sim/program.hpp"
+
+namespace nct::sim {
+
+/// A send flattened against a fixed machine.  Source slots live at
+/// [slot_off, slot_off + count) of the slot pool, destination slots at
+/// [slot_off + count, slot_off + 2*count); the route's directed-link
+/// indices at [link_off, link_off + route_len) of the link pool.
+struct CompiledSend {
+  word src = 0;
+  word dst = 0;                 ///< route endpoint, precomputed.
+  std::uint32_t slot_off = 0;
+  std::uint32_t count = 0;      ///< elements carried.
+  std::uint32_t link_off = 0;
+  std::uint32_t route_len = 0;
+  std::uint32_t payload_off = 0;  ///< offset into the phase payload arena.
+  bool keep_source = false;
+  double hop_cost = 0.0;   ///< store-and-forward: time per hop.
+  double serialise = 0.0;  ///< cut-through: payload serialisation time.
+};
+
+/// A local copy; source slots at [slot_off, +count), destinations at
+/// [slot_off + count, +count) of the slot pool.
+struct CompiledCopy {
+  word node = 0;
+  std::uint32_t slot_off = 0;
+  std::uint32_t count = 0;
+  bool charged = false;
+  double cost = 0.0;  ///< precomputed charge (0 when uncharged).
+};
+
+struct CompiledStage {
+  word node = 0;
+  double cost = 0.0;
+};
+
+/// Half-open index ranges into the per-op record arrays, plus the phase
+/// statistics that are knowable at compile time.
+struct CompiledPhase {
+  std::string label;
+  std::uint32_t pre_copy_begin = 0, pre_copy_end = 0;
+  std::uint32_t stage_begin = 0, stage_end = 0;
+  std::uint32_t send_begin = 0, send_end = 0;
+  std::uint32_t post_stage_begin = 0, post_stage_end = 0;
+  std::uint32_t post_copy_begin = 0, post_copy_end = 0;
+  std::uint32_t payload_elems = 0;  ///< data-mode payload arena size.
+  std::size_t sends = 0;
+  std::size_t elements = 0;
+  std::size_t hops = 0;
+  double copy_time = 0.0;  ///< summed charged copy/staging time.
+};
+
+/// A Program validated and flattened for one machine.  Immutable after
+/// compile(); safe to share across threads (each run keeps its own
+/// scratch state).
+class CompiledProgram {
+ public:
+  int n() const noexcept { return n_; }
+  word nodes() const noexcept { return word{1} << n_; }
+  word local_slots() const noexcept { return local_slots_; }
+  const MachineParams& machine() const noexcept { return machine_; }
+
+  const std::vector<CompiledPhase>& phases() const noexcept { return phases_; }
+  const std::vector<CompiledSend>& send_ops() const noexcept { return sends_; }
+  const std::vector<CompiledCopy>& copy_ops() const noexcept { return copies_; }
+  const std::vector<CompiledStage>& stage_ops() const noexcept { return stages_; }
+  const std::vector<slot>& slot_pool() const noexcept { return slot_pool_; }
+  const std::vector<std::uint32_t>& link_pool() const noexcept { return link_pool_; }
+
+  /// Largest payload arena any phase needs in data mode.
+  std::size_t max_phase_payload() const noexcept { return max_phase_payload_; }
+
+  /// Total messages across all phases.
+  std::size_t total_sends() const noexcept { return sends_.size(); }
+  /// Total message-hops across all phases.
+  std::size_t total_hops() const noexcept { return link_pool_.size(); }
+
+ private:
+  friend CompiledProgram compile(const Program&, const MachineParams&);
+
+  int n_ = 0;
+  word local_slots_ = 0;
+  MachineParams machine_;
+  std::vector<CompiledPhase> phases_;
+  std::vector<CompiledSend> sends_;
+  std::vector<CompiledCopy> copies_;   ///< pre and post copies, pooled.
+  std::vector<CompiledStage> stages_;  ///< stage and post-stage, pooled.
+  std::vector<slot> slot_pool_;
+  std::vector<std::uint32_t> link_pool_;
+  std::size_t max_phase_payload_ = 0;
+};
+
+/// One-pass compile of `program` against `machine`.  Throws ProgramError
+/// on any structural violation the interpreted engine would detect
+/// (including double delivery, which is data-independent).
+CompiledProgram compile(const Program& program, const MachineParams& machine);
+
+}  // namespace nct::sim

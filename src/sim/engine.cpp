@@ -2,17 +2,25 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <queue>
-#include <sstream>
 
 namespace nct::sim {
 
 namespace {
 
+// Error-message formatting is kept out of line and ostringstream-free so
+// the hot validation checks pay nothing until a throw actually happens.
 std::string slot_str(word node, slot s) {
-  std::ostringstream os;
-  os << "node " << node << " slot " << s;
-  return os.str();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "node %llu slot %llu",
+                static_cast<unsigned long long>(node),
+                static_cast<unsigned long long>(s));
+  return buf;
+}
+
+[[noreturn]] void fail_slot(const char* what, word node, slot s) {
+  throw ProgramError(std::string(what) + slot_str(node, s));
 }
 
 /// A message in flight.
@@ -71,8 +79,7 @@ RunResult Engine::run(const Program& program, Memory initial) const {
     for (std::size_t i = 0; i < op.src_slots.size(); ++i) {
       if (op.src_slots[i] >= local.size()) throw ProgramError("copy src slot out of range");
       values[i] = local[static_cast<std::size_t>(op.src_slots[i])];
-      if (values[i] == kEmptySlot)
-        throw ProgramError("copy reads empty " + slot_str(op.node, op.src_slots[i]));
+      if (values[i] == kEmptySlot) fail_slot("copy reads empty ", op.node, op.src_slots[i]);
     }
     for (std::size_t i = 0; i < op.src_slots.size(); ++i)
       local[static_cast<std::size_t>(op.src_slots[i])] = kEmptySlot;
@@ -129,8 +136,7 @@ RunResult Engine::run(const Program& program, Memory initial) const {
           const slot s = op.src_slots[i];
           if (s >= src_local.size()) throw ProgramError("send src slot out of range");
           payloads[k][i] = src_local[static_cast<std::size_t>(s)];
-          if (payloads[k][i] == kEmptySlot)
-            throw ProgramError("send reads empty " + slot_str(op.src, s));
+          if (payloads[k][i] == kEmptySlot) fail_slot("send reads empty ", op.src, s);
           // All emptying happens before any delivery, so a slot that is
           // both sent from and delivered to ends up with the new value.
           if (!op.keep_source) live_src[static_cast<std::size_t>(s)] = kEmptySlot;
@@ -148,8 +154,7 @@ RunResult Engine::run(const Program& program, Memory initial) const {
         for (std::size_t i = 0; i < op.dst_slots.size(); ++i) {
           const slot s = op.dst_slots[i];
           if (s >= dst_local.size()) throw ProgramError("send dst slot out of range");
-          if (dst_written[static_cast<std::size_t>(s)])
-            throw ProgramError("double delivery to " + slot_str(dst, s));
+          if (dst_written[static_cast<std::size_t>(s)]) fail_slot("double delivery to ", dst, s);
           dst_written[static_cast<std::size_t>(s)] = true;
           dst_local[static_cast<std::size_t>(s)] = payloads[k][i];
         }
@@ -294,8 +299,10 @@ RunResult Engine::run(const Program& program, Memory initial) const {
 
 VerifyResult verify_memory(const Memory& actual, const Memory& expected) {
   VerifyResult r;
-  std::ostringstream os;
   int mismatches = 0;
+  char buf[128];
+  // The message (and any formatting work) is built only once a mismatch
+  // is found; the all-equal fast path just compares.
   if (actual.size() != expected.size()) {
     r.ok = false;
     r.message = "node count mismatch";
@@ -304,30 +311,31 @@ VerifyResult verify_memory(const Memory& actual, const Memory& expected) {
   for (std::size_t x = 0; x < actual.size(); ++x) {
     if (actual[x].size() != expected[x].size()) {
       r.ok = false;
-      os << "node " << x << ": slot count mismatch; ";
+      std::snprintf(buf, sizeof(buf), "node %zu: slot count mismatch; ", x);
+      r.message += buf;
       continue;
     }
     for (std::size_t s = 0; s < actual[x].size(); ++s) {
       if (actual[x][s] != expected[x][s]) {
         r.ok = false;
         if (mismatches < 8) {
-          os << "node " << x << " slot " << s << ": got "
-             << static_cast<long long>(actual[x][s] == kEmptySlot
-                                           ? -1
-                                           : static_cast<long long>(actual[x][s]))
-             << " want "
-             << static_cast<long long>(expected[x][s] == kEmptySlot
-                                           ? -1
-                                           : static_cast<long long>(expected[x][s]))
-             << "; ";
+          const long long got = actual[x][s] == kEmptySlot
+                                    ? -1
+                                    : static_cast<long long>(actual[x][s]);
+          const long long want = expected[x][s] == kEmptySlot
+                                     ? -1
+                                     : static_cast<long long>(expected[x][s]);
+          std::snprintf(buf, sizeof(buf), "node %zu slot %zu: got %lld want %lld; ", x, s,
+                        got, want);
+          r.message += buf;
         }
         ++mismatches;
       }
     }
   }
   if (!r.ok) {
-    os << "(" << mismatches << " slot mismatches)";
-    r.message = os.str();
+    std::snprintf(buf, sizeof(buf), "(%d slot mismatches)", mismatches);
+    r.message += buf;
   }
   return r;
 }

@@ -77,14 +77,28 @@ struct EngineOptions {
   bool record_link_trace = false;
 };
 
+class CompiledProgram;  // compile.hpp
+
 class Engine {
  public:
   explicit Engine(MachineParams params, EngineOptions options = {});
 
   const MachineParams& params() const noexcept { return params_; }
 
-  /// Execute `program` starting from `initial` node memories.
+  /// Execute `program` starting from `initial` node memories
+  /// (interpreted: every operand re-validated on this run).
   RunResult run(const Program& program, Memory initial) const;
+
+  /// Execute a compiled program (see compile.hpp) in data mode: payloads
+  /// move and the result matches the interpreted path bit-for-bit, but
+  /// all structural validation already happened at compile time.
+  RunResult run(const CompiledProgram& compiled, Memory initial) const;
+
+  /// Timing-only fast path: identical simulated times and phase stats,
+  /// but no memory image is read or written (result.memory stays empty).
+  /// For parameter sweeps whose data correctness was already established
+  /// by a data-mode run of the same planner.
+  RunResult run_timing(const CompiledProgram& compiled) const;
 
  private:
   MachineParams params_;

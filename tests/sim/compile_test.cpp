@@ -1,0 +1,207 @@
+// Golden agreement between the interpreted engine and the compiled fast
+// path: for real planner programs across the full machine grid
+// (iPSC/CM parameter sets × one-port/n-port × store-and-forward/
+// cut-through), Engine::run(program), Engine::run(compile(program)) and
+// Engine::run_timing(compile(program)) must produce identical simulated
+// times and phase statistics, and the data modes identical final
+// memories — exact double equality, not approximate.
+#include "sim/compile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "comm/all_to_all.hpp"
+#include "core/transpose1d.hpp"
+#include "core/transpose2d.hpp"
+#include "sim/engine.hpp"
+
+namespace nct::sim {
+namespace {
+
+void expect_same_stats(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.total_time, b.total_time);  // exact: same arithmetic, same order
+  EXPECT_EQ(a.total_copy_time, b.total_copy_time);
+  EXPECT_EQ(a.total_sends, b.total_sends);
+  EXPECT_EQ(a.total_elements, b.total_elements);
+  EXPECT_EQ(a.total_hops, b.total_hops);
+  EXPECT_EQ(a.max_link_busy, b.max_link_busy);
+  ASSERT_EQ(a.phases.size(), b.phases.size());
+  for (std::size_t i = 0; i < a.phases.size(); ++i) {
+    EXPECT_EQ(a.phases[i].label, b.phases[i].label);
+    EXPECT_EQ(a.phases[i].start, b.phases[i].start);
+    EXPECT_EQ(a.phases[i].end, b.phases[i].end);
+    EXPECT_EQ(a.phases[i].sends, b.phases[i].sends);
+    EXPECT_EQ(a.phases[i].elements, b.phases[i].elements);
+    EXPECT_EQ(a.phases[i].hops, b.phases[i].hops);
+    EXPECT_EQ(a.phases[i].copy_time, b.phases[i].copy_time);
+  }
+}
+
+/// Run all three execution paths and check pairwise agreement.
+void golden(const Program& prog, const MachineParams& m, const Memory& init) {
+  const Engine engine(m);
+  const auto interpreted = engine.run(prog, init);
+  const auto compiled = compile(prog, m);
+  const auto data = engine.run(compiled, init);
+  const auto timing = engine.run_timing(compiled);
+
+  expect_same_stats(interpreted, data);
+  expect_same_stats(interpreted, timing);
+  EXPECT_EQ(interpreted.memory, data.memory);
+  EXPECT_TRUE(timing.memory.empty());
+}
+
+/// The four port/switching combinations on top of a parameter set.
+std::vector<MachineParams> machine_grid(MachineParams base) {
+  std::vector<MachineParams> grid;
+  for (const auto port : {PortModel::one_port, PortModel::n_port}) {
+    for (const auto sw : {Switching::store_and_forward, Switching::cut_through}) {
+      auto m = base;
+      m.port = port;
+      m.switching = sw;
+      grid.push_back(m);
+    }
+  }
+  return grid;
+}
+
+TEST(CompileGolden, Transpose2dStepwiseAcrossMachineGrid) {
+  const int n = 4, half = 2;
+  const cube::MatrixShape s{3, 3};
+  const auto before = cube::PartitionSpec::two_dim_consecutive(s, half, half);
+  const auto after = cube::PartitionSpec::two_dim_consecutive(s.transposed(), half, half);
+  for (const auto& base : {MachineParams::ipsc(n), MachineParams::cm(n)}) {
+    for (const auto& m : machine_grid(base)) {
+      const auto prog = core::transpose_2d_stepwise(before, after, m);
+      const auto init = core::transpose_initial_memory(before, n, prog.local_slots);
+      golden(prog, m, init);
+    }
+  }
+}
+
+TEST(CompileGolden, Transpose2dDirectAcrossMachineGrid) {
+  const int n = 4, half = 2;
+  const cube::MatrixShape s{3, 3};
+  const auto before = cube::PartitionSpec::two_dim_cyclic(s, half, half);
+  const auto after = cube::PartitionSpec::two_dim_cyclic(s.transposed(), half, half);
+  for (const auto& base : {MachineParams::ipsc(n), MachineParams::cm(n)}) {
+    for (const auto& m : machine_grid(base)) {
+      const auto prog = core::transpose_2d_direct(before, after, m);
+      const auto init = core::transpose_initial_memory(before, n, prog.local_slots);
+      golden(prog, m, init);
+    }
+  }
+}
+
+TEST(CompileGolden, Transpose1dWithBufferingAndStaging) {
+  const int n = 3;
+  const cube::MatrixShape s{3, 3};
+  const auto before = cube::PartitionSpec::col_consecutive(s, n);
+  const auto after = cube::PartitionSpec::col_consecutive(s.transposed(), n);
+  comm::RearrangeOptions opt;
+  opt.policy = comm::BufferPolicy::optimal(139);
+  const auto prog = core::transpose_1d(before, after, n, opt);
+  const auto init = core::transpose_initial_memory(before, n, prog.local_slots);
+  for (const auto& base : {MachineParams::ipsc(n), MachineParams::cm(n)}) {
+    for (const auto& m : machine_grid(base)) golden(prog, m, init);
+  }
+}
+
+TEST(CompileGolden, AllToAllPacketized) {
+  // Exercises max_packet_bytes > 1 packet per hop plus exchange traffic.
+  const int n = 3;
+  const word k = 4;
+  const auto prog = comm::all_to_all_exchange(n, k);
+  const auto init = comm::all_to_all_initial_memory(n, k);
+  auto m = MachineParams::ipsc(n);
+  m.max_packet_bytes = 8;
+  for (const auto& mm : machine_grid(m)) golden(prog, mm, init);
+}
+
+TEST(CompileGolden, LinkTraceMatches) {
+  const int n = 3;
+  const word k = 2;
+  const auto prog = comm::all_to_all_exchange(n, k);
+  const auto init = comm::all_to_all_initial_memory(n, k);
+  const auto m = MachineParams::ipsc(n);
+  EngineOptions opt;
+  opt.record_link_trace = true;
+  const Engine engine(m, opt);
+  const auto interpreted = engine.run(prog, init);
+  const auto timing = engine.run_timing(compile(prog, m));
+  ASSERT_EQ(interpreted.link_trace.size(), timing.link_trace.size());
+  for (std::size_t l = 0; l < interpreted.link_trace.size(); ++l) {
+    ASSERT_EQ(interpreted.link_trace[l].size(), timing.link_trace[l].size());
+    for (std::size_t i = 0; i < interpreted.link_trace[l].size(); ++i) {
+      EXPECT_EQ(interpreted.link_trace[l][i].start, timing.link_trace[l][i].start);
+      EXPECT_EQ(interpreted.link_trace[l][i].end, timing.link_trace[l][i].end);
+      EXPECT_EQ(interpreted.link_trace[l][i].send_index, timing.link_trace[l][i].send_index);
+    }
+  }
+}
+
+Program one_send_program() {
+  Program prog;
+  prog.n = 1;
+  prog.local_slots = 2;
+  Phase ph;
+  ph.sends.push_back(SendOp{0, {0}, {0}, {0}});
+  prog.phases.push_back(ph);
+  return prog;
+}
+
+TEST(Compile, ValidatesRouteDimension) {
+  auto prog = one_send_program();
+  prog.phases[0].sends[0].route = {5};
+  EXPECT_THROW(compile(prog, MachineParams::nport(1)), ProgramError);
+}
+
+TEST(Compile, ValidatesEmptyRoute) {
+  auto prog = one_send_program();
+  prog.phases[0].sends[0].route.clear();
+  EXPECT_THROW(compile(prog, MachineParams::nport(1)), ProgramError);
+}
+
+TEST(Compile, ValidatesSlotRange) {
+  auto prog = one_send_program();
+  prog.phases[0].sends[0].dst_slots = {7};
+  EXPECT_THROW(compile(prog, MachineParams::nport(1)), ProgramError);
+}
+
+TEST(Compile, ValidatesDoubleDeliveryAtCompileTime) {
+  auto prog = one_send_program();
+  prog.phases[0].sends.push_back(SendOp{0, {0}, {1}, {0}});  // same dst slot
+  EXPECT_THROW(compile(prog, MachineParams::nport(1)), ProgramError);
+}
+
+TEST(Compile, SameDstSlotInDifferentPhasesIsFine) {
+  auto prog = one_send_program();
+  Phase ph2;
+  ph2.sends.push_back(SendOp{1, {0}, {0}, {0}});
+  prog.phases.push_back(ph2);
+  EXPECT_NO_THROW(compile(prog, MachineParams::nport(1)));
+}
+
+TEST(Compile, ValidatesDimensionMismatch) {
+  const auto prog = one_send_program();
+  EXPECT_THROW(compile(prog, MachineParams::nport(2)), ProgramError);
+}
+
+TEST(Engine, RejectsCompiledProgramForDifferentMachine) {
+  const auto prog = one_send_program();
+  const auto compiled = compile(prog, MachineParams::nport(1, 1.0, 0.5));
+  EXPECT_THROW(Engine(MachineParams::nport(1, 2.0, 0.5)).run_timing(compiled), ProgramError);
+}
+
+TEST(Engine, TimingOnlySkipsDataDependentErrors) {
+  // Reading an empty slot is a data-mode error; timing-only mode never
+  // touches memory and must not throw.
+  const auto prog = one_send_program();
+  const auto m = MachineParams::nport(1, 1.0, 0.5);
+  const auto compiled = compile(prog, m);
+  const Memory empty_mem{{kEmptySlot, kEmptySlot}, {kEmptySlot, kEmptySlot}};
+  EXPECT_THROW(Engine(m).run(compiled, empty_mem), ProgramError);
+  EXPECT_NO_THROW(Engine(m).run_timing(compiled));
+}
+
+}  // namespace
+}  // namespace nct::sim
