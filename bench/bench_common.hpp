@@ -6,8 +6,11 @@
 // planning + simulating on this host).
 //
 // Driver flags (stripped before google-benchmark sees argv):
-//   --jobs=N   worker threads for the series sweeps (default: all cores)
-//   --json     also write the printed tables to BENCH_<binary>.json
+//   --jobs=N        worker threads for the series sweeps (default: all cores)
+//   --json          also write the printed tables to BENCH_<binary>.json
+//   --trace[=PATH]  write a Chrome/Perfetto trace of the bench's
+//                   representative run (default TRACE_<binary>.json);
+//                   benches opt in via simulate_traced()
 //
 // The series sweeps run each (parameter point -> simulated time) task on
 // a thread pool via parallel_sweep(); results are stored by task index,
@@ -30,6 +33,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/compile.hpp"
 #include "sim/engine.hpp"
 #include "sim/model.hpp"
@@ -40,6 +45,8 @@ namespace nct::bench {
 struct SweepOptions {
   int jobs = 0;  ///< 0 = hardware concurrency.
   bool json = false;
+  bool trace = false;        ///< dump the representative run's Chrome trace.
+  std::string trace_path;    ///< --trace=PATH override (else TRACE_<binary>.json).
 };
 
 inline SweepOptions& sweep_options() {
@@ -62,6 +69,11 @@ inline void parse_sweep_args(int& argc, char** argv) {
     const char* a = argv[i];
     if (std::strcmp(a, "--json") == 0) {
       sweep_options().json = true;
+    } else if (std::strcmp(a, "--trace") == 0) {
+      sweep_options().trace = true;
+    } else if (std::strncmp(a, "--trace=", 8) == 0) {
+      sweep_options().trace = true;
+      sweep_options().trace_path = a + 8;
     } else if (std::strncmp(a, "--jobs=", 7) == 0) {
       sweep_options().jobs = std::atoi(a + 7);
     } else if (std::strcmp(a, "--jobs") == 0 && i + 1 < argc) {
@@ -91,6 +103,45 @@ inline double simulated_time(const sim::Program& prog, const sim::MachineParams&
 inline sim::RunResult simulate_timing(const sim::Program& prog,
                                       const sim::MachineParams& machine) {
   return sim::Engine(machine).run_timing(sim::compile(prog, machine));
+}
+
+/// Metrics blocks recorded for the JSON dump (one per traced run).
+struct RecordedMetrics {
+  std::string title;
+  obs::MetricsReport report;
+};
+
+inline std::vector<RecordedMetrics>& recorded_metrics() {
+  static std::vector<RecordedMetrics> blocks;
+  return blocks;
+}
+
+/// Timing-only run of a representative configuration with event tracing:
+/// derives a metrics block for the --json dump and, under --trace, writes
+/// the first traced run as Chrome/Perfetto JSON.  Call from the main
+/// thread (the metrics/trace stores are not synchronized).
+inline sim::RunResult simulate_traced(const sim::Program& prog,
+                                      const sim::MachineParams& machine,
+                                      const std::string& title) {
+  obs::TraceSink sink;
+  sim::EngineOptions opts;
+  opts.trace = &sink;
+  sim::RunResult res =
+      sim::Engine(machine, opts).run_timing(sim::compile(prog, machine));
+  recorded_metrics().push_back(RecordedMetrics{title, obs::collect_metrics(sink)});
+  if (sweep_options().trace) {
+    static bool written = false;
+    if (!written) {
+      written = true;
+      const std::string& path = sweep_options().trace_path;
+      if (obs::write_chrome_trace_file(sink, path)) {
+        std::printf("trace: wrote %s (%s)\n", path.c_str(), title.c_str());
+      } else {
+        std::fprintf(stderr, "trace: cannot write %s\n", path.c_str());
+      }
+    }
+  }
+  return res;
 }
 
 /// Evaluate fn(0) .. fn(count-1) on a worker pool of `jobs` threads
@@ -162,8 +213,9 @@ inline std::string json_escape(const std::string& s) {
 }
 
 /// Write every recorded table as JSON: {"tables": [{title, headers,
-/// rows}, ...]}.  Cell values stay strings (they are already formatted
-/// for the figure being reproduced).
+/// rows}, ...], "metrics": [{title, report}, ...]}.  Cell values stay
+/// strings (they are already formatted for the figure being reproduced);
+/// metrics blocks come from simulate_traced() runs.
 inline void write_recorded_json(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
@@ -186,6 +238,13 @@ inline void write_recorded_json(const std::string& path) {
       std::fprintf(f, "]%s\n", r + 1 < tables[t].rows.size() ? "," : "");
     }
     std::fprintf(f, "      ]\n    }%s\n", t + 1 < tables.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"metrics\": [\n");
+  const auto& blocks = recorded_metrics();
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    std::fprintf(f, "    {\"title\": \"%s\", \"report\": %s}%s\n",
+                 json_escape(blocks[b].title).c_str(), blocks[b].report.to_json().c_str(),
+                 b + 1 < blocks.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -218,6 +277,14 @@ inline std::string json_path_for(const char* argv0) {
   const auto pos = base.find_last_of('/');
   if (pos != std::string::npos) base = base.substr(pos + 1);
   return "BENCH_" + base + ".json";
+}
+
+/// Default Chrome trace output path (see --trace).
+inline std::string trace_path_for(const char* argv0) {
+  std::string base = argv0;
+  const auto pos = base.find_last_of('/');
+  if (pos != std::string::npos) base = base.substr(pos + 1);
+  return "TRACE_" + base + ".json";
 }
 
 /// Column-aligned table printing.
@@ -283,6 +350,10 @@ inline std::string num(double v, int precision = 2) {
 #define NCT_BENCH_MAIN(print_series_fn)                              \
   int main(int argc, char** argv) {                                  \
     ::nct::bench::parse_sweep_args(argc, argv);                      \
+    if (::nct::bench::sweep_options().trace_path.empty()) {          \
+      ::nct::bench::sweep_options().trace_path =                     \
+          ::nct::bench::trace_path_for(argv[0]);                     \
+    }                                                                \
     print_series_fn();                                               \
     if (::nct::bench::sweep_options().json) {                        \
       ::nct::bench::write_recorded_json(                             \

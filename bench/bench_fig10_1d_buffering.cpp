@@ -55,6 +55,19 @@ void print_series() {
   t.print("Figure 10: one-dimensional (col-cyclic) transpose on the iPSC model");
   std::printf("optimal policy sends runs of >= %llu elements directly (B_copy)\n",
               static_cast<unsigned long long>(b_copy));
+
+  // Representative traced run: the buffered n=5, 2^13-element point.
+  {
+    const int n = 5, lg = 13;
+    const int q = std::max(n, lg / 2);
+    const cube::MatrixShape s{lg - q, q};
+    const auto before = cube::PartitionSpec::col_cyclic(s, n);
+    const auto after = cube::PartitionSpec::col_cyclic(s.transposed(), std::min(n, lg - q));
+    comm::RearrangeOptions opt;
+    opt.policy = comm::BufferPolicy::buffered();
+    bench::simulate_traced(core::transpose_1d(before, after, n, opt),
+                           sim::MachineParams::ipsc(n), "fig10: buffered n=5, 2^13 elements");
+  }
 }
 
 void BM_Conversion(benchmark::State& state) {

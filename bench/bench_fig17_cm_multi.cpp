@@ -39,6 +39,11 @@ void print_series() {
            bench::us(times[r * ns.size() + 1]), bench::us(times[r * ns.size() + 2])});
   }
   t.print("Figure 17: CM-model transpose, multiple elements per processor");
+
+  // Representative traced run (metrics block for --json, Chrome trace
+  // under --trace): the n=10, 16 elements/processor point of the figure.
+  bench::simulate_traced(plan_cm(10, 4), sim::MachineParams::cm(10),
+                         "fig17: n=10, 16 elems/proc");
 }
 
 // Stage benchmarks: planning cost vs compiled timing-only execution.

@@ -53,6 +53,18 @@ void print_series() {
            bench::num(analysis::mpt_optimal_packet(m, pq), 0)});
   }
   t.print("Theorem 2: MPT regimes, analytic T_min vs simulated (2^14 elements)");
+
+  // Representative traced run: the middle-regime n=6 configuration.
+  {
+    auto m = sim::MachineParams::nport(6, 1e-3, 1e-6);
+    m.element_bytes = 1;
+    const int half = m.n / 2;
+    const cube::MatrixShape s{7, 7};
+    const auto before = cube::PartitionSpec::two_dim_cyclic(s, half, half);
+    const auto after = cube::PartitionSpec::two_dim_cyclic(s.transposed(), half, half);
+    bench::simulate_traced(core::transpose_mpt(before, after, m), m,
+                           "theorem2: MPT n=6, tau=1e-3, 2^14 elements");
+  }
 }
 
 void BM_Mpt(benchmark::State& state) {

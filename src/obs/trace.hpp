@@ -1,0 +1,146 @@
+// Structured event tracing for the simulation engine.
+//
+// A TraceSink collects typed events with simulated timestamps as the
+// engine executes a program: message injection and arrival, every link
+// traversal, one-port send/receive serialisation waits, charged local
+// copies and staging, and phase barriers.  Both the interpreted and the
+// compiled engine paths (including timing-only mode) emit the *same*
+// event stream for the same program — the compile golden tests assert
+// exact equality — so traces are cheap to produce at sweep scale.
+//
+// A trace can be exported as Chrome `chrome://tracing` / Perfetto JSON
+// (one track per node, one per directed link) or as a compact binary
+// log (see trace_dump in tools/).  The analyzers in obs/analyze.hpp and
+// the metrics in obs/metrics.hpp are pure functions over a trace.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cube/bits.hpp"
+
+namespace nct::obs {
+
+using cube::word;
+
+enum class EventKind : std::uint8_t {
+  phase_begin = 0,  ///< instant: a phase starts at t0 (== t1).
+  phase_end,        ///< instant: the phase's barrier time.
+  send_begin,       ///< injection: [t0, t1] is the send-port busy interval.
+  send_end,         ///< delivery: [t0, t1] is the receive-port busy interval.
+  hop,              ///< one directed-link traversal, busy over [t0, t1].
+  port_wait_send,   ///< one-port: injection stalled on the send port.
+  port_wait_recv,   ///< one-port: final hop stalled on the receive port.
+  copy,             ///< charged local copy on `node`'s clock.
+  stage,            ///< buffer gather/scatter charge on `node`'s clock.
+};
+
+const char* event_kind_name(EventKind k) noexcept;
+
+/// Messages are identified by their global injection sequence number;
+/// non-message events carry kNoSeq.
+inline constexpr std::uint64_t kNoSeq = ~std::uint64_t{0};
+
+struct TraceEvent {
+  EventKind kind = EventKind::hop;
+  std::int32_t phase = 0;   ///< phase index within the program.
+  std::int32_t dim = -1;    ///< cube dimension (hop events), -1 otherwise.
+  double t0 = 0.0;          ///< simulated start time (s).
+  double t1 = 0.0;          ///< simulated end time (s); == t0 for instants.
+  word node = 0;            ///< context node: hop source, copy node, ...
+  word peer = 0;            ///< other endpoint: hop target, message peer.
+  std::uint64_t seq = kNoSeq;  ///< message sequence number, or kNoSeq.
+  std::uint64_t bytes = 0;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+/// Collects the event stream of one engine run.  Opt in by pointing
+/// sim::EngineOptions::trace at a sink; the engine calls begin_run()
+/// (which clears any previous run) and then records events in execution
+/// order.  Not thread-safe: one sink per concurrent run.
+class TraceSink {
+ public:
+  // ---- engine-facing recording API ------------------------------------
+  void begin_run(int n, std::size_t event_hint = 0) {
+    n_ = n;
+    events_.clear();
+    phase_labels_.clear();
+    if (event_hint) events_.reserve(event_hint);
+  }
+
+  void phase_begin(std::int32_t phase, const std::string& label, double t) {
+    phase_labels_.push_back(label);
+    push({EventKind::phase_begin, phase, -1, t, t, 0, 0, kNoSeq, 0});
+  }
+  void phase_end(std::int32_t phase, double t) {
+    push({EventKind::phase_end, phase, -1, t, t, 0, 0, kNoSeq, 0});
+  }
+  void send_begin(std::int32_t phase, word src, word dst, std::uint64_t seq,
+                  std::uint64_t bytes, double t0, double t1) {
+    push({EventKind::send_begin, phase, -1, t0, t1, src, dst, seq, bytes});
+  }
+  void send_end(std::int32_t phase, word dst, word src, std::uint64_t seq,
+                std::uint64_t bytes, double t0, double t1) {
+    push({EventKind::send_end, phase, -1, t0, t1, dst, src, seq, bytes});
+  }
+  void hop(std::int32_t phase, word from, word to, std::int32_t dim, std::uint64_t seq,
+           std::uint64_t bytes, double t0, double t1) {
+    push({EventKind::hop, phase, dim, t0, t1, from, to, seq, bytes});
+  }
+  void port_wait(EventKind kind, std::int32_t phase, word node, std::uint64_t seq,
+                 double t0, double t1) {
+    push({kind, phase, -1, t0, t1, node, 0, seq, 0});
+  }
+  void copy(std::int32_t phase, word node, std::uint64_t bytes, double t0, double t1) {
+    push({EventKind::copy, phase, -1, t0, t1, node, 0, kNoSeq, bytes});
+  }
+  void stage(std::int32_t phase, word node, std::uint64_t bytes, double t0, double t1) {
+    push({EventKind::stage, phase, -1, t0, t1, node, 0, kNoSeq, bytes});
+  }
+
+  // ---- consumer API ----------------------------------------------------
+  int dimensions() const noexcept { return n_; }
+  word nodes() const noexcept { return word{1} << n_; }
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  const std::vector<std::string>& phase_labels() const noexcept { return phase_labels_; }
+  bool empty() const noexcept { return events_.empty(); }
+
+  /// Largest event end time (the run's makespan).
+  double total_time() const noexcept;
+
+  // Used by the binary reader to reconstruct a sink.
+  void restore(int n, std::vector<std::string> labels, std::vector<TraceEvent> events) {
+    n_ = n;
+    phase_labels_ = std::move(labels);
+    events_ = std::move(events);
+  }
+
+ private:
+  void push(const TraceEvent& e) { events_.push_back(e); }
+
+  int n_ = 0;
+  std::vector<TraceEvent> events_;
+  std::vector<std::string> phase_labels_;
+};
+
+/// Chrome trace-event JSON ("traceEvents" array of complete events):
+/// pid 0 carries one track per node (sends, copies, port waits), pid 1
+/// one track per directed link (hop busy intervals).  Timestamps are
+/// microseconds of simulated time.  Loads in chrome://tracing and
+/// ui.perfetto.dev.
+void write_chrome_trace(const TraceSink& trace, std::ostream& os);
+bool write_chrome_trace_file(const TraceSink& trace, const std::string& path);
+
+/// Compact binary log (fixed-width little-endian records behind a small
+/// header; ~49 bytes/event vs ~200 for the JSON form).
+void write_binary_trace(const TraceSink& trace, std::ostream& os);
+bool write_binary_trace_file(const TraceSink& trace, const std::string& path);
+
+/// Parse a binary log; throws std::runtime_error on a malformed stream.
+TraceSink read_binary_trace(std::istream& is);
+TraceSink read_binary_trace_file(const std::string& path);
+
+}  // namespace nct::obs

@@ -67,6 +67,9 @@ RunResult run_compiled(const MachineParams& params, const EngineOptions& options
     result.memory = std::move(initial);
   }
 
+  obs::TraceSink* const sink = options.trace;
+  if (sink) sink->begin_run(params.n);
+
   const auto& phases = cp.phases();
   const auto& sends = cp.send_ops();
   const auto& copies = cp.copy_ops();
@@ -110,10 +113,13 @@ RunResult run_compiled(const MachineParams& params, const EngineOptions& options
       local[static_cast<std::size_t>(dst[i])] = copy_vals[i];
   };
 
+  std::int32_t phase_index = -1;
   for (const CompiledPhase& ph : phases) {
+    ++phase_index;
     PhaseStats stats;
     stats.label = ph.label;
     stats.start = clock;
+    if (sink) sink->phase_begin(phase_index, ph.label, clock);
 
     std::fill(node_done.begin(), node_done.end(), clock);
 
@@ -121,12 +127,23 @@ RunResult run_compiled(const MachineParams& params, const EngineOptions& options
     for (std::uint32_t i = ph.pre_copy_begin; i < ph.pre_copy_end; ++i) {
       const CompiledCopy& c = copies[i];
       if constexpr (kData) apply_copy(c);
-      if (c.charged) node_done[static_cast<std::size_t>(c.node)] += c.cost;
+      if (c.charged) {
+        double& done = node_done[static_cast<std::size_t>(c.node)];
+        if (sink)
+          sink->copy(phase_index, c.node,
+                     static_cast<std::size_t>(c.count) *
+                         static_cast<std::size_t>(params.element_bytes),
+                     done, done + c.cost);
+        done += c.cost;
+      }
     }
 
     // 2. Staging charges.
     for (std::uint32_t i = ph.stage_begin; i < ph.stage_end; ++i) {
-      node_done[static_cast<std::size_t>(stages[i].node)] += stages[i].cost;
+      double& done = node_done[static_cast<std::size_t>(stages[i].node)];
+      if (sink) sink->stage(phase_index, stages[i].node, stages[i].bytes, done,
+                            done + stages[i].cost);
+      done += stages[i].cost;
     }
 
     // 3. Data movement.  Reading every payload before emptying any source
@@ -182,16 +199,28 @@ RunResult run_compiled(const MachineParams& params, const EngineOptions& options
       const CompiledSend& s = sends[p.send];
 
       if (cut_through) {
+        const std::size_t bytes =
+            static_cast<std::size_t>(s.count) * static_cast<std::size_t>(params.element_bytes);
         double start = p.ready;
         const std::uint32_t* links = link_pool.data() + s.link_off;
         for (std::uint32_t i = 0; i < s.route_len; ++i)
           start = std::max(start, link_free[links[i]]);
-        if (one_port) {
-          start = std::max(start, send_free[static_cast<std::size_t>(s.src)]);
-          start = std::max(start, recv_free[static_cast<std::size_t>(s.dst)]);
-        }
+        const double link_start = start;
+        if (one_port) start = std::max(start, send_free[static_cast<std::size_t>(s.src)]);
+        const double send_gate = start;
+        if (one_port) start = std::max(start, recv_free[static_cast<std::size_t>(s.dst)]);
         const double arrive =
             start + static_cast<double>(s.route_len) * params.tau + s.serialise;
+        if (sink) {
+          if (send_gate > link_start)
+            sink->port_wait(obs::EventKind::port_wait_send, phase_index, s.src, p.seq,
+                            link_start, send_gate);
+          if (start > send_gate)
+            sink->port_wait(obs::EventKind::port_wait_recv, phase_index, s.dst, p.seq,
+                            send_gate, start);
+          sink->send_begin(phase_index, s.src, s.dst, p.seq, bytes, start,
+                           start + params.tau + s.serialise);
+        }
         for (std::uint32_t i = 0; i < s.route_len; ++i) {
           const double lstart = start + static_cast<double>(i) * params.tau;
           const double lend = lstart + params.tau + s.serialise;
@@ -199,7 +228,15 @@ RunResult run_compiled(const MachineParams& params, const EngineOptions& options
           link_busy_total[links[i]] += lend - lstart;
           if (options.record_link_trace)
             result.link_trace[links[i]].push_back({lstart, lend, p.seq});
+          if (sink) {
+            const word from =
+                static_cast<word>(links[i] / static_cast<std::uint32_t>(params.n));
+            const int dim = static_cast<int>(links[i] % static_cast<std::uint32_t>(params.n));
+            sink->hop(phase_index, from, cube::flip_bit(from, dim), dim, p.seq, bytes,
+                      lstart, lend);
+          }
         }
+        if (sink) sink->send_end(phase_index, s.dst, s.src, p.seq, bytes, start, arrive);
         if (one_port) {
           send_free[static_cast<std::size_t>(s.src)] = start + params.tau + s.serialise;
           recv_free[static_cast<std::size_t>(s.dst)] = arrive;
@@ -216,8 +253,10 @@ RunResult run_compiled(const MachineParams& params, const EngineOptions& options
       const bool last_hop = p.hop + 1 == s.route_len;
 
       double start = std::max(p.ready, link_free[li]);
+      const double link_start = start;
       if (one_port && first_hop)
         start = std::max(start, send_free[static_cast<std::size_t>(s.src)]);
+      const double send_gate = start;
       if (one_port && last_hop)
         start = std::max(start, recv_free[static_cast<std::size_t>(s.dst)]);
 
@@ -227,6 +266,21 @@ RunResult run_compiled(const MachineParams& params, const EngineOptions& options
       if (options.record_link_trace) result.link_trace[li].push_back({start, end, p.seq});
       if (one_port && first_hop) send_free[static_cast<std::size_t>(s.src)] = end;
       if (one_port && last_hop) recv_free[static_cast<std::size_t>(s.dst)] = end;
+      if (sink) {
+        const std::size_t bytes =
+            static_cast<std::size_t>(s.count) * static_cast<std::size_t>(params.element_bytes);
+        const word from = static_cast<word>(li / static_cast<std::size_t>(params.n));
+        const int dim = static_cast<int>(li % static_cast<std::size_t>(params.n));
+        if (send_gate > link_start)
+          sink->port_wait(obs::EventKind::port_wait_send, phase_index, from, p.seq,
+                          link_start, send_gate);
+        if (start > send_gate)
+          sink->port_wait(obs::EventKind::port_wait_recv, phase_index, s.dst, p.seq,
+                          send_gate, start);
+        if (first_hop) sink->send_begin(phase_index, s.src, s.dst, p.seq, bytes, start, end);
+        sink->hop(phase_index, from, cube::flip_bit(from, dim), dim, p.seq, bytes, start, end);
+        if (last_hop) sink->send_end(phase_index, s.dst, s.src, p.seq, bytes, start, end);
+      }
 
       if (last_hop) {
         node_done[static_cast<std::size_t>(s.dst)] =
@@ -242,19 +296,31 @@ RunResult run_compiled(const MachineParams& params, const EngineOptions& options
 
     // 5. Scatter charges.
     for (std::uint32_t i = ph.post_stage_begin; i < ph.post_stage_end; ++i) {
-      node_done[static_cast<std::size_t>(stages[i].node)] += stages[i].cost;
+      double& done = node_done[static_cast<std::size_t>(stages[i].node)];
+      if (sink) sink->stage(phase_index, stages[i].node, stages[i].bytes, done,
+                            done + stages[i].cost);
+      done += stages[i].cost;
     }
 
     // 6. Post-copies.
     for (std::uint32_t i = ph.post_copy_begin; i < ph.post_copy_end; ++i) {
       const CompiledCopy& c = copies[i];
       if constexpr (kData) apply_copy(c);
-      if (c.charged) node_done[static_cast<std::size_t>(c.node)] += c.cost;
+      if (c.charged) {
+        double& done = node_done[static_cast<std::size_t>(c.node)];
+        if (sink)
+          sink->copy(phase_index, c.node,
+                     static_cast<std::size_t>(c.count) *
+                         static_cast<std::size_t>(params.element_bytes),
+                     done, done + c.cost);
+        done += c.cost;
+      }
     }
 
     stats.copy_time = ph.copy_time;
     for (const double t : node_done) stats.end = std::max(stats.end, t);
     stats.end = std::max(stats.end, stats.start);
+    if (sink) sink->phase_end(phase_index, stats.end);
     clock = stats.end;
     result.total_copy_time += stats.copy_time;
     result.phases.push_back(std::move(stats));
@@ -335,7 +401,7 @@ CompiledProgram compile(const Program& program, const MachineParams& machine) {
   const auto pack_stage = [&](const StageOp& op, const char* kind) {
     if (op.node >= nnodes) throw ProgramError(std::string(kind) + " op node out of range");
     cp.stages_.push_back(
-        CompiledStage{op.node, static_cast<double>(op.bytes) * machine.tcopy});
+        CompiledStage{op.node, op.bytes, static_cast<double>(op.bytes) * machine.tcopy});
   };
 
   for (const Phase& phase : program.phases) {

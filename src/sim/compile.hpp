@@ -68,6 +68,7 @@ struct CompiledCopy {
 
 struct CompiledStage {
   word node = 0;
+  std::uint64_t bytes = 0;  ///< staged volume (event tracing only).
   double cost = 0.0;
 };
 

@@ -57,6 +57,9 @@ RunResult Engine::run(const Program& program, Memory initial) const {
   result.memory = std::move(initial);
   Memory& mem = result.memory;
 
+  obs::TraceSink* const sink = options_.trace;
+  if (sink) sink->begin_run(params_.n);
+
   const std::size_t nlinks =
       static_cast<std::size_t>(nnodes) * static_cast<std::size_t>(std::max(params_.n, 1));
   std::vector<double> link_free(nlinks, 0.0);
@@ -89,10 +92,13 @@ RunResult Engine::run(const Program& program, Memory initial) const {
     }
   };
 
+  std::int32_t phase_index = -1;
   for (const Phase& phase : program.phases) {
+    ++phase_index;
     PhaseStats stats;
     stats.label = phase.label;
     stats.start = clock;
+    if (sink) sink->phase_begin(phase_index, phase.label, clock);
 
     std::fill(node_done.begin(), node_done.end(), clock);
 
@@ -102,7 +108,12 @@ RunResult Engine::run(const Program& program, Memory initial) const {
       if (op.charged) {
         const double cost =
             static_cast<double>(op.elements()) * params_.element_tcopy();
-        node_done[static_cast<std::size_t>(op.node)] += cost;
+        double& done = node_done[static_cast<std::size_t>(op.node)];
+        if (sink)
+          sink->copy(phase_index, op.node,
+                     op.elements() * static_cast<std::size_t>(params_.element_bytes),
+                     done, done + cost);
+        done += cost;
         stats.copy_time += cost;
       }
     }
@@ -111,7 +122,9 @@ RunResult Engine::run(const Program& program, Memory initial) const {
     for (const StageOp& op : phase.stage) {
       if (op.node >= nnodes) throw ProgramError("stage op node out of range");
       const double cost = static_cast<double>(op.bytes) * params_.tcopy;
-      node_done[static_cast<std::size_t>(op.node)] += cost;
+      double& done = node_done[static_cast<std::size_t>(op.node)];
+      if (sink) sink->stage(phase_index, op.node, op.bytes, done, done + cost);
+      done += cost;
       stats.copy_time += cost;
     }
 
@@ -200,13 +213,23 @@ RunResult Engine::run(const Program& program, Memory initial) const {
             cur = cube::flip_bit(cur, d);
           }
           for (const std::size_t li : lidx) start = std::max(start, link_free[li]);
-          if (one_port) {
-            start = std::max(start, send_free[static_cast<std::size_t>(p.at)]);
-            start = std::max(start, recv_free[static_cast<std::size_t>(cur)]);
-          }
+          const double link_start = start;
+          if (one_port) start = std::max(start, send_free[static_cast<std::size_t>(p.at)]);
+          const double send_gate = start;
+          if (one_port) start = std::max(start, recv_free[static_cast<std::size_t>(cur)]);
           const double serialise = static_cast<double>(bytes) * params_.tc;
           const double arrive =
               start + static_cast<double>(lidx.size()) * params_.tau + serialise;
+          if (sink) {
+            if (send_gate > link_start)
+              sink->port_wait(obs::EventKind::port_wait_send, phase_index, p.at, p.seq,
+                              link_start, send_gate);
+            if (start > send_gate)
+              sink->port_wait(obs::EventKind::port_wait_recv, phase_index, cur, p.seq,
+                              send_gate, start);
+            sink->send_begin(phase_index, p.at, cur, p.seq, bytes, start,
+                             start + params_.tau + serialise);
+          }
           for (std::size_t i = 0; i < lidx.size(); ++i) {
             const double lstart = start + static_cast<double>(i) * params_.tau;
             const double lend = lstart + params_.tau + serialise;
@@ -214,7 +237,15 @@ RunResult Engine::run(const Program& program, Memory initial) const {
             link_busy_total[lidx[i]] += lend - lstart;
             if (options_.record_link_trace)
               result.link_trace[lidx[i]].push_back({lstart, lend, p.seq});
+            if (sink) {
+              const word from =
+                  static_cast<word>(lidx[i] / static_cast<std::size_t>(params_.n));
+              const int dim = static_cast<int>(lidx[i] % static_cast<std::size_t>(params_.n));
+              sink->hop(phase_index, from, cube::flip_bit(from, dim), dim, p.seq, bytes,
+                        lstart, lend);
+            }
           }
+          if (sink) sink->send_end(phase_index, cur, p.at, p.seq, bytes, start, arrive);
           if (one_port) {
             send_free[static_cast<std::size_t>(p.at)] = start + params_.tau + serialise;
             recv_free[static_cast<std::size_t>(cur)] = arrive;
@@ -233,8 +264,10 @@ RunResult Engine::run(const Program& program, Memory initial) const {
         const bool last_hop = p.hop + 1 == p.op->route.size();
 
         double start = std::max(p.ready, link_free[li]);
+        const double link_start = start;
         if (one_port && first_hop)
           start = std::max(start, send_free[static_cast<std::size_t>(p.at)]);
+        const double send_gate = start;
         if (one_port && last_hop)
           start = std::max(start, recv_free[static_cast<std::size_t>(next)]);
 
@@ -244,6 +277,21 @@ RunResult Engine::run(const Program& program, Memory initial) const {
         if (options_.record_link_trace) result.link_trace[li].push_back({start, end, p.seq});
         if (one_port && first_hop) send_free[static_cast<std::size_t>(p.at)] = end;
         if (one_port && last_hop) recv_free[static_cast<std::size_t>(next)] = end;
+        if (sink) {
+          if (send_gate > link_start)
+            sink->port_wait(obs::EventKind::port_wait_send, phase_index, p.at, p.seq,
+                            link_start, send_gate);
+          if (start > send_gate)
+            sink->port_wait(obs::EventKind::port_wait_recv, phase_index, next, p.seq,
+                            send_gate, start);
+          if (first_hop) {
+            word dst = p.at;
+            for (const int d : p.op->route) dst = cube::flip_bit(dst, d);
+            sink->send_begin(phase_index, p.at, dst, p.seq, bytes, start, end);
+          }
+          sink->hop(phase_index, p.at, next, dim, p.seq, bytes, start, end);
+          if (last_hop) sink->send_end(phase_index, next, p.op->src, p.seq, bytes, start, end);
+        }
 
         if (last_hop) {
           node_done[static_cast<std::size_t>(next)] =
@@ -262,7 +310,9 @@ RunResult Engine::run(const Program& program, Memory initial) const {
     for (const StageOp& op : phase.post_stage) {
       if (op.node >= nnodes) throw ProgramError("post-stage op node out of range");
       const double cost = static_cast<double>(op.bytes) * params_.tcopy;
-      node_done[static_cast<std::size_t>(op.node)] += cost;
+      double& done = node_done[static_cast<std::size_t>(op.node)];
+      if (sink) sink->stage(phase_index, op.node, op.bytes, done, done + cost);
+      done += cost;
       stats.copy_time += cost;
     }
 
@@ -271,13 +321,19 @@ RunResult Engine::run(const Program& program, Memory initial) const {
       apply_copy(op);
       if (op.charged) {
         const double cost = static_cast<double>(op.elements()) * params_.element_tcopy();
-        node_done[static_cast<std::size_t>(op.node)] += cost;
+        double& done = node_done[static_cast<std::size_t>(op.node)];
+        if (sink)
+          sink->copy(phase_index, op.node,
+                     op.elements() * static_cast<std::size_t>(params_.element_bytes),
+                     done, done + cost);
+        done += cost;
         stats.copy_time += cost;
       }
     }
 
     for (const double t : node_done) stats.end = std::max(stats.end, t);
     stats.end = std::max(stats.end, stats.start);
+    if (sink) sink->phase_end(phase_index, stats.end);
     clock = stats.end;
     result.total_copy_time += stats.copy_time;
     result.phases.push_back(std::move(stats));

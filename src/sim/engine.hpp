@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/model.hpp"
 #include "sim/program.hpp"
 #include "topology/hypercube.hpp"
@@ -75,6 +76,11 @@ struct RunResult {
 
 struct EngineOptions {
   bool record_link_trace = false;
+  /// Optional structured event sink (not owned; see obs/trace.hpp).  The
+  /// engine clears it at run start and records typed events with
+  /// simulated timestamps; interpreted, compiled-data and timing-only
+  /// runs of the same program emit identical event streams.
+  obs::TraceSink* trace = nullptr;
 };
 
 class CompiledProgram;  // compile.hpp

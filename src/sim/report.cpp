@@ -40,6 +40,11 @@ std::string format_report(const Program& program, const RunResult& result) {
   return os.str();
 }
 
+std::string format_report(const Program& program, const RunResult& result,
+                          const obs::MetricsReport& metrics) {
+  return format_report(program, result) + metrics.format();
+}
+
 std::size_t peak_link_overlap(const RunResult& result) {
   std::size_t peak = 0;
   for (const auto& link : result.link_trace) {

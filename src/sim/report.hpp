@@ -6,6 +6,7 @@
 
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 #include "sim/program.hpp"
 
@@ -24,6 +25,11 @@ std::vector<DimensionTraffic> dimension_traffic(const Program& program);
 /// Multi-line text report: total time, per-phase rows (duration, sends,
 /// elements, copy time) and the per-dimension traffic table.
 std::string format_report(const Program& program, const RunResult& result);
+
+/// As above, followed by the trace-derived metrics block (see
+/// obs::collect_metrics) — pass the report of the traced run.
+std::string format_report(const Program& program, const RunResult& result,
+                          const obs::MetricsReport& metrics);
 
 /// Peak concurrent use of any directed link (requires a link trace):
 /// the largest number of overlapping busy intervals on one link.  For a

@@ -9,6 +9,7 @@
 #include "comm/rearrange.hpp"
 #include "core/api.hpp"
 #include "core/transpose1d.hpp"
+#include "core/transpose2d.hpp"
 #include "runtime/executor.hpp"
 #include "sim/engine.hpp"
 
@@ -131,6 +132,64 @@ TEST_P(FuzzConversions, ThreadsMatchSimulatorOnRandomPrograms) {
     const auto sim_mem = sim::Engine(machine(n)).run(prog, init).memory;
     const auto thr_mem = runtime::execute_program_threads(prog, init);
     ASSERT_TRUE(sim::verify_memory(thr_mem, sim_mem).ok);
+  }
+}
+
+TEST_P(FuzzConversions, ThreadsMatchSimulatorOnRandomTransposes) {
+  // Runtime differential: the threaded executor and the simulator must
+  // agree on the final memory image for general transpose programs, not
+  // just storage conversions.
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) + 4000);
+  for (int trial = 0; trial < 6; ++trial) {
+    const int p = std::uniform_int_distribution<int>(1, 4)(rng);
+    const int q = std::uniform_int_distribution<int>(1, 4)(rng);
+    const MatrixShape s{p, q};
+    const int n = std::min(4, s.m());
+    const auto before = random_spec(rng, s, n);
+    const auto after = random_spec(rng, s.transposed(), n);
+    const auto prog = core::transpose_general(before, after, n);
+    const auto init = core::transpose_initial_memory(before, n, prog.local_slots);
+    const auto sim_mem = sim::Engine(machine(n)).run(prog, init).memory;
+    const auto thr_mem = runtime::execute_program_threads(prog, init);
+    ASSERT_TRUE(sim::verify_memory(thr_mem, sim_mem).ok)
+        << before.describe() << " ->T " << after.describe();
+  }
+}
+
+TEST(RuntimeDifferential, ThreadsMatchSimulatorOnEveryTwoDimPlanner) {
+  // Every exchange-class 2D transpose planner, executed by real threads,
+  // must land on the simulator's final memory (and on the exact expected
+  // transposed distribution).
+  const int n = 4, half = 2;
+  const MatrixShape s{3, 3};
+  const auto m = machine(n);
+  struct Planner {
+    const char* name;
+    sim::Program (*plan)(const PartitionSpec&, const PartitionSpec&,
+                         const sim::MachineParams&, core::Transpose2DOptions);
+    bool cyclic;
+  };
+  const Planner planners[] = {
+      {"spt", core::transpose_spt, true},
+      {"dpt", core::transpose_dpt, true},
+      {"mpt", core::transpose_mpt, true},
+      {"stepwise", core::transpose_2d_stepwise, false},
+      {"direct", core::transpose_2d_direct, false},
+  };
+  for (const Planner& pl : planners) {
+    const auto before = pl.cyclic ? PartitionSpec::two_dim_cyclic(s, half, half)
+                                  : PartitionSpec::two_dim_consecutive(s, half, half);
+    const auto after = pl.cyclic
+                           ? PartitionSpec::two_dim_cyclic(s.transposed(), half, half)
+                           : PartitionSpec::two_dim_consecutive(s.transposed(), half, half);
+    const auto prog = pl.plan(before, after, m, {});
+    const auto init = core::transpose_initial_memory(before, n, prog.local_slots);
+    const auto sim_mem = sim::Engine(m).run(prog, init).memory;
+    const auto thr_mem = runtime::execute_program_threads(prog, init);
+    ASSERT_TRUE(sim::verify_memory(thr_mem, sim_mem).ok) << pl.name;
+    const auto expected =
+        core::transpose_expected_memory(s, after, n, prog.local_slots);
+    ASSERT_TRUE(sim::verify_memory(sim_mem, expected).ok) << pl.name;
   }
 }
 

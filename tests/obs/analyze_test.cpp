@@ -1,0 +1,218 @@
+// Trace analyzers on hand-built synthetic traces: message
+// reconstruction, edge-disjointness, one-port interval checks, port
+// concurrency, and critical-path extraction.
+#include "obs/analyze.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/hypercube.hpp"
+
+namespace nct::obs {
+namespace {
+
+/// One message 0 -> 3 over dims (0, 1) on a 2-cube, with a gap between
+/// the hops.
+TraceSink two_hop_trace(double gap = 0.0) {
+  TraceSink sink;
+  sink.begin_run(2);
+  sink.phase_begin(0, "p0", 0.0);
+  sink.send_begin(0, 0, 3, 0, 8, 0.0, 1.0);
+  sink.hop(0, 0, 1, 0, 0, 8, 0.0, 1.0);
+  sink.hop(0, 1, 3, 1, 0, 8, 1.0 + gap, 2.0 + gap);
+  sink.send_end(0, 3, 0, 0, 8, 1.0 + gap, 2.0 + gap);
+  sink.phase_end(0, 2.0 + gap);
+  return sink;
+}
+
+TEST(MessagesOf, ReconstructsRouteInTraversalOrder) {
+  const auto sink = two_hop_trace();
+  const auto msgs = messages_of(sink);
+  ASSERT_EQ(msgs.size(), 1u);
+  const MessageTrace& m = msgs[0];
+  EXPECT_EQ(m.seq, 0u);
+  EXPECT_EQ(m.src, 0u);
+  EXPECT_EQ(m.dst, 3u);
+  EXPECT_EQ(m.bytes, 8u);
+  EXPECT_DOUBLE_EQ(m.inject_time, 0.0);
+  EXPECT_DOUBLE_EQ(m.arrive_time, 2.0);
+  ASSERT_EQ(m.hops.size(), 2u);
+  const auto links = m.route_links(2);
+  ASSERT_EQ(links.size(), 2u);
+  EXPECT_EQ(links[0], topo::link_index(2, {0, 0}));
+  EXPECT_EQ(links[1], topo::link_index(2, {1, 1}));
+}
+
+TEST(EdgeDisjoint, SingleMessagePasses) {
+  const auto sink = two_hop_trace();
+  EXPECT_TRUE(check_edge_disjoint(sink).ok);
+  EXPECT_NO_THROW(assert_edge_disjoint(sink));
+  EXPECT_EQ(max_paths_per_link(sink), 1u);
+}
+
+TEST(EdgeDisjoint, PacketTrainOnOneRouteIsNotAConflict) {
+  // Two packets of the same source on the same route share links
+  // legitimately (the MPT wave trains).
+  TraceSink sink;
+  sink.begin_run(2);
+  sink.phase_begin(0, "p0", 0.0);
+  for (std::uint64_t seq = 0; seq < 2; ++seq) {
+    const double t = static_cast<double>(seq);
+    sink.send_begin(0, 0, 1, seq, 4, t, t + 1.0);
+    sink.hop(0, 0, 1, 0, seq, 4, t, t + 1.0);
+    sink.send_end(0, 1, 0, seq, 4, t, t + 1.0);
+  }
+  sink.phase_end(0, 2.0);
+  EXPECT_TRUE(check_edge_disjoint(sink).ok);
+  EXPECT_EQ(max_paths_per_link(sink), 1u);
+}
+
+/// Source 0 launches two *different* routes that both cross link (0, d0).
+TraceSink conflicting_trace() {
+  TraceSink sink;
+  sink.begin_run(2);
+  sink.phase_begin(0, "p0", 0.0);
+  sink.send_begin(0, 0, 1, 0, 4, 0.0, 1.0);
+  sink.hop(0, 0, 1, 0, 0, 4, 0.0, 1.0);
+  sink.send_end(0, 1, 0, 0, 4, 0.0, 1.0);
+  sink.send_begin(0, 0, 3, 1, 4, 1.0, 2.0);
+  sink.hop(0, 0, 1, 0, 1, 4, 1.0, 2.0);
+  sink.hop(0, 1, 3, 1, 1, 4, 2.0, 3.0);
+  sink.send_end(0, 3, 0, 1, 4, 2.0, 3.0);
+  sink.phase_end(0, 3.0);
+  return sink;
+}
+
+TEST(EdgeDisjoint, TwoRoutesOfOneSourceSharingALinkFail) {
+  const auto sink = conflicting_trace();
+  const auto r = check_edge_disjoint(sink);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("source 0"), std::string::npos);
+  EXPECT_THROW(assert_edge_disjoint(sink), ConformanceError);
+  EXPECT_EQ(max_paths_per_link(sink), 2u);
+}
+
+TEST(EdgeDisjoint, DistinctSourcesMayShareALink) {
+  // (2, 2H)-disjointness allows two paths of *different* sources on a
+  // link; only same-source conflicts violate Theorem 2's families.
+  TraceSink sink;
+  sink.begin_run(2);
+  sink.phase_begin(0, "p0", 0.0);
+  sink.send_begin(0, 0, 1, 0, 4, 0.0, 1.0);
+  sink.hop(0, 0, 1, 0, 0, 4, 0.0, 1.0);
+  sink.send_end(0, 1, 0, 0, 4, 0.0, 1.0);
+  sink.send_begin(0, 2, 1, 1, 4, 0.0, 1.0);
+  sink.hop(0, 2, 0, 1, 1, 4, 0.0, 1.0);
+  sink.hop(0, 0, 1, 0, 1, 4, 1.0, 2.0);  // same link (0, d0) as seq 0
+  sink.send_end(0, 1, 2, 1, 4, 1.0, 2.0);
+  sink.phase_end(0, 2.0);
+  EXPECT_TRUE(check_edge_disjoint(sink).ok);
+  EXPECT_EQ(max_paths_per_link(sink), 2u);
+}
+
+TEST(OnePort, TouchingIntervalsPass) {
+  TraceSink sink;
+  sink.begin_run(1);
+  sink.phase_begin(0, "p0", 0.0);
+  sink.send_begin(0, 0, 1, 0, 4, 0.0, 1.0);
+  sink.send_begin(0, 0, 1, 1, 4, 1.0, 2.0);  // starts exactly when #0 ends
+  sink.phase_end(0, 2.0);
+  EXPECT_TRUE(check_one_port(sink).ok);
+  EXPECT_NO_THROW(assert_one_port(sink));
+}
+
+TEST(OnePort, OverlappingSendIntervalsFail) {
+  TraceSink sink;
+  sink.begin_run(1);
+  sink.phase_begin(0, "p0", 0.0);
+  sink.send_begin(0, 0, 1, 0, 4, 0.0, 1.0);
+  sink.send_begin(0, 0, 1, 1, 4, 0.5, 1.5);
+  sink.phase_end(0, 1.5);
+  const auto r = check_one_port(sink);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("send"), std::string::npos);
+  EXPECT_THROW(assert_one_port(sink), ConformanceError);
+}
+
+TEST(OnePort, OverlappingReceiveIntervalsFail) {
+  TraceSink sink;
+  sink.begin_run(1);
+  sink.phase_begin(0, "p0", 0.0);
+  sink.send_end(0, 1, 0, 0, 4, 0.0, 1.0);
+  sink.send_end(0, 1, 0, 1, 4, 0.5, 1.5);
+  sink.phase_end(0, 1.5);
+  const auto r = check_one_port(sink);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("receive"), std::string::npos);
+}
+
+TEST(PortConcurrency, CountsOverlappingOutgoingHops) {
+  TraceSink sink;
+  sink.begin_run(2);
+  sink.phase_begin(0, "p0", 0.0);
+  sink.hop(0, 0, 1, 0, 0, 4, 0.0, 1.0);
+  sink.hop(0, 0, 2, 1, 1, 4, 0.5, 1.5);  // overlaps on node 0
+  sink.hop(0, 3, 1, 1, 2, 4, 0.0, 1.0);
+  sink.phase_end(0, 1.5);
+  const auto peak = peak_concurrent_out_ports(sink);
+  ASSERT_EQ(peak.size(), 4u);
+  EXPECT_EQ(peak[0], 2);
+  EXPECT_EQ(peak[3], 1);
+  EXPECT_EQ(peak[1], 0);
+}
+
+TEST(CriticalPath, SegmentsCoverWireAndLinkWait) {
+  const auto sink = two_hop_trace(/*gap=*/0.5);
+  const auto cp = phase_critical_path(sink, 0);
+  EXPECT_EQ(cp.phase, 0);
+  EXPECT_EQ(cp.seq, 0u);
+  EXPECT_EQ(cp.src, 0u);
+  EXPECT_EQ(cp.dst, 3u);
+  EXPECT_DOUBLE_EQ(cp.start, 0.0);
+  EXPECT_DOUBLE_EQ(cp.end, 2.5);
+  ASSERT_EQ(cp.segments.size(), 3u);
+  EXPECT_EQ(cp.segments[0].kind, CriticalSegment::Kind::wire);
+  EXPECT_EQ(cp.segments[0].dim, 0);
+  EXPECT_EQ(cp.segments[1].kind, CriticalSegment::Kind::link_wait);
+  EXPECT_DOUBLE_EQ(cp.segments[1].duration(), 0.5);
+  EXPECT_EQ(cp.segments[2].kind, CriticalSegment::Kind::wire);
+  EXPECT_EQ(cp.segments[2].dim, 1);
+  EXPECT_DOUBLE_EQ(cp.wire_time(), 2.0);
+  EXPECT_DOUBLE_EQ(cp.wait_time(), 0.5);
+}
+
+TEST(CriticalPath, PortWaitEventsClassifyStalls) {
+  TraceSink sink;
+  sink.begin_run(2);
+  sink.phase_begin(0, "p0", 0.0);
+  sink.send_begin(0, 0, 3, 0, 8, 0.0, 1.0);
+  sink.hop(0, 0, 1, 0, 0, 8, 0.0, 1.0);
+  sink.port_wait(EventKind::port_wait_recv, 0, 3, 0, 1.0, 1.5);
+  sink.hop(0, 1, 3, 1, 0, 8, 1.5, 2.5);
+  sink.send_end(0, 3, 0, 0, 8, 1.5, 2.5);
+  sink.phase_end(0, 2.5);
+  const auto cp = phase_critical_path(sink, 0);
+  ASSERT_EQ(cp.segments.size(), 3u);
+  EXPECT_EQ(cp.segments[1].kind, CriticalSegment::Kind::port_wait);
+  EXPECT_DOUBLE_EQ(cp.wait_time(), 0.5);
+}
+
+TEST(CriticalPath, EmptyPhaseHasNoMessages) {
+  TraceSink sink;
+  sink.begin_run(2);
+  sink.phase_begin(0, "p0", 0.0);
+  sink.phase_end(0, 0.0);
+  const auto cp = phase_critical_path(sink, 0);
+  EXPECT_EQ(cp.seq, kNoSeq);
+  EXPECT_NE(format_critical_path(cp).find("no messages"), std::string::npos);
+}
+
+TEST(CriticalPath, FormatListsEverySegment) {
+  const auto cp = phase_critical_path(two_hop_trace(0.5), 0);
+  const std::string text = format_critical_path(cp);
+  EXPECT_NE(text.find("critical path"), std::string::npos);
+  EXPECT_NE(text.find("wire"), std::string::npos);
+  EXPECT_NE(text.find("link-wait"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nct::obs

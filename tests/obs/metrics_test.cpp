@@ -1,0 +1,122 @@
+// MetricsRegistry semantics and the trace-derived simulation metrics:
+// every counter collect_metrics() reports must agree with the engine's
+// own RunResult statistics on the same run.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "comm/all_to_all.hpp"
+#include "sim/compile.hpp"
+#include "sim/engine.hpp"
+
+namespace nct::obs {
+namespace {
+
+TEST(MetricsRegistry, CountersAccumulateAndKeepInsertionOrder) {
+  MetricsRegistry reg;
+  reg.counter("a/first", "s") += 1.5;
+  reg.counter("b/second") += 2.0;
+  reg.counter("a/first", "s") += 0.5;  // same metric, same accumulator
+
+  const auto report = reg.snapshot();
+  ASSERT_EQ(report.scalars.size(), 2u);
+  EXPECT_EQ(report.scalars[0].name, "a/first");
+  EXPECT_DOUBLE_EQ(report.scalars[0].value, 2.0);
+  EXPECT_EQ(report.scalars[0].unit, "s");
+  EXPECT_EQ(report.scalars[1].name, "b/second");
+  EXPECT_DOUBLE_EQ(report.value("b/second"), 2.0);
+  EXPECT_DOUBLE_EQ(report.value("missing", -1.0), -1.0);
+  EXPECT_EQ(report.find("missing"), nullptr);
+}
+
+TEST(MetricsRegistry, HistogramBucketsAndStats) {
+  MetricsRegistry reg;
+  auto& h = reg.histogram("lat", {1.0, 10.0}, "s");
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(50.0);
+
+  const auto& d = h.data();
+  ASSERT_EQ(d.counts.size(), 3u);  // two bounds + overflow
+  EXPECT_EQ(d.counts[0], 1u);
+  EXPECT_EQ(d.counts[1], 1u);
+  EXPECT_EQ(d.counts[2], 1u);
+  EXPECT_EQ(d.total, 3u);
+  EXPECT_DOUBLE_EQ(d.sum, 55.5);
+  EXPECT_DOUBLE_EQ(d.min, 0.5);
+  EXPECT_DOUBLE_EQ(d.max, 50.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 18.5);
+}
+
+TEST(MetricsRegistry, ReportFormatsAndSerialises) {
+  MetricsRegistry reg;
+  reg.counter("traffic/sends") = 7.0;
+  reg.histogram("hop/duration", {1.0}, "s").observe(0.25);
+  const auto report = reg.snapshot();
+
+  const std::string text = report.format();
+  EXPECT_NE(text.find("traffic/sends"), std::string::npos);
+  EXPECT_NE(text.find("hop/duration"), std::string::npos);
+
+  const std::string json = report.to_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"scalars\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traffic/sends\""), std::string::npos);
+}
+
+TEST(CollectMetrics, AgreesWithEngineStatistics) {
+  const int n = 3;
+  const word k = 2;
+  const auto prog = comm::all_to_all_exchange(n, k);
+  const auto m = sim::MachineParams::ipsc(n);
+
+  TraceSink sink;
+  sim::EngineOptions opt;
+  opt.trace = &sink;
+  const auto res =
+      sim::Engine(m, opt).run(prog, comm::all_to_all_initial_memory(n, k));
+
+  const auto report = collect_metrics(sink);
+  EXPECT_DOUBLE_EQ(report.value("sim/total_time"), res.total_time);
+  EXPECT_DOUBLE_EQ(report.value("sim/phases"),
+                   static_cast<double>(res.phases.size()));
+  EXPECT_DOUBLE_EQ(report.value("traffic/sends"),
+                   static_cast<double>(res.total_sends));
+  EXPECT_DOUBLE_EQ(report.value("traffic/hops"),
+                   static_cast<double>(res.total_hops));
+  EXPECT_DOUBLE_EQ(report.value("traffic/bytes_injected"),
+                   static_cast<double>(res.total_elements) * m.element_bytes);
+  EXPECT_NEAR(report.value("time/copy"), res.total_copy_time, 1e-12);
+
+  // Per-dimension traffic partitions the totals.
+  double dim_hops = 0.0, dim_bytes = 0.0;
+  for (int d = 0; d < n; ++d) {
+    dim_hops += report.value("traffic/dim" + std::to_string(d) + "/hops");
+    dim_bytes += report.value("traffic/dim" + std::to_string(d) + "/bytes");
+  }
+  EXPECT_DOUBLE_EQ(dim_hops, static_cast<double>(res.total_hops));
+  EXPECT_DOUBLE_EQ(dim_bytes, report.value("traffic/bytes_hops"));
+
+  // Histograms cover every hop and utilization is a valid percentage.
+  ASSERT_EQ(report.histograms.size(), 2u);
+  EXPECT_EQ(report.histograms[0].name, "hop/duration");
+  EXPECT_EQ(report.histograms[0].total, res.total_hops);
+  EXPECT_GT(report.value("link/utilization_max"), 0.0);
+  EXPECT_LE(report.value("link/utilization_max"), 100.0 + 1e-9);
+  EXPECT_LE(report.value("link/utilization_avg"),
+            report.value("link/utilization_max") + 1e-9);
+  EXPECT_GE(report.value("link/max_inflight"), 1.0);
+}
+
+TEST(CollectMetrics, EmptyTraceYieldsZeroTotals) {
+  TraceSink sink;
+  sink.begin_run(2);
+  const auto report = collect_metrics(sink);
+  EXPECT_DOUBLE_EQ(report.value("traffic/sends"), 0.0);
+  EXPECT_DOUBLE_EQ(report.value("sim/total_time"), 0.0);
+}
+
+}  // namespace
+}  // namespace nct::obs

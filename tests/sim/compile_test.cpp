@@ -3,8 +3,9 @@
 // (iPSC/CM parameter sets × one-port/n-port × store-and-forward/
 // cut-through), Engine::run(program), Engine::run(compile(program)) and
 // Engine::run_timing(compile(program)) must produce identical simulated
-// times and phase statistics, and the data modes identical final
-// memories — exact double equality, not approximate.
+// times, phase statistics and *event traces* (byte-identical streams),
+// and the data modes identical final memories — exact double equality,
+// not approximate.
 #include "sim/compile.hpp"
 
 #include <gtest/gtest.h>
@@ -12,6 +13,7 @@
 #include "comm/all_to_all.hpp"
 #include "core/transpose1d.hpp"
 #include "core/transpose2d.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 
 namespace nct::sim {
@@ -36,18 +38,42 @@ void expect_same_stats(const RunResult& a, const RunResult& b) {
   }
 }
 
-/// Run all three execution paths and check pairwise agreement.
+void expect_same_trace(const obs::TraceSink& a, const obs::TraceSink& b) {
+  EXPECT_EQ(a.dimensions(), b.dimensions());
+  EXPECT_EQ(a.phase_labels(), b.phase_labels());
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    const auto& x = a.events()[i];
+    const auto& y = b.events()[i];
+    ASSERT_TRUE(x == y) << "first divergent event at index " << i << ": "
+                        << obs::event_kind_name(x.kind) << " vs "
+                        << obs::event_kind_name(y.kind) << ", t0 " << x.t0 << " vs "
+                        << y.t0 << ", node " << x.node << " vs " << y.node;
+  }
+}
+
+/// Run all three execution paths and check pairwise agreement, including
+/// byte-identical event traces.
 void golden(const Program& prog, const MachineParams& m, const Memory& init) {
-  const Engine engine(m);
-  const auto interpreted = engine.run(prog, init);
+  obs::TraceSink interpreted_trace, data_trace, timing_trace;
+  const auto with_trace = [&m](obs::TraceSink& sink) {
+    EngineOptions opt;
+    opt.trace = &sink;
+    return Engine(m, opt);
+  };
+  const auto interpreted = with_trace(interpreted_trace).run(prog, init);
   const auto compiled = compile(prog, m);
-  const auto data = engine.run(compiled, init);
-  const auto timing = engine.run_timing(compiled);
+  const auto data = with_trace(data_trace).run(compiled, init);
+  const auto timing = with_trace(timing_trace).run_timing(compiled);
 
   expect_same_stats(interpreted, data);
   expect_same_stats(interpreted, timing);
   EXPECT_EQ(interpreted.memory, data.memory);
   EXPECT_TRUE(timing.memory.empty());
+
+  EXPECT_FALSE(interpreted_trace.empty());
+  expect_same_trace(interpreted_trace, data_trace);
+  expect_same_trace(interpreted_trace, timing_trace);
 }
 
 /// The four port/switching combinations on top of a parameter set.
