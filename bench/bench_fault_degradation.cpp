@@ -1,0 +1,112 @@
+// Degraded-mode sweep: completion time of the pipelined 2D transpose as
+// permanently-failed links accumulate, for SPT (one path per pair, no
+// redundancy) vs MPT (2H(x) edge-disjoint paths, Theorem 2) on the iPSC
+// and Connection Machine parameter sets.
+//
+// For each failed-link count k the same k cut wires (chosen by a fixed-
+// seed generator, cumulative: the k-th row adds one cut to the k-1
+// previous ones) are handed to the failure-aware planners and to the
+// engine; k <= n-1 keeps the cube connected (edge connectivity n), so
+// every transpose completes.  Expected shape: MPT sheds a severed path
+// and spreads its share over the survivors, degrading gracefully, while
+// SPT detours whole blocks and serialises behind the detour.
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/transpose2d.hpp"
+#include "fault/fault.hpp"
+
+namespace {
+
+using namespace nct;
+
+/// k distinct undirected cut wires for an n-cube, deterministic, and
+/// cumulative in k (prefixes agree).
+fault::FaultSpec cut_links(int n, int k) {
+  std::mt19937 rng(0xC0FFEEu);
+  std::vector<std::pair<cube::word, int>> cuts;
+  std::uniform_int_distribution<cube::word> node(0, (cube::word{1} << n) - 1);
+  std::uniform_int_distribution<int> dim(0, n - 1);
+  while (cuts.size() < static_cast<std::size_t>(k)) {
+    const cube::word x = node(rng);
+    const int d = dim(rng);
+    // Canonical endpoint so both directions of a wire count once.
+    const cube::word lo = std::min(x, cube::flip_bit(x, d));
+    bool dup = false;
+    for (const auto& c : cuts) dup = dup || (c.first == lo && c.second == d);
+    if (!dup) cuts.emplace_back(lo, d);
+  }
+  fault::FaultSpec spec;
+  for (const auto& [x, d] : cuts) spec.fail_link(x, d);
+  return spec;
+}
+
+struct Point {
+  double time = 0.0;
+  std::size_t reroutes = 0;
+};
+
+Point run(const sim::MachineParams& machine, int pq_log2, bool mpt,
+          const fault::FaultModel& fm) {
+  const int half = machine.n / 2;
+  const int p = pq_log2 / 2;
+  const cube::MatrixShape s{p, pq_log2 - p};
+  const auto before = cube::PartitionSpec::two_dim_cyclic(s, half, half);
+  const auto after = cube::PartitionSpec::two_dim_cyclic(s.transposed(), half, half);
+  core::Transpose2DOptions topt;
+  topt.faults = &fm;
+  const sim::Program prog = mpt ? core::transpose_mpt(before, after, machine, topt)
+                                : core::transpose_spt(before, after, machine, topt);
+  sim::EngineOptions eo;
+  eo.faults = &fm;
+  const sim::RunResult res =
+      sim::Engine(machine, eo).run_timing(sim::compile(prog, machine));
+  return Point{res.total_time, res.total_reroutes};
+}
+
+void sweep(const sim::MachineParams& machine, int pq_log2, const char* title) {
+  const int n = machine.n;
+  bench::Table t({"failed_links", "SPT_ms", "SPT_slowdown", "SPT_reroutes", "MPT_ms",
+                  "MPT_slowdown", "MPT_reroutes"});
+  const auto rows = bench::parallel_sweep(static_cast<std::size_t>(n), [&](std::size_t k) {
+    const fault::FaultModel fm(n, cut_links(n, static_cast<int>(k)));
+    return std::pair<Point, Point>{run(machine, pq_log2, false, fm),
+                                   run(machine, pq_log2, true, fm)};
+  });
+  const double spt0 = rows[0].first.time;
+  const double mpt0 = rows[0].second.time;
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    const auto& [spt, mpt] = rows[k];
+    t.row({std::to_string(k), bench::ms(spt.time), bench::num(spt.time / spt0),
+           std::to_string(spt.reroutes), bench::ms(mpt.time), bench::num(mpt.time / mpt0),
+           std::to_string(mpt.reroutes)});
+  }
+  t.print(title);
+}
+
+void print_series() {
+  sweep(sim::MachineParams::ipsc(6), 14,
+        "Degradation: failed links vs 2D transpose time, iPSC 6-cube, 2^14 elements");
+  sweep(sim::MachineParams::cm(8), 16,
+        "Degradation: failed links vs 2D transpose time, CM 8-cube, 2^16 elements");
+}
+
+void BM_MptFaulted(benchmark::State& state) {
+  const auto m = sim::MachineParams::ipsc(6);
+  const fault::FaultModel fm(6, cut_links(6, static_cast<int>(state.range(0))));
+  for (auto _ : state) benchmark::DoNotOptimize(run(m, 14, true, fm).time);
+}
+BENCHMARK(BM_MptFaulted)->Arg(0)->Arg(3)->Arg(5);
+
+void BM_SptFaulted(benchmark::State& state) {
+  const auto m = sim::MachineParams::ipsc(6);
+  const fault::FaultModel fm(6, cut_links(6, static_cast<int>(state.range(0))));
+  for (auto _ : state) benchmark::DoNotOptimize(run(m, 14, false, fm).time);
+}
+BENCHMARK(BM_SptFaulted)->Arg(0)->Arg(3)->Arg(5);
+
+}  // namespace
+
+NCT_BENCH_MAIN(print_series)

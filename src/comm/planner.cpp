@@ -113,11 +113,20 @@ void LocationPlanner::parallel_swaps(const std::vector<std::pair<LocBit, LocBit>
       auto& [src, dst] = g;
       std::vector<int> route = cube::bit_positions(x ^ y);
       if (order == RouteOrder::descending) std::reverse(route.begin(), route.end());
+      bool rerouted = false;
+      if (faults_ != nullptr && !faults_->empty() && faults_->route_blocked(x, route)) {
+        auto detour = fault::route_around(n_, x, y, *faults_);
+        if (!detour)
+          throw fault::FaultError("swap partner unreachable from node " + std::to_string(x));
+        route = std::move(*detour);
+        rerouted = true;
+      }
 
       const auto emit = [&](std::size_t first, std::size_t count) {
         sim::SendOp op;
         op.src = x;
         op.route = route;
+        op.rerouted = rerouted;
         op.src_slots.assign(src.begin() + static_cast<std::ptrdiff_t>(first),
                             src.begin() + static_cast<std::ptrdiff_t>(first + count));
         op.dst_slots.assign(dst.begin() + static_cast<std::ptrdiff_t>(first),
@@ -160,6 +169,7 @@ void LocationPlanner::parallel_swaps(const std::vector<std::pair<LocBit, LocBit>
             sim::SendOp op;
             op.src = x;
             op.route = route;
+            op.rerouted = rerouted;
             op.src_slots = small_src;
             op.dst_slots = small_dst;
             phase.sends.push_back(std::move(op));

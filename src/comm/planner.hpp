@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "comm/location.hpp"
+#include "fault/fault.hpp"
 #include "sim/program.hpp"
 
 namespace nct::comm {
@@ -53,6 +54,15 @@ class LocationPlanner {
 
   int n() const noexcept { return n_; }
   word local_slots() const noexcept { return local_slots_; }
+
+  /// Failure-aware routing: subsequent swap phases route around the
+  /// model's permanently-failed links (breadth-first detours; affected
+  /// SendOps are marked rerouted).  Throws fault::FaultError from
+  /// parallel_swaps if a sender/receiver pair is disconnected.  Transient
+  /// faults are left to the engine's retry machinery.  Not owned; null
+  /// (the default) restores healthy planning.
+  void set_faults(const fault::FaultModel* faults) noexcept { faults_ = faults; }
+  const fault::FaultModel* faults() const noexcept { return faults_; }
 
   /// Declare slots [0, slots_per_node) of nodes [0, nodes) occupied
   /// (slots_per_node == 0 means every slot).
@@ -87,6 +97,7 @@ class LocationPlanner {
   int n_;
   word local_slots_;
   int element_bytes_;
+  const fault::FaultModel* faults_ = nullptr;
   std::vector<std::vector<bool>> occupied_;
   sim::Program program_;
 };

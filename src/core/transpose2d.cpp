@@ -49,13 +49,21 @@ int check_pairwise(const cube::PartitionSpec& before, const cube::PartitionSpec&
 /// Shared pipelined-path planner: node x sends its block along
 /// `paths(x)` (non-empty for off-diagonal x), split into per-path packet
 /// trains.  wave_packets = packets per path launched as one wave.
+///
+/// With a fault model, each node keeps the surviving members of its
+/// healthy path set, refills from `candidates(x)` (the full edge-disjoint
+/// MPT family) up to the healthy path count, and as a last resort takes a
+/// breadth-first detour around the permanent faults.  Packets whose route
+/// differs from their healthy assignment are marked rerouted.
 sim::Program pipelined_transpose(
     const cube::PartitionSpec& before, const cube::PartitionSpec& after, word packet_elements,
     int waves, const std::function<std::vector<std::vector<int>>(word)>& paths,
-    bool charge_local, const std::string& label) {
+    const std::function<std::vector<std::vector<int>>(word)>& candidates,
+    const fault::FaultModel* faults, bool charge_local, const std::string& label) {
   const int n = check_pairwise(before, after);
   const int half = n / 2;
   const word L = before.local_elements();
+  if (faults && faults->empty()) faults = nullptr;
 
   sim::Program prog;
   prog.n = n;
@@ -71,6 +79,7 @@ sim::Program pipelined_transpose(
     word count;
     int wave;
     std::size_t path_index;
+    bool rerouted;
   };
   std::vector<Packet> packets;
   std::vector<std::vector<std::vector<int>>> node_paths(
@@ -78,10 +87,34 @@ sim::Program pipelined_transpose(
 
   for (word x = 0; x < before.processors(); ++x) {
     if (cube::tr_node(x, half) == x) continue;
-    node_paths[static_cast<std::size_t>(x)] = paths(x);
-    const auto& ps = node_paths[static_cast<std::size_t>(x)];
-    assert(!ps.empty());
-    const std::size_t np = ps.size();
+    const std::vector<std::vector<int>> healthy = paths(x);
+    assert(!healthy.empty());
+    auto& used = node_paths[static_cast<std::size_t>(x)];
+    used = healthy;
+    if (faults) {
+      std::vector<std::vector<int>> survivors;
+      for (const auto& r : healthy)
+        if (!faults->route_blocked(x, r)) survivors.push_back(r);
+      if (survivors.size() < healthy.size() && candidates) {
+        for (auto& r : candidates(x)) {
+          if (survivors.size() == healthy.size()) break;
+          if (faults->route_blocked(x, r)) continue;
+          if (std::find(survivors.begin(), survivors.end(), r) != survivors.end()) continue;
+          survivors.push_back(std::move(r));
+        }
+      }
+      if (survivors.empty()) {
+        const word dst = cube::tr_node(x, half);
+        auto detour = fault::route_around(n, x, dst, *faults);
+        if (!detour)
+          throw fault::FaultError("transpose partner unreachable from node " +
+                                  std::to_string(x));
+        survivors.push_back(std::move(*detour));
+      }
+      used = std::move(survivors);
+    }
+    const std::size_t np = used.size();
+    const std::size_t nh = healthy.size();
     // Round-robin the block over paths in waves: wave w, path p covers
     // packet index w*np + p.
     const word B = std::max<word>(1, packet_elements);
@@ -91,10 +124,11 @@ sim::Program pipelined_transpose(
       Packet pk;
       pk.src = x;
       pk.path_index = static_cast<std::size_t>(i % np);
-      pk.route = &ps[pk.path_index];
+      pk.route = &used[pk.path_index];
       pk.first = i * B;
       pk.count = std::min<word>(B, L - pk.first);
       pk.wave = static_cast<int>(i / np);
+      pk.rerouted = faults && *pk.route != healthy[static_cast<std::size_t>(i % nh)];
       packets.push_back(pk);
     }
   }
@@ -117,6 +151,7 @@ sim::Program pipelined_transpose(
     sim::SendOp op;
     op.src = pk.src;
     op.route = *pk.route;
+    op.rerouted = pk.rerouted;
     const auto& dt = dst_tables[static_cast<std::size_t>(pk.src)];
     op.src_slots.reserve(static_cast<std::size_t>(pk.count));
     op.dst_slots.reserve(static_cast<std::size_t>(pk.count));
@@ -182,7 +217,7 @@ sim::Program transpose_spt(const cube::PartitionSpec& before, const cube::Partit
       [n](word x) {
         return std::vector<std::vector<int>>{topo::mpt_path(x, n, 0)};
       },
-      opt.charge_local, "spt");
+      [n](word x) { return topo::mpt_paths(x, n); }, opt.faults, opt.charge_local, "spt");
 }
 
 sim::Program transpose_dpt(const cube::PartitionSpec& before, const cube::PartitionSpec& after,
@@ -207,7 +242,7 @@ sim::Program transpose_dpt(const cube::PartitionSpec& before, const cube::Partit
         return std::vector<std::vector<int>>{topo::mpt_path(x, n, 0),
                                              topo::mpt_path(x, n, h)};
       },
-      opt.charge_local, "dpt");
+      [n](word x) { return topo::mpt_paths(x, n); }, opt.faults, opt.charge_local, "dpt");
 }
 
 sim::Program transpose_mpt(const cube::PartitionSpec& before, const cube::PartitionSpec& after,
@@ -237,7 +272,8 @@ sim::Program transpose_mpt(const cube::PartitionSpec& before, const cube::Partit
     B = std::clamp<word>(
         static_cast<word>(std::llround(analysis::mpt_optimal_packet(machine, pq))), 1, L);
   }
-  prog = pipelined_transpose(before, after, B, 2, paths_of, opt.charge_local, "mpt");
+  prog = pipelined_transpose(before, after, B, 2, paths_of, {}, opt.faults, opt.charge_local,
+                             "mpt");
   return prog;
 }
 

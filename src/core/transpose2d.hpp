@@ -28,6 +28,7 @@
 #pragma once
 
 #include "cube/partition.hpp"
+#include "fault/fault.hpp"
 #include "sim/model.hpp"
 #include "sim/program.hpp"
 
@@ -42,6 +43,16 @@ struct Transpose2DOptions {
   int mpt_k = 0;
   /// Charge the local block transpose (diagonal nodes and slot fix-ups).
   bool charge_local = true;
+  /// Failure-aware planning (SPT/DPT/MPT): routes avoid the model's
+  /// permanently-failed links by selecting survivors from the node's
+  /// 2H(x) edge-disjoint MPT path family (Theorem 2's redundancy); when
+  /// the whole family is severed the planner falls back to a breadth-
+  /// first detour, and throws fault::FaultError only if the transpose
+  /// partner is disconnected outright.  Packets whose route differs from
+  /// the healthy assignment are marked SendOp::rerouted.  Transient
+  /// (finite-window) faults are left to the engine's retry semantics.
+  /// Not owned; null = plan for a healthy cube.
+  const fault::FaultModel* faults = nullptr;
 };
 
 /// Single Path Transpose, pipelined.

@@ -171,6 +171,32 @@ MetricsReport collect_metrics(const TraceSink& trace) {
   Histogram& hop_hist = reg.histogram("hop/duration", buckets, "s");
   Histogram& wait_hist = reg.histogram("port/wait", buckets, "s");
 
+  // Fault metrics only register when the trace carries fault events, so
+  // healthy-run reports (and the bench --json series) are unchanged.
+  bool any_fault = false;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.kind >= EventKind::link_down) {
+      any_fault = true;
+      break;
+    }
+  }
+  double* fault_downs = nullptr;
+  double* fault_down_time = nullptr;
+  double* fault_retries = nullptr;
+  double* fault_reroutes = nullptr;
+  double* fault_aborts = nullptr;
+  double* fault_extra_hops = nullptr;
+  if (any_fault) {
+    fault_downs = &reg.counter("fault/link_down");
+    fault_down_time = &reg.counter("fault/link_down_time", "s");
+    fault_retries = &reg.counter("fault/retries");
+    fault_reroutes = &reg.counter("fault/reroutes");
+    fault_aborts = &reg.counter("fault/aborts");
+    fault_extra_hops = &reg.counter("fault/extra_hops");
+  }
+  std::map<std::uint64_t, int> reroute_dist;  ///< rerouted seq -> Hamming(src, dst).
+  std::map<std::uint64_t, int> seq_hops;      ///< observed hops per message.
+
   // Per-link busy time and interval lists (for utilization / in-flight).
   std::map<std::size_t, double> link_busy;
   std::map<std::size_t, std::vector<std::pair<double, double>>> link_intervals;
@@ -197,8 +223,23 @@ MetricsReport collect_metrics(const TraceSink& trace) {
         const std::size_t li = topo::link_index(n, {e.node, e.dim});
         link_busy[li] += dur;
         link_intervals[li].emplace_back(e.t0, e.t1);
+        if (any_fault && e.seq != kNoSeq) seq_hops[e.seq] += 1;
         break;
       }
+      case EventKind::link_down:
+        *fault_downs += 1;
+        *fault_down_time += e.t1 - e.t0;
+        break;
+      case EventKind::retry:
+        *fault_retries += 1;
+        break;
+      case EventKind::reroute:
+        *fault_reroutes += 1;
+        reroute_dist[e.seq] = cube::hamming(e.node, e.peer);
+        break;
+      case EventKind::aborted:
+        *fault_aborts += 1;
+        break;
       case EventKind::port_wait_send:
       case EventKind::port_wait_recv: {
         const double dur = e.t1 - e.t0;
@@ -217,6 +258,14 @@ MetricsReport collect_metrics(const TraceSink& trace) {
   }
 
   if (copy + wire > 0.0) copy_share = 100.0 * copy / (copy + wire);
+
+  // Extra hops: for each rerouted message, how far its observed route
+  // exceeds the Hamming distance (the healthy shortest-path length).
+  for (const auto& [seq, dist] : reroute_dist) {
+    const auto it = seq_hops.find(seq);
+    if (it != seq_hops.end() && it->second > dist)
+      *fault_extra_hops += static_cast<double>(it->second - dist);
+  }
 
   const double nlinks = static_cast<double>(trace.nodes()) * std::max(n, 1);
   if (total_time > 0.0 && nlinks > 0.0) {

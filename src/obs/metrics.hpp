@@ -95,6 +95,10 @@ using MetricsReport = MetricsRegistry::Report;
 ///   link/utilization_avg (%), link/utilization_max (%),
 ///   link/max_inflight, port/wait_max (s),
 /// plus histograms hop/duration (s) and port/wait (s).
+/// Traces carrying fault events additionally report:
+///   fault/link_down, fault/link_down_time (s), fault/retries,
+///   fault/reroutes, fault/aborts,
+///   fault/extra_hops (hops beyond Hamming distance on rerouted messages).
 MetricsReport collect_metrics(const TraceSink& trace);
 
 }  // namespace nct::obs

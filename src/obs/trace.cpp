@@ -22,6 +22,10 @@ const char* event_kind_name(EventKind k) noexcept {
     case EventKind::port_wait_recv: return "port_wait_recv";
     case EventKind::copy: return "copy";
     case EventKind::stage: return "stage";
+    case EventKind::link_down: return "link_down";
+    case EventKind::retry: return "retry";
+    case EventKind::reroute: return "reroute";
+    case EventKind::aborted: return "aborted";
   }
   return "unknown";
 }
@@ -68,6 +72,7 @@ void write_chrome_trace(const TraceSink& trace, std::ostream& os) {
   for (const TraceEvent& e : trace.events()) {
     switch (e.kind) {
       case EventKind::hop:
+      case EventKind::link_down:
         link_used[topo::link_index(n, {e.node, e.dim})] = true;
         break;
       case EventKind::send_begin:
@@ -76,6 +81,9 @@ void write_chrome_trace(const TraceSink& trace, std::ostream& os) {
       case EventKind::port_wait_recv:
       case EventKind::copy:
       case EventKind::stage:
+      case EventKind::retry:
+      case EventKind::reroute:
+      case EventKind::aborted:
         if (e.node < trace.nodes()) node_used[static_cast<std::size_t>(e.node)] = true;
         break;
       default:
@@ -151,6 +159,28 @@ void write_chrome_trace(const TraceSink& trace, std::ostream& os) {
            << (e.kind == EventKind::copy ? "copy" : "stage") << R"(","args":{"bytes":)"
            << e.bytes << "}}";
         break;
+      case EventKind::link_down:
+        os << ",\n"
+           << R"({"ph":"X","pid":1,"tid":)" << topo::link_index(n, {e.node, e.dim})
+           << R"(,"ts":)" << us(e.t0) << R"(,"dur":)" << us(e.t1 - e.t0)
+           << R"(,"name":"DOWN blocking msg #)" << e.seq << R"(","args":{"dim":)" << e.dim
+           << "}}";
+        break;
+      case EventKind::retry:
+        os << ",\n"
+           << R"({"ph":"i","s":"t","pid":0,"tid":)" << e.node << R"(,"ts":)" << us(e.t0)
+           << R"(,"name":"retry #)" << e.seq << " d" << e.dim << "\"}";
+        break;
+      case EventKind::reroute:
+        os << ",\n"
+           << R"({"ph":"i","s":"t","pid":0,"tid":)" << e.node << R"(,"ts":)" << us(e.t0)
+           << R"(,"name":"reroute #)" << e.seq << " -> " << e.peer << "\"}";
+        break;
+      case EventKind::aborted:
+        os << ",\n"
+           << R"({"ph":"i","s":"g","pid":0,"tid":)" << e.node << R"(,"ts":)" << us(e.t0)
+           << R"(,"name":"ABORT #)" << e.seq << "\"}";
+        break;
     }
   }
   os << "\n]}\n";
@@ -166,7 +196,9 @@ bool write_chrome_trace_file(const TraceSink& trace, const std::string& path) {
 namespace {
 
 constexpr char kMagic[8] = {'N', 'C', 'T', 'T', 'R', 'A', 'C', 'E'};
-constexpr std::uint32_t kVersion = 1;
+// Version 2 added the fault event kinds (link_down..aborted); the record
+// layout is unchanged, so version-1 files still read.
+constexpr std::uint32_t kVersion = 2;
 
 template <class T>
 void put(std::ostream& os, T v) {
@@ -219,7 +251,8 @@ TraceSink read_binary_trace(std::istream& is) {
   if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
     throw std::runtime_error("not an nct trace file (bad magic)");
   const auto version = get<std::uint32_t>(is);
-  if (version != kVersion) throw std::runtime_error("unsupported trace version");
+  if (version < 1 || version > kVersion) throw std::runtime_error("unsupported trace version");
+  const EventKind max_kind = version == 1 ? EventKind::stage : EventKind::aborted;
   const auto n = get<std::uint32_t>(is);
   if (n > 63) throw std::runtime_error("implausible cube dimension in trace header");
   const auto nevents = get<std::uint64_t>(is);
@@ -235,11 +268,13 @@ TraceSink read_binary_trace(std::istream& is) {
     labels.push_back(std::move(l));
   }
   std::vector<TraceEvent> events;
-  events.reserve(static_cast<std::size_t>(nevents));
+  // Don't trust a corrupt header's event count with a huge allocation up
+  // front; a short stream fails on the first missing record instead.
+  events.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(nevents, 1u << 20)));
   for (std::uint64_t i = 0; i < nevents; ++i) {
     TraceEvent e;
     const auto kind = get<std::uint8_t>(is);
-    if (kind > static_cast<std::uint8_t>(EventKind::stage))
+    if (kind > static_cast<std::uint8_t>(max_kind))
       throw std::runtime_error("bad event kind in trace");
     e.kind = static_cast<EventKind>(kind);
     e.phase = get<std::int32_t>(is);
@@ -252,6 +287,11 @@ TraceSink read_binary_trace(std::istream& is) {
     e.bytes = get<std::uint64_t>(is);
     events.push_back(e);
   }
+  // A well-formed trace ends exactly after the declared events; trailing
+  // bytes mean the header's count (or the file) is corrupt.  Without this
+  // check a truncated count silently yields a partial trace.
+  if (is.peek() != std::istream::traits_type::eof())
+    throw std::runtime_error("trailing bytes after declared event count in trace");
   TraceSink sink;
   sink.restore(static_cast<int>(n), std::move(labels), std::move(events));
   return sink;

@@ -35,6 +35,12 @@ enum class EventKind : std::uint8_t {
   port_wait_recv,   ///< one-port: final hop stalled on the receive port.
   copy,             ///< charged local copy on `node`'s clock.
   stage,            ///< buffer gather/scatter charge on `node`'s clock.
+  // Fault-injection events (src/fault).  Appended so the numeric values
+  // of the kinds above stay stable in the binary trace format.
+  link_down,        ///< hop blocked by an outage of link node -dim-> peer over [t0, t1].
+  retry,            ///< instant: the blocked hop re-injects at t0 after a recovery.
+  reroute,          ///< instant: message injected on a detour route (node=src, peer=dst).
+  aborted,          ///< instant: message given up at `node` (retries/timeout exhausted).
 };
 
 const char* event_kind_name(EventKind k) noexcept;
@@ -99,6 +105,21 @@ class TraceSink {
   }
   void stage(std::int32_t phase, word node, std::uint64_t bytes, double t0, double t1) {
     push({EventKind::stage, phase, -1, t0, t1, node, 0, kNoSeq, bytes});
+  }
+  void link_down(std::int32_t phase, word from, word to, std::int32_t dim,
+                 std::uint64_t seq, double t0, double t1) {
+    push({EventKind::link_down, phase, dim, t0, t1, from, to, seq, 0});
+  }
+  void retry(std::int32_t phase, word from, word to, std::int32_t dim, std::uint64_t seq,
+             double t) {
+    push({EventKind::retry, phase, dim, t, t, from, to, seq, 0});
+  }
+  void reroute(std::int32_t phase, word src, word dst, std::uint64_t seq, double t) {
+    push({EventKind::reroute, phase, -1, t, t, src, dst, seq, 0});
+  }
+  void aborted(std::int32_t phase, word node, std::int32_t dim, std::uint64_t seq,
+               double t) {
+    push({EventKind::aborted, phase, dim, t, t, node, 0, seq, 0});
   }
 
   // ---- consumer API ----------------------------------------------------

@@ -7,4 +7,10 @@ sim::Memory execute_program_threads(const sim::Program& program, sim::Memory ini
                                          [](cube::word& w) { w = sim::kEmptySlot; });
 }
 
+sim::Memory execute_program_threads(const sim::Program& program, sim::Memory initial,
+                                    FaultInjector& faults, fault::RetryPolicy retry) {
+  return detail::run_threads<cube::word>(
+      program, std::move(initial), [](cube::word& w) { w = sim::kEmptySlot; }, &faults, retry);
+}
+
 }  // namespace nct::runtime

@@ -16,18 +16,33 @@
 #pragma once
 
 #include <cassert>
+#include <chrono>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "runtime/channel.hpp"
 #include "runtime/ensemble.hpp"
+#include "runtime/fault_injector.hpp"
 #include "sim/program.hpp"
+#include "topology/hypercube.hpp"
 
 namespace nct::runtime {
 
 /// Run `program` from `initial` with one thread per node; returns the
 /// final node memories (same data semantics as sim::Engine / apply_data).
 sim::Memory execute_program_threads(const sim::Program& program, sim::Memory initial);
+
+/// Same, but with transient faults injected: hops over a refusing link
+/// retry with exponential backoff until the link recovers, bounded by
+/// `retry.max_retries` attempts and `retry.timeout` wall-clock seconds
+/// per hop.  Data is never lost — the final memories match the healthy
+/// run — but if any hop exhausts its budget the run throws
+/// fault::FaultError after all threads finish (see fault_injector.hpp).
+sim::Memory execute_program_threads(const sim::Program& program, sim::Memory initial,
+                                    FaultInjector& faults, fault::RetryPolicy retry = {});
 
 namespace detail {
 
@@ -36,7 +51,9 @@ namespace detail {
 /// every slot the program later reads is written first).
 template <class T, class Clear>
 std::vector<std::vector<T>> run_threads(const sim::Program& program,
-                                        std::vector<std::vector<T>> memory, Clear clear) {
+                                        std::vector<std::vector<T>> memory, Clear clear,
+                                        FaultInjector* inj = nullptr,
+                                        fault::RetryPolicy retry = {}) {
   const cube::word nnodes = program.nodes();
   if (memory.size() != nnodes) throw std::invalid_argument("memory/node count mismatch");
 
@@ -78,10 +95,40 @@ std::vector<std::vector<T>> run_threads(const sim::Program& program,
 
   std::vector<Channel<Packet>> inbox(static_cast<std::size_t>(nnodes));
 
+  if (inj != nullptr && inj->dimensions() != program.n)
+    throw std::invalid_argument("fault injector / program dimension mismatch");
+
   Ensemble ensemble(program.n);
   ensemble.run([&](NodeCtx& ctx) {
     const cube::word me = ctx.rank();
     auto& local = memory[static_cast<std::size_t>(me)];
+
+    // Forward `pk` over its next hop, retrying with exponential backoff
+    // while the injector refuses the link.  Always delivers (dropping
+    // would deadlock the planned receive loops); budget overruns are
+    // recorded and surfaced after the ensemble completes.
+    const auto forward = [&](Packet&& pk) {
+      const int dim = pk.route[pk.hop];
+      if (inj != nullptr) {
+        const std::size_t li = topo::link_index(program.n, {me, dim});
+        const auto start = std::chrono::steady_clock::now();
+        auto delay = std::chrono::microseconds{1};
+        int tries = 0;
+        while (!inj->try_acquire(li)) {
+          const double waited =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+          if (++tries > retry.max_retries || waited > retry.timeout) {
+            inj->note_give_up();
+            break;
+          }
+          std::this_thread::sleep_for(delay);
+          delay = std::min(delay * 2, std::chrono::microseconds{256});
+        }
+      }
+      const cube::word next = cube::flip_bit(me, dim);
+      pk.hop += 1;
+      inbox[static_cast<std::size_t>(next)].send(std::move(pk));
+    };
 
     const auto apply_copy = [&](const sim::CopyOp& op) {
       std::vector<T> values(op.src_slots.size());
@@ -115,11 +162,7 @@ std::vector<std::vector<T>> run_threads(const sim::Program& program,
         if (op->keep_source) continue;
         for (const sim::slot s : op->src_slots) clear(local[static_cast<std::size_t>(s)]);
       }
-      for (auto& pk : outgoing) {
-        const cube::word next = cube::flip_bit(me, pk.route[pk.hop]);
-        pk.hop += 1;
-        inbox[static_cast<std::size_t>(next)].send(std::move(pk));
-      }
+      for (auto& pk : outgoing) forward(std::move(pk));
 
       // Sink or forward exactly the planned number of packets.
       for (std::size_t r = 0; r < incoming[ph][static_cast<std::size_t>(me)]; ++r) {
@@ -129,9 +172,7 @@ std::vector<std::vector<T>> run_threads(const sim::Program& program,
             local[static_cast<std::size_t>(pk.dst_slots[i])] = pk.payload[i];
           }
         } else {
-          const cube::word next = cube::flip_bit(me, pk.route[pk.hop]);
-          pk.hop += 1;
-          inbox[static_cast<std::size_t>(next)].send(std::move(pk));
+          forward(std::move(pk));
         }
       }
 
@@ -141,6 +182,10 @@ std::vector<std::vector<T>> run_threads(const sim::Program& program,
     }
   });
 
+  if (inj != nullptr && inj->give_ups() > 0) {
+    throw fault::FaultError("runtime: " + std::to_string(inj->give_ups()) +
+                            " hop(s) exhausted their retry budget");
+  }
   return memory;
 }
 

@@ -5,6 +5,7 @@
 
 #include "cube/bits.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault_gate.hpp"
 #include "topology/hypercube.hpp"
 
 namespace nct::sim {
@@ -69,6 +70,14 @@ RunResult run_compiled(const MachineParams& params, const EngineOptions& options
 
   obs::TraceSink* const sink = options.trace;
   if (sink) sink->begin_run(params.n);
+
+  // Same empty-model drop as the interpreted path: healthy runs execute
+  // exactly the pre-fault arithmetic.
+  if (options.faults && !options.faults->empty() &&
+      options.faults->dimensions() != params.n)
+    throw ProgramError("fault model / machine dimension mismatch");
+  detail::FaultGate gate{options.faults && !options.faults->empty() ? options.faults : nullptr,
+                         options.retry, sink, params.n, 0, 0.0};
 
   const auto& phases = cp.phases();
   const auto& sends = cp.send_ops();
@@ -184,6 +193,7 @@ RunResult run_compiled(const MachineParams& params, const EngineOptions& options
       heap.push_back(FastPacket{node_done[static_cast<std::size_t>(sends[k].src)],
                                 global_seq++, k, 0});
       std::push_heap(heap.begin(), heap.end(), FastOrder{});
+      if (sends[k].rerouted) result.total_reroutes += 1;
     }
     stats.sends = ph.sends;
     stats.elements = ph.elements;
@@ -209,21 +219,34 @@ RunResult run_compiled(const MachineParams& params, const EngineOptions& options
         if (one_port) start = std::max(start, send_free[static_cast<std::size_t>(s.src)]);
         const double send_gate = start;
         if (one_port) start = std::max(start, recv_free[static_cast<std::size_t>(s.dst)]);
-        const double arrive =
-            start + static_cast<double>(s.route_len) * params.tau + s.serialise;
+        const double recv_gate = start;
         if (sink) {
           if (send_gate > link_start)
             sink->port_wait(obs::EventKind::port_wait_send, phase_index, s.src, p.seq,
                             link_start, send_gate);
-          if (start > send_gate)
+          if (recv_gate > send_gate)
             sink->port_wait(obs::EventKind::port_wait_recv, phase_index, s.dst, p.seq,
-                            send_gate, start);
+                            send_gate, recv_gate);
+        }
+        double serialise = s.serialise;
+        if (gate.model) {
+          for (std::uint32_t i = 0; i < s.route_len; ++i)
+            start = gate.acquire(links[i], start, phase_index, p.seq);
+          double deg = 1.0;
+          for (std::uint32_t i = 0; i < s.route_len; ++i)
+            deg = std::max(deg, gate.degrade(links[i]));
+          serialise *= deg;
+        }
+        const double arrive =
+            start + static_cast<double>(s.route_len) * params.tau + serialise;
+        if (sink) {
+          if (s.rerouted) sink->reroute(phase_index, s.src, s.dst, p.seq, start);
           sink->send_begin(phase_index, s.src, s.dst, p.seq, bytes, start,
-                           start + params.tau + s.serialise);
+                           start + params.tau + serialise);
         }
         for (std::uint32_t i = 0; i < s.route_len; ++i) {
           const double lstart = start + static_cast<double>(i) * params.tau;
-          const double lend = lstart + params.tau + s.serialise;
+          const double lend = lstart + params.tau + serialise;
           link_free[links[i]] = lend;
           link_busy_total[links[i]] += lend - lstart;
           if (options.record_link_trace)
@@ -238,7 +261,7 @@ RunResult run_compiled(const MachineParams& params, const EngineOptions& options
         }
         if (sink) sink->send_end(phase_index, s.dst, s.src, p.seq, bytes, start, arrive);
         if (one_port) {
-          send_free[static_cast<std::size_t>(s.src)] = start + params.tau + s.serialise;
+          send_free[static_cast<std::size_t>(s.src)] = start + params.tau + serialise;
           recv_free[static_cast<std::size_t>(s.dst)] = arrive;
         }
         node_done[static_cast<std::size_t>(s.dst)] =
@@ -259,8 +282,23 @@ RunResult run_compiled(const MachineParams& params, const EngineOptions& options
       const double send_gate = start;
       if (one_port && last_hop)
         start = std::max(start, recv_free[static_cast<std::size_t>(s.dst)]);
+      const double recv_gate = start;
+      if (sink) {
+        const word from = static_cast<word>(li / static_cast<std::size_t>(params.n));
+        if (send_gate > link_start)
+          sink->port_wait(obs::EventKind::port_wait_send, phase_index, from, p.seq,
+                          link_start, send_gate);
+        if (recv_gate > send_gate)
+          sink->port_wait(obs::EventKind::port_wait_recv, phase_index, s.dst, p.seq,
+                          send_gate, recv_gate);
+      }
+      double hop_cost = s.hop_cost;
+      if (gate.model) {
+        start = gate.acquire(li, start, phase_index, p.seq);
+        hop_cost *= gate.degrade(li);
+      }
 
-      const double end = start + s.hop_cost;
+      const double end = start + hop_cost;
       link_free[li] = end;
       link_busy_total[li] += end - start;
       if (options.record_link_trace) result.link_trace[li].push_back({start, end, p.seq});
@@ -271,13 +309,10 @@ RunResult run_compiled(const MachineParams& params, const EngineOptions& options
             static_cast<std::size_t>(s.count) * static_cast<std::size_t>(params.element_bytes);
         const word from = static_cast<word>(li / static_cast<std::size_t>(params.n));
         const int dim = static_cast<int>(li % static_cast<std::size_t>(params.n));
-        if (send_gate > link_start)
-          sink->port_wait(obs::EventKind::port_wait_send, phase_index, from, p.seq,
-                          link_start, send_gate);
-        if (start > send_gate)
-          sink->port_wait(obs::EventKind::port_wait_recv, phase_index, s.dst, p.seq,
-                          send_gate, start);
-        if (first_hop) sink->send_begin(phase_index, s.src, s.dst, p.seq, bytes, start, end);
+        if (first_hop) {
+          if (s.rerouted) sink->reroute(phase_index, s.src, s.dst, p.seq, start);
+          sink->send_begin(phase_index, s.src, s.dst, p.seq, bytes, start, end);
+        }
         sink->hop(phase_index, from, cube::flip_bit(from, dim), dim, p.seq, bytes, start, end);
         if (last_hop) sink->send_end(phase_index, s.dst, s.src, p.seq, bytes, start, end);
       }
@@ -331,6 +366,8 @@ RunResult run_compiled(const MachineParams& params, const EngineOptions& options
   }
 
   result.total_time = clock;
+  result.total_retries = gate.retries;
+  result.total_fault_wait = gate.down_wait;
   result.max_link_busy =
       link_busy_total.empty()
           ? 0.0
@@ -439,6 +476,7 @@ CompiledProgram compile(const Program& program, const MachineParams& machine) {
       s.route_len = static_cast<std::uint32_t>(op.route.size());
       s.payload_off = payload_off;
       s.keep_source = op.keep_source;
+      s.rerouted = op.rerouted;
       payload_off += s.count;
 
       word at = op.src;

@@ -52,6 +52,7 @@ struct CompiledSend {
   std::uint32_t route_len = 0;
   std::uint32_t payload_off = 0;  ///< offset into the phase payload arena.
   bool keep_source = false;
+  bool rerouted = false;          ///< see SendOp::rerouted.
   double hop_cost = 0.0;   ///< store-and-forward: time per hop.
   double serialise = 0.0;  ///< cut-through: payload serialisation time.
 };

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <queue>
 
+#include "sim/fault_gate.hpp"
+
 namespace nct::sim {
 
 namespace {
@@ -59,6 +61,15 @@ RunResult Engine::run(const Program& program, Memory initial) const {
 
   obs::TraceSink* const sink = options_.trace;
   if (sink) sink->begin_run(params_.n);
+
+  // An empty fault model is dropped here so the healthy path stays
+  // arithmetic-for-arithmetic identical to a run without the option.
+  if (options_.faults && !options_.faults->empty() &&
+      options_.faults->dimensions() != params_.n)
+    throw ProgramError("fault model / machine dimension mismatch");
+  detail::FaultGate gate{
+      options_.faults && !options_.faults->empty() ? options_.faults : nullptr,
+      options_.retry, sink, params_.n, 0, 0.0};
 
   const std::size_t nlinks =
       static_cast<std::size_t>(nnodes) * static_cast<std::size_t>(std::max(params_.n, 1));
@@ -185,6 +196,7 @@ RunResult Engine::run(const Program& program, Memory initial) const {
         p.at = op.src;
         p.ready = node_done[static_cast<std::size_t>(op.src)];
         queue.push(p);
+        if (op.rerouted) result.total_reroutes += 1;
         stats.sends += 1;
         stats.elements += op.elements();
         stats.hops += op.route.size();
@@ -217,16 +229,29 @@ RunResult Engine::run(const Program& program, Memory initial) const {
           if (one_port) start = std::max(start, send_free[static_cast<std::size_t>(p.at)]);
           const double send_gate = start;
           if (one_port) start = std::max(start, recv_free[static_cast<std::size_t>(cur)]);
-          const double serialise = static_cast<double>(bytes) * params_.tc;
-          const double arrive =
-              start + static_cast<double>(lidx.size()) * params_.tau + serialise;
+          const double recv_gate = start;
           if (sink) {
             if (send_gate > link_start)
               sink->port_wait(obs::EventKind::port_wait_send, phase_index, p.at, p.seq,
                               link_start, send_gate);
-            if (start > send_gate)
+            if (recv_gate > send_gate)
               sink->port_wait(obs::EventKind::port_wait_recv, phase_index, cur, p.seq,
-                              send_gate, start);
+                              send_gate, recv_gate);
+          }
+          double serialise = static_cast<double>(bytes) * params_.tc;
+          if (gate.model) {
+            // The reservation is pushed past every outage window in route
+            // order; the most degraded link paces the pipelined payload.
+            for (const std::size_t li : lidx)
+              start = gate.acquire(li, start, phase_index, p.seq);
+            double deg = 1.0;
+            for (const std::size_t li : lidx) deg = std::max(deg, gate.degrade(li));
+            serialise *= deg;
+          }
+          const double arrive =
+              start + static_cast<double>(lidx.size()) * params_.tau + serialise;
+          if (sink) {
+            if (p.op->rerouted) sink->reroute(phase_index, p.at, cur, p.seq, start);
             sink->send_begin(phase_index, p.at, cur, p.seq, bytes, start,
                              start + params_.tau + serialise);
           }
@@ -270,23 +295,32 @@ RunResult Engine::run(const Program& program, Memory initial) const {
         const double send_gate = start;
         if (one_port && last_hop)
           start = std::max(start, recv_free[static_cast<std::size_t>(next)]);
+        const double recv_gate = start;
+        if (sink) {
+          if (send_gate > link_start)
+            sink->port_wait(obs::EventKind::port_wait_send, phase_index, p.at, p.seq,
+                            link_start, send_gate);
+          if (recv_gate > send_gate)
+            sink->port_wait(obs::EventKind::port_wait_recv, phase_index, next, p.seq,
+                            send_gate, recv_gate);
+        }
+        double hop_cost = params_.hop_time(bytes);
+        if (gate.model) {
+          start = gate.acquire(li, start, phase_index, p.seq);
+          hop_cost *= gate.degrade(li);
+        }
 
-        const double end = start + params_.hop_time(bytes);
+        const double end = start + hop_cost;
         link_free[li] = end;
         link_busy_total[li] += end - start;
         if (options_.record_link_trace) result.link_trace[li].push_back({start, end, p.seq});
         if (one_port && first_hop) send_free[static_cast<std::size_t>(p.at)] = end;
         if (one_port && last_hop) recv_free[static_cast<std::size_t>(next)] = end;
         if (sink) {
-          if (send_gate > link_start)
-            sink->port_wait(obs::EventKind::port_wait_send, phase_index, p.at, p.seq,
-                            link_start, send_gate);
-          if (start > send_gate)
-            sink->port_wait(obs::EventKind::port_wait_recv, phase_index, next, p.seq,
-                            send_gate, start);
           if (first_hop) {
             word dst = p.at;
             for (const int d : p.op->route) dst = cube::flip_bit(dst, d);
+            if (p.op->rerouted) sink->reroute(phase_index, p.at, dst, p.seq, start);
             sink->send_begin(phase_index, p.at, dst, p.seq, bytes, start, end);
           }
           sink->hop(phase_index, p.at, next, dim, p.seq, bytes, start, end);
@@ -346,6 +380,8 @@ RunResult Engine::run(const Program& program, Memory initial) const {
   }
 
   result.total_time = clock;
+  result.total_retries = gate.retries;
+  result.total_fault_wait = gate.down_wait;
   result.max_link_busy =
       link_busy_total.empty()
           ? 0.0

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "obs/trace.hpp"
 #include "sim/model.hpp"
 #include "sim/program.hpp"
@@ -72,6 +73,10 @@ struct RunResult {
   /// Optional: busy intervals per directed link, indexed by
   /// topo::link_index; empty unless EngineOptions::record_link_trace.
   std::vector<std::vector<LinkBusy>> link_trace;
+  // Fault injection (all zero on a healthy run):
+  std::size_t total_reroutes = 0;   ///< sends injected on detour routes.
+  std::size_t total_retries = 0;    ///< hop re-injections after transient outages.
+  double total_fault_wait = 0.0;    ///< summed simulated time blocked on down links.
 };
 
 struct EngineOptions {
@@ -81,6 +86,14 @@ struct EngineOptions {
   /// simulated timestamps; interpreted, compiled-data and timing-only
   /// runs of the same program emit identical event streams.
   obs::TraceSink* trace = nullptr;
+  /// Optional fault model (not owned; see fault/fault.hpp).  Null or
+  /// empty: healthy machine, with times, stats and event streams
+  /// bit-identical to a run without the field.  With faults, all three
+  /// engine paths still agree exactly: hops blocked by a transient outage
+  /// wait and retry per `retry`; a permanent outage on a route raises
+  /// fault::FaultError.
+  const fault::FaultModel* faults = nullptr;
+  fault::RetryPolicy retry{};
 };
 
 class CompiledProgram;  // compile.hpp

@@ -44,6 +44,10 @@ struct SendOp {
   /// Broadcast semantics: the source retains its copy (the data is
   /// replicated rather than moved).
   bool keep_source = false;
+  /// Planner marker: the route is a detour around faulty links (not the
+  /// route the healthy plan would use).  The engine emits a `reroute`
+  /// trace event at injection for each marked send.
+  bool rerouted = false;
 
   std::size_t elements() const noexcept { return src_slots.size(); }
 };

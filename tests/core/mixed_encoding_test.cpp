@@ -138,5 +138,29 @@ TEST(MixedEncoding, BinaryToGrayTransposeVariant) {
   EXPECT_LE(routing_steps(prog), static_cast<std::size_t>(n));
 }
 
+TEST(MixedEncoding, RoundTripsAtMinAndMaxFieldWidths) {
+  // Minimum: 1-bit row/col fields (width-1 Gray equals binary) with no
+  // local bits at all — the smallest matrix the 2D layout can carry.
+  {
+    const MatrixShape s{1, 1};
+    const auto before =
+        PartitionSpec::two_dim_cyclic(s, 1, 1, Encoding::binary, Encoding::gray);
+    const auto after = PartitionSpec::two_dim_cyclic(s.transposed(), 1, 1,
+                                                     Encoding::binary, Encoding::gray);
+    expect_mixed(before, after, transpose_mixed_combined(before, after), 2,
+                 "min-width fields");
+  }
+  // Maximum: full-width 3-bit fields, rp = m, one element per node.
+  {
+    const MatrixShape s{3, 3};
+    const auto before =
+        PartitionSpec::two_dim_cyclic(s, 3, 3, Encoding::gray, Encoding::binary);
+    const auto after = PartitionSpec::two_dim_cyclic(s.transposed(), 3, 3,
+                                                     Encoding::gray, Encoding::binary);
+    expect_mixed(before, after, transpose_mixed_combined(before, after), 6,
+                 "max-width fields");
+  }
+}
+
 }  // namespace
 }  // namespace nct::core

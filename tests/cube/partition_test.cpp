@@ -204,6 +204,70 @@ TEST(Distribution, NodeMemoryCoversMatrixExactlyOnce) {
   EXPECT_EQ(all.size(), s.elements());
 }
 
+// ---- edge-case backfills ---------------------------------------------
+
+TEST(Partition, EmptyFieldSetPutsEverythingOnOneNode) {
+  // rp = 0: no real-processor fields at all; the whole matrix is local
+  // to node 0 and the local map is a bijection over the elements.
+  const MatrixShape s{3, 2};
+  const PartitionSpec spec(s, {});
+  EXPECT_EQ(spec.processor_bits(), 0);
+  EXPECT_EQ(spec.processors(), 1u);
+  EXPECT_EQ(spec.local_bits(), s.m());
+  EXPECT_EQ(spec.local_elements(), s.elements());
+  EXPECT_EQ(spec.real_dim_mask(), 0u);
+  std::set<word> slots;
+  for (word w = 0; w < s.elements(); ++w) {
+    EXPECT_EQ(spec.processor_of(w), 0u);
+    slots.insert(spec.local_of(w));
+    EXPECT_EQ(spec.element_at(0, spec.local_of(w)), w);
+  }
+  EXPECT_EQ(slots.size(), s.elements());
+}
+
+TEST(Partition, ZeroDimensionalCubeDistribution) {
+  // n = 0 through the factories: one processor, node_memory is a single
+  // node holding every element exactly once, and I = R_b ∩ R_a is empty.
+  const MatrixShape s{3, 3};
+  const Distribution dist(PartitionSpec::row_cyclic(s, 0));
+  const auto mem = dist.node_memory();
+  ASSERT_EQ(mem.size(), 1u);
+  std::set<word> all(mem[0].begin(), mem[0].end());
+  EXPECT_EQ(all.size(), s.elements());
+  EXPECT_EQ(common_real_dims(dist.spec(), PartitionSpec::col_cyclic(s, 0)), 0u);
+}
+
+TEST(Partition, FullWidthFieldLeavesNothingLocal) {
+  // rp = m: every element its own processor, one local slot, in both
+  // encodings — the maximum field width a spec can carry.
+  const MatrixShape s{2, 2};
+  for (const auto enc : {Encoding::binary, Encoding::gray}) {
+    const PartitionSpec spec(s, {Field{0, s.m(), enc}});
+    EXPECT_EQ(spec.local_elements(), 1u);
+    std::set<word> procs;
+    for (word w = 0; w < s.elements(); ++w) {
+      EXPECT_EQ(spec.local_of(w), 0u);
+      procs.insert(spec.processor_of(w));
+      EXPECT_EQ(spec.element_at(spec.processor_of(w), 0), w);
+    }
+    EXPECT_EQ(procs.size(), s.elements());
+  }
+}
+
+TEST(Partition, OneBitFieldsRoundTripInBothEncodings) {
+  // Minimum field width: a 1-bit Gray field equals 1-bit binary, and the
+  // processor/local maps stay inverse to each other.
+  const MatrixShape s{2, 2};
+  const PartitionSpec bin(
+      s, {Field{3, 1, Encoding::binary}, Field{1, 1, Encoding::binary}});
+  const PartitionSpec gray(s,
+                           {Field{3, 1, Encoding::gray}, Field{1, 1, Encoding::gray}});
+  for (word w = 0; w < s.elements(); ++w) {
+    EXPECT_EQ(bin.processor_of(w), gray.processor_of(w));
+    EXPECT_EQ(bin.element_at(bin.processor_of(w), bin.local_of(w)), w);
+  }
+}
+
 TEST(Distribution, ConsecutiveLayoutIsRowMajorWithinBlock) {
   // With column-consecutive partitioning the local slot order follows the
   // element address order restricted to the block (descending virtual

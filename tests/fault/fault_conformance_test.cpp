@@ -1,0 +1,184 @@
+// Failure-aware planning conformance: the paper's Theorem 2 gives every
+// node 2H(x) pairwise edge-disjoint transpose paths, so with k <= n-1
+// permanently failed wires (the n-cube stays connected: edge
+// connectivity n) the failure-aware MPT planner must still deliver the
+// exact transposed distribution — rerouting over the surviving family
+// members, with reroute events and degraded-mode metrics to show for it.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "comm/location.hpp"
+#include "comm/planner.hpp"
+#include "core/transpose1d.hpp"
+#include "core/transpose2d.hpp"
+#include "fault/fault.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/engine.hpp"
+#include "topology/mpt_paths.hpp"
+
+namespace nct {
+namespace {
+
+using cube::word;
+
+constexpr int kN = 4, kHalf = 2;
+
+cube::PartitionSpec before_spec() {
+  return cube::PartitionSpec::two_dim_cyclic({3, 3}, kHalf, kHalf);
+}
+
+cube::PartitionSpec after_spec() {
+  return cube::PartitionSpec::two_dim_cyclic(cube::MatrixShape{3, 3}.transposed(), kHalf,
+                                             kHalf);
+}
+
+/// Plans with the model, runs with the model, and checks the exact
+/// transposed distribution arrived.
+sim::RunResult plan_and_run(const fault::FaultModel& fm, bool mpt,
+                            obs::TraceSink* sink = nullptr) {
+  const auto before = before_spec();
+  const auto after = after_spec();
+  const auto m = sim::MachineParams::ipsc(kN);
+  core::Transpose2DOptions topt;
+  topt.faults = &fm;
+  const auto prog = mpt ? core::transpose_mpt(before, after, m, topt)
+                        : core::transpose_spt(before, after, m, topt);
+  const auto init = core::transpose_initial_memory(before, kN, prog.local_slots);
+  sim::EngineOptions eopt;
+  eopt.faults = &fm;
+  eopt.trace = sink;
+  const auto res = sim::Engine(m, eopt).run(prog, init);
+  const auto expected =
+      core::transpose_expected_memory({3, 3}, after, kN, prog.local_slots);
+  const auto v = sim::verify_memory(res.memory, expected);
+  EXPECT_TRUE(v.ok) << v.message;
+  return res;
+}
+
+TEST(FaultConformance, MptCompletesUnderEverySingleWireFailure) {
+  for (word x = 0; x < (word{1} << kN); ++x) {
+    for (int d = 0; d < kN; ++d) {
+      if (cube::flip_bit(x, d) < x) continue;  // each wire once
+      const fault::FaultModel fm(kN, fault::FaultSpec{}.fail_link(x, d));
+      plan_and_run(fm, /*mpt=*/true);
+    }
+  }
+}
+
+TEST(FaultConformance, MptCompletesUnderSampledTripleWireFailures) {
+  // k = n - 1 = 3 simultaneous cut wires, sampled with a fixed seed.
+  std::mt19937 rng(7u);
+  std::uniform_int_distribution<word> node(0, (word{1} << kN) - 1);
+  std::uniform_int_distribution<int> dim(0, kN - 1);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::set<std::pair<word, int>> wires;
+    while (wires.size() < 3) {
+      const word x = node(rng);
+      const int d = dim(rng);
+      wires.insert({std::min(x, cube::flip_bit(x, d)), d});
+    }
+    fault::FaultSpec spec;
+    for (const auto& [x, d] : wires) spec.fail_link(x, d);
+    const fault::FaultModel fm(kN, spec);
+    plan_and_run(fm, /*mpt=*/true);
+    plan_and_run(fm, /*mpt=*/false);  // SPT refills from the MPT family
+  }
+}
+
+TEST(FaultConformance, SeveredPathTriggersReroutesAndMetrics) {
+  // Cut the first wire of node 1's first MPT path: its 2H-path family
+  // loses a member, so some of its packets must carry the reroute mark.
+  const auto family = topo::mpt_paths(1, kN);
+  ASSERT_FALSE(family.empty());
+  ASSERT_FALSE(family[0].empty());
+  const fault::FaultModel fm(kN, fault::FaultSpec{}.fail_link(1, family[0][0]));
+
+  obs::TraceSink sink;
+  const auto res = plan_and_run(fm, /*mpt=*/true, &sink);
+  EXPECT_GT(res.total_reroutes, 0u);
+
+  std::size_t reroute_events = 0;
+  for (const auto& e : sink.events())
+    if (e.kind == obs::EventKind::reroute) reroute_events += 1;
+  EXPECT_EQ(reroute_events, res.total_reroutes);
+
+  const auto report = obs::collect_metrics(sink);
+  EXPECT_EQ(report.value("fault/reroutes"),
+            static_cast<double>(res.total_reroutes));
+  ASSERT_NE(report.find("fault/extra_hops"), nullptr);
+  EXPECT_GE(report.value("fault/extra_hops"), 0.0);
+}
+
+TEST(FaultConformance, HealthyTraceCarriesNoFaultMetrics) {
+  const fault::FaultModel fm(kN, fault::FaultSpec{});
+  obs::TraceSink sink;
+  plan_and_run(fm, /*mpt=*/true, &sink);
+  const auto report = obs::collect_metrics(sink);
+  EXPECT_EQ(report.find("fault/reroutes"), nullptr);
+  EXPECT_EQ(report.find("fault/link_down"), nullptr);
+}
+
+TEST(FaultConformance, SptFallsBackToABfsDetourWhenItsFamilyIsSevered) {
+  // Node 1 has H = 1: two edge-disjoint paths.  Cut the first wire of
+  // both and the planner must fall back to a breadth-first detour.
+  const auto family = topo::mpt_paths(1, kN);
+  ASSERT_EQ(family.size(), 2u);
+  fault::FaultSpec spec;
+  for (const auto& path : family) spec.fail_link(1, path[0]);
+  const fault::FaultModel fm(kN, spec);
+  const auto res = plan_and_run(fm, /*mpt=*/false);
+  EXPECT_GT(res.total_reroutes, 0u);
+}
+
+TEST(FaultConformance, UnreachablePartnerRaisesFaultError) {
+  // Fully isolate node 1: its transpose partner cannot be reached and
+  // the planner must say so rather than emit a wrong program.
+  const fault::FaultModel fm(kN, fault::FaultSpec{}.fail_node(1));
+  const auto before = before_spec();
+  const auto after = after_spec();
+  const auto m = sim::MachineParams::ipsc(kN);
+  core::Transpose2DOptions topt;
+  topt.faults = &fm;
+  EXPECT_THROW(core::transpose_mpt(before, after, m, topt), fault::FaultError);
+}
+
+TEST(FaultConformance, FaultAwareSwapPlannerReroutesAndDelivers) {
+  // The location-bit swap planner (stepwise transpose building block)
+  // must also route around permanent cuts.
+  const int n = 3;
+  const word slots = 4;
+  comm::LocationPlanner planner(n, slots);
+  planner.occupy_nodes(word{1} << n);
+  const fault::FaultModel fm(n, fault::FaultSpec{}.fail_link(0, 2));
+  planner.set_faults(&fm);
+  planner.parallel_swaps({{comm::LocBit::node_bit(2), comm::LocBit::slot_bit(0)}},
+                         comm::BufferPolicy::unbuffered(), "swap");
+  const auto prog = std::move(planner).take();
+
+  bool any_rerouted = false;
+  for (const auto& ph : prog.phases) {
+    for (const auto& op : ph.sends) {
+      any_rerouted = any_rerouted || op.rerouted;
+      // No planned route crosses the cut.
+      EXPECT_FALSE(fm.route_blocked(op.src, op.route));
+    }
+  }
+  EXPECT_TRUE(any_rerouted);
+
+  const auto m = sim::MachineParams::ipsc(n);
+  sim::EngineOptions eopt;
+  eopt.faults = &fm;
+  sim::Memory init(word{1} << n, std::vector<word>(slots));
+  for (word x = 0; x < (word{1} << n); ++x)
+    for (word s = 0; s < slots; ++s) init[x][s] = x * slots + s;
+  const auto res = sim::Engine(m, eopt).run(prog, init);
+  EXPECT_GT(res.total_reroutes, 0u);
+}
+
+}  // namespace
+}  // namespace nct

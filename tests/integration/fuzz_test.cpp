@@ -3,14 +3,19 @@
 // expected distributions, plus engine-level conservation invariants.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <numeric>
 #include <random>
+#include <set>
+#include <utility>
 
 #include "comm/rearrange.hpp"
 #include "core/api.hpp"
 #include "core/transpose1d.hpp"
 #include "core/transpose2d.hpp"
+#include "fault/fault.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/fault_injector.hpp"
 #include "sim/engine.hpp"
 
 namespace nct {
@@ -194,6 +199,145 @@ TEST(RuntimeDifferential, ThreadsMatchSimulatorOnEveryTwoDimPlanner) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzConversions, ::testing::Values(1, 2, 3, 4, 5));
+
+// ---- randomized fault robustness -------------------------------------
+//
+// Seeded from NCT_FUZZ_SEED when set (so CI can pin or rotate the seed);
+// the seed is embedded in every assertion message so a failure is
+// reproducible with `NCT_FUZZ_SEED=<seed> ctest -R FaultRobustness`.
+
+unsigned fuzz_seed() {
+  if (const char* s = std::getenv("NCT_FUZZ_SEED"))
+    return static_cast<unsigned>(std::strtoul(s, nullptr, 10));
+  return 20260806u;
+}
+
+/// A random all-transient fault spec: short outage windows and degrade
+/// factors on random directed links.  Never permanent, so every program
+/// must still complete with the right data.
+fault::FaultSpec random_transient_spec(std::mt19937& rng, int n, double horizon) {
+  std::uniform_int_distribution<word> node(0, (word{1} << n) - 1);
+  std::uniform_int_distribution<int> dim(0, n - 1);
+  std::uniform_real_distribution<double> at(0.0, horizon);
+  std::uniform_real_distribution<double> len(horizon / 100.0, horizon / 4.0);
+  std::uniform_real_distribution<double> factor(1.0, 4.0);
+  std::uniform_int_distribution<int> kind(0, 2);
+  const int entries = std::uniform_int_distribution<int>(1, 4)(rng);
+  fault::FaultSpec spec;
+  for (int i = 0; i < entries; ++i) {
+    const word x = node(rng);
+    const int d = dim(rng);
+    switch (kind(rng)) {
+      case 0: {
+        const double from = at(rng);
+        spec.fail_link(x, d, {from, from + len(rng)});
+        break;
+      }
+      case 1: {
+        const double from = at(rng);
+        spec.fail_node(x, {from, from + len(rng)});
+        break;
+      }
+      default:
+        spec.degrade_link(x, d, factor(rng));
+        break;
+    }
+  }
+  return spec;
+}
+
+TEST(FaultRobustness, RandomTransientFaultsDelayButNeverChangeData) {
+  const unsigned seed = fuzz_seed();
+  std::mt19937 rng(seed);
+  const int n = 4, half = 2;
+  const MatrixShape s{3, 3};
+  const auto before = PartitionSpec::two_dim_cyclic(s, half, half);
+  const auto after = PartitionSpec::two_dim_cyclic(s.transposed(), half, half);
+  const auto m = machine(n);
+  const decltype(&core::transpose_mpt) planners[] = {
+      core::transpose_spt, core::transpose_dpt, core::transpose_mpt};
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto prog = planners[trial % 3](before, after, m, {});
+    const auto init = core::transpose_initial_memory(before, n, prog.local_slots);
+    const auto healthy = sim::Engine(m).run(prog, init);
+    const fault::FaultModel fm(n,
+                               random_transient_spec(rng, n, healthy.total_time * 2));
+    sim::EngineOptions opt;
+    opt.faults = &fm;
+    const auto res = sim::Engine(m, opt).run(prog, init);
+    ASSERT_TRUE(sim::verify_memory(res.memory, healthy.memory).ok)
+        << "NCT_FUZZ_SEED=" << seed << " trial " << trial;
+    ASSERT_GE(res.total_time, healthy.total_time)
+        << "NCT_FUZZ_SEED=" << seed << " trial " << trial;
+  }
+}
+
+TEST(FaultRobustness, RandomPermanentCutsRerouteAndDeliver) {
+  // Up to n-1 permanently cut wires keep the cube connected (edge
+  // connectivity n), so the failure-aware planners must always find
+  // working routes and land the exact transposed distribution.
+  const unsigned seed = fuzz_seed();
+  std::mt19937 rng(seed + 1);
+  const int n = 4, half = 2;
+  const MatrixShape s{3, 3};
+  const auto before = PartitionSpec::two_dim_cyclic(s, half, half);
+  const auto after = PartitionSpec::two_dim_cyclic(s.transposed(), half, half);
+  const auto m = machine(n);
+  std::uniform_int_distribution<word> node(0, (word{1} << n) - 1);
+  std::uniform_int_distribution<int> dim(0, n - 1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int cuts = std::uniform_int_distribution<int>(1, n - 1)(rng);
+    std::set<std::pair<word, int>> wires;
+    while (static_cast<int>(wires.size()) < cuts) {
+      const word x = node(rng);
+      const int d = dim(rng);
+      wires.insert({std::min(x, cube::flip_bit(x, d)), d});
+    }
+    fault::FaultSpec spec;
+    for (const auto& [x, d] : wires) spec.fail_link(x, d);
+    const fault::FaultModel fm(n, spec);
+    core::Transpose2DOptions topt;
+    topt.faults = &fm;
+    const auto prog = trial % 2 == 0 ? core::transpose_mpt(before, after, m, topt)
+                                     : core::transpose_spt(before, after, m, topt);
+    const auto init = core::transpose_initial_memory(before, n, prog.local_slots);
+    sim::EngineOptions opt;
+    opt.faults = &fm;
+    const auto res = sim::Engine(m, opt).run(prog, init);
+    const auto expected = core::transpose_expected_memory(s, after, n, prog.local_slots);
+    ASSERT_TRUE(sim::verify_memory(res.memory, expected).ok)
+        << "NCT_FUZZ_SEED=" << seed << " trial " << trial << " cuts " << cuts;
+  }
+}
+
+TEST(FaultRobustness, ThreadsMaskTransientFaultsAndMatchTheSimulator) {
+  // Real threads under transient link refusals: retry with backoff until
+  // the refusal budget drains, then the memory image must still match a
+  // healthy simulator run exactly.
+  const unsigned seed = fuzz_seed();
+  std::mt19937 rng(seed + 2);
+  const int n = 3;
+  const MatrixShape s{3, 3};
+  std::uniform_int_distribution<word> node(0, (word{1} << n) - 1);
+  std::uniform_int_distribution<int> dim(0, n - 1);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto before = random_spec(rng, s, n);
+    const auto after = random_spec(rng, s, n);
+    const auto prog = comm::convert_storage(before, after, n);
+    const auto init = comm::spec_memory(before, n, prog.local_slots);
+    const auto sim_mem = sim::Engine(machine(n)).run(prog, init).memory;
+
+    fault::FaultSpec spec;
+    const int entries = std::uniform_int_distribution<int>(1, 3)(rng);
+    for (int i = 0; i < entries; ++i)
+      spec.fail_link(node(rng), dim(rng), {0.0, 1.0});
+    runtime::FaultInjector inj(n, spec, /*refusals_per_window=*/2);
+    const auto thr_mem = runtime::execute_program_threads(prog, init, inj);
+    ASSERT_TRUE(sim::verify_memory(thr_mem, sim_mem).ok)
+        << "NCT_FUZZ_SEED=" << seed << " trial " << trial;
+    ASSERT_EQ(inj.give_ups(), 0u) << "NCT_FUZZ_SEED=" << seed << " trial " << trial;
+  }
+}
 
 TEST(EngineInvariants, ElementConservation) {
   // Any conversion conserves the multiset of payloads.

@@ -126,6 +126,19 @@ TEST(Ensemble, SendRecvExchangeBarrier) {
   for (const double s : sums) EXPECT_DOUBLE_EQ(s, 28.0);  // 0+1+...+7
 }
 
+TEST(Executor, ZeroDimensionalProgramRunsOnOneThread) {
+  // n = 0: one node, no channels; local copies still apply.
+  sim::Program prog;
+  prog.n = 0;
+  prog.local_slots = 2;
+  sim::Phase ph;
+  ph.label = "local";
+  ph.pre_copies.push_back(sim::CopyOp{0, {0, 1}, {1, 0}});
+  prog.phases.push_back(ph);
+  const auto mem = execute_program_threads(prog, sim::Memory{{3, 4}});
+  EXPECT_EQ(mem, (sim::Memory{{4, 3}}));
+}
+
 TEST(Ensemble, ExceptionsPropagate) {
   Ensemble e(2);
   EXPECT_THROW(e.run([](NodeCtx& ctx) {

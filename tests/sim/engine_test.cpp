@@ -317,6 +317,24 @@ TEST(Engine, LinkTraceRecordsIntervals) {
   EXPECT_DOUBLE_EQ(res.link_trace[li][0].end, 2.0);
 }
 
+TEST(Engine, ZeroDimensionalCubeRunsCopyOnlyPrograms) {
+  // n = 0: a single node and no links.  Copy-only programs execute and
+  // are charged exactly the copy cost.
+  Program prog;
+  prog.n = 0;
+  prog.local_slots = 2;
+  Phase ph;
+  ph.label = "local";
+  ph.pre_copies.push_back(CopyOp{0, {0, 1}, {1, 0}});
+  prog.phases.push_back(ph);
+
+  const Engine engine(simple(0));
+  const auto res = engine.run(prog, Memory{{7, 8}});
+  EXPECT_EQ(res.memory, (Memory{{8, 7}}));
+  EXPECT_DOUBLE_EQ(res.total_time, 1.0);  // 2 elements * 2 bytes * tcopy
+  EXPECT_EQ(res.total_hops, 0u);
+}
+
 TEST(Engine, VerifyMemoryReportsMismatch) {
   const Memory a{{1, 2}}, b{{1, 3}};
   EXPECT_TRUE(verify_memory(a, a).ok);

@@ -13,7 +13,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/analyze.hpp"
@@ -28,6 +30,41 @@ int usage(const char* argv0) {
                "          [--check edge-disjoint|one-port] [--chrome OUT.json]\n",
                argv0);
   return 2;
+}
+
+/// Degraded-mode digest: printed only when the trace carries fault
+/// events, so healthy-trace output is unchanged.
+void print_fault_summary(const nct::obs::TraceSink& trace) {
+  std::size_t downs = 0, retries = 0, reroutes = 0, aborts = 0;
+  double down_time = 0.0;
+  std::set<std::pair<unsigned long long, int>> down_links;
+  for (const nct::obs::TraceEvent& e : trace.events()) {
+    switch (e.kind) {
+      case nct::obs::EventKind::link_down:
+        downs += 1;
+        down_time += e.t1 - e.t0;
+        down_links.insert({static_cast<unsigned long long>(e.node), e.dim});
+        break;
+      case nct::obs::EventKind::retry:
+        retries += 1;
+        break;
+      case nct::obs::EventKind::reroute:
+        reroutes += 1;
+        break;
+      case nct::obs::EventKind::aborted:
+        aborts += 1;
+        break;
+      default:
+        break;
+    }
+  }
+  if (downs + retries + reroutes + aborts == 0) return;
+  std::printf("faults:\n");
+  std::printf("  blocked hops     %zu (on %zu distinct links, %.9g s waiting)\n", downs,
+              down_links.size(), down_time);
+  std::printf("  retries          %zu\n", retries);
+  std::printf("  rerouted sends   %zu\n", reroutes);
+  std::printf("  aborts           %zu\n", aborts);
 }
 
 void print_summary(const nct::obs::TraceSink& trace) {
@@ -46,6 +83,7 @@ void print_summary(const nct::obs::TraceSink& trace) {
   for (std::size_t i = 0; i < trace.phase_labels().size(); ++i)
     std::printf("  [%zu] %s\n", i, trace.phase_labels()[i].c_str());
   std::printf("makespan:  %.9g s\n", trace.total_time());
+  print_fault_summary(trace);
 }
 
 void print_events(const nct::obs::TraceSink& trace, std::size_t limit) {
