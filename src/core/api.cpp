@@ -73,18 +73,23 @@ TransposePlan plan_transpose(const cube::PartitionSpec& before,
       before.processor_bits() % 2 == 0 && (!binary || !same_encodings)) {
     // 2D layouts whose node permutation is not tr(x): the combined
     // conversion/transpose sweep (Section 6.3) still needs only n steps.
+    // Like the exchange algorithm it moves half the local set per step,
+    // so the Section-3.2 exchange expression is the analytic estimate.
     plan.algorithm = "combined transpose + encoding conversion (Section 6.3)";
     plan.program = transpose_mixed_combined(before, after);
-    plan.predicted_seconds = 0.0;
+    plan.predicted_seconds = analysis::all_to_all_exchange_time(machine, pq);
     return plan;
   }
 
   if (!binary) {
+    // Element routing crosses each of the n dimensions once, exchanging
+    // (on average) half the elements per step — the same term structure
+    // as the exchange algorithm, which serves as the estimate.
     plan.algorithm = "per-dimension element routing (Gray-coded partitions)";
     RouterOptions ropt;
     ropt.element_bytes = machine.element_bytes;
     plan.program = transpose_1d_routed(before, after, machine.n, ropt);
-    plan.predicted_seconds = 0.0;
+    plan.predicted_seconds = analysis::all_to_all_exchange_time(machine, pq);
     return plan;
   }
 
@@ -94,9 +99,20 @@ TransposePlan plan_transpose(const cube::PartitionSpec& before,
   opt.policy = b_copy < 1e18 ? comm::BufferPolicy::optimal(static_cast<word>(b_copy))
                              : comm::BufferPolicy::buffered();
   plan.program = transpose_1d(before, after, machine.n, opt);
-  plan.predicted_seconds = before.processors() == after.processors()
-                               ? analysis::all_to_all_exchange_time(machine, pq)
-                               : 0.0;
+  if (before.processors() == after.processors()) {
+    plan.predicted_seconds = analysis::all_to_all_exchange_time(machine, pq);
+  } else {
+    // Different processor counts: Theorem 1 schedules k = |rb - ra|
+    // splitting (or accumulation) steps around l exchange steps over the
+    // shared dimensions — the Table-3 some-to-all expression.
+    const int rb = before.processor_bits();
+    const int ra = after.processor_bits();
+    const int k = rb < ra ? ra - rb : rb - ra;
+    const int l = rb < ra ? rb : ra;
+    plan.predicted_seconds = machine.port == sim::PortModel::n_port
+                                 ? analysis::some_to_all_time_n_port(machine, pq, k, l)
+                                 : analysis::some_to_all_time_one_port(machine, pq, k, l);
+  }
   return plan;
 }
 

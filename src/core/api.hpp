@@ -42,7 +42,12 @@ sim::Program transpose_general(const cube::PartitionSpec& before,
 struct TransposePlan {
   sim::Program program;
   std::string algorithm;       ///< which planner was chosen and why.
-  double predicted_seconds{};  ///< the analytic model's estimate (0 if none).
+  /// The analytic model's estimate.  Every branch populates this (> 0
+  /// for any non-empty transpose): branches without an exact closed form
+  /// (combined conversion, element routing, unequal processor counts)
+  /// use the nearest paper expression — the Section-3.2 exchange time or
+  /// the Table-3 some-to-all time — as the estimate.
+  double predicted_seconds{};
 };
 
 /// Choose and build the recommended transpose plan for the machine.

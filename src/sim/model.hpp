@@ -39,6 +39,11 @@ struct MachineParams {
   Switching switching = Switching::store_and_forward;
   std::string name = "custom";
 
+  /// Two parameter sets are interchangeable for planning and simulation
+  /// exactly when every field (including the display name) matches; the
+  /// autotuner's cache keys rely on this equivalence.
+  friend bool operator==(const MachineParams&, const MachineParams&) = default;
+
   word nodes() const noexcept { return word{1} << n; }
 
   double element_tc() const noexcept { return tc * element_bytes; }

@@ -50,6 +50,8 @@ struct SendOp {
   bool rerouted = false;
 
   std::size_t elements() const noexcept { return src_slots.size(); }
+
+  friend bool operator==(const SendOp&, const SendOp&) = default;
 };
 
 /// A node-local data movement: elements at `src_slots` move to
@@ -64,6 +66,8 @@ struct CopyOp {
   bool charged = true;
 
   std::size_t elements() const noexcept { return src_slots.size(); }
+
+  friend bool operator==(const CopyOp&, const CopyOp&) = default;
 };
 
 /// A staging charge: models gathering scattered blocks into a contiguous
@@ -72,6 +76,8 @@ struct CopyOp {
 struct StageOp {
   word node = 0;
   std::size_t bytes = 0;
+
+  friend bool operator==(const StageOp&, const StageOp&) = default;
 };
 
 struct Phase {
@@ -86,6 +92,8 @@ struct Phase {
     return pre_copies.empty() && stage.empty() && sends.empty() && post_stage.empty() &&
            post_copies.empty();
   }
+
+  friend bool operator==(const Phase&, const Phase&) = default;
 };
 
 struct Program {
@@ -110,6 +118,11 @@ struct Program {
       for (const auto& op : ph.sends) s += op.elements();
     return s;
   }
+
+  /// Structural equality: two programs compare equal exactly when every
+  /// phase, op, slot list and route matches — the "bit-identical plan"
+  /// check the autotuner's cache golden tests rely on.
+  friend bool operator==(const Program&, const Program&) = default;
 };
 
 /// Node memory image: memory[node][slot] = element address, or kEmpty.

@@ -1,0 +1,286 @@
+#include "tune/cache.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace nct::tune {
+
+namespace {
+
+constexpr char kMagic[8] = {'N', 'C', 'T', 'P', 'L', 'A', 'N', 'C'};
+
+Bytes encode_entry(const CacheEntry& e) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(e.key.size()));
+  for (const unsigned char b : e.key) w.u8(b);
+  w.u8(static_cast<std::uint8_t>(e.choice.family));
+  w.u64(e.choice.packet_elements);
+  w.u8(static_cast<std::uint8_t>(e.choice.buffer_mode));
+  w.u64(e.choice.b_copy_elements);
+  w.f64(e.choice.predicted_seconds);
+  w.f64(e.predicted_seconds);
+  w.f64(e.measured_seconds);
+  w.str(e.algorithm);
+  return w.take();
+}
+
+CacheEntry decode_entry(const Bytes& payload) {
+  ByteReader r(payload);
+  CacheEntry e;
+  const std::uint32_t key_len = r.u32();
+  e.key.reserve(key_len);
+  for (std::uint32_t i = 0; i < key_len; ++i) e.key.push_back(r.u8());
+  const std::uint8_t fam = r.u8();
+  if (fam > static_cast<std::uint8_t>(Family::routed))
+    throw SerializeError("bad candidate family");
+  e.choice.family = static_cast<Family>(fam);
+  e.choice.packet_elements = r.u64();
+  const std::uint8_t mode = r.u8();
+  if (mode > static_cast<std::uint8_t>(comm::BufferMode::optimal))
+    throw SerializeError("bad buffer mode");
+  e.choice.buffer_mode = static_cast<comm::BufferMode>(mode);
+  e.choice.b_copy_elements = r.u64();
+  e.choice.predicted_seconds = r.f64();
+  e.predicted_seconds = r.f64();
+  e.measured_seconds = r.f64();
+  e.algorithm = r.str();
+  if (!r.done()) throw SerializeError("trailing bytes in entry payload");
+  return e;
+}
+
+}  // namespace
+
+PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::size_t PlanCache::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+std::uint64_t PlanCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t PlanCache::misses() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::optional<CacheEntry> PlanCache::find(const TuneKey& key) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key.hash);
+  if (it == index_.end() || it->second->key != key.bytes) {
+    misses_ += 1;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  hits_ += 1;
+  return *it->second;
+}
+
+void PlanCache::insert_locked(CacheEntry entry, bool front) {
+  const std::uint64_t hash = stable_hash(entry.key);
+  const auto it = index_.find(hash);
+  if (it != index_.end()) {
+    *it->second = std::move(entry);
+    if (front) lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (front) {
+    lru_.push_front(std::move(entry));
+    index_[hash] = lru_.begin();
+  } else {
+    lru_.push_back(std::move(entry));
+    index_[hash] = std::prev(lru_.end());
+  }
+  while (lru_.size() > capacity_) {
+    index_.erase(stable_hash(lru_.back().key));
+    lru_.pop_back();
+  }
+}
+
+void PlanCache::insert(const TuneKey& key, CacheEntry entry) {
+  entry.key = key.bytes;
+  const std::lock_guard<std::mutex> lock(mu_);
+  insert_locked(std::move(entry), /*front=*/true);
+}
+
+bool PlanCache::evict(std::uint64_t hash) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(hash);
+  if (it == index_.end()) return false;
+  lru_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+void PlanCache::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+std::vector<CacheEntry> PlanCache::entries() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return {lru_.begin(), lru_.end()};
+}
+
+std::size_t PlanCache::load_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return 0;
+  char magic[8] = {};
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return 0;
+  unsigned char head[12] = {};
+  is.read(reinterpret_cast<char*>(head), sizeof(head));
+  if (!is) return 0;
+  ByteReader hr(head, sizeof(head));
+  if (hr.u32() != kStoreVersion) return 0;  // unknown version: retune
+  const std::uint64_t count = hr.u64();
+
+  std::vector<CacheEntry> loaded;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    unsigned char len_buf[4] = {};
+    is.read(reinterpret_cast<char*>(len_buf), sizeof(len_buf));
+    if (!is) break;
+    const std::uint32_t len = ByteReader(len_buf, 4).u32();
+    Bytes payload(len);
+    is.read(reinterpret_cast<char*>(payload.data()), static_cast<std::streamsize>(len));
+    if (!is) break;
+    unsigned char sum_buf[8] = {};
+    is.read(reinterpret_cast<char*>(sum_buf), sizeof(sum_buf));
+    if (!is) break;
+    if (ByteReader(sum_buf, 8).u64() != stable_hash(payload)) break;  // corrupt: stop
+    try {
+      loaded.push_back(decode_entry(payload));
+    } catch (const SerializeError&) {
+      break;
+    }
+  }
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  // Stored MRU-first; appending in order keeps recency, behind whatever
+  // the cache already holds.
+  for (auto& e : loaded) {
+    if (index_.count(stable_hash(e.key)) != 0) continue;  // in-memory wins
+    insert_locked(std::move(e), /*front=*/false);
+  }
+  return loaded.size();
+}
+
+bool PlanCache::save_file(const std::string& path) const {
+  std::vector<CacheEntry> snapshot = entries();
+  // The temp name must be unique per call: concurrent saves to the same
+  // store would otherwise truncate each other's temp file mid-write and
+  // rename a torn store into place.
+  static std::atomic<std::uint64_t> save_seq{0};
+  const std::string tmp = path + ".tmp." +
+                          std::to_string(static_cast<unsigned long>(::getpid())) + "." +
+                          std::to_string(save_seq.fetch_add(1));
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) return false;
+    os.write(kMagic, sizeof(kMagic));
+    ByteWriter head;
+    head.u32(kStoreVersion);
+    head.u64(snapshot.size());
+    os.write(reinterpret_cast<const char*>(head.bytes().data()),
+             static_cast<std::streamsize>(head.bytes().size()));
+    for (const CacheEntry& e : snapshot) {
+      const Bytes payload = encode_entry(e);
+      ByteWriter rec;
+      rec.u32(static_cast<std::uint32_t>(payload.size()));
+      os.write(reinterpret_cast<const char*>(rec.bytes().data()),
+               static_cast<std::streamsize>(rec.bytes().size()));
+      os.write(reinterpret_cast<const char*>(payload.data()),
+               static_cast<std::streamsize>(payload.size()));
+      ByteWriter sum;
+      sum.u64(stable_hash(payload));
+      os.write(reinterpret_cast<const char*>(sum.bytes().data()),
+               static_cast<std::streamsize>(sum.bytes().size()));
+    }
+    if (!os) {
+      os.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+StoreData read_store_strict(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  char magic[8] = {};
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error("bad magic (not a plan-cache store)");
+  unsigned char head[12] = {};
+  is.read(reinterpret_cast<char*>(head), sizeof(head));
+  if (!is) throw std::runtime_error("truncated store header");
+  ByteReader hr(head, sizeof(head));
+  StoreData data;
+  data.version = hr.u32();
+  if (data.version != kStoreVersion) {
+    std::ostringstream msg;
+    msg << "version mismatch: store is v" << data.version << ", reader expects v"
+        << kStoreVersion;
+    throw std::runtime_error(msg.str());
+  }
+  const std::uint64_t count = hr.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::ostringstream where;
+    where << "entry " << i << " of " << count;
+    unsigned char len_buf[4] = {};
+    is.read(reinterpret_cast<char*>(len_buf), sizeof(len_buf));
+    if (!is) throw std::runtime_error("truncated store: " + where.str());
+    const std::uint32_t len = ByteReader(len_buf, 4).u32();
+    Bytes payload(len);
+    is.read(reinterpret_cast<char*>(payload.data()), static_cast<std::streamsize>(len));
+    if (!is) throw std::runtime_error("truncated store: " + where.str());
+    unsigned char sum_buf[8] = {};
+    is.read(reinterpret_cast<char*>(sum_buf), sizeof(sum_buf));
+    if (!is) throw std::runtime_error("truncated store: " + where.str());
+    if (ByteReader(sum_buf, 8).u64() != stable_hash(payload))
+      throw std::runtime_error("corrupt store (checksum mismatch): " + where.str());
+    try {
+      data.entries.push_back(decode_entry(payload));
+    } catch (const SerializeError& e) {
+      throw std::runtime_error("corrupt store (" + std::string(e.what()) + "): " +
+                               where.str());
+    }
+  }
+  if (is.peek() != std::ifstream::traits_type::eof())
+    throw std::runtime_error("trailing bytes after last entry");
+  return data;
+}
+
+TuneKey make_key(const sim::MachineParams& machine, const cube::PartitionSpec& before,
+                 const cube::PartitionSpec& after, const fault::FaultSpec* faults,
+                 const SpaceOptions& space) {
+  ByteWriter w;
+  w.u32(kStoreVersion);
+  serialize(w, machine);
+  serialize(w, before);
+  serialize(w, after);
+  serialize(w, faults != nullptr ? *faults : fault::FaultSpec{});
+  w.u32(static_cast<std::uint32_t>(space.families.size()));
+  for (const Family f : space.families) w.u8(static_cast<std::uint8_t>(f));
+  w.u64(space.max_candidates);
+  TuneKey key;
+  key.bytes = w.take();
+  key.hash = stable_hash(key.bytes);
+  return key;
+}
+
+}  // namespace nct::tune

@@ -1,0 +1,44 @@
+// The partition-spec pairs the paper's figure experiments use, shared by
+// the `nct_tune` CLI, `bench_tuner` and the golden tests so the Fig
+// 11/12/19 decision tables are regenerated from one definition.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+
+#include "cube/partition.hpp"
+
+namespace nct::tune {
+
+using SpecPair = std::pair<cube::PartitionSpec, cube::PartitionSpec>;
+
+/// Figure 19's one-dimensional layout: column-consecutive partitioning
+/// of a 2^pq_log2-element matrix over an n-cube (the shape is skewed so
+/// the column field always holds the n processor bits).
+inline SpecPair fig_layout_1d(int pq_log2, int n) {
+  const int q = std::max(n, pq_log2 - pq_log2 / 2);
+  const cube::MatrixShape s{pq_log2 - q, q};
+  return {cube::PartitionSpec::col_consecutive(s, n),
+          cube::PartitionSpec::col_consecutive(s.transposed(), n)};
+}
+
+/// Figure 19's two-dimensional layout: consecutive 2^{n/2} x 2^{n/2}
+/// processor grid (n must be even).
+inline SpecPair fig_layout_2d(int pq_log2, int n) {
+  const int half = n / 2;
+  const int p = pq_log2 / 2;
+  const cube::MatrixShape s{p, pq_log2 - p};
+  return {cube::PartitionSpec::two_dim_consecutive(s, half, half),
+          cube::PartitionSpec::two_dim_consecutive(s.transposed(), half, half)};
+}
+
+/// Figures 11/12's one-dimensional layout: column-cyclic partitioning
+/// (the buffered-exchange workload of Section 8.1).
+inline SpecPair fig_layout_1d_cyclic(int pq_log2, int n) {
+  const int q = std::max(n, pq_log2 / 2);
+  const cube::MatrixShape s{pq_log2 - q, q};
+  return {cube::PartitionSpec::col_cyclic(s, n),
+          cube::PartitionSpec::col_cyclic(s.transposed(), std::min(n, pq_log2 - q))};
+}
+
+}  // namespace nct::tune

@@ -1,0 +1,174 @@
+#include "tune/space.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "analysis/cost_model.hpp"
+#include "core/api.hpp"
+
+namespace nct::tune {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+bool family_allowed(const SpaceOptions& opt, Family f) {
+  if (opt.families.empty()) return true;
+  return std::find(opt.families.begin(), opt.families.end(), f) != opt.families.end();
+}
+
+void add_grid_point(std::vector<word>& grid, double v, word lo, word hi) {
+  if (!(v >= 1.0)) return;
+  const word w = std::clamp(static_cast<word>(std::llround(v)), lo, hi);
+  grid.push_back(w);
+}
+
+void finish_grid(std::vector<word>& grid) {
+  std::sort(grid.begin(), grid.end());
+  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+}
+
+}  // namespace
+
+const char* family_name(Family f) noexcept {
+  switch (f) {
+    case Family::stepwise: return "stepwise";
+    case Family::spt: return "SPT";
+    case Family::dpt: return "DPT";
+    case Family::mpt: return "MPT";
+    case Family::direct2d: return "direct-2D";
+    case Family::exchange: return "exchange";
+    case Family::combined: return "combined";
+    case Family::routed: return "routed";
+  }
+  return "?";
+}
+
+std::string Candidate::describe() const {
+  std::string s = family_name(family);
+  switch (family) {
+    case Family::spt:
+    case Family::dpt:
+    case Family::mpt:
+      s += packet_elements == 0 ? " B=auto" : " B=" + std::to_string(packet_elements);
+      break;
+    case Family::exchange:
+      switch (buffer_mode) {
+        case comm::BufferMode::unbuffered: s += " unbuffered"; break;
+        case comm::BufferMode::buffered: s += " buffered"; break;
+        case comm::BufferMode::optimal:
+          s += " B_copy=" + std::to_string(b_copy_elements);
+          break;
+      }
+      break;
+    default:
+      break;
+  }
+  return s;
+}
+
+std::vector<word> Space::packet_grid(const sim::MachineParams& machine, double pq) {
+  std::vector<word> grid;
+  const word block = std::max<word>(1, static_cast<word>(pq) / machine.nodes());
+  const double b = analysis::spt_optimal_packet(machine, pq);
+  for (const double f : {0.25, 0.5, 1.0, 2.0, 4.0}) add_grid_point(grid, b * f, 1, block);
+  finish_grid(grid);
+  return grid;
+}
+
+std::vector<word> Space::copy_threshold_grid(const sim::MachineParams& machine,
+                                             word local_elements) {
+  std::vector<word> grid;
+  const double b = analysis::optimal_copy_threshold(machine);
+  // Free copies report a 1e30 sentinel threshold (see the cost model):
+  // thresholding never beats plain buffering there, so no grid.
+  if (!(b < 1e18)) return grid;
+  const word hi = std::max<word>(1, local_elements);
+  for (const double f : {0.5, 1.0, 2.0}) add_grid_point(grid, b * f, 1, hi);
+  finish_grid(grid);
+  return grid;
+}
+
+Space::Space(const cube::PartitionSpec& before, const cube::PartitionSpec& after,
+             const sim::MachineParams& machine, SpaceOptions options) {
+  const double pq = static_cast<double>(before.shape().elements());
+  const bool binary = core::is_binary(before) && core::is_binary(after);
+  const bool pairwise = core::is_pairwise_transpose(before, after);
+  const bool mixed_2d = before.fields().size() == 2 && after.fields().size() == 2 &&
+                        before.processor_bits() == after.processor_bits() &&
+                        before.processor_bits() % 2 == 0 && !pairwise;
+
+  std::vector<Candidate> all;
+  const auto add = [&](Candidate c) {
+    if (family_allowed(options, c.family)) all.push_back(c);
+  };
+
+  if (pairwise) {
+    add({Family::stepwise, 0, comm::BufferMode::buffered, 0,
+         analysis::transpose_2d_stepwise_time(machine, pq)});
+    add({Family::direct2d, 0, comm::BufferMode::buffered, 0, kInf});
+    const auto packets = packet_grid(machine, pq);
+    add({Family::spt, 0, comm::BufferMode::buffered, 0, analysis::spt_min_time(machine, pq)});
+    for (const word b : packets) {
+      add({Family::spt, b, comm::BufferMode::buffered, 0,
+           analysis::spt_time(machine, pq, static_cast<double>(b))});
+    }
+    if (machine.n >= 2) {
+      add({Family::dpt, 0, comm::BufferMode::buffered, 0,
+           analysis::dpt_min_time(machine, pq)});
+      for (const word b : packets) {
+        add({Family::dpt, b, comm::BufferMode::buffered, 0,
+             analysis::dpt_time(machine, pq, static_cast<double>(b))});
+      }
+      add({Family::mpt, 0, comm::BufferMode::buffered, 0,
+           analysis::mpt_min_time(machine, pq)});
+      for (const word b : packets) {
+        // No per-B closed form is exposed for MPT; the Theorem-2 minimum
+        // serves as the shared prior and measurement ranks the grid.
+        add({Family::mpt, b, comm::BufferMode::buffered, 0,
+             analysis::mpt_min_time(machine, pq)});
+      }
+    }
+  } else if (mixed_2d && (!binary || !std::equal(before.fields().begin(),
+                                                 before.fields().end(),
+                                                 after.fields().begin(),
+                                                 [](const cube::Field& a, const cube::Field& b) {
+                                                   return a.enc == b.enc;
+                                                 }))) {
+    // The combined n-step conversion/transpose sweep is the only planner
+    // for 2D pairs whose node permutation is not tr(x); the exchange
+    // estimate is the closest closed form (n steps, PQ/2N each).
+    add({Family::combined, 0, comm::BufferMode::buffered, 0,
+         analysis::all_to_all_exchange_time(machine, pq)});
+  } else if (!binary) {
+    add({Family::routed, 0, comm::BufferMode::buffered, 0, kInf});
+  } else {
+    const bool same_count = before.processors() == after.processors();
+    const auto predict = [&](double b_copy) {
+      return same_count ? analysis::transpose_1d_buffered_time(machine, pq, b_copy) : kInf;
+    };
+    add({Family::exchange, 0, comm::BufferMode::buffered, 0,
+         same_count ? analysis::all_to_all_exchange_time(machine, pq) : kInf});
+    add({Family::exchange, 0, comm::BufferMode::unbuffered, 0,
+         same_count ? analysis::transpose_1d_unbuffered_time(machine, pq) : kInf});
+    for (const word b : copy_threshold_grid(machine, before.local_elements())) {
+      add({Family::exchange, 0, comm::BufferMode::optimal, b,
+           predict(static_cast<double>(b))});
+    }
+  }
+
+  // Prior-based pruning: stable sort keeps enumeration order on ties (and
+  // keeps every infinite-prior candidate in a fixed relative order), so
+  // the pruned set is deterministic.
+  std::vector<std::size_t> order(all.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return all[a].predicted_seconds < all[b].predicted_seconds;
+  });
+  const std::size_t keep = std::min(options.max_candidates, order.size());
+  candidates_.reserve(keep);
+  for (std::size_t i = 0; i < keep; ++i) candidates_.push_back(all[order[i]]);
+}
+
+}  // namespace nct::tune

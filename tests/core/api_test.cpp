@@ -15,6 +15,8 @@ using cube::PartitionSpec;
 void expect_plan_correct(const PartitionSpec& before, const PartitionSpec& after,
                          const sim::MachineParams& machine) {
   const auto plan = plan_transpose(before, after, machine);
+  // Every branch of plan_transpose must report a cost-model estimate.
+  EXPECT_GT(plan.predicted_seconds, 0.0) << plan.algorithm;
   const auto init = transpose_initial_memory(before, machine.n, plan.program.local_slots);
   const auto res = sim::Engine(machine).run(plan.program, init);
   const auto expected =
@@ -70,6 +72,7 @@ TEST(Api, PlannerPicksStepwiseOnOnePort) {
   const auto m = sim::MachineParams::ipsc(4);
   const auto plan = plan_transpose(before, after, m);
   EXPECT_NE(plan.algorithm.find("stepwise"), std::string::npos);
+  EXPECT_GT(plan.predicted_seconds, 0.0);
   expect_plan_correct(before, after, m);
 }
 
@@ -82,6 +85,7 @@ TEST(Api, PlannerPicksCombinedForMixedEncoding) {
   const auto m = sim::MachineParams::ipsc(4);
   const auto plan = plan_transpose(before, after, m);
   EXPECT_NE(plan.algorithm.find("combined"), std::string::npos);
+  EXPECT_GT(plan.predicted_seconds, 0.0);
   expect_plan_correct(before, after, m);
 }
 
@@ -103,7 +107,24 @@ TEST(Api, PlannerHandlesGray1D) {
   const auto m = sim::MachineParams::ipsc(3);
   const auto plan = plan_transpose(before, after, m);
   EXPECT_NE(plan.algorithm.find("routing"), std::string::npos);
+  EXPECT_GT(plan.predicted_seconds, 0.0);
   expect_plan_correct(before, after, m);
+}
+
+TEST(Api, PlannerEstimatesUnequalProcessorCounts) {
+  // 2^3 -> 2^2 processors: the exchange branch's Table-3 some-to-all
+  // estimate (previously left at zero) must be populated on both port
+  // models.
+  const MatrixShape s{4, 4};
+  const auto before = PartitionSpec::col_consecutive(s, 3);
+  const auto after = PartitionSpec::col_consecutive(s.transposed(), 2);
+  for (const auto& m :
+       {sim::MachineParams::ipsc(3), sim::MachineParams::nport(3, 1e-4, 1e-6)}) {
+    const auto plan = plan_transpose(before, after, m);
+    EXPECT_NE(plan.algorithm.find("exchange"), std::string::npos);
+    EXPECT_GT(plan.predicted_seconds, 0.0) << m.name;
+    expect_plan_correct(before, after, m);
+  }
 }
 
 TEST(Api, TransposeGeneralHandlesAsymmetric2D) {

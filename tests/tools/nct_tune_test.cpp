@@ -1,0 +1,183 @@
+// Regression tests for the nct_tune CLI's cache tooling: damaged store
+// files must produce a nonzero exit status with a clear diagnostic
+// (version mismatch, truncation, trailing bytes), usage errors exit 2,
+// and the tune command round-trips its cache file.  The binary path is
+// injected by CMake as NCT_TUNE_BIN.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <sys/wait.h>
+
+#include "tune/cache.hpp"
+
+namespace nct {
+namespace {
+
+struct ToolRun {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+ToolRun run_tool(const std::string& args) {
+  const std::string cmd = std::string(NCT_TUNE_BIN) + " " + args + " 2>&1";
+  FILE* pipe = ::popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "popen failed for: " << cmd;
+  ToolRun r;
+  if (pipe == nullptr) return r;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), pipe)) > 0) r.output.append(buf, got);
+  const int status = ::pclose(pipe);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "nct_tune_" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+/// A healthy single-entry store produced by the library itself.
+std::string healthy_store(const std::string& name) {
+  const std::string path = temp_path(name);
+  tune::PlanCache cache;
+  tune::TuneKey key;
+  key.bytes = {1, 2, 3, 4};
+  key.hash = tune::stable_hash(key.bytes);
+  tune::CacheEntry entry;
+  entry.key = key.bytes;
+  entry.choice.family = tune::Family::spt;
+  entry.measured_seconds = 0.25;
+  entry.algorithm = "seed";
+  cache.insert(key, entry);
+  EXPECT_TRUE(cache.save_file(path));
+  return path;
+}
+
+TEST(NctTuneCli, NoArgumentsIsUsageExit2) {
+  const auto r = run_tool("");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos) << r.output;
+}
+
+TEST(NctTuneCli, UnknownSubcommandIsUsageExit2) {
+  EXPECT_EQ(run_tool("frobnicate").exit_code, 2);
+  EXPECT_EQ(run_tool("cache").exit_code, 2);
+  EXPECT_EQ(run_tool("cache evict onlyfile").exit_code, 2);
+}
+
+TEST(NctTuneCli, CheckAcceptsAHealthyStore) {
+  const std::string path = healthy_store("healthy.nct");
+  const auto r = run_tool("cache check " + path);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("ok:"), std::string::npos) << r.output;
+}
+
+TEST(NctTuneCli, CheckRejectsMissingFile) {
+  const auto r = run_tool("cache check " + temp_path("nowhere.nct"));
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("cannot open"), std::string::npos) << r.output;
+}
+
+TEST(NctTuneCli, CheckRejectsBadMagic) {
+  const std::string path = temp_path("magic.nct");
+  write_file(path, "this is not a store");
+  const auto r = run_tool("cache check " + path);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("bad magic"), std::string::npos) << r.output;
+}
+
+TEST(NctTuneCli, CheckRejectsVersionMismatch) {
+  const std::string path = healthy_store("version.nct");
+  std::string bytes = read_file(path);
+  bytes[8] = 42;  // u32 version follows the 8-byte magic
+  write_file(path, bytes);
+  const auto r = run_tool("cache check " + path);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("version mismatch"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("v42"), std::string::npos) << r.output;
+}
+
+TEST(NctTuneCli, CheckRejectsTruncation) {
+  const std::string path = healthy_store("trunc.nct");
+  const std::string bytes = read_file(path);
+  write_file(path, bytes.substr(0, bytes.size() - 3));
+  const auto r = run_tool("cache check " + path);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("truncated"), std::string::npos) << r.output;
+}
+
+TEST(NctTuneCli, CheckRejectsTrailingBytes) {
+  const std::string path = healthy_store("trailing.nct");
+  write_file(path, read_file(path) + "junk");
+  const auto r = run_tool("cache check " + path);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("trailing bytes"), std::string::npos) << r.output;
+}
+
+TEST(NctTuneCli, CheckRejectsCorruptEntry) {
+  const std::string path = healthy_store("corrupt.nct");
+  std::string bytes = read_file(path);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x20);
+  write_file(path, bytes);
+  const auto r = run_tool("cache check " + path);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("checksum"), std::string::npos) << r.output;
+}
+
+TEST(NctTuneCli, ListPrintsEntriesAndHashes) {
+  const std::string path = healthy_store("list.nct");
+  const auto r = run_tool("cache list " + path);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("1 entry"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("seed"), std::string::npos) << r.output;
+}
+
+TEST(NctTuneCli, EvictUnknownHashFails) {
+  const std::string path = healthy_store("evict-miss.nct");
+  const auto r = run_tool("cache evict " + path + " deadbeefdeadbeef");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("no entry"), std::string::npos) << r.output;
+}
+
+TEST(NctTuneCli, TuneWritesACacheThatHitsNextTime) {
+  const std::string path = temp_path("e2e.nct");
+  std::remove(path.c_str());
+  const std::string args = "tune --machine ipsc --n 2 --lg 8 --layout 2d --cache " + path;
+  const auto cold = run_tool(args);
+  ASSERT_EQ(cold.exit_code, 0) << cold.output;
+  EXPECT_NE(cold.output.find("searched"), std::string::npos) << cold.output;
+
+  const auto check = run_tool("cache check " + path);
+  EXPECT_EQ(check.exit_code, 0) << check.output;
+
+  const auto warm = run_tool(args);
+  ASSERT_EQ(warm.exit_code, 0) << warm.output;
+  EXPECT_NE(warm.output.find("cache hit (0 engine measurements)"), std::string::npos)
+      << warm.output;
+}
+
+TEST(NctTuneCli, TuneToleratesACorruptCacheFile) {
+  const std::string path = temp_path("tolerant.nct");
+  write_file(path, "garbage that is not a store");
+  const auto r =
+      run_tool("tune --machine ipsc --n 2 --lg 8 --layout 2d --cache " + path);
+  EXPECT_EQ(r.exit_code, 0) << r.output;  // retunes instead of crashing
+  EXPECT_NE(r.output.find("0 entries loaded"), std::string::npos) << r.output;
+  // And the rewritten store is healthy again.
+  EXPECT_EQ(run_tool("cache check " + path).exit_code, 0);
+}
+
+}  // namespace
+}  // namespace nct

@@ -1,0 +1,174 @@
+// Candidate-space enumeration tests: the space must offer exactly the
+// families that are legal for a spec pair, seed its parameter grids
+// around the paper's closed-form optima, attach cost-model priors, and
+// prune deterministically.
+#include "tune/space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/cost_model.hpp"
+#include "tune/layouts.hpp"
+
+namespace nct::tune {
+namespace {
+
+bool has_family(const Space& s, Family f) {
+  return std::any_of(s.candidates().begin(), s.candidates().end(),
+                     [f](const Candidate& c) { return c.family == f; });
+}
+
+TEST(Space, PairwiseLayoutGetsThe2DFamilies) {
+  const SpecPair p = fig_layout_2d(12, 4);
+  const Space s(p.first, p.second, sim::MachineParams::ipsc(4));
+  EXPECT_TRUE(has_family(s, Family::stepwise));
+  EXPECT_TRUE(has_family(s, Family::spt));
+  EXPECT_TRUE(has_family(s, Family::dpt));
+  EXPECT_TRUE(has_family(s, Family::mpt));
+  EXPECT_TRUE(has_family(s, Family::direct2d));
+  EXPECT_FALSE(has_family(s, Family::exchange));
+  EXPECT_FALSE(has_family(s, Family::combined));
+  EXPECT_FALSE(has_family(s, Family::routed));
+}
+
+TEST(Space, OneDimensionalLayoutGetsExchangeOnly) {
+  const SpecPair p = fig_layout_1d(12, 4);
+  const Space s(p.first, p.second, sim::MachineParams::ipsc(4));
+  EXPECT_TRUE(has_family(s, Family::exchange));
+  EXPECT_FALSE(has_family(s, Family::stepwise));
+  EXPECT_FALSE(has_family(s, Family::spt));
+  // Exchange enumerates all three buffering modes.
+  bool buffered = false, unbuffered = false, optimal = false;
+  for (const Candidate& c : s.candidates()) {
+    if (c.buffer_mode == comm::BufferMode::buffered) buffered = true;
+    if (c.buffer_mode == comm::BufferMode::unbuffered) unbuffered = true;
+    if (c.buffer_mode == comm::BufferMode::optimal) optimal = true;
+  }
+  EXPECT_TRUE(buffered);
+  EXPECT_TRUE(unbuffered);
+  EXPECT_TRUE(optimal);
+}
+
+TEST(Space, GrayCodedLayoutGetsRouting) {
+  const cube::MatrixShape s{6, 6};
+  const auto before = cube::PartitionSpec::col_cyclic(s, 3, cube::Encoding::gray);
+  const auto after = cube::PartitionSpec::col_cyclic(s.transposed(), 3, cube::Encoding::gray);
+  const Space sp(before, after, sim::MachineParams::ipsc(3));
+  EXPECT_TRUE(has_family(sp, Family::routed));
+  EXPECT_FALSE(has_family(sp, Family::exchange));
+}
+
+TEST(Space, MixedEncoding2DGetsCombined) {
+  // (binary, gray) rows/columns on both sides: the node permutation is
+  // not tr(x), so only the combined sweep is legal (mirrors the
+  // plan_transpose dispatch).
+  const cube::MatrixShape s{6, 6};
+  const auto before = cube::PartitionSpec::two_dim_cyclic(s, 2, 2, cube::Encoding::binary,
+                                                          cube::Encoding::gray);
+  const auto after = cube::PartitionSpec::two_dim_cyclic(s.transposed(), 2, 2,
+                                                         cube::Encoding::binary,
+                                                         cube::Encoding::gray);
+  const Space sp(before, after, sim::MachineParams::ipsc(4));
+  EXPECT_TRUE(has_family(sp, Family::combined));
+  EXPECT_FALSE(has_family(sp, Family::stepwise));
+  EXPECT_FALSE(has_family(sp, Family::exchange));
+}
+
+TEST(Space, PacketGridBracketsTheClosedFormOptimum) {
+  const sim::MachineParams m = sim::MachineParams::ipsc(4);
+  const double pq = static_cast<double>(cube::word{1} << 14);
+  const double b_opt = analysis::spt_optimal_packet(m, pq);
+  const auto grid = Space::packet_grid(m, pq);
+  ASSERT_FALSE(grid.empty());
+  // The grid must contain the rounded B_opt itself and at least one
+  // neighbour on each side of it.
+  const word b = static_cast<word>(std::llround(b_opt));
+  EXPECT_NE(std::find(grid.begin(), grid.end(), b), grid.end())
+      << "B_opt=" << b_opt << " missing from grid";
+  EXPECT_LT(grid.front(), b);
+  EXPECT_GT(grid.back(), b);
+  // Ascending, unique, within [1, PQ/N].
+  EXPECT_TRUE(std::is_sorted(grid.begin(), grid.end()));
+  EXPECT_EQ(std::adjacent_find(grid.begin(), grid.end()), grid.end());
+  EXPECT_GE(grid.front(), 1u);
+  EXPECT_LE(grid.back(), static_cast<word>(pq) / m.nodes());
+}
+
+TEST(Space, CopyThresholdGridBracketsTauOverTcopy) {
+  const sim::MachineParams m = sim::MachineParams::ipsc(4);
+  const double b_copy = analysis::optimal_copy_threshold(m);  // 139 on the iPSC
+  const auto grid = Space::copy_threshold_grid(m, word{1} << 12);
+  ASSERT_FALSE(grid.empty());
+  const word b = static_cast<word>(std::llround(b_copy));
+  EXPECT_NE(std::find(grid.begin(), grid.end(), b), grid.end());
+}
+
+TEST(Space, CopyThresholdGridEmptyWhenCopyIsFree) {
+  // tcopy = 0: the threshold tau/t_copy is unbounded; no optimal-B
+  // candidates exist (buffered always wins over thresholding).
+  const sim::MachineParams m = sim::MachineParams::nport(4);
+  ASSERT_EQ(m.tcopy, 0.0);
+  EXPECT_TRUE(Space::copy_threshold_grid(m, word{1} << 12).empty());
+}
+
+TEST(Space, PrunesToMaxCandidatesKeepingBestPriors) {
+  const SpecPair p = fig_layout_2d(14, 4);
+  const sim::MachineParams m = sim::MachineParams::ipsc(4);
+  SpaceOptions all;
+  const Space full(p.first, p.second, m, all);
+  SpaceOptions few;
+  few.max_candidates = 3;
+  const Space pruned(p.first, p.second, m, few);
+  ASSERT_EQ(pruned.candidates().size(), 3u);
+  ASSERT_GT(full.candidates().size(), 3u);
+  // The pruned set is exactly the first three of the full enumeration
+  // (both sort by prior with the same deterministic tie-break).
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(pruned.candidates()[i], full.candidates()[i]) << i;
+  }
+  // Sorted by prior.
+  for (std::size_t i = 1; i < full.candidates().size(); ++i) {
+    EXPECT_LE(full.candidates()[i - 1].predicted_seconds,
+              full.candidates()[i].predicted_seconds);
+  }
+}
+
+TEST(Space, EnumerationIsDeterministic) {
+  const SpecPair p = fig_layout_2d(14, 6);
+  const sim::MachineParams m = sim::MachineParams::cm(6);
+  const Space a(p.first, p.second, m);
+  const Space b(p.first, p.second, m);
+  ASSERT_EQ(a.candidates().size(), b.candidates().size());
+  for (std::size_t i = 0; i < a.candidates().size(); ++i) {
+    EXPECT_EQ(a.candidates()[i], b.candidates()[i]);
+    EXPECT_EQ(a.candidates()[i].predicted_seconds, b.candidates()[i].predicted_seconds);
+  }
+}
+
+TEST(Space, FamilyRestrictionIsHonoured) {
+  const SpecPair p = fig_layout_2d(12, 4);
+  SpaceOptions opt;
+  opt.families = {Family::spt, Family::stepwise};
+  const Space s(p.first, p.second, sim::MachineParams::ipsc(4), opt);
+  ASSERT_FALSE(s.candidates().empty());
+  for (const Candidate& c : s.candidates()) {
+    EXPECT_TRUE(c.family == Family::spt || c.family == Family::stepwise)
+        << c.describe();
+  }
+}
+
+TEST(Space, DescribeNamesEveryFamily) {
+  for (const Family f : {Family::stepwise, Family::spt, Family::dpt, Family::mpt,
+                         Family::direct2d, Family::exchange, Family::combined,
+                         Family::routed}) {
+    Candidate c;
+    c.family = f;
+    EXPECT_FALSE(c.describe().empty());
+    EXPECT_NE(family_name(f), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace nct::tune

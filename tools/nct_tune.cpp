@@ -1,0 +1,316 @@
+// nct_tune: autotune transpose plans, inspect the persistent plan cache,
+// and dump the paper's decision tables.
+//
+// Usage:
+//   nct_tune tune [--machine ipsc|cm|nport] [--n N] [--lg L] [--layout 1d|2d]
+//                 [--jobs J] [--cache FILE] [--fail-link NODE:DIM]...
+//       search the plan space for one problem and print the finalists
+//       (with --cache: load the store first, save it back after)
+//   nct_tune crossover [--machine ipsc|cm] [--lg L] [--jobs J]
+//       Fig 19 decision table: tuned 1D-vs-2D winner per cube size,
+//       against the cost model's predicted crossover
+//   nct_tune buffer [--machine ipsc] [--n N] [--lg L] [--jobs J]
+//       Fig 11/12 table: buffer-threshold sensitivity and the tuned
+//       B_copy against the closed-form tau/t_copy optimum
+//   nct_tune cache list FILE      print every entry of a store file
+//   nct_tune cache check FILE     strict integrity check (nonzero exit +
+//                                 diagnostic on version mismatch,
+//                                 truncation, trailing bytes)
+//   nct_tune cache evict FILE KEYHASH
+//       drop one entry (KEYHASH as printed by `cache list`, hex)
+//
+// Exit status: 0 ok, 1 operation failed (incl. corrupt store), 2 usage.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/cost_model.hpp"
+#include "sim/model.hpp"
+#include "tune/cache.hpp"
+#include "tune/layouts.hpp"
+#include "tune/tuner.hpp"
+
+namespace {
+
+using namespace nct;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: nct_tune tune [--machine ipsc|cm|nport] [--n N] [--lg L]\n"
+               "                     [--layout 1d|2d] [--jobs J] [--cache FILE]\n"
+               "                     [--fail-link NODE:DIM]...\n"
+               "       nct_tune crossover [--machine ipsc|cm] [--lg L] [--jobs J]\n"
+               "       nct_tune buffer [--machine ipsc|cm] [--n N] [--lg L] [--jobs J]\n"
+               "       nct_tune cache list|check FILE\n"
+               "       nct_tune cache evict FILE KEYHASH\n");
+  return 2;
+}
+
+struct Args {
+  std::string machine = "ipsc";
+  int n = 4;
+  int lg = 14;
+  std::string layout = "2d";
+  int jobs = 0;
+  std::string cache_path;
+  fault::FaultSpec faults;
+  bool have_faults = false;
+};
+
+bool parse_common(int argc, char** argv, int start, Args& a) {
+  for (int i = start; i < argc; ++i) {
+    const std::string s = argv[i];
+    const auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "nct_tune: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (s == "--machine") {
+      const char* v = need_value("--machine");
+      if (!v) return false;
+      a.machine = v;
+    } else if (s == "--n") {
+      const char* v = need_value("--n");
+      if (!v) return false;
+      a.n = std::atoi(v);
+    } else if (s == "--lg") {
+      const char* v = need_value("--lg");
+      if (!v) return false;
+      a.lg = std::atoi(v);
+    } else if (s == "--layout") {
+      const char* v = need_value("--layout");
+      if (!v) return false;
+      a.layout = v;
+    } else if (s == "--jobs") {
+      const char* v = need_value("--jobs");
+      if (!v) return false;
+      a.jobs = std::atoi(v);
+    } else if (s == "--cache") {
+      const char* v = need_value("--cache");
+      if (!v) return false;
+      a.cache_path = v;
+    } else if (s == "--fail-link") {
+      const char* v = need_value("--fail-link");
+      if (!v) return false;
+      const char* colon = std::strchr(v, ':');
+      if (colon == nullptr) {
+        std::fprintf(stderr, "nct_tune: --fail-link expects NODE:DIM, got '%s'\n", v);
+        return false;
+      }
+      a.faults.fail_link(static_cast<cube::word>(std::strtoull(v, nullptr, 10)),
+                         std::atoi(colon + 1));
+      a.have_faults = true;
+    } else {
+      std::fprintf(stderr, "nct_tune: unknown option '%s'\n", s.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool make_machine(const Args& a, sim::MachineParams& m) {
+  if (a.machine == "ipsc") {
+    m = sim::MachineParams::ipsc(a.n);
+  } else if (a.machine == "cm") {
+    m = sim::MachineParams::cm(a.n);
+  } else if (a.machine == "nport") {
+    m = sim::MachineParams::nport(a.n);
+  } else {
+    std::fprintf(stderr, "nct_tune: unknown machine '%s'\n", a.machine.c_str());
+    return false;
+  }
+  return true;
+}
+
+int cmd_tune(const Args& a) {
+  sim::MachineParams m;
+  if (!make_machine(a, m)) return 2;
+  if (a.layout == "2d" && a.n % 2 != 0) {
+    std::fprintf(stderr, "nct_tune: --layout 2d needs an even --n\n");
+    return 2;
+  }
+  const tune::SpecPair pair =
+      a.layout == "2d" ? tune::fig_layout_2d(a.lg, a.n) : tune::fig_layout_1d(a.lg, a.n);
+
+  tune::PlanCache cache;
+  if (!a.cache_path.empty()) {
+    const std::size_t loaded = cache.load_file(a.cache_path);
+    std::printf("cache: %zu entr%s loaded from %s\n", loaded, loaded == 1 ? "y" : "ies",
+                a.cache_path.c_str());
+  }
+  tune::TuneOptions opt;
+  opt.jobs = a.jobs;
+  if (a.have_faults) opt.faults = &a.faults;
+  if (!a.cache_path.empty()) opt.cache = &cache;
+
+  tune::TunedPlan plan;
+  try {
+    plan = tune::tune_transpose(pair.first, pair.second, m, opt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "nct_tune: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("machine:   %s (n=%d), 2^%d elements, %s layout\n", m.name.c_str(), m.n, a.lg,
+              a.layout.c_str());
+  std::printf("decision:  %s\n", plan.algorithm.c_str());
+  std::printf("measured:  %.6f s   (model prior: %.6f s)\n", plan.measured_seconds,
+              plan.predicted_seconds);
+  std::printf("source:    %s (%zu engine measurement%s)\n",
+              plan.from_cache ? "cache hit" : "searched", plan.programs_measured,
+              plan.programs_measured == 1 ? "" : "s");
+  if (!plan.measurements.empty()) {
+    std::printf("\n%-24s %-14s %-14s\n", "candidate", "measured_ms", "predicted_ms");
+    for (const tune::Measurement& mm : plan.measurements) {
+      std::printf("%-24s %-14.3f %-14.3f%s\n", mm.candidate.describe().c_str(),
+                  mm.measured_seconds * 1e3, mm.candidate.predicted_seconds * 1e3,
+                  mm.feasible ? "" : "  (infeasible)");
+    }
+  }
+
+  if (!a.cache_path.empty() && !cache.save_file(a.cache_path)) {
+    std::fprintf(stderr, "nct_tune: cannot write %s\n", a.cache_path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_crossover(const Args& a) {
+  Args base = a;
+  std::printf("Fig 19 decision table: tuned 1D vs 2D winner, %s machine, 2^%d elements\n",
+              a.machine.c_str(), a.lg);
+  std::printf("%-4s %-12s %-12s %-10s %-10s %-8s\n", "n", "1D_ms", "2D_ms", "winner",
+              "model", "agree");
+  int rc = 0;
+  for (const int n : {2, 4, 6}) {
+    base.n = n;
+    sim::MachineParams m;
+    if (!make_machine(base, m)) return 2;
+    tune::TuneOptions opt;
+    opt.jobs = a.jobs;
+    const auto p1 = tune::fig_layout_1d(a.lg, n);
+    const auto p2 = tune::fig_layout_2d(a.lg, n);
+    tune::TunedPlan t1, t2;
+    try {
+      t1 = tune::tune_transpose(p1.first, p1.second, m, opt);
+      t2 = tune::tune_transpose(p2.first, p2.second, m, opt);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "nct_tune: %s\n", e.what());
+      return 1;
+    }
+    const double pq = static_cast<double>(cube::word{1} << a.lg);
+    const double model_1d = analysis::transpose_1d_buffered_time(
+        m, pq, analysis::optimal_copy_threshold(m));
+    const double model_2d = m.port == sim::PortModel::n_port
+                                ? analysis::mpt_min_time(m, pq)
+                                : analysis::transpose_2d_stepwise_time(m, pq);
+    const bool tuned_2d = t2.measured_seconds < t1.measured_seconds;
+    const bool model_says_2d = model_2d < model_1d;
+    if (tuned_2d != model_says_2d) rc = 1;
+    std::printf("%-4d %-12.3f %-12.3f %-10s %-10s %-8s\n", n, t1.measured_seconds * 1e3,
+                t2.measured_seconds * 1e3, tuned_2d ? "2D" : "1D",
+                model_says_2d ? "2D" : "1D", tuned_2d == model_says_2d ? "yes" : "NO");
+  }
+  return rc;
+}
+
+int cmd_buffer(const Args& a) {
+  sim::MachineParams m;
+  if (!make_machine(a, m)) return 2;
+  const auto pair = tune::fig_layout_1d_cyclic(a.lg, a.n);
+  tune::TuneOptions opt;
+  opt.jobs = a.jobs;
+  opt.space.families = {tune::Family::exchange};
+  tune::TunedPlan plan;
+  try {
+    plan = tune::tune_transpose(pair.first, pair.second, m, opt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "nct_tune: %s\n", e.what());
+    return 1;
+  }
+  std::printf("Fig 11/12: buffer-threshold sensitivity, %s n=%d, 2^%d elements\n",
+              m.name.c_str(), a.n, a.lg);
+  std::printf("%-24s %-14s\n", "candidate", "measured_ms");
+  for (const tune::Measurement& mm : plan.measurements)
+    std::printf("%-24s %-14.3f\n", mm.candidate.describe().c_str(),
+                mm.measured_seconds * 1e3);
+  std::printf("tuned:    %s\n", plan.choice.describe().c_str());
+  std::printf("analytic: B_copy = tau/t_copy = %.0f elements\n",
+              analysis::optimal_copy_threshold(m));
+  return 0;
+}
+
+int cmd_cache(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string verb = argv[2];
+  const std::string path = argv[3];
+  if (verb == "list") {
+    tune::StoreData data;
+    try {
+      data = tune::read_store_strict(path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "nct_tune: %s: %s\n", path.c_str(), e.what());
+      return 1;
+    }
+    std::printf("store:   v%u, %zu entr%s\n", data.version, data.entries.size(),
+                data.entries.size() == 1 ? "y" : "ies");
+    for (const tune::CacheEntry& e : data.entries) {
+      std::printf("  %016" PRIx64 "  %-24s measured %.6f s  (%s)\n",
+                  tune::stable_hash(e.key), e.choice.describe().c_str(),
+                  e.measured_seconds, e.algorithm.c_str());
+    }
+    return 0;
+  }
+  if (verb == "check") {
+    try {
+      const tune::StoreData data = tune::read_store_strict(path);
+      std::printf("ok: v%u, %zu entr%s\n", data.version, data.entries.size(),
+                  data.entries.size() == 1 ? "y" : "ies");
+      return 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "nct_tune: %s: %s\n", path.c_str(), e.what());
+      return 1;
+    }
+  }
+  if (verb == "evict") {
+    if (argc < 5) return usage();
+    const std::uint64_t hash = std::strtoull(argv[4], nullptr, 16);
+    tune::PlanCache cache;
+    if (cache.load_file(path) == 0) {
+      std::fprintf(stderr, "nct_tune: %s: nothing loaded (missing or damaged store)\n",
+                   path.c_str());
+      return 1;
+    }
+    if (!cache.evict(hash)) {
+      std::fprintf(stderr, "nct_tune: %s: no entry %016" PRIx64 "\n", path.c_str(), hash);
+      return 1;
+    }
+    if (!cache.save_file(path)) {
+      std::fprintf(stderr, "nct_tune: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("evicted %016" PRIx64 " (%zu entr%s left)\n", hash, cache.size(),
+                cache.size() == 1 ? "y" : "ies");
+    return 0;
+  }
+  return usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "cache") return cmd_cache(argc, argv);
+  Args a;
+  if (!parse_common(argc, argv, 2, a)) return 2;
+  if (cmd == "tune") return cmd_tune(a);
+  if (cmd == "crossover") return cmd_crossover(a);
+  if (cmd == "buffer") return cmd_buffer(a);
+  return usage();
+}
