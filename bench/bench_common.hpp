@@ -18,7 +18,10 @@
 // use the compiled timing-only engine path (simulated_time): one
 // compiled program per task, no payload movement — data correctness of
 // every planner is established separately by the test suite's data-mode
-// runs.
+// runs.  Timing-only execution reuses thread-local RunScratch/RunResult
+// arenas, so a sweep's steady state performs no simulation-side heap
+// allocations; simulated_times() additionally batches precompiled
+// programs through Engine::run_timing_batch.
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -28,17 +31,21 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <limits>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/batch.hpp"
 #include "sim/compile.hpp"
 #include "sim/engine.hpp"
 #include "sim/model.hpp"
 #include "sim/program.hpp"
+#include "sim/scratch.hpp"
 
 namespace nct::bench {
 
@@ -94,15 +101,38 @@ inline sim::RunResult simulate(const sim::Program& prog, const sim::MachineParam
 
 /// Simulated time via the compiled timing-only fast path: the program is
 /// validated and flattened once, then executed without touching any
-/// memory image.  Bit-identical to simulate(...).total_time.
+/// memory image.  Bit-identical to simulate(...).total_time.  The run
+/// executes into thread-local scratch and result arenas, so repeated
+/// calls from a sweep worker allocate only inside compile().
 inline double simulated_time(const sim::Program& prog, const sim::MachineParams& machine) {
-  return sim::Engine(machine).run_timing(sim::compile(prog, machine)).total_time;
+  static thread_local sim::RunScratch scratch;
+  static thread_local sim::RunResult result;
+  sim::Engine(machine).run_timing(sim::compile(prog, machine), scratch, result);
+  return result.total_time;
 }
 
 /// Full timing-only result (phase stats etc.) via the compiled path.
 inline sim::RunResult simulate_timing(const sim::Program& prog,
                                       const sim::MachineParams& machine) {
   return sim::Engine(machine).run_timing(sim::compile(prog, machine));
+}
+
+/// Simulated times for a batch of precompiled programs sharing one
+/// machine, via Engine::run_timing_batch (contiguous per-worker ranges,
+/// per-worker grow-only scratch).  Results land at the program's index;
+/// a program whose run is rejected by the fault model reports +inf.
+inline std::vector<double> simulated_times(
+    std::span<const sim::CompiledProgram* const> programs,
+    const sim::MachineParams& machine, int jobs = 0) {
+  if (jobs <= 0) jobs = sweep_jobs();
+  sim::BatchScratch batch;
+  sim::Engine(machine).run_timing_batch(programs, batch, jobs);
+  std::vector<double> times(programs.size(),
+                            std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < programs.size(); ++i) {
+    if (batch.runs[i].ok) times[i] = batch.runs[i].result.total_time;
+  }
+  return times;
 }
 
 /// Metrics blocks recorded for the JSON dump (one per traced run).

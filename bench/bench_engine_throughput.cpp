@@ -1,22 +1,29 @@
 // Engine throughput microbenchmark: the regression anchor for the
-// simulation core.  Measures, on a fixed workload (2D stepwise
-// transpose, iPSC 8-cube, 2^14 elements; CM direct transpose, 10-cube):
+// simulation core.  Measures, on fixed workloads (2D stepwise
+// transpose, iPSC 8-cube, 2^14 elements; CM direct transpose, 10- and
+// 12-cube; iPSC MPT with multi-packet sends, 2^18 elements):
 //
 //   * Plan          - planner cost (program construction);
 //   * Compile       - sim::compile() flattening + validation cost;
 //   * Interpreted   - Engine::run(Program, Memory), the reference path;
 //   * CompiledData  - Engine::run(CompiledProgram, Memory);
-//   * TimingOnly    - Engine::run_timing(CompiledProgram).
+//   * TimingOnly    - Engine::run_timing(CompiledProgram);
+//   * TimingBatch   - Engine::run_timing_batch over 32 runs, reusing one
+//                     BatchScratch (zero steady-state allocations;
+//                     threads per --jobs).
 //
 // The execution cases report packets/s (router packets traversing their
-// full route per wall-clock second).  Run with --json to record the
-// series table into BENCH_<binary>.json.
+// full route per wall-clock second).  A second table reports the
+// tuner's cold-search latency (no cache; build + compile + batched
+// timing measurement of the whole candidate space).  Run with --json to
+// record the series tables into BENCH_<binary>.json.
 #include <algorithm>
 #include <chrono>
 
 #include "bench_common.hpp"
 #include "core/transpose1d.hpp"
 #include "core/transpose2d.hpp"
+#include "tune/tuner.hpp"
 
 namespace {
 
@@ -51,10 +58,46 @@ Workload make_cm_direct() {
   return {"cm10_direct_2^14", machine, std::move(prog), std::move(init)};
 }
 
+Workload make_cm12_direct() {
+  const int n = 12, half = 6, lg = 16;
+  const cube::MatrixShape s{lg / 2, lg - lg / 2};
+  const auto before = cube::PartitionSpec::two_dim_cyclic(s, half, half);
+  const auto after = cube::PartitionSpec::two_dim_cyclic(s.transposed(), half, half);
+  const auto machine = sim::MachineParams::cm(n);
+  auto prog = core::transpose_2d_direct(before, after, machine);
+  auto init = core::transpose_initial_memory(before, n, prog.local_slots);
+  return {"cm12_direct_2^16", machine, std::move(prog), std::move(init)};
+}
+
+/// iPSC MPT with 1024-element packets: 4096 bytes against B_m = 1024, so
+/// every send is a 4-packet message (exercises the multi-packet charge
+/// path that the other workloads never hit).
+Workload make_ipsc_mpt_multipacket() {
+  const int n = 8, half = 4, lg = 18;
+  const cube::MatrixShape s{lg / 2, lg - lg / 2};
+  const auto before = cube::PartitionSpec::two_dim_consecutive(s, half, half);
+  const auto after = cube::PartitionSpec::two_dim_consecutive(s.transposed(), half, half);
+  const auto machine = sim::MachineParams::ipsc(n);
+  core::Transpose2DOptions opt;
+  opt.packet_elements = 1024;
+  auto prog = core::transpose_mpt(before, after, machine, opt);
+  auto init = core::transpose_initial_memory(before, n, prog.local_slots);
+  return {"ipsc8_mpt_2^18_multipkt", machine, std::move(prog), std::move(init)};
+}
+
+constexpr int kWorkloads = 4;
+
 Workload& workload(int which) {
   static Workload w0 = make_ipsc_stepwise();
   static Workload w1 = make_cm_direct();
-  return which ? w1 : w0;
+  static Workload w2 = make_cm12_direct();
+  static Workload w3 = make_ipsc_mpt_multipacket();
+  switch (which) {
+    case 1: return w1;
+    case 2: return w2;
+    case 3: return w3;
+    default: return w0;
+  }
 }
 
 /// Router packets injected by the program (each traverses its route).
@@ -68,14 +111,22 @@ std::size_t total_packets(const sim::CompiledProgram& compiled) {
   return packets;
 }
 
+sim::Program plan_workload(int which) {
+  switch (which) {
+    case 1: return make_cm_direct().program;
+    case 2: return make_cm12_direct().program;
+    case 3: return make_ipsc_mpt_multipacket().program;
+    default: return make_ipsc_stepwise().program;
+  }
+}
+
 void BM_Plan(benchmark::State& state) {
   const int which = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(which ? make_cm_direct().program
-                                   : make_ipsc_stepwise().program);
+    benchmark::DoNotOptimize(plan_workload(which));
   }
 }
-BENCHMARK(BM_Plan)->Arg(0)->Arg(1);
+BENCHMARK(BM_Plan)->DenseRange(0, kWorkloads - 1);
 
 void BM_Compile(benchmark::State& state) {
   const Workload& w = workload(static_cast<int>(state.range(0)));
@@ -86,7 +137,7 @@ void BM_Compile(benchmark::State& state) {
       static_cast<int64_t>(state.iterations()) *
       static_cast<int64_t>(sim::compile(w.program, w.machine).total_sends()));
 }
-BENCHMARK(BM_Compile)->Arg(0)->Arg(1);
+BENCHMARK(BM_Compile)->DenseRange(0, kWorkloads - 1);
 
 void BM_Interpreted(benchmark::State& state) {
   const Workload& w = workload(static_cast<int>(state.range(0)));
@@ -98,7 +149,7 @@ void BM_Interpreted(benchmark::State& state) {
       static_cast<int64_t>(state.iterations()) *
       static_cast<int64_t>(total_packets(sim::compile(w.program, w.machine))));
 }
-BENCHMARK(BM_Interpreted)->Arg(0)->Arg(1);
+BENCHMARK(BM_Interpreted)->DenseRange(0, kWorkloads - 1);
 
 void BM_CompiledData(benchmark::State& state) {
   const Workload& w = workload(static_cast<int>(state.range(0)));
@@ -110,7 +161,7 @@ void BM_CompiledData(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(total_packets(compiled)));
 }
-BENCHMARK(BM_CompiledData)->Arg(0)->Arg(1);
+BENCHMARK(BM_CompiledData)->DenseRange(0, kWorkloads - 1);
 
 void BM_TimingOnly(benchmark::State& state) {
   const Workload& w = workload(static_cast<int>(state.range(0)));
@@ -122,7 +173,24 @@ void BM_TimingOnly(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(total_packets(compiled)));
 }
-BENCHMARK(BM_TimingOnly)->Arg(0)->Arg(1);
+BENCHMARK(BM_TimingOnly)->DenseRange(0, kWorkloads - 1);
+
+void BM_TimingBatch(benchmark::State& state) {
+  const Workload& w = workload(static_cast<int>(state.range(0)));
+  const auto compiled = sim::compile(w.program, w.machine);
+  const sim::Engine engine(w.machine);
+  constexpr std::size_t kBatch = 32;
+  const std::vector<const sim::CompiledProgram*> programs(kBatch, &compiled);
+  sim::BatchScratch batch;  // reused: steady state allocates nothing
+  const int jobs = bench::sweep_jobs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run_timing_batch(programs, batch, jobs));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kBatch) *
+                          static_cast<int64_t>(total_packets(compiled)));
+}
+BENCHMARK(BM_TimingBatch)->DenseRange(0, kWorkloads - 1);
 
 /// One-shot stage timings for the series table (median of `reps` runs).
 template <class Fn>
@@ -140,9 +208,12 @@ double stage_seconds(Fn fn, int reps = 5) {
 }
 
 void print_series() {
+  const int jobs = bench::sweep_jobs();
+  constexpr std::size_t kBatch = 32;
   bench::Table t({"workload", "packets", "compile_ms", "interpreted_ms",
-                  "compiled_data_ms", "timing_only_ms", "timing_pkts_per_s"});
-  for (const int which : {0, 1}) {
+                  "compiled_data_ms", "timing_only_ms", "timing_pkts_per_s",
+                  "batch32_ms", "batch32_pkts_per_s"});
+  for (int which = 0; which < kWorkloads; ++which) {
     Workload& w = workload(which);
     const sim::Engine engine(w.machine);
     const auto compiled = sim::compile(w.program, w.machine);
@@ -151,11 +222,45 @@ void print_series() {
     const double interp = stage_seconds([&] { engine.run(w.program, w.init); });
     const double data = stage_seconds([&] { engine.run(compiled, w.init); });
     const double timing = stage_seconds([&] { engine.run_timing(compiled); });
+    const std::vector<const sim::CompiledProgram*> programs(kBatch, &compiled);
+    sim::BatchScratch batch;
+    engine.run_timing_batch(programs, batch, jobs);  // warm the arenas
+    const double batched =
+        stage_seconds([&] { engine.run_timing_batch(programs, batch, jobs); });
     t.row({w.name, std::to_string(packets), bench::ms(c), bench::ms(interp),
            bench::ms(data), bench::ms(timing),
-           bench::num(static_cast<double>(packets) / timing, 0)});
+           bench::num(static_cast<double>(packets) / timing, 0),
+           bench::ms(batched),
+           bench::num(static_cast<double>(packets * kBatch) / batched, 0)});
   }
   t.print("Engine throughput: compile vs execution paths (wall-clock on this host)");
+
+  // Cold tuner search: no cache, so the full candidate space is built,
+  // compiled and measured through run_timing_batch on --jobs workers.
+  bench::Table tt({"spec_pair", "candidates", "cold_search_ms", "winner"});
+  for (const int which : {0, 1}) {
+    const int n = which ? 10 : 8;
+    const int half = n / 2;
+    const int lg = 14;
+    const cube::MatrixShape s{lg / 2, lg - lg / 2};
+    const auto before =
+        which ? cube::PartitionSpec::two_dim_cyclic(s, half, half)
+              : cube::PartitionSpec::two_dim_consecutive(s, half, half);
+    const auto after =
+        which ? cube::PartitionSpec::two_dim_cyclic(s.transposed(), half, half)
+              : cube::PartitionSpec::two_dim_consecutive(s.transposed(), half, half);
+    const auto machine =
+        which ? sim::MachineParams::cm(n) : sim::MachineParams::ipsc(n);
+    tune::TuneOptions topt;
+    topt.jobs = jobs;
+    tune::TunedPlan plan;
+    const double cold = stage_seconds(
+        [&] { plan = tune::tune_transpose(before, after, machine, topt); });
+    tt.row({std::string(machine.name) + std::to_string(n) + "_2^" + std::to_string(lg),
+            std::to_string(plan.programs_measured), bench::ms(cold),
+            plan.choice.describe()});
+  }
+  tt.print("Tuner cold-search latency (no cache; batched measurement)");
 }
 
 }  // namespace

@@ -1,0 +1,84 @@
+#include "sim/batch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "fault/fault.hpp"
+
+namespace nct::sim {
+
+namespace detail {
+
+WorkRange split_work(std::size_t total, std::size_t jobs, std::size_t worker) noexcept {
+  if (jobs == 0) jobs = 1;
+  if (worker >= jobs) return {total, total};
+  const std::size_t base = total / jobs;
+  const std::size_t rem = total % jobs;
+  const std::size_t begin = worker * base + std::min(worker, rem);
+  return {begin, begin + base + (worker < rem ? 1 : 0)};
+}
+
+}  // namespace detail
+
+std::size_t Engine::run_timing_batch(std::span<const CompiledProgram* const> programs,
+                                     BatchScratch& batch, int jobs) const {
+  const std::size_t total = programs.size();
+  if (batch.runs.size() < total) batch.runs.resize(total);
+
+  std::size_t workers = jobs > 0 ? static_cast<std::size_t>(jobs) : std::size_t{1};
+  workers = std::min(workers, std::max<std::size_t>(total, 1));
+  // A trace sink observes a single event stream; batches run serially
+  // under it so the stream stays well-formed.
+  if (options_.trace != nullptr) workers = 1;
+  if (batch.scratch.size() < workers) batch.scratch.resize(workers);
+
+  std::atomic<std::size_t> ok_count{0};
+  const auto work = [&](std::size_t worker) {
+    const detail::WorkRange range = detail::split_work(total, workers, worker);
+    RunScratch& scratch = batch.scratch[worker];
+    std::size_t ok = 0;
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+      BatchRun& slot = batch.runs[i];
+      try {
+        run_timing(*programs[i], scratch, slot.result);
+        slot.ok = true;
+        slot.error.clear();
+        ++ok;
+      } catch (const fault::FaultError& e) {
+        slot.ok = false;
+        slot.error = e.what();
+      }
+    }
+    ok_count.fetch_add(ok, std::memory_order_relaxed);
+  };
+
+  if (workers == 1) {
+    work(0);
+    return ok_count.load(std::memory_order_relaxed);
+  }
+
+  // Non-fault exceptions are bugs: capture the first and rethrow after
+  // every worker has joined.
+  std::exception_ptr failure;
+  std::mutex failure_mu;
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      try {
+        work(w);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(failure_mu);
+        if (!failure) failure = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (failure) std::rethrow_exception(failure);
+  return ok_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace nct::sim

@@ -1,0 +1,66 @@
+// Batched timing-only execution: run many independent compiled programs
+// through one engine with reused scratch state and an optional thread
+// pool.
+//
+// The sweep/tuner workload is thousands of small timing-only runs whose
+// per-run cost used to be dominated by scratch allocation and cold
+// availability arrays.  A batch keeps one RunScratch (and one RunResult
+// to write into) per worker, so after the first run on the largest
+// machine shape the whole batch executes with zero heap allocations,
+// hot link/node arrays, and a hot instruction stream.
+//
+// Work is split across threads tt-metal style: `jobs` workers each take
+// one contiguous range of the program span, the first `rem` workers one
+// extra item (ceil/floor split).  Results are stored at the item's
+// index in `runs`, so the output — including every simulated time — is
+// identical for any `jobs` value and any batch decomposition, which the
+// engine-label golden tests enforce.
+//
+// Fault semantics: a run that raises fault::FaultError (permanent
+// outage on a route) records ok = false and the error text in its slot,
+// and the rest of the batch proceeds — the tuner treats such candidates
+// as infeasible rather than aborting the search.  Any other exception
+// is a bug and propagates after the workers join.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/scratch.hpp"
+
+namespace nct::sim {
+
+/// Outcome slot of one batch item.
+struct BatchRun {
+  RunResult result;   ///< valid when ok; reused storage across batches.
+  bool ok = false;    ///< false: run aborted with fault::FaultError.
+  std::string error;  ///< FaultError text when !ok, empty otherwise.
+};
+
+/// Reusable storage for run_timing_batch: per-item result slots plus a
+/// per-worker scratch pool, both grow-only.  Reuse the same object
+/// across batches to make steady-state execution allocation-free.  Not
+/// thread-safe; one BatchScratch per concurrent batch call.
+struct BatchScratch {
+  std::vector<BatchRun> runs;       ///< resized to the batch, indexed by item.
+  std::vector<RunScratch> scratch;  ///< one per worker thread.
+};
+
+namespace detail {
+
+/// Contiguous [begin, end) range of batch items for worker `worker` of
+/// `jobs`, splitting `total` items ceil/floor (the tt-metal
+/// split_work_to_cores shape: the first `total % jobs` workers get one
+/// extra item).
+struct WorkRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+WorkRange split_work(std::size_t total, std::size_t jobs, std::size_t worker) noexcept;
+
+}  // namespace detail
+
+}  // namespace nct::sim

@@ -6,6 +6,7 @@
 #include "cube/bits.hpp"
 #include "sim/engine.hpp"
 #include "sim/fault_gate.hpp"
+#include "sim/scratch.hpp"
 #include "topology/hypercube.hpp"
 
 namespace nct::sim {
@@ -31,45 +32,29 @@ bool same_machine(const MachineParams& a, const MachineParams& b) noexcept {
          a.port == b.port && a.switching == b.switching;
 }
 
-/// A message in flight through the compiled timing loop.  Mirrors the
-/// interpreted engine's Packet minus the pointer chasing: the send record
-/// and link pool are addressed by index.
-struct FastPacket {
-  double ready = 0.0;
-  std::uint64_t seq = 0;
-  std::uint32_t send = 0;
-  std::uint32_t hop = 0;
-};
-
-/// Identical ordering to the interpreted engine's PacketOrder, so the
-/// heap pops in the same sequence and simulated times are bit-identical.
-struct FastOrder {
-  bool operator()(const FastPacket& a, const FastPacket& b) const {
-    if (a.ready != b.ready) return a.ready > b.ready;  // min-heap on time
-    if (a.seq != b.seq) return a.seq > b.seq;
-    return a.hop > b.hop;
-  }
-};
-
-/// Shared executor for data mode and timing-only mode.  The event heap
-/// and all availability arrays are allocated once per run and reused
-/// across phases (the interpreted path rebuilds its priority_queue per
-/// phase); in timing-only mode no memory image is touched at all.
-template <bool kData>
-RunResult run_compiled(const MachineParams& params, const EngineOptions& options,
-                       const CompiledProgram& cp, Memory initial) {
+/// Shared executor for data mode and timing-only mode, writing into a
+/// caller-owned result so batch runs reuse its storage.  All mutable
+/// run state lives in `scratch` and is reset O(active links + nodes)
+/// per run; the per-phase barrier resets of the original implementation
+/// are gone entirely, because every availability read is of the form
+/// max(x, value) with x >= the phase start time, so a stale entry from
+/// an earlier phase (always <= that phase's end <= the current phase
+/// start) can never influence a time.  The event queue is the calendar
+/// queue of scratch.hpp, which pops in exactly the binary-heap order
+/// (ascending ready time, ties on global injection sequence), keeping
+/// all simulated times bit-identical to the interpreted path.
+///
+/// `kTrace` compiles the event-sink calls out of the hot loops, and
+/// `kLean` (no sink, no link trace, no fault model) additionally strips
+/// the per-event instrumentation and fault branches entirely: the
+/// sweep/tuner path runs pure availability arithmetic.
+template <bool kData, bool kTrace, bool kLean>
+void run_compiled_into(const MachineParams& params, const EngineOptions& options,
+                       const CompiledProgram& cp, RunScratch& scratch, RunResult& out) {
   const word nnodes = cp.nodes();
-  RunResult result;
-  if constexpr (kData) {
-    if (initial.size() != nnodes) throw ProgramError("initial memory has wrong node count");
-    for (const auto& m : initial) {
-      if (m.size() != cp.local_slots()) throw ProgramError("node memory has wrong slot count");
-    }
-    result.memory = std::move(initial);
-  }
 
   obs::TraceSink* const sink = options.trace;
-  if (sink) sink->begin_run(params.n);
+  if constexpr (kTrace) sink->begin_run(params.n);
 
   // Same empty-model drop as the interpreted path: healthy runs execute
   // exactly the pre-fault arithmetic.
@@ -77,7 +62,7 @@ RunResult run_compiled(const MachineParams& params, const EngineOptions& options
       options.faults->dimensions() != params.n)
     throw ProgramError("fault model / machine dimension mismatch");
   detail::FaultGate gate{options.faults && !options.faults->empty() ? options.faults : nullptr,
-                         options.retry, sink, params.n, 0, 0.0};
+                         options.retry, kTrace ? sink : nullptr, params.n, 0, 0.0};
 
   const auto& phases = cp.phases();
   const auto& sends = cp.send_ops();
@@ -88,17 +73,46 @@ RunResult run_compiled(const MachineParams& params, const EngineOptions& options
 
   const std::size_t nlinks =
       static_cast<std::size_t>(nnodes) * static_cast<std::size_t>(std::max(params.n, 1));
-  std::vector<double> link_free(nlinks, 0.0);
-  std::vector<double> link_busy_total(nlinks, 0.0);
-  std::vector<double> send_free(static_cast<std::size_t>(nnodes), 0.0);
-  std::vector<double> recv_free(static_cast<std::size_t>(nnodes), 0.0);
-  std::vector<double> node_done(static_cast<std::size_t>(nnodes), 0.0);
-  if (options.record_link_trace) result.link_trace.resize(nlinks);
+  scratch.ensure(static_cast<std::size_t>(nnodes), nlinks, cp.max_phase_sends());
+  scratch.queue.clear();  // no-op unless a faulted run aborted mid-phase
+  double* const link_free = scratch.link_free.data();
+  double* const link_busy_total = scratch.link_busy_total.data();
+  double* const send_free = scratch.send_free.data();
+  double* const recv_free = scratch.recv_free.data();
+  double* const node_done = scratch.node_done.data();
+  std::uint32_t* const pkt_hop = scratch.pkt_hop.data();
+  for (const std::uint32_t li : cp.active_links()) {
+    link_free[li] = 0.0;
+    link_busy_total[li] = 0.0;
+  }
+  for (const word x : cp.active_nodes()) {
+    const auto xi = static_cast<std::size_t>(x);
+    send_free[xi] = 0.0;
+    recv_free[xi] = 0.0;
+    node_done[xi] = 0.0;
+  }
 
-  std::vector<FastPacket> heap;  // reusable event arena, cleared per phase
-  std::vector<word> payload;     // data mode: per-phase payload arena
-  std::vector<word> copy_vals;   // data mode: copy-op scratch
-  if constexpr (kData) payload.resize(cp.max_phase_payload());
+  out.total_time = 0.0;
+  out.total_copy_time = 0.0;
+  out.phases.resize(phases.size());
+  out.total_sends = 0;
+  out.total_elements = 0;
+  out.total_hops = 0;
+  out.max_link_busy = 0.0;
+  out.total_reroutes = 0;
+  out.total_retries = 0;
+  out.total_fault_wait = 0.0;
+  if constexpr (!kData) out.memory.clear();
+  if (options.record_link_trace) {
+    out.link_trace.assign(nlinks, {});
+  } else {
+    out.link_trace.clear();
+  }
+
+  if constexpr (kData) {
+    if (scratch.payload.size() < cp.max_phase_payload())
+      scratch.payload.resize(cp.max_phase_payload());
+  }
 
   const bool one_port = params.port == PortModel::one_port;
   const bool cut_through = params.switching == Switching::cut_through;
@@ -107,59 +121,72 @@ RunResult run_compiled(const MachineParams& params, const EngineOptions& options
   std::uint64_t global_seq = 0;
 
   auto apply_copy = [&](const CompiledCopy& c) {
-    auto& local = result.memory[static_cast<std::size_t>(c.node)];
-    copy_vals.resize(c.count);
+    auto& local = out.memory[static_cast<std::size_t>(c.node)];
+    scratch.copy_vals.resize(c.count);
     const slot* src = slot_pool.data() + c.slot_off;
     const slot* dst = src + c.count;
     for (std::uint32_t i = 0; i < c.count; ++i) {
       const word v = local[static_cast<std::size_t>(src[i])];
       if (v == kEmptySlot) fail_slot("copy reads empty ", c.node, src[i]);
-      copy_vals[i] = v;
+      scratch.copy_vals[i] = v;
     }
     for (std::uint32_t i = 0; i < c.count; ++i)
       local[static_cast<std::size_t>(src[i])] = kEmptySlot;
     for (std::uint32_t i = 0; i < c.count; ++i)
-      local[static_cast<std::size_t>(dst[i])] = copy_vals[i];
+      local[static_cast<std::size_t>(dst[i])] = scratch.copy_vals[i];
   };
 
   std::int32_t phase_index = -1;
   for (const CompiledPhase& ph : phases) {
     ++phase_index;
-    PhaseStats stats;
+    PhaseStats& stats = out.phases[static_cast<std::size_t>(phase_index)];
     stats.label = ph.label;
     stats.start = clock;
-    if (sink) sink->phase_begin(phase_index, ph.label, clock);
+    stats.end = 0.0;
+    stats.copy_time = ph.copy_time;
+    if constexpr (kTrace) sink->phase_begin(phase_index, ph.label, clock);
 
-    std::fill(node_done.begin(), node_done.end(), clock);
+    // A node clock is read as max(node_done[x], clock): entries touched
+    // this phase carry their accumulated value (> clock only through
+    // charges/arrivals of this phase), untouched entries hold a value
+    // from an earlier phase, <= that phase's end <= clock, so the max
+    // reproduces the former clock-fill bit-for-bit without the O(nodes)
+    // per-phase reset.
+    const auto charge = [&](word node, double cost, std::uint64_t bytes, bool is_stage) {
+      double& done = node_done[static_cast<std::size_t>(node)];
+      const double base = done > clock ? done : clock;
+      if constexpr (kTrace) {
+        if (is_stage) {
+          sink->stage(phase_index, node, bytes, base, base + cost);
+        } else {
+          sink->copy(phase_index, node, bytes, base, base + cost);
+        }
+      }
+      done = base + cost;
+      if (done > stats.end) stats.end = done;
+    };
 
     // 1. Pre-copies.
     for (std::uint32_t i = ph.pre_copy_begin; i < ph.pre_copy_end; ++i) {
       const CompiledCopy& c = copies[i];
       if constexpr (kData) apply_copy(c);
-      if (c.charged) {
-        double& done = node_done[static_cast<std::size_t>(c.node)];
-        if (sink)
-          sink->copy(phase_index, c.node,
-                     static_cast<std::size_t>(c.count) *
-                         static_cast<std::size_t>(params.element_bytes),
-                     done, done + c.cost);
-        done += c.cost;
-      }
+      if (c.charged)
+        charge(c.node, c.cost,
+               static_cast<std::uint64_t>(c.count) *
+                   static_cast<std::uint64_t>(params.element_bytes),
+               false);
     }
 
     // 2. Staging charges.
-    for (std::uint32_t i = ph.stage_begin; i < ph.stage_end; ++i) {
-      double& done = node_done[static_cast<std::size_t>(stages[i].node)];
-      if (sink) sink->stage(phase_index, stages[i].node, stages[i].bytes, done,
-                            done + stages[i].cost);
-      done += stages[i].cost;
-    }
+    for (std::uint32_t i = ph.stage_begin; i < ph.stage_end; ++i)
+      charge(stages[i].node, stages[i].cost, stages[i].bytes, true);
 
     // 3. Data movement.  Reading every payload before emptying any source
     // slot reproduces the interpreted engine's snapshot semantics without
     // copying the whole memory image.
     if constexpr (kData) {
-      Memory& mem = result.memory;
+      Memory& mem = out.memory;
+      word* const payload = scratch.payload.data();
       for (std::uint32_t k = ph.send_begin; k < ph.send_end; ++k) {
         const CompiledSend& s = sends[k];
         const auto& local = mem[static_cast<std::size_t>(s.src)];
@@ -187,31 +214,38 @@ RunResult run_compiled(const MachineParams& params, const EngineOptions& options
       }
     }
 
-    // 4. Timing: event-driven with link and port contention.
-    heap.clear();
-    for (std::uint32_t k = ph.send_begin; k < ph.send_end; ++k) {
-      heap.push_back(FastPacket{node_done[static_cast<std::size_t>(sends[k].src)],
-                                global_seq++, k, 0});
-      std::push_heap(heap.begin(), heap.end(), FastOrder{});
-      if (sends[k].rerouted) result.total_reroutes += 1;
+    // 4. Timing: event-driven with link and port contention.  Packets
+    // are identified by their injection index within the phase (pid);
+    // the global sequence number used for tie-breaks and trace events
+    // is seq_base + pid, exactly the order the heap-based executor
+    // assigned.
+    const std::uint32_t nsends = ph.send_end - ph.send_begin;
+    const std::uint64_t seq_base = global_seq;
+    global_seq += nsends;
+    out.total_reroutes += ph.reroutes;
+    detail::CalendarQueue& queue = scratch.queue;
+    queue.begin_phase(clock, cp.event_dt_hint());
+    for (std::uint32_t pid = 0; pid < nsends; ++pid) {
+      const double nd = node_done[static_cast<std::size_t>(sends[ph.send_begin + pid].src)];
+      queue.push(pid, nd > clock ? nd : clock);
+      if (!cut_through) pkt_hop[pid] = 0;
     }
     stats.sends = ph.sends;
     stats.elements = ph.elements;
     stats.hops = ph.hops;
-    result.total_sends += stats.sends;
-    result.total_elements += stats.elements;
-    result.total_hops += stats.hops;
+    out.total_sends += stats.sends;
+    out.total_elements += stats.elements;
+    out.total_hops += stats.hops;
 
-    while (!heap.empty()) {
-      std::pop_heap(heap.begin(), heap.end(), FastOrder{});
-      FastPacket p = heap.back();
-      heap.pop_back();
-      const CompiledSend& s = sends[p.send];
+    while (!queue.empty()) {
+      const detail::CalendarQueue::Event ev = queue.pop();
+      const CompiledSend& s = sends[ph.send_begin + ev.pid];
+      const std::uint64_t seq = seq_base + ev.pid;
 
       if (cut_through) {
         const std::size_t bytes =
             static_cast<std::size_t>(s.count) * static_cast<std::size_t>(params.element_bytes);
-        double start = p.ready;
+        double start = ev.ready;
         const std::uint32_t* links = link_pool.data() + s.link_off;
         for (std::uint32_t i = 0; i < s.route_len; ++i)
           start = std::max(start, link_free[links[i]]);
@@ -220,18 +254,18 @@ RunResult run_compiled(const MachineParams& params, const EngineOptions& options
         const double send_gate = start;
         if (one_port) start = std::max(start, recv_free[static_cast<std::size_t>(s.dst)]);
         const double recv_gate = start;
-        if (sink) {
+        if constexpr (kTrace) {
           if (send_gate > link_start)
-            sink->port_wait(obs::EventKind::port_wait_send, phase_index, s.src, p.seq,
+            sink->port_wait(obs::EventKind::port_wait_send, phase_index, s.src, seq,
                             link_start, send_gate);
           if (recv_gate > send_gate)
-            sink->port_wait(obs::EventKind::port_wait_recv, phase_index, s.dst, p.seq,
+            sink->port_wait(obs::EventKind::port_wait_recv, phase_index, s.dst, seq,
                             send_gate, recv_gate);
         }
         double serialise = s.serialise;
-        if (gate.model) {
+        if (!kLean && gate.model) {
           for (std::uint32_t i = 0; i < s.route_len; ++i)
-            start = gate.acquire(links[i], start, phase_index, p.seq);
+            start = gate.acquire(links[i], start, phase_index, seq);
           double deg = 1.0;
           for (std::uint32_t i = 0; i < s.route_len; ++i)
             deg = std::max(deg, gate.degrade(links[i]));
@@ -239,9 +273,9 @@ RunResult run_compiled(const MachineParams& params, const EngineOptions& options
         }
         const double arrive =
             start + static_cast<double>(s.route_len) * params.tau + serialise;
-        if (sink) {
-          if (s.rerouted) sink->reroute(phase_index, s.src, s.dst, p.seq, start);
-          sink->send_begin(phase_index, s.src, s.dst, p.seq, bytes, start,
+        if constexpr (kTrace) {
+          if (s.rerouted) sink->reroute(phase_index, s.src, s.dst, seq, start);
+          sink->send_begin(phase_index, s.src, s.dst, seq, bytes, start,
                            start + params.tau + serialise);
         }
         for (std::uint32_t i = 0; i < s.route_len; ++i) {
@@ -249,33 +283,34 @@ RunResult run_compiled(const MachineParams& params, const EngineOptions& options
           const double lend = lstart + params.tau + serialise;
           link_free[links[i]] = lend;
           link_busy_total[links[i]] += lend - lstart;
-          if (options.record_link_trace)
-            result.link_trace[links[i]].push_back({lstart, lend, p.seq});
-          if (sink) {
+          if (!kLean && options.record_link_trace)
+            out.link_trace[links[i]].push_back({lstart, lend, seq});
+          if constexpr (kTrace) {
             const word from =
                 static_cast<word>(links[i] / static_cast<std::uint32_t>(params.n));
             const int dim = static_cast<int>(links[i] % static_cast<std::uint32_t>(params.n));
-            sink->hop(phase_index, from, cube::flip_bit(from, dim), dim, p.seq, bytes,
+            sink->hop(phase_index, from, cube::flip_bit(from, dim), dim, seq, bytes,
                       lstart, lend);
           }
         }
-        if (sink) sink->send_end(phase_index, s.dst, s.src, p.seq, bytes, start, arrive);
+        if constexpr (kTrace) sink->send_end(phase_index, s.dst, s.src, seq, bytes, start, arrive);
         if (one_port) {
           send_free[static_cast<std::size_t>(s.src)] = start + params.tau + serialise;
           recv_free[static_cast<std::size_t>(s.dst)] = arrive;
         }
-        node_done[static_cast<std::size_t>(s.dst)] =
-            std::max(node_done[static_cast<std::size_t>(s.dst)], arrive);
-        stats.end = std::max(stats.end, arrive);
+        double& dst_done = node_done[static_cast<std::size_t>(s.dst)];
+        if (arrive > dst_done) dst_done = arrive;
+        if (arrive > stats.end) stats.end = arrive;
         continue;
       }
 
       // Store-and-forward: one hop at a time.
-      const std::size_t li = link_pool[s.link_off + p.hop];
-      const bool first_hop = p.hop == 0;
-      const bool last_hop = p.hop + 1 == s.route_len;
+      const std::uint32_t hop = pkt_hop[ev.pid];
+      const std::size_t li = link_pool[s.link_off + hop];
+      const bool first_hop = hop == 0;
+      const bool last_hop = hop + 1 == s.route_len;
 
-      double start = std::max(p.ready, link_free[li]);
+      double start = std::max(ev.ready, link_free[li]);
       const double link_start = start;
       if (one_port && first_hop)
         start = std::max(start, send_free[static_cast<std::size_t>(s.src)]);
@@ -283,96 +318,101 @@ RunResult run_compiled(const MachineParams& params, const EngineOptions& options
       if (one_port && last_hop)
         start = std::max(start, recv_free[static_cast<std::size_t>(s.dst)]);
       const double recv_gate = start;
-      if (sink) {
+      if constexpr (kTrace) {
         const word from = static_cast<word>(li / static_cast<std::size_t>(params.n));
         if (send_gate > link_start)
-          sink->port_wait(obs::EventKind::port_wait_send, phase_index, from, p.seq,
+          sink->port_wait(obs::EventKind::port_wait_send, phase_index, from, seq,
                           link_start, send_gate);
         if (recv_gate > send_gate)
-          sink->port_wait(obs::EventKind::port_wait_recv, phase_index, s.dst, p.seq,
+          sink->port_wait(obs::EventKind::port_wait_recv, phase_index, s.dst, seq,
                           send_gate, recv_gate);
       }
       double hop_cost = s.hop_cost;
-      if (gate.model) {
-        start = gate.acquire(li, start, phase_index, p.seq);
+      if (!kLean && gate.model) {
+        start = gate.acquire(li, start, phase_index, seq);
         hop_cost *= gate.degrade(li);
       }
 
       const double end = start + hop_cost;
       link_free[li] = end;
       link_busy_total[li] += end - start;
-      if (options.record_link_trace) result.link_trace[li].push_back({start, end, p.seq});
+      if (!kLean && options.record_link_trace) out.link_trace[li].push_back({start, end, seq});
       if (one_port && first_hop) send_free[static_cast<std::size_t>(s.src)] = end;
       if (one_port && last_hop) recv_free[static_cast<std::size_t>(s.dst)] = end;
-      if (sink) {
+      if constexpr (kTrace) {
         const std::size_t bytes =
             static_cast<std::size_t>(s.count) * static_cast<std::size_t>(params.element_bytes);
         const word from = static_cast<word>(li / static_cast<std::size_t>(params.n));
         const int dim = static_cast<int>(li % static_cast<std::size_t>(params.n));
         if (first_hop) {
-          if (s.rerouted) sink->reroute(phase_index, s.src, s.dst, p.seq, start);
-          sink->send_begin(phase_index, s.src, s.dst, p.seq, bytes, start, end);
+          if (s.rerouted) sink->reroute(phase_index, s.src, s.dst, seq, start);
+          sink->send_begin(phase_index, s.src, s.dst, seq, bytes, start, end);
         }
-        sink->hop(phase_index, from, cube::flip_bit(from, dim), dim, p.seq, bytes, start, end);
-        if (last_hop) sink->send_end(phase_index, s.dst, s.src, p.seq, bytes, start, end);
+        sink->hop(phase_index, from, cube::flip_bit(from, dim), dim, seq, bytes, start, end);
+        if (last_hop) sink->send_end(phase_index, s.dst, s.src, seq, bytes, start, end);
       }
 
       if (last_hop) {
-        node_done[static_cast<std::size_t>(s.dst)] =
-            std::max(node_done[static_cast<std::size_t>(s.dst)], end);
-        stats.end = std::max(stats.end, end);
+        double& dst_done = node_done[static_cast<std::size_t>(s.dst)];
+        if (end > dst_done) dst_done = end;
+        if (end > stats.end) stats.end = end;
       } else {
-        p.hop += 1;
-        p.ready = end;
-        heap.push_back(p);
-        std::push_heap(heap.begin(), heap.end(), FastOrder{});
+        pkt_hop[ev.pid] = hop + 1;
+        queue.push(ev.pid, end);
       }
     }
 
     // 5. Scatter charges.
-    for (std::uint32_t i = ph.post_stage_begin; i < ph.post_stage_end; ++i) {
-      double& done = node_done[static_cast<std::size_t>(stages[i].node)];
-      if (sink) sink->stage(phase_index, stages[i].node, stages[i].bytes, done,
-                            done + stages[i].cost);
-      done += stages[i].cost;
-    }
+    for (std::uint32_t i = ph.post_stage_begin; i < ph.post_stage_end; ++i)
+      charge(stages[i].node, stages[i].cost, stages[i].bytes, true);
 
     // 6. Post-copies.
     for (std::uint32_t i = ph.post_copy_begin; i < ph.post_copy_end; ++i) {
       const CompiledCopy& c = copies[i];
       if constexpr (kData) apply_copy(c);
-      if (c.charged) {
-        double& done = node_done[static_cast<std::size_t>(c.node)];
-        if (sink)
-          sink->copy(phase_index, c.node,
-                     static_cast<std::size_t>(c.count) *
-                         static_cast<std::size_t>(params.element_bytes),
-                     done, done + c.cost);
-        done += c.cost;
-      }
+      if (c.charged)
+        charge(c.node, c.cost,
+               static_cast<std::uint64_t>(c.count) *
+                   static_cast<std::uint64_t>(params.element_bytes),
+               false);
     }
 
-    stats.copy_time = ph.copy_time;
-    for (const double t : node_done) stats.end = std::max(stats.end, t);
     stats.end = std::max(stats.end, stats.start);
-    if (sink) sink->phase_end(phase_index, stats.end);
+    if constexpr (kTrace) sink->phase_end(phase_index, stats.end);
     clock = stats.end;
-    result.total_copy_time += stats.copy_time;
-    result.phases.push_back(std::move(stats));
-
-    std::fill(link_free.begin(), link_free.end(), clock);
-    std::fill(send_free.begin(), send_free.end(), clock);
-    std::fill(recv_free.begin(), recv_free.end(), clock);
+    out.total_copy_time += stats.copy_time;
+    // No barrier reset: stale availability entries are <= clock and every
+    // read below clamps against a value >= the next phase's start.
   }
 
-  result.total_time = clock;
-  result.total_retries = gate.retries;
-  result.total_fault_wait = gate.down_wait;
-  result.max_link_busy =
-      link_busy_total.empty()
-          ? 0.0
-          : *std::max_element(link_busy_total.begin(), link_busy_total.end());
-  return result;
+  out.total_time = clock;
+  out.total_retries = gate.retries;
+  out.total_fault_wait = gate.down_wait;
+  double max_busy = 0.0;
+  for (const std::uint32_t li : cp.active_links())
+    max_busy = std::max(max_busy, link_busy_total[li]);
+  out.max_link_busy = max_busy;
+}
+
+template <bool kData>
+void run_compiled(const MachineParams& params, const EngineOptions& options,
+                  const CompiledProgram& cp, RunScratch& scratch, RunResult& out) {
+  if (options.trace) {
+    run_compiled_into<kData, true, false>(params, options, cp, scratch, out);
+  } else if (options.record_link_trace ||
+             (options.faults && !options.faults->empty())) {
+    run_compiled_into<kData, false, false>(params, options, cp, scratch, out);
+  } else {
+    run_compiled_into<kData, false, true>(params, options, cp, scratch, out);
+  }
+}
+
+/// One scratch per thread serves every run that does not bring its own:
+/// steady-state calls of the classic API stop allocating availability
+/// arrays, and concurrent sweeps stay isolated.
+RunScratch& thread_scratch() {
+  static thread_local RunScratch scratch;
+  return scratch;
 }
 
 }  // namespace
@@ -387,6 +427,8 @@ CompiledProgram compile(const Program& program, const MachineParams& machine) {
 
   const word nnodes = program.nodes();
   const word nslots = program.local_slots;
+  const std::size_t nlinks =
+      static_cast<std::size_t>(nnodes) * static_cast<std::size_t>(std::max(machine.n, 1));
 
   std::size_t n_sends = 0, n_copies = 0, n_stages = 0, n_slots = 0, n_links = 0;
   for (const Phase& ph : program.phases) {
@@ -413,10 +455,17 @@ CompiledProgram compile(const Program& program, const MachineParams& machine) {
       static_cast<std::size_t>(nnodes) * static_cast<std::size_t>(nslots), 0);
   std::uint32_t epoch = 0;
 
+  // Membership maps for the active-link / active-node sets the run-time
+  // scratch reset walks (collected sorted by a final index sweep).
+  std::vector<std::uint8_t> link_seen(nlinks, 0);
+  std::vector<std::uint8_t> node_seen(static_cast<std::size_t>(nnodes), 0);
+  const auto see_node = [&](word x) { node_seen[static_cast<std::size_t>(x)] = 1; };
+
   const auto pack_copy = [&](const CopyOp& op) {
     if (op.src_slots.size() != op.dst_slots.size())
       throw ProgramError("copy op slot count mismatch");
     if (op.node >= nnodes) throw ProgramError("copy op node out of range");
+    see_node(op.node);
     CompiledCopy c;
     c.node = op.node;
     c.slot_off = static_cast<std::uint32_t>(cp.slot_pool_.size());
@@ -437,9 +486,12 @@ CompiledProgram compile(const Program& program, const MachineParams& machine) {
 
   const auto pack_stage = [&](const StageOp& op, const char* kind) {
     if (op.node >= nnodes) throw ProgramError(std::string(kind) + " op node out of range");
+    see_node(op.node);
     cp.stages_.push_back(
         CompiledStage{op.node, op.bytes, static_cast<double>(op.bytes) * machine.tcopy});
   };
+
+  const bool cut_through = machine.switching == Switching::cut_through;
 
   for (const Phase& phase : program.phases) {
     CompiledPhase ph;
@@ -477,16 +529,20 @@ CompiledProgram compile(const Program& program, const MachineParams& machine) {
       s.payload_off = payload_off;
       s.keep_source = op.keep_source;
       s.rerouted = op.rerouted;
+      if (op.rerouted) ph.reroutes += 1;
       payload_off += s.count;
 
       word at = op.src;
       for (const int d : op.route) {
         if (d < 0 || d >= machine.n) throw ProgramError("route dimension out of range");
-        cp.link_pool_.push_back(
-            static_cast<std::uint32_t>(topo::link_index(machine.n, {at, d})));
+        const std::size_t li = topo::link_index(machine.n, {at, d});
+        link_seen[li] = 1;
+        cp.link_pool_.push_back(static_cast<std::uint32_t>(li));
         at = cube::flip_bit(at, d);
       }
       s.dst = at;
+      see_node(s.src);
+      see_node(s.dst);
 
       for (const slot sl : op.src_slots) {
         if (sl >= nslots) throw ProgramError("send src slot out of range");
@@ -507,6 +563,11 @@ CompiledProgram compile(const Program& program, const MachineParams& machine) {
       s.hop_cost = machine.hop_time(bytes);
       s.serialise = static_cast<double>(bytes) * machine.tc;
 
+      // Natural event spacing for the calendar queue's bucket width.
+      const double dt = cut_through ? machine.tau + s.serialise : s.hop_cost;
+      if (dt > 0.0 && (cp.event_dt_hint_ == 0.0 || dt < cp.event_dt_hint_))
+        cp.event_dt_hint_ = dt;
+
       ph.sends += 1;
       ph.elements += s.count;
       ph.hops += s.route_len;
@@ -516,6 +577,8 @@ CompiledProgram compile(const Program& program, const MachineParams& machine) {
     ph.payload_elems = payload_off;
     cp.max_phase_payload_ =
         std::max(cp.max_phase_payload_, static_cast<std::size_t>(payload_off));
+    cp.max_phase_sends_ = std::max(
+        cp.max_phase_sends_, static_cast<std::size_t>(ph.send_end - ph.send_begin));
 
     ph.post_stage_begin = static_cast<std::uint32_t>(cp.stages_.size());
     for (const StageOp& op : phase.post_stage) {
@@ -534,19 +597,40 @@ CompiledProgram compile(const Program& program, const MachineParams& machine) {
     cp.phases_.push_back(std::move(ph));
   }
 
+  for (std::size_t li = 0; li < nlinks; ++li)
+    if (link_seen[li]) cp.active_links_.push_back(static_cast<std::uint32_t>(li));
+  for (std::size_t x = 0; x < static_cast<std::size_t>(nnodes); ++x)
+    if (node_seen[x]) cp.active_nodes_.push_back(static_cast<word>(x));
+
   return cp;
 }
 
 RunResult Engine::run(const CompiledProgram& compiled, Memory initial) const {
   if (!same_machine(compiled.machine(), params_))
     throw ProgramError("compiled program / engine machine mismatch");
-  return run_compiled<true>(params_, options_, compiled, std::move(initial));
+  if (initial.size() != compiled.nodes())
+    throw ProgramError("initial memory has wrong node count");
+  for (const auto& m : initial) {
+    if (m.size() != compiled.local_slots())
+      throw ProgramError("node memory has wrong slot count");
+  }
+  RunResult result;
+  result.memory = std::move(initial);
+  run_compiled<true>(params_, options_, compiled, thread_scratch(), result);
+  return result;
 }
 
 RunResult Engine::run_timing(const CompiledProgram& compiled) const {
+  RunResult result;
+  run_timing(compiled, thread_scratch(), result);
+  return result;
+}
+
+void Engine::run_timing(const CompiledProgram& compiled, RunScratch& scratch,
+                        RunResult& out) const {
   if (!same_machine(compiled.machine(), params_))
     throw ProgramError("compiled program / engine machine mismatch");
-  return run_compiled<false>(params_, options_, compiled, Memory{});
+  run_compiled<false>(params_, options_, compiled, scratch, out);
 }
 
 }  // namespace nct::sim

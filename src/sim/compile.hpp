@@ -43,18 +43,21 @@ namespace nct::sim {
 /// [slot_off, slot_off + count) of the slot pool, destination slots at
 /// [slot_off + count, slot_off + 2*count); the route's directed-link
 /// indices at [link_off, link_off + route_len) of the link pool.
+/// Field order is deliberate: the fields the timing loop touches per
+/// event come first so one cache line covers them.
 struct CompiledSend {
   word src = 0;
   word dst = 0;                 ///< route endpoint, precomputed.
-  std::uint32_t slot_off = 0;
-  std::uint32_t count = 0;      ///< elements carried.
   std::uint32_t link_off = 0;
   std::uint32_t route_len = 0;
+  double hop_cost = 0.0;   ///< store-and-forward: time per hop.
+  double serialise = 0.0;  ///< cut-through: payload serialisation time.
+  // Data-mode / trace-only fields below.
+  std::uint32_t slot_off = 0;
+  std::uint32_t count = 0;      ///< elements carried.
   std::uint32_t payload_off = 0;  ///< offset into the phase payload arena.
   bool keep_source = false;
   bool rerouted = false;          ///< see SendOp::rerouted.
-  double hop_cost = 0.0;   ///< store-and-forward: time per hop.
-  double serialise = 0.0;  ///< cut-through: payload serialisation time.
 };
 
 /// A local copy; source slots at [slot_off, +count), destinations at
@@ -83,6 +86,7 @@ struct CompiledPhase {
   std::uint32_t post_stage_begin = 0, post_stage_end = 0;
   std::uint32_t post_copy_begin = 0, post_copy_end = 0;
   std::uint32_t payload_elems = 0;  ///< data-mode payload arena size.
+  std::uint32_t reroutes = 0;       ///< sends planned on detour routes.
   std::size_t sends = 0;
   std::size_t elements = 0;
   std::size_t hops = 0;
@@ -114,6 +118,22 @@ class CompiledProgram {
   /// Total message-hops across all phases.
   std::size_t total_hops() const noexcept { return link_pool_.size(); }
 
+  /// Directed links the program ever traverses (sorted, unique).  A run
+  /// on a reused RunScratch resets exactly these entries, making reuse
+  /// O(active state) instead of O(machine).
+  const std::vector<std::uint32_t>& active_links() const noexcept { return active_links_; }
+  /// Nodes the program ever touches as source, destination, copy or
+  /// stage site (sorted, unique); the node-clock analogue of
+  /// active_links().
+  const std::vector<word>& active_nodes() const noexcept { return active_nodes_; }
+  /// Largest send count of any single phase (sizes the event queue's
+  /// packet-state arrays).
+  std::size_t max_phase_sends() const noexcept { return max_phase_sends_; }
+  /// Smallest positive per-event time increment of any send (hop cost,
+  /// or header+serialisation under cut-through): the natural bucket
+  /// width for the calendar event queue.  0 when every cost is zero.
+  double event_dt_hint() const noexcept { return event_dt_hint_; }
+
  private:
   friend CompiledProgram compile(const Program&, const MachineParams&);
 
@@ -126,7 +146,11 @@ class CompiledProgram {
   std::vector<CompiledStage> stages_;  ///< stage and post-stage, pooled.
   std::vector<slot> slot_pool_;
   std::vector<std::uint32_t> link_pool_;
+  std::vector<std::uint32_t> active_links_;
+  std::vector<word> active_nodes_;
   std::size_t max_phase_payload_ = 0;
+  std::size_t max_phase_sends_ = 0;
+  double event_dt_hint_ = 0.0;
 };
 
 /// One-pass compile of `program` against `machine`.  Throws ProgramError

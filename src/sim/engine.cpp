@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <cstdio>
 #include <queue>
 
@@ -84,6 +85,13 @@ RunResult Engine::run(const Program& program, Memory initial) const {
 
   std::vector<double> node_done(static_cast<std::size_t>(nnodes), 0.0);
 
+  // Epoch-stamped double-delivery map, shared by all phases: one flat
+  // allocation per run instead of a vector<vector<bool>> per phase.
+  std::vector<std::uint32_t> delivered(
+      static_cast<std::size_t>(nnodes) * static_cast<std::size_t>(program.local_slots), 0);
+  std::uint32_t delivery_epoch = 0;
+  result.phases.reserve(program.phases.size());
+
   auto apply_copy = [&](const CopyOp& op) {
     if (op.src_slots.size() != op.dst_slots.size())
       throw ProgramError("copy op slot count mismatch");
@@ -142,8 +150,7 @@ RunResult Engine::run(const Program& program, Memory initial) const {
     // 3. Data movement for sends: reads from a snapshot, writes to live.
     if (!phase.sends.empty()) {
       const Memory snapshot = mem;
-      std::vector<std::vector<bool>> written(static_cast<std::size_t>(nnodes));
-      for (auto& w : written) w.assign(static_cast<std::size_t>(program.local_slots), false);
+      ++delivery_epoch;
 
       // First mark all sent slots empty, then deliver.
       std::vector<std::vector<word>> payloads(phase.sends.size());
@@ -174,12 +181,14 @@ RunResult Engine::run(const Program& program, Memory initial) const {
           dst = cube::flip_bit(dst, d);
         }
         auto& dst_local = mem[static_cast<std::size_t>(dst)];
-        auto& dst_written = written[static_cast<std::size_t>(dst)];
+        const std::size_t dst_base =
+            static_cast<std::size_t>(dst) * static_cast<std::size_t>(program.local_slots);
         for (std::size_t i = 0; i < op.dst_slots.size(); ++i) {
           const slot s = op.dst_slots[i];
           if (s >= dst_local.size()) throw ProgramError("send dst slot out of range");
-          if (dst_written[static_cast<std::size_t>(s)]) fail_slot("double delivery to ", dst, s);
-          dst_written[static_cast<std::size_t>(s)] = true;
+          std::uint32_t& stamp = delivered[dst_base + static_cast<std::size_t>(s)];
+          if (stamp == delivery_epoch) fail_slot("double delivery to ", dst, s);
+          stamp = delivery_epoch;
           dst_local[static_cast<std::size_t>(s)] = payloads[k][i];
         }
       }

@@ -23,6 +23,7 @@
 // one phase is a planner bug and raises an error.
 #pragma once
 
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -97,6 +98,8 @@ struct EngineOptions {
 };
 
 class CompiledProgram;  // compile.hpp
+class RunScratch;       // scratch.hpp
+struct BatchScratch;    // batch.hpp
 
 class Engine {
  public:
@@ -118,6 +121,25 @@ class Engine {
   /// For parameter sweeps whose data correctness was already established
   /// by a data-mode run of the same planner.
   RunResult run_timing(const CompiledProgram& compiled) const;
+
+  /// Zero-allocation timing-only run: all mutable state lives in
+  /// `scratch` and the result is written into `out` in place, so a loop
+  /// over many programs performs no steady-state heap allocations.
+  /// Identical output to run_timing(compiled).  `scratch` must not be
+  /// shared between concurrent calls.
+  void run_timing(const CompiledProgram& compiled, RunScratch& scratch,
+                  RunResult& out) const;
+
+  /// Execute a batch of timing-only runs (see batch.hpp), splitting the
+  /// programs contiguously across `jobs` worker threads.  Results land
+  /// at the matching index of `batch.runs`, so output is deterministic
+  /// and independent of `jobs`.  A run aborted by fault::FaultError is
+  /// captured in its slot (ok = false) without affecting the others;
+  /// any other exception propagates.  Returns the number of successful
+  /// runs.  With a trace sink configured the batch runs serially, as a
+  /// sink observes one event stream.
+  std::size_t run_timing_batch(std::span<const CompiledProgram* const> programs,
+                               BatchScratch& batch, int jobs = 1) const;
 
  private:
   MachineParams params_;

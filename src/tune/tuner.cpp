@@ -13,6 +13,7 @@
 #include "core/router.hpp"
 #include "core/transpose1d.hpp"
 #include "core/transpose2d.hpp"
+#include "sim/batch.hpp"
 #include "sim/compile.hpp"
 #include "sim/engine.hpp"
 
@@ -110,26 +111,28 @@ TunedPlan Tuner::tune(const cube::PartitionSpec& before,
   if (candidates.empty())
     throw std::invalid_argument("tune: no legal candidate family for this spec pair");
 
-  // Measure every finalist on a worker pool.  Results land at the
-  // candidate's index, so the argmin below is independent of scheduling
-  // and the tuned decision is deterministic across --jobs values.
+  // Phase 1: build and compile every finalist once, up front, on a
+  // worker pool (planning and sim::compile are the expensive part and
+  // used to be re-done inside the measurement loop).  Results land at
+  // the candidate's index, so the argmin below is independent of
+  // scheduling and the tuned decision is deterministic across --jobs
+  // values and batch decompositions.
   std::vector<Measurement> results(candidates.size());
+  std::vector<sim::CompiledProgram> compiled(candidates.size());
+  std::vector<char> buildable(candidates.size(), 0);
   std::atomic<std::size_t> next{0};
   std::mutex err_mu;
   std::exception_ptr err;
   const fault::FaultModel* faults = fault_model_.empty() ? nullptr : &fault_model_;
-  const auto worker = [&]() {
+  const auto compile_worker = [&]() {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= candidates.size()) return;
       Measurement& m = results[i];
       m.candidate = candidates[i];
       try {
-        const sim::Program prog = build(before, after, candidates[i]);
-        sim::EngineOptions eopt;
-        eopt.faults = faults;
-        m.measured_seconds =
-            sim::Engine(machine_, eopt).run_timing(sim::compile(prog, machine_)).total_time;
+        compiled[i] = sim::compile(build(before, after, candidates[i]), machine_);
+        buildable[i] = 1;
       } catch (const fault::FaultError&) {
         // This family cannot reach its partners under the fault set;
         // rank it behind every feasible candidate.
@@ -145,10 +148,40 @@ TunedPlan Tuner::tune(const cube::PartitionSpec& before,
   const int jobs = worker_count(options_.jobs, candidates.size());
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(jobs) - 1);
-  for (int t = 1; t < jobs; ++t) pool.emplace_back(worker);
-  worker();
+  for (int t = 1; t < jobs; ++t) pool.emplace_back(compile_worker);
+  compile_worker();
   for (auto& th : pool) th.join();
   if (err) std::rethrow_exception(err);
+
+  // Phase 2: one batched timing-only measurement over the compiled
+  // finalists.  One engine serves the whole batch; per-worker scratch
+  // lives in the BatchScratch, so measurement performs no steady-state
+  // allocations and measures exactly run_timing.
+  std::vector<const sim::CompiledProgram*> progs;
+  std::vector<std::size_t> prog_index;
+  progs.reserve(candidates.size());
+  prog_index.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (buildable[i]) {
+      progs.push_back(&compiled[i]);
+      prog_index.push_back(i);
+    }
+  }
+  sim::EngineOptions eopt;
+  eopt.faults = faults;
+  const sim::Engine engine(machine_, eopt);
+  sim::BatchScratch batch;
+  engine.run_timing_batch(progs, batch, jobs);
+  for (std::size_t k = 0; k < progs.size(); ++k) {
+    Measurement& m = results[prog_index[k]];
+    const sim::BatchRun& run = batch.runs[k];
+    if (run.ok) {
+      m.measured_seconds = run.result.total_time;
+    } else {
+      m.measured_seconds = kInf;
+      m.feasible = false;
+    }
+  }
 
   std::size_t best = candidates.size();
   for (std::size_t i = 0; i < results.size(); ++i) {

@@ -1,13 +1,16 @@
 // Simulation-backed plan search.
 //
-// `Tuner` takes the pruned candidate set of a `Space`, builds the actual
-// communication program for each finalist, and measures it with the
-// compiled timing-only engine (`Engine::run_timing`) — the same bit-exact
-// fast path the figure benches use — on a thread pool.  The winner is
-// the minimum measured time with a deterministic tie-break on candidate
-// order, so tuning with `--jobs 1` and `--jobs 32` always returns the
-// same plan and the same times (results are stored by candidate index;
-// scheduling cannot reorder them).
+// `Tuner` takes the pruned candidate set of a `Space`, builds and
+// compiles the communication program for each finalist exactly once (on
+// a thread pool), then measures the whole set with one batched
+// timing-only engine pass (`Engine::run_timing_batch`) — the same
+// bit-exact fast path the figure benches use, with per-worker scratch
+// arenas so the measurement itself performs no steady-state
+// allocations.  The winner is the minimum measured time with a
+// deterministic tie-break on candidate order, so tuning with `--jobs 1`
+// and `--jobs 32` always returns the same plan and the same times
+// (results are stored by candidate index; neither scheduling nor the
+// batch decomposition can reorder them).
 //
 // Fault-aware tuning: pass a `fault::FaultSpec` and the tuner plans
 // with the failure-aware planners (Transpose2DOptions::faults) *and*

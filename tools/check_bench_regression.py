@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Gate engine throughput against a checked-in baseline.
+
+Usage:
+    check_bench_regression.py NEW.json BASELINE.json [--tolerance 0.30]
+
+Both files are BENCH_*.json dumps produced by a bench binary's --json
+flag.  The check looks at the "Engine throughput" table, matches rows by
+workload name, and fails (exit 1) if any throughput column present in
+both files (timing_pkts_per_s, batch32_pkts_per_s) dropped by more than
+the tolerance fraction.  Workloads or columns that exist only on one
+side are reported but never fail the gate, so adding a workload or a
+column does not require regenerating the baseline in the same change.
+
+The tolerance can also be set with the NCT_BENCH_TOLERANCE environment
+variable (the command-line flag wins).  Baselines are host-specific:
+after an intentional perf change or a runner upgrade, regenerate with
+`bench_engine_throughput --json` and commit the new file.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+THROUGHPUT_COLUMNS = ("timing_pkts_per_s", "batch32_pkts_per_s")
+TABLE_PREFIX = "Engine throughput"
+
+
+def load_rows(path):
+    """Map workload name -> {column: value} for the engine table."""
+    with open(path) as f:
+        doc = json.load(f)
+    for table in doc.get("tables", []):
+        if table.get("title", "").startswith(TABLE_PREFIX):
+            headers = table["headers"]
+            return {
+                row[0]: dict(zip(headers, row))
+                for row in table["rows"]
+            }
+    raise SystemExit(f"{path}: no table titled '{TABLE_PREFIX}...'")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("new", help="freshly measured BENCH json")
+    parser.add_argument("baseline", help="checked-in baseline BENCH json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("NCT_BENCH_TOLERANCE", "0.30")),
+        help="allowed fractional drop (default 0.30 = 30%%)",
+    )
+    args = parser.parse_args()
+
+    new_rows = load_rows(args.new)
+    base_rows = load_rows(args.baseline)
+
+    failures = []
+    compared = 0
+    for name, base in sorted(base_rows.items()):
+        if name not in new_rows:
+            print(f"note: workload '{name}' in baseline only, skipped")
+            continue
+        new = new_rows[name]
+        for col in THROUGHPUT_COLUMNS:
+            if col not in base or col not in new:
+                continue
+            base_v = float(base[col])
+            new_v = float(new[col])
+            if base_v <= 0:
+                continue
+            compared += 1
+            ratio = new_v / base_v
+            status = "ok"
+            if ratio < 1.0 - args.tolerance:
+                status = "REGRESSION"
+                failures.append((name, col, base_v, new_v, ratio))
+            print(
+                f"{status:10s} {name:28s} {col:20s} "
+                f"baseline {base_v:14.0f}  measured {new_v:14.0f}  x{ratio:.2f}"
+            )
+    for name in sorted(set(new_rows) - set(base_rows)):
+        print(f"note: workload '{name}' is new (no baseline), skipped")
+
+    if compared == 0:
+        raise SystemExit("no comparable throughput cells: wrong files?")
+    if failures:
+        print(
+            f"\nFAIL: {len(failures)} throughput cell(s) dropped more than "
+            f"{args.tolerance:.0%} below baseline"
+        )
+        return 1
+    print(f"\nPASS: {compared} throughput cell(s) within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
