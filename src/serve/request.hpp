@@ -1,0 +1,101 @@
+// Request/response schema of the transpose-serving layer.
+//
+// A Request is one tenant's ask: transpose a matrix between two
+// partition specs on a described machine, optionally under a fault
+// scenario, at a priority.  The schema is deliberately
+// topology-agnostic: a request names *what* to solve (machine
+// parameters, layouts, faults) and never a plan, a route or a cube
+// dimension, so retargeting the serving layer at other topologies
+// (ROADMAP item 3) only swaps the resolver/engine behind the same
+// wire format.
+//
+// Admission is synchronous and bounded: submit() either admits the
+// request (returning its id) or rejects it immediately with a reason —
+// the queue never blocks a producer and never grows past its capacity.
+// A Response is produced for every *admitted* request, carrying the
+// executed plan candidate, whether it came from the plan cache or the
+// cost-model prior, the simulated transpose time, and the serving
+// latencies.
+//
+// Determinism contract: for a fixed admission order and a fixed
+// initial plan-cache state, the fields (status, reason, plan,
+// cache_hit, simulated_seconds) of every response are bit-identical
+// for any worker-pool size (see server.hpp).  queue_seconds /
+// service_seconds / batch_size are *service measurements* — they
+// depend on wall-clock scheduling and load, and are excluded from the
+// bit-identical contract.
+#pragma once
+
+#include <cstdint>
+
+#include "cube/partition.hpp"
+#include "fault/fault.hpp"
+#include "sim/model.hpp"
+#include "tune/space.hpp"
+
+namespace nct::serve {
+
+using TenantId = std::uint32_t;
+using RequestId = std::uint64_t;
+
+/// One transpose request.  `faults` empty = healthy machine.  Higher
+/// `priority` values are served first; ties serve in admission order.
+struct Request {
+  TenantId tenant = 0;
+  std::uint8_t priority = 0;
+  sim::MachineParams machine;
+  cube::PartitionSpec before;
+  cube::PartitionSpec after;
+  fault::FaultSpec faults;
+};
+
+/// Why a submit() was refused (RejectReason::none on admission).
+enum class RejectReason : std::uint8_t {
+  none = 0,
+  queue_full = 1,        ///< the bounded queue is at capacity.
+  tenant_over_share = 2, ///< this tenant already holds its fair share.
+  stopped = 3,           ///< the server is shutting down.
+  bad_request = 4,       ///< the spec pair admits no legal plan family.
+};
+
+const char* reject_reason_name(RejectReason r) noexcept;
+
+/// Outcome class of a served request.
+enum class ServeStatus : std::uint8_t {
+  ok = 0,
+  infeasible = 1,  ///< no legal family, or every route cut by the faults.
+};
+
+/// Synchronous result of Server::submit().
+struct Admission {
+  bool admitted = false;
+  RejectReason reason = RejectReason::none;
+  RequestId id = 0;  ///< admission sequence number; valid when admitted.
+};
+
+/// The served result of one admitted request.
+struct Response {
+  RequestId id = 0;
+  TenantId tenant = 0;
+  ServeStatus status = ServeStatus::ok;
+  /// The executed plan (family + tuned parameters).  For a cache hit
+  /// this is the memoized tuned candidate; for a cold miss it is the
+  /// cost-model-best candidate of the search space.
+  tune::Candidate plan;
+  /// True when the plan came from the tune::PlanCache (directly, or via
+  /// the epoch's resolution memo of a cache hit).
+  bool cache_hit = false;
+  /// Simulated transpose time of the executed plan on the requested
+  /// machine (bit-identical to a standalone timing-only engine run).
+  double simulated_seconds = 0.0;
+  /// Wall-clock admission -> start of the serving cycle that executed
+  /// the request (time spent queued).  Service measurement.
+  double queue_seconds = 0.0;
+  /// Wall-clock admission -> response ready.  Service measurement.
+  double service_seconds = 0.0;
+  /// Requests coalesced into the same engine execution this cycle
+  /// (including this one).  Service measurement.
+  std::uint32_t batch_size = 0;
+};
+
+}  // namespace nct::serve

@@ -1,0 +1,63 @@
+#include "serve/resolver.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace nct::serve {
+
+Resolver::Resolver(tune::PlanCache* cache, tune::SpaceOptions space)
+    : cache_(cache), space_(std::move(space)) {}
+
+const Resolution& Resolver::resolve(const Request& request) {
+  const fault::FaultSpec* faults = request.faults.empty() ? nullptr : &request.faults;
+  tune::TuneKey key =
+      tune::make_key(request.machine, request.before, request.after, faults, space_);
+
+  auto& chain = memo_[key.hash];
+  for (const std::size_t idx : chain) {
+    if (entries_[idx].key.bytes == key.bytes) return entries_[idx];
+  }
+
+  Resolution r;
+  r.key = std::move(key);
+  bool resolved = false;
+  if (cache_ != nullptr) {
+    if (const auto entry = cache_->find(r.key)) {
+      r.choice = entry->choice;
+      r.cache_hit = true;
+      resolved = true;
+    }
+  }
+  if (!resolved) {
+    // Cold miss: serve the cost-model-best candidate now, tune later.
+    // Space enumeration throwing (a spec pair no planner can express)
+    // resolves to infeasible rather than failing the serving loop.
+    try {
+      const tune::Space space(request.before, request.after, request.machine, space_);
+      if (space.candidates().empty()) {
+        r.feasible = false;
+      } else {
+        r.choice = space.candidates().front();
+      }
+    } catch (const std::exception&) {
+      r.feasible = false;
+    }
+    if (r.feasible) {
+      jobs_.push_back(TuneJob{r.key, request.machine, request.before, request.after,
+                              request.faults});
+    }
+  }
+
+  entries_.push_back(std::move(r));
+  chain.push_back(entries_.size() - 1);
+  return entries_.back();
+}
+
+std::vector<TuneJob> Resolver::take_tune_jobs() { return std::exchange(jobs_, {}); }
+
+void Resolver::new_epoch() {
+  entries_.clear();
+  memo_.clear();
+}
+
+}  // namespace nct::serve

@@ -1,0 +1,90 @@
+// Plan resolution for the serving layer: request -> executable plan
+// candidate, memoized per serving epoch.
+//
+// Resolution of one request:
+//  1. compute the tune::PlanCache content key of the problem (machine +
+//     specs + faults + space signature — the same make_key the tuner
+//     uses, so server and `nct_tune` share cache entries);
+//  2. epoch memo hit -> reuse the epoch's decision for this key;
+//  3. plan-cache hit -> the memoized tuned candidate (cache_hit);
+//  4. cold miss -> the cost-model-best candidate (`tune::Space` sorts
+//     by the closed-form prior, so candidates().front() is the model's
+//     choice), and a background-tune job is recorded so the cache can
+//     be upgraded for later epochs.  The request itself never waits on
+//     tuning.
+//
+// The epoch memo pins each key's decision for the remainder of the
+// epoch: even if a background tune finishes mid-epoch, requests keep
+// resolving exactly as the first request with that key did.  That is
+// what makes the served results a pure function of (admission order,
+// initial cache state) — independent of worker counts and tune timing
+// — while still letting tunes upgrade every later epoch (the server
+// publishes completed tunes and starts a new epoch at each drain()).
+//
+// Not thread-safe: the server calls resolve() only from its dispatcher
+// thread.  Returned references stay valid until new_epoch().
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/request.hpp"
+#include "tune/cache.hpp"
+#include "tune/space.hpp"
+
+namespace nct::serve {
+
+/// The epoch's decision for one problem key.
+struct Resolution {
+  tune::TuneKey key;       ///< content key (identity of the problem).
+  tune::Candidate choice;  ///< plan to execute.
+  bool cache_hit = false;  ///< choice came from the plan cache.
+  bool feasible = true;    ///< false: no legal plan family for the pair.
+};
+
+/// A cold-miss problem queued for background tuning.  Carries its own
+/// copies: the tune runs after the originating request is long gone.
+struct TuneJob {
+  tune::TuneKey key;
+  sim::MachineParams machine;
+  cube::PartitionSpec before;
+  cube::PartitionSpec after;
+  fault::FaultSpec faults;
+};
+
+class Resolver {
+ public:
+  /// `cache` not owned, may be null (every resolution is then a cold
+  /// miss).  `space` is the search-space signature used for keys, for
+  /// the model-best enumeration and for the background tunes.
+  Resolver(tune::PlanCache* cache, tune::SpaceOptions space);
+
+  /// Resolve a request to the epoch's plan decision.  The reference is
+  /// stable until new_epoch(); requests with the same problem key
+  /// return the same Resolution object (the server coalesces batches
+  /// by that identity).
+  const Resolution& resolve(const Request& request);
+
+  /// Cold-miss tune jobs recorded since the last take (first-seen
+  /// order, one per distinct key).
+  std::vector<TuneJob> take_tune_jobs();
+
+  /// Forget every epoch decision (the next resolve of each key
+  /// re-consults the plan cache).  Pending tune jobs survive.
+  void new_epoch();
+
+  const tune::SpaceOptions& space() const noexcept { return space_; }
+
+ private:
+  tune::PlanCache* cache_;
+  tune::SpaceOptions space_;
+  std::deque<Resolution> entries_;  ///< stable addresses for the memo.
+  /// key hash -> entries_ indices (a short chain disarms hash
+  /// collisions by comparing key bytes).
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> memo_;
+  std::vector<TuneJob> jobs_;
+};
+
+}  // namespace nct::serve

@@ -1,0 +1,450 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "sim/compile.hpp"
+#include "sim/engine.hpp"
+#include "tune/serialize.hpp"
+
+namespace nct::serve {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+double seconds_since(std::uint64_t start_ns, std::uint64_t end_ns) {
+  return end_ns <= start_ns ? 0.0 : static_cast<double>(end_ns - start_ns) * 1e-9;
+}
+
+/// Largest cube the simulator is sized for; requests beyond it are
+/// structurally bad rather than "try and run out of memory".
+constexpr int kMaxCubeDims = 24;
+
+}  // namespace
+
+Server::Server(ServeOptions options)
+    : options_(std::move(options)),
+      owned_cache_(options_.cache != nullptr ? nullptr
+                                             : std::make_unique<tune::PlanCache>()),
+      cache_(options_.cache != nullptr ? options_.cache : owned_cache_.get()),
+      queue_(QueueOptions{options_.queue_capacity, options_.tenant_share}),
+      resolver_(cache_, options_.space),
+      occupancy_("serve/batch_occupancy",
+                 {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384},
+                 "") {
+  stats_.queue_capacity = queue_.capacity();
+  // Threads start only after every member is constructed.
+  dispatcher_ = std::thread(&Server::dispatcher_main, this);
+  tuner_ = std::thread(&Server::tuner_main, this);
+}
+
+Server::~Server() { stop(); }
+
+Admission Server::submit(Request request) {
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.submitted += 1;
+  }
+  const sim::MachineParams& m = request.machine;
+  const bool bad = m.n < 0 || m.n > kMaxCubeDims ||
+                   request.before.shape().m() != request.after.shape().m() ||
+                   request.before.processor_bits() > m.n ||
+                   request.after.processor_bits() > m.n;
+  if (bad) {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.rejected_bad += 1;
+    return {false, RejectReason::bad_request, 0};
+  }
+  const Admission a = queue_.try_push(std::move(request));
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    switch (a.reason) {
+      case RejectReason::none: stats_.admitted += 1; break;
+      case RejectReason::queue_full: stats_.rejected_full += 1; break;
+      case RejectReason::tenant_over_share: stats_.rejected_share += 1; break;
+      case RejectReason::stopped: stats_.rejected_stopped += 1; break;
+      case RejectReason::bad_request: break;  // handled above
+    }
+  }
+  return a;
+}
+
+void Server::dispatcher_main() {
+  std::vector<Admitted> items;
+  for (;;) {
+    items.clear();
+    // Zero drained means closed *and* empty: the backlog is served
+    // before the dispatcher exits.
+    if (queue_.pop_ready(items, options_.max_cycle) == 0) return;
+    serve_cycle(items);
+  }
+}
+
+void Server::serve_cycle(std::vector<Admitted>& items) {
+  const std::uint64_t cycle_start = now_ns();
+  const std::lock_guard<std::mutex> cycle_lock(cycle_mu_);
+
+  // 1. Resolve every request, in admission order, single-threaded: the
+  //    hit/miss pattern depends only on the stream and the cache state
+  //    at the epoch boundary.
+  std::vector<const Resolution*> res(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i)
+    res[i] = &resolver_.resolve(items[i].request);
+
+  // 2. Hand cold misses to the background tuner *before* any response
+  //    is written: drain()'s tune barrier triggers on response
+  //    completion, so every job of this cycle is already queued by the
+  //    time a drainer can pass the response wait.
+  enqueue_tunes(resolver_.take_tune_jobs());
+
+  // 3. Coalesce: one slot per distinct problem (Resolution identity —
+  //    equal key bytes return the same memo object), slots grouped by
+  //    (machine, faults) since one Engine serves one machine model.
+  struct Slot {
+    const Resolution* res = nullptr;
+    std::vector<std::size_t> items;  ///< indices into `items`.
+    bool executed = false;           ///< reached an engine batch run.
+    bool ok = false;
+    double simulated = 0.0;
+  };
+  std::vector<Slot> slots;
+  std::unordered_map<const Resolution*, std::size_t> slot_of;
+  struct Group {
+    std::vector<std::size_t> slots;
+  };
+  std::vector<Group> groups;
+  std::unordered_map<std::string, std::size_t> group_of;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (!res[i]->feasible) continue;
+    const auto [it, fresh] = slot_of.try_emplace(res[i], slots.size());
+    if (fresh) {
+      Slot slot;
+      slot.res = res[i];
+      slots.push_back(std::move(slot));
+      tune::ByteWriter w;
+      tune::serialize(w, items[i].request.machine);
+      tune::serialize(w, items[i].request.faults);
+      const tune::Bytes gkey = w.take();
+      const auto [git, gfresh] =
+          group_of.try_emplace(std::string(gkey.begin(), gkey.end()), groups.size());
+      if (gfresh) groups.push_back(Group{});
+      groups[git->second].slots.push_back(it->second);
+    }
+    slots[it->second].items.push_back(i);
+  }
+
+  // 4. Execute each group as one batched timing-only engine pass.
+  //    Results land at the program's index (run_timing_batch's
+  //    determinism guarantee), so slot times are independent of `jobs`.
+  for (const Group& g : groups) {
+    const Request& proto = items[slots[g.slots.front()].items.front()].request;
+    const fault::FaultSpec* fs = proto.faults.empty() ? nullptr : &proto.faults;
+    std::vector<sim::CompiledProgram> compiled;
+    std::vector<const sim::CompiledProgram*> progs;
+    std::vector<std::size_t> prog_slot;
+    compiled.reserve(g.slots.size());
+    fault::FaultModel fault_model;
+    bool group_ok = true;
+    try {
+      if (fs != nullptr) fault_model = fault::FaultModel(proto.machine.n, *fs);
+    } catch (const std::exception&) {
+      group_ok = false;  // malformed fault spec: every slot infeasible
+    }
+    if (group_ok) {
+      tune::TuneOptions topt;
+      topt.jobs = options_.jobs;
+      topt.space = options_.space;
+      topt.faults = fs;
+      const tune::Tuner tuner(proto.machine, topt);
+      for (const std::size_t s : g.slots) {
+        const Request& rq = items[slots[s].items.front()].request;
+        try {
+          compiled.push_back(
+              sim::compile(tuner.build(rq.before, rq.after, slots[s].res->choice),
+                           proto.machine));
+          progs.push_back(&compiled.back());
+          prog_slot.push_back(s);
+        } catch (const std::exception&) {
+          // Planning rejected the candidate (fault-severed routes, or a
+          // pair the family cannot express): the slot serves infeasible
+          // and the rest of the cycle proceeds.
+        }
+      }
+      if (!progs.empty()) {
+        sim::EngineOptions eopt;
+        eopt.faults = fault_model.empty() ? nullptr : &fault_model;
+        const sim::Engine engine(proto.machine, eopt);
+        engine.run_timing_batch(progs, batch_scratch_, options_.jobs);
+        for (std::size_t k = 0; k < progs.size(); ++k) {
+          const sim::BatchRun& run = batch_scratch_.runs[k];
+          slots[prog_slot[k]].executed = true;
+          if (run.ok) {
+            slots[prog_slot[k]].ok = true;
+            slots[prog_slot[k]].simulated = run.result.total_time;
+          }
+        }
+      }
+    }
+  }
+
+  // 5. Responses, in cycle (= admission) order.
+  std::vector<Response> out;
+  out.reserve(items.size());
+  std::uint64_t infeasible = 0, hits = 0, misses = 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    Response r;
+    r.id = items[i].id;
+    r.tenant = items[i].request.tenant;
+    r.queue_seconds = seconds_since(items[i].admitted_ns, cycle_start);
+    const Resolution* rs = res[i];
+    if (rs->feasible) {
+      const Slot& s = slots[slot_of.at(rs)];
+      r.plan = rs->choice;
+      r.cache_hit = rs->cache_hit;
+      rs->cache_hit ? ++hits : ++misses;
+      if (s.ok) {
+        r.simulated_seconds = s.simulated;
+        r.batch_size = static_cast<std::uint32_t>(s.items.size());
+      } else {
+        r.status = ServeStatus::infeasible;
+      }
+    } else {
+      r.status = ServeStatus::infeasible;
+    }
+    if (r.status == ServeStatus::infeasible) ++infeasible;
+    r.service_seconds = seconds_since(items[i].admitted_ns, now_ns());
+    out.push_back(r);
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.cycles += 1;
+    stats_.completed += items.size();
+    stats_.infeasible += infeasible;
+    stats_.cache_hits += hits;
+    stats_.cache_misses += misses;
+    for (const Slot& s : slots) {
+      if (!s.executed) continue;  // batches are *engine executions*
+      stats_.batches += 1;
+      stats_.coalesced_max = std::max<std::uint64_t>(stats_.coalesced_max, s.items.size());
+      occupancy_.observe(static_cast<double>(s.items.size()));
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(resp_mu_);
+    done_.insert(done_.end(), std::make_move_iterator(out.begin()),
+                 std::make_move_iterator(out.end()));
+    responses_total_ += items.size();
+  }
+  resp_cv_.notify_all();
+}
+
+void Server::enqueue_tunes(std::vector<TuneJob> jobs) {
+  if (jobs.empty()) return;
+  std::size_t queued = 0;
+  {
+    const std::lock_guard<std::mutex> lock(tune_mu_);
+    if (!tune_closed_) {
+      for (TuneJob& job : jobs) {
+        // One tune per key, ever: queued, in flight, completed awaiting
+        // publish, or failed.  A published entry leaves the set — if the
+        // cache later evicts it, the next cold miss retunes correctly.
+        if (!tune_keys_.insert(job.key.hash).second) continue;
+        tune_queue_.push_back(std::move(job));
+        ++queued;
+      }
+    }
+  }
+  if (queued > 0) {
+    tune_cv_.notify_all();
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.tunes_enqueued += queued;
+  }
+}
+
+void Server::tuner_main() {
+  for (;;) {
+    TuneJob job;
+    {
+      std::unique_lock<std::mutex> lock(tune_mu_);
+      tune_cv_.wait(lock, [&] { return !tune_queue_.empty() || tune_closed_; });
+      if (tune_queue_.empty()) {
+        tune_idle_.notify_all();
+        return;
+      }
+      job = std::move(tune_queue_.front());
+      tune_queue_.pop_front();
+      tune_busy_ = true;
+    }
+
+    bool ok = false;
+    tune::TunedPlan plan;
+    try {
+      tune::TuneOptions topt;
+      topt.jobs = options_.tune_jobs;
+      topt.space = options_.space;
+      topt.faults = job.faults.empty() ? nullptr : &job.faults;
+      plan = tune::Tuner(job.machine, topt).tune(job.before, job.after);
+      ok = true;
+    } catch (const std::exception&) {
+      // Every candidate infeasible (or the pair is degenerate): the key
+      // stays in tune_keys_ so the same lost cause is never retried.
+    }
+
+    bool published = false;
+    {
+      const std::lock_guard<std::mutex> lock(tune_mu_);
+      if (ok) {
+        tune::CacheEntry entry;
+        entry.choice = plan.choice;
+        entry.predicted_seconds = plan.predicted_seconds;
+        entry.measured_seconds = plan.measured_seconds;
+        entry.algorithm = plan.algorithm;
+        if (options_.live_upgrades) {
+          cache_->insert(job.key, std::move(entry));
+          tune_keys_.erase(job.key.hash);
+          published = true;
+        } else {
+          pending_publish_.push_back(PendingPublish{std::move(job.key), std::move(entry)});
+        }
+      }
+      // Record stats BEFORE dropping tune_busy_: a drainer that passes
+      // the tune_idle_ barrier must observe this job's counters.
+      {
+        const std::lock_guard<std::mutex> slock(stats_mu_);
+        if (ok) {
+          stats_.tunes_completed += 1;
+          if (published) stats_.tunes_published += 1;
+        } else {
+          stats_.tunes_failed += 1;
+        }
+      }
+      tune_busy_ = false;
+      if (tune_queue_.empty()) tune_idle_.notify_all();
+    }
+  }
+}
+
+std::vector<Response> Server::drain() {
+  // 1. Every admitted request has its response written.  The admitted
+  //    count is read from the queue (incremented under the queue lock
+  //    before the item is visible), so a response can never precede its
+  //    admission in this accounting.
+  {
+    std::unique_lock<std::mutex> lock(resp_mu_);
+    resp_cv_.wait(lock, [&] { return responses_total_ >= queue_.admitted_total(); });
+  }
+  // 2. Epoch tune barrier: every background tune whose cold miss was
+  //    served this epoch has completed (their jobs were queued before
+  //    the responses that triggered step 1).
+  if (!options_.live_upgrades) {
+    std::unique_lock<std::mutex> lock(tune_mu_);
+    tune_idle_.wait(lock,
+                    [&] { return (tune_queue_.empty() && !tune_busy_) || tune_closed_; });
+  }
+  // 3. Publish tuned plans in completion order, reset the resolution
+  //    memo, and hand back this epoch's responses.  cycle_mu_ keeps a
+  //    concurrently-starting cycle strictly before or strictly after
+  //    the epoch boundary.
+  std::vector<Response> out;
+  std::uint64_t published = 0;
+  {
+    const std::lock_guard<std::mutex> cycle_lock(cycle_mu_);
+    {
+      const std::lock_guard<std::mutex> lock(tune_mu_);
+      for (PendingPublish& p : pending_publish_) {
+        cache_->insert(p.key, std::move(p.entry));
+        tune_keys_.erase(p.key.hash);
+        ++published;
+      }
+      pending_publish_.clear();
+    }
+    resolver_.new_epoch();
+    {
+      const std::lock_guard<std::mutex> lock(resp_mu_);
+      out = std::move(done_);
+      done_.clear();
+    }
+  }
+  if (published > 0) {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.tunes_published += published;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Response& a, const Response& b) { return a.id < b.id; });
+  return out;
+}
+
+void Server::stop() {
+  if (stopped_.exchange(true)) {
+    // A concurrent or repeated stop still waits for the threads.
+    if (dispatcher_.joinable()) dispatcher_.join();
+    if (tuner_.joinable()) tuner_.join();
+    return;
+  }
+  queue_.close();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  {
+    const std::lock_guard<std::mutex> lock(tune_mu_);
+    tune_closed_ = true;
+    tune_queue_.clear();  // pending tunes are advisory; drop them
+  }
+  tune_cv_.notify_all();
+  if (tuner_.joinable()) tuner_.join();
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    s = stats_;
+  }
+  s.queue_depth = queue_.size();
+  s.queue_peak = queue_.peak_depth();
+  return s;
+}
+
+obs::MetricsReport Server::metrics() const {
+  const ServerStats s = stats();
+  obs::MetricsRegistry reg;
+  reg.counter("serve/submitted") = static_cast<double>(s.submitted);
+  reg.counter("serve/admitted") = static_cast<double>(s.admitted);
+  reg.counter("serve/rejected_full") = static_cast<double>(s.rejected_full);
+  reg.counter("serve/rejected_share") = static_cast<double>(s.rejected_share);
+  reg.counter("serve/rejected_stopped") = static_cast<double>(s.rejected_stopped);
+  reg.counter("serve/rejected_bad") = static_cast<double>(s.rejected_bad);
+  reg.counter("serve/completed") = static_cast<double>(s.completed);
+  reg.counter("serve/infeasible") = static_cast<double>(s.infeasible);
+  reg.counter("serve/queue_depth") = static_cast<double>(s.queue_depth);
+  reg.counter("serve/queue_peak") = static_cast<double>(s.queue_peak);
+  reg.counter("serve/queue_capacity") = static_cast<double>(s.queue_capacity);
+  reg.counter("serve/cycles") = static_cast<double>(s.cycles);
+  reg.counter("serve/batches") = static_cast<double>(s.batches);
+  reg.counter("serve/batch_occupancy_max") = static_cast<double>(s.coalesced_max);
+  reg.counter("serve/cache_hits") = static_cast<double>(s.cache_hits);
+  reg.counter("serve/cache_misses") = static_cast<double>(s.cache_misses);
+  reg.counter("serve/cache_hit_ratio", "%") = 100.0 * s.hit_ratio();
+  reg.counter("serve/tunes_enqueued") = static_cast<double>(s.tunes_enqueued);
+  reg.counter("serve/tunes_completed") = static_cast<double>(s.tunes_completed);
+  reg.counter("serve/tunes_published") = static_cast<double>(s.tunes_published);
+  reg.counter("serve/tunes_failed") = static_cast<double>(s.tunes_failed);
+  obs::MetricsReport report = reg.snapshot();
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    report.histograms.push_back(occupancy_.data());
+  }
+  return report;
+}
+
+}  // namespace nct::serve

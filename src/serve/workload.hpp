@@ -1,0 +1,101 @@
+// Deterministic synthetic request workloads for the serving layer,
+// shared by the `nct_serve` CLI, `bench_serve` and the serve tests so
+// "the same traffic" means the same byte-identical request stream
+// everywhere.
+//
+// A Workload is a fixed problem set (a mix of machine models, cube
+// sizes, 1D/2D layouts and — optionally — fault scenarios) walked by a
+// seeded LCG: next() is a pure function of (options, draw count), so
+// two generators with equal options emit equal streams on any host.
+// Problems are kept small (n <= 6, 2^lg <= a few thousand elements):
+// serving throughput comes from plan-cache hits and coalescing, not
+// from large simulations, and a million-request bench stays tractable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/request.hpp"
+#include "tune/layouts.hpp"
+
+namespace nct::serve {
+
+struct WorkloadOptions {
+  int lg_min = 10;             ///< smallest problem: 2^lg_min elements.
+  int lg_max = 12;             ///< largest problem: 2^lg_max elements.
+  bool faults = false;         ///< include fault-carrying requests.
+  std::uint32_t tenants = 4;   ///< tenant ids cycle over [0, tenants).
+  std::uint64_t seed = 1;      ///< LCG seed (stream identity).
+};
+
+class Workload {
+ public:
+  explicit Workload(const WorkloadOptions& options = {})
+      : tenants_(options.tenants == 0 ? 1 : options.tenants), state_(options.seed) {
+    const int lg_min = options.lg_min < 2 ? 2 : options.lg_min;
+    const int lg_max = options.lg_max < lg_min ? lg_min : options.lg_max;
+    for (int lg = lg_min; lg <= lg_max; ++lg) {
+      for (const int n : {4, 6}) {
+        // The figure layouts constrain the shape: 1D needs n column bits
+        // on both sides of the transpose (lg >= 2n), 2D an n/2 x n/2
+        // processor grid (n <= lg).
+        if (2 * n <= lg)
+          add(sim::MachineParams::ipsc(n), tune::fig_layout_1d(lg, n), n, options.faults);
+        if (n <= lg)
+          add(sim::MachineParams::cm(n), tune::fig_layout_2d(lg, n), n, options.faults);
+        if (n <= lg)
+          add(sim::MachineParams::nport(n), tune::fig_layout_1d_cyclic(lg, n), n,
+              /*with_faults=*/false);
+      }
+    }
+  }
+
+  std::size_t distinct_problems() const noexcept { return problems_.size(); }
+
+  /// The next request of the stream: problem, tenant and priority all
+  /// derive from one LCG draw.
+  Request next() {
+    const std::uint64_t draw = lcg();
+    const Problem& p = problems_[(draw >> 33) % problems_.size()];
+    Request r;
+    r.tenant = static_cast<TenantId>((draw >> 17) % tenants_);
+    r.priority = static_cast<std::uint8_t>((draw >> 9) % 3);
+    r.machine = p.machine;
+    r.before = p.before;
+    r.after = p.after;
+    r.faults = p.faults;
+    return r;
+  }
+
+ private:
+  struct Problem {
+    sim::MachineParams machine;
+    cube::PartitionSpec before;
+    cube::PartitionSpec after;
+    fault::FaultSpec faults;
+  };
+
+  void add(const sim::MachineParams& m, const tune::SpecPair& pair, int n,
+           bool with_faults) {
+    problems_.push_back(Problem{m, pair.first, pair.second, {}});
+    if (with_faults) {
+      // One severed wire on a healthy-looking request mix: the routed
+      // family detours around it, exercising fault-aware serving in the
+      // same batches as healthy traffic.
+      fault::FaultSpec spec;
+      spec.fail_link(0, n - 1);
+      problems_.push_back(Problem{m, pair.first, pair.second, spec});
+    }
+  }
+
+  std::uint64_t lcg() {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state_;
+  }
+
+  std::vector<Problem> problems_;
+  std::uint64_t tenants_;
+  std::uint64_t state_;
+};
+
+}  // namespace nct::serve

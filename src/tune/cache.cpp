@@ -72,6 +72,11 @@ std::uint64_t PlanCache::misses() const {
   return misses_;
 }
 
+CacheStats PlanCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return CacheStats{hits_, misses_, evictions_, loads_};
+}
+
 std::optional<CacheEntry> PlanCache::find(const TuneKey& key) {
   const std::lock_guard<std::mutex> lock(mu_);
   const auto it = index_.find(key.hash);
@@ -102,6 +107,7 @@ void PlanCache::insert_locked(CacheEntry entry, bool front) {
   while (lru_.size() > capacity_) {
     index_.erase(stable_hash(lru_.back().key));
     lru_.pop_back();
+    evictions_ += 1;
   }
 }
 
@@ -167,10 +173,16 @@ std::size_t PlanCache::load_file(const std::string& path) {
   const std::lock_guard<std::mutex> lock(mu_);
   // Stored MRU-first; appending in order keeps recency, behind whatever
   // the cache already holds.
+  // `loads` counts entries actually merged: duplicates the in-memory
+  // cache already holds do not inflate the counter, so a reload after a
+  // tolerant-read retune reports only the genuinely recovered entries.
+  std::size_t merged = 0;
   for (auto& e : loaded) {
     if (index_.count(stable_hash(e.key)) != 0) continue;  // in-memory wins
     insert_locked(std::move(e), /*front=*/false);
+    merged += 1;
   }
+  loads_ += merged;
   return loaded.size();
 }
 

@@ -50,6 +50,15 @@ struct TuneKey {
   std::uint64_t hash = 0;
 };
 
+/// Lifetime cache counters (one consistent snapshot).  All four survive
+/// clear(): they describe the cache's history, not its content.
+struct CacheStats {
+  std::uint64_t hits = 0;       ///< find() key matches.
+  std::uint64_t misses = 0;     ///< find() absences (incl. hash collisions).
+  std::uint64_t evictions = 0;  ///< entries dropped by the LRU capacity bound.
+  std::uint64_t loads = 0;      ///< store entries actually merged by load_file().
+};
+
 /// One memoized tuning decision.
 struct CacheEntry {
   Bytes key;  ///< exact key bytes (collision check + tooling).
@@ -69,6 +78,10 @@ class PlanCache {
   /// Lifetime hit/miss counters (find() only).
   std::uint64_t hits() const;
   std::uint64_t misses() const;
+
+  /// All lifetime counters in one consistent snapshot (hits and misses
+  /// taken under the same lock, so ratios add up).
+  CacheStats stats() const;
 
   /// Look up a key; a hit refreshes its LRU position.  A hash match with
   /// different key bytes is a miss (collision).
@@ -108,6 +121,8 @@ class PlanCache {
   std::unordered_map<std::uint64_t, Lru::iterator> index_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t loads_ = 0;
 };
 
 /// The full content of a store file, read strictly.

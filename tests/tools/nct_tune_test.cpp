@@ -144,6 +144,15 @@ TEST(NctTuneCli, ListPrintsEntriesAndHashes) {
   EXPECT_NE(r.output.find("seed"), std::string::npos) << r.output;
 }
 
+TEST(NctTuneCli, ListReportsCacheStats) {
+  const std::string path = healthy_store("list-stats.nct");
+  const auto r = run_tool("cache list " + path);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  // The tolerant-load stats line: the healthy store merges its one entry.
+  EXPECT_NE(r.output.find("stats:"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("1 loaded"), std::string::npos) << r.output;
+}
+
 TEST(NctTuneCli, EvictUnknownHashFails) {
   const std::string path = healthy_store("evict-miss.nct");
   const auto r = run_tool("cache evict " + path + " deadbeefdeadbeef");

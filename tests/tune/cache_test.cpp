@@ -296,6 +296,63 @@ TEST(MakeKey, DiscriminatesEveryInput) {
   EXPECT_EQ(base.bytes, make_key(ipsc, p.first, p.second, &empty, space).bytes);
 }
 
+TEST(PlanCacheStats, SnapshotCountsHitsMissesAndEvictions) {
+  PlanCache cache(1);
+  const TuneKey a = key_of("stats-a"), b = key_of("stats-b");
+  EXPECT_FALSE(cache.find(a).has_value());  // miss
+  cache.insert(a, entry_of(a, 1.0));
+  EXPECT_TRUE(cache.find(a).has_value());   // hit
+  cache.insert(b, entry_of(b, 2.0));        // capacity 1: evicts a
+  const CacheStats st = cache.stats();
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.evictions, 1u);
+  EXPECT_EQ(st.loads, 0u);
+  // The snapshot agrees with the individual accessors.
+  EXPECT_EQ(st.hits, cache.hits());
+  EXPECT_EQ(st.misses, cache.misses());
+  // Lifetime counters survive clear(): they describe history, not content.
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  const CacheStats after = cache.stats();
+  EXPECT_EQ(after.hits, 1u);
+  EXPECT_EQ(after.misses, 1u);
+  EXPECT_EQ(after.evictions, 1u);
+}
+
+TEST(PlanCacheStats, LoadsCountOnlyEntriesActuallyMerged) {
+  const std::string path = temp_path("stats-loads.nct");
+  PlanCache disk;
+  const TuneKey k1 = key_of("load-one"), k2 = key_of("load-two");
+  disk.insert(k1, entry_of(k1, 1.0));
+  disk.insert(k2, entry_of(k2, 2.0));
+  ASSERT_TRUE(disk.save_file(path));
+
+  PlanCache cache;
+  cache.insert(k1, entry_of(k1, 9.0));    // duplicate of a stored key
+  EXPECT_EQ(cache.load_file(path), 2u);   // both entries decoded...
+  EXPECT_EQ(cache.stats().loads, 1u);     // ...but only k2 was merged
+  EXPECT_EQ(cache.load_file(path), 2u);   // reloading merges nothing new
+  EXPECT_EQ(cache.stats().loads, 1u);
+}
+
+TEST(PlanCacheStats, TolerantLoadOfDamagedStoreCountsTheSurvivors) {
+  const std::string path = temp_path("stats-damaged.nct");
+  PlanCache disk;
+  const TuneKey k1 = key_of("dmg-one"), k2 = key_of("dmg-two");
+  disk.insert(k1, entry_of(k1, 1.0));
+  disk.insert(k2, entry_of(k2, 2.0));
+  ASSERT_TRUE(disk.save_file(path));
+  const std::string bytes = read_file(path);
+  write_file(path, bytes.substr(0, bytes.size() - 7));  // damage the tail
+
+  PlanCache fresh;
+  EXPECT_EQ(fresh.load_file(path), 1u);
+  const CacheStats st = fresh.stats();
+  EXPECT_EQ(st.loads, 1u);  // the retune path sees exactly the survivors
+  EXPECT_EQ(st.evictions, 0u);
+}
+
 TEST(PlanCache, ConcurrentMixedAccessIsSafe) {
   PlanCache cache(64);
   constexpr int kThreads = 8;

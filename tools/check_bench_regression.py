@@ -1,60 +1,79 @@
 #!/usr/bin/env python3
-"""Gate engine throughput against a checked-in baseline.
+"""Gate bench metrics against a checked-in baseline.
 
 Usage:
     check_bench_regression.py NEW.json BASELINE.json [--tolerance 0.30]
+        [--table PREFIX] [--columns NAME[:+|-] ...]
+    check_bench_regression.py --self-test
 
 Both files are BENCH_*.json dumps produced by a bench binary's --json
-flag.  The check looks at the "Engine throughput" table, matches rows by
-workload name, and fails (exit 1) if any throughput column present in
-both files (timing_pkts_per_s, batch32_pkts_per_s) dropped by more than
-the tolerance fraction.  Workloads or columns that exist only on one
-side are reported but never fail the gate, so adding a workload or a
-column does not require regenerating the baseline in the same change.
+flag.  The check looks at the first table whose title starts with
+--table (default "Engine throughput"), matches rows by their first
+cell, and compares every named column present in both files:
+
+  * NAME:+  higher is better — fail when the measured value drops more
+            than the tolerance fraction below the baseline;
+  * NAME:-  lower is better — fail when it rises more than the
+            tolerance fraction above the baseline;
+  * NAME    shorthand for NAME:+.
+
+The default columns gate the engine-throughput bench
+(timing_pkts_per_s, batch32_pkts_per_s, both higher-better); the serve
+bench is gated with
+    --table "Serve throughput" --columns requests_per_s:+ p99_us:-
+
+Rows or columns that exist on only one side are reported but never
+fail the gate, so adding a workload or a column does not require
+regenerating the baseline in the same change.
 
 The tolerance can also be set with the NCT_BENCH_TOLERANCE environment
 variable (the command-line flag wins).  Baselines are host-specific:
 after an intentional perf change or a runner upgrade, regenerate with
-`bench_engine_throughput --json` and commit the new file.
+the bench's --json flag and commit the new file.
+
+--self-test runs the checker against synthetic fixtures (pass, drop
+regression, rise regression, direction suffixes, missing table) and
+exits 0 only if every case behaves as documented; CI runs it so the
+gate itself is tested.
 """
 
 import argparse
 import json
 import os
 import sys
+import tempfile
 
-THROUGHPUT_COLUMNS = ("timing_pkts_per_s", "batch32_pkts_per_s")
-TABLE_PREFIX = "Engine throughput"
+DEFAULT_COLUMNS = ("timing_pkts_per_s:+", "batch32_pkts_per_s:+")
+DEFAULT_TABLE = "Engine throughput"
 
 
-def load_rows(path):
-    """Map workload name -> {column: value} for the engine table."""
+def parse_columns(specs):
+    """[(name, higher_is_better), ...] from NAME[:+|-] specs."""
+    columns = []
+    for spec in specs:
+        if spec.endswith(":+"):
+            columns.append((spec[:-2], True))
+        elif spec.endswith(":-"):
+            columns.append((spec[:-2], False))
+        else:
+            columns.append((spec, True))
+    return columns
+
+
+def load_rows(path, table_prefix):
+    """Map row key (first cell) -> {column: value} for the named table."""
     with open(path) as f:
         doc = json.load(f)
     for table in doc.get("tables", []):
-        if table.get("title", "").startswith(TABLE_PREFIX):
+        if table.get("title", "").startswith(table_prefix):
             headers = table["headers"]
-            return {
-                row[0]: dict(zip(headers, row))
-                for row in table["rows"]
-            }
-    raise SystemExit(f"{path}: no table titled '{TABLE_PREFIX}...'")
+            return {row[0]: dict(zip(headers, row)) for row in table["rows"]}
+    raise SystemExit(f"{path}: no table titled '{table_prefix}...'")
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("new", help="freshly measured BENCH json")
-    parser.add_argument("baseline", help="checked-in baseline BENCH json")
-    parser.add_argument(
-        "--tolerance",
-        type=float,
-        default=float(os.environ.get("NCT_BENCH_TOLERANCE", "0.30")),
-        help="allowed fractional drop (default 0.30 = 30%%)",
-    )
-    args = parser.parse_args()
-
-    new_rows = load_rows(args.new)
-    base_rows = load_rows(args.baseline)
+def check(new_path, baseline_path, columns, table_prefix, tolerance):
+    new_rows = load_rows(new_path, table_prefix)
+    base_rows = load_rows(baseline_path, table_prefix)
 
     failures = []
     compared = 0
@@ -63,7 +82,7 @@ def main():
             print(f"note: workload '{name}' in baseline only, skipped")
             continue
         new = new_rows[name]
-        for col in THROUGHPUT_COLUMNS:
+        for col, higher_better in columns:
             if col not in base or col not in new:
                 continue
             base_v = float(base[col])
@@ -72,27 +91,118 @@ def main():
                 continue
             compared += 1
             ratio = new_v / base_v
-            status = "ok"
-            if ratio < 1.0 - args.tolerance:
-                status = "REGRESSION"
+            bad = ratio < 1.0 - tolerance if higher_better else ratio > 1.0 + tolerance
+            status = "REGRESSION" if bad else "ok"
+            if bad:
                 failures.append((name, col, base_v, new_v, ratio))
+            arrow = "+" if higher_better else "-"
             print(
-                f"{status:10s} {name:28s} {col:20s} "
-                f"baseline {base_v:14.0f}  measured {new_v:14.0f}  x{ratio:.2f}"
+                f"{status:10s} {name:28s} {col}:{arrow:1s} "
+                f"baseline {base_v:14.1f}  measured {new_v:14.1f}  x{ratio:.2f}"
             )
     for name in sorted(set(new_rows) - set(base_rows)):
         print(f"note: workload '{name}' is new (no baseline), skipped")
 
     if compared == 0:
-        raise SystemExit("no comparable throughput cells: wrong files?")
+        raise SystemExit("no comparable metric cells: wrong files or columns?")
     if failures:
         print(
-            f"\nFAIL: {len(failures)} throughput cell(s) dropped more than "
-            f"{args.tolerance:.0%} below baseline"
+            f"\nFAIL: {len(failures)} metric cell(s) beyond {tolerance:.0%} "
+            f"of baseline in the failing direction"
         )
         return 1
-    print(f"\nPASS: {compared} throughput cell(s) within {args.tolerance:.0%} of baseline")
+    print(f"\nPASS: {compared} metric cell(s) within {tolerance:.0%} of baseline")
     return 0
+
+
+def self_test():
+    """Exercise the gate against synthetic fixtures."""
+
+    def dump(title, headers, rows):
+        f = tempfile.NamedTemporaryFile(
+            "w", suffix=".json", delete=False, prefix="bench_selftest_"
+        )
+        json.dump({"tables": [{"title": title, "headers": headers, "rows": rows}]}, f)
+        f.close()
+        return f.name
+
+    headers = ["workload", "requests_per_s", "p99_us"]
+    base = dump("Serve throughput", headers, [["total", "1000", "50.0"]])
+    same = dump("Serve throughput", headers, [["total", "1000", "50.0"]])
+    slower = dump("Serve throughput", headers, [["total", "500", "50.0"]])
+    higher_lat = dump("Serve throughput", headers, [["total", "1000", "90.0"]])
+    cols = parse_columns(["requests_per_s:+", "p99_us:-"])
+
+    cases = [
+        ("identical run passes", same, base, cols, 0),
+        ("throughput drop fails", slower, base, cols, 1),
+        ("latency rise fails", higher_lat, base, cols, 1),
+        # With p99 gated higher-better (wrong direction on purpose) a
+        # rise must NOT fail: direction suffixes are honoured.
+        ("direction suffix honoured", higher_lat, base, parse_columns(["p99_us:+"]), 0),
+        # Tolerance wide enough to absorb the drop.
+        ("tolerance respected", slower, base, cols, None),
+    ]
+
+    failed = []
+    for name, new, baseline, columns, want in cases:
+        tolerance = 0.30 if want is not None else 0.60
+        want = want if want is not None else 0
+        print(f"--- self-test: {name} ---")
+        got = check(new, baseline, columns, "Serve throughput", tolerance)
+        if got != want:
+            failed.append(f"{name}: expected exit {want}, got {got}")
+
+    print("--- self-test: missing table exits nonzero ---")
+    try:
+        check(same, base, cols, "No Such Table", 0.30)
+        failed.append("missing table: expected SystemExit")
+    except SystemExit as e:
+        print(f"ok: {e}")
+
+    for path in (base, same, slower, higher_lat):
+        os.unlink(path)
+
+    if failed:
+        print("\nSELF-TEST FAIL:\n  " + "\n  ".join(failed))
+        return 1
+    print("\nSELF-TEST PASS")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("new", nargs="?", help="freshly measured BENCH json")
+    parser.add_argument("baseline", nargs="?", help="checked-in baseline BENCH json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("NCT_BENCH_TOLERANCE", "0.30")),
+        help="allowed fractional change in the failing direction (default 0.30)",
+    )
+    parser.add_argument(
+        "--table",
+        default=DEFAULT_TABLE,
+        help=f"title prefix of the table to gate (default '{DEFAULT_TABLE}')",
+    )
+    parser.add_argument(
+        "--columns",
+        nargs="+",
+        default=list(DEFAULT_COLUMNS),
+        metavar="NAME[:+|-]",
+        help=": + higher-better (default), - lower-better",
+    )
+    parser.add_argument(
+        "--self-test", action="store_true", help="run the checker's own unit checks"
+    )
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.new or not args.baseline:
+        parser.error("NEW.json and BASELINE.json are required (or --self-test)")
+    return check(args.new, args.baseline, parse_columns(args.columns), args.table,
+                 args.tolerance)
 
 
 if __name__ == "__main__":

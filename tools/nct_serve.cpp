@@ -1,0 +1,229 @@
+// nct_serve: drive a synthetic multi-tenant transpose workload through
+// the serving core and report admission, cache and latency behaviour.
+//
+// Usage:
+//   nct_serve [--requests N] [--epochs E] [--tenants T] [--jobs J]
+//             [--tune-jobs J] [--capacity C] [--tenant-share F]
+//             [--lg-min L] [--lg-max L] [--seed S] [--cache FILE]
+//             [--faults] [--live-upgrades] [--metrics]
+//
+// The workload (serve/workload.hpp) is a seeded deterministic mix of
+// machines, layouts and optional fault scenarios.  Requests are split
+// evenly over E epochs; each epoch is submitted (synchronous rejects
+// are retried until admitted — the CLI is a closed-loop client), then
+// drain()ed, and its serving row printed.  Because background tunes
+// publish at each drain, the per-epoch cache hit ratio climbs: epoch 1
+// is all cost-model serves, later epochs serve tuned plans.
+//
+// With --cache FILE the plan cache is loaded from / saved to an
+// `nct_tune` store, so a second invocation starts hot.  --metrics
+// appends the serve/* metrics report (the same shape the bench JSON
+// carries).
+//
+// Exit status: 0 ok, 1 serving failure, 2 usage.
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/server.hpp"
+#include "serve/workload.hpp"
+#include "tune/cache.hpp"
+
+namespace {
+
+using namespace nct;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: nct_serve [--requests N] [--epochs E] [--tenants T] [--jobs J]\n"
+               "                 [--tune-jobs J] [--capacity C] [--tenant-share F]\n"
+               "                 [--lg-min L] [--lg-max L] [--seed S] [--cache FILE]\n"
+               "                 [--faults] [--live-upgrades] [--metrics]\n");
+  return 2;
+}
+
+struct Args {
+  std::uint64_t requests = 10000;
+  int epochs = 4;
+  std::uint32_t tenants = 4;
+  int jobs = 0;
+  int tune_jobs = 0;
+  std::size_t capacity = 4096;
+  double tenant_share = 1.0;
+  int lg_min = 10;
+  int lg_max = 12;
+  std::uint64_t seed = 1;
+  std::string cache_path;
+  bool faults = false;
+  bool live_upgrades = false;
+  bool metrics = false;
+};
+
+bool parse(int argc, char** argv, Args& a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string s = argv[i];
+    const auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "nct_serve: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* v = nullptr;
+    if (s == "--requests") {
+      if ((v = value("--requests")) == nullptr) return false;
+      a.requests = std::strtoull(v, nullptr, 10);
+    } else if (s == "--epochs") {
+      if ((v = value("--epochs")) == nullptr) return false;
+      a.epochs = std::atoi(v);
+    } else if (s == "--tenants") {
+      if ((v = value("--tenants")) == nullptr) return false;
+      a.tenants = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (s == "--jobs") {
+      if ((v = value("--jobs")) == nullptr) return false;
+      a.jobs = std::atoi(v);
+    } else if (s == "--tune-jobs") {
+      if ((v = value("--tune-jobs")) == nullptr) return false;
+      a.tune_jobs = std::atoi(v);
+    } else if (s == "--capacity") {
+      if ((v = value("--capacity")) == nullptr) return false;
+      a.capacity = std::strtoull(v, nullptr, 10);
+    } else if (s == "--tenant-share") {
+      if ((v = value("--tenant-share")) == nullptr) return false;
+      a.tenant_share = std::atof(v);
+    } else if (s == "--lg-min") {
+      if ((v = value("--lg-min")) == nullptr) return false;
+      a.lg_min = std::atoi(v);
+    } else if (s == "--lg-max") {
+      if ((v = value("--lg-max")) == nullptr) return false;
+      a.lg_max = std::atoi(v);
+    } else if (s == "--seed") {
+      if ((v = value("--seed")) == nullptr) return false;
+      a.seed = std::strtoull(v, nullptr, 10);
+    } else if (s == "--cache") {
+      if ((v = value("--cache")) == nullptr) return false;
+      a.cache_path = v;
+    } else if (s == "--faults") {
+      a.faults = true;
+    } else if (s == "--live-upgrades") {
+      a.live_upgrades = true;
+    } else if (s == "--metrics") {
+      a.metrics = true;
+    } else {
+      std::fprintf(stderr, "nct_serve: unknown option '%s'\n", s.c_str());
+      return false;
+    }
+  }
+  return a.epochs >= 1 && a.requests >= 1;
+}
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  const std::size_t k = static_cast<std::size_t>(p * static_cast<double>(v.size() - 1));
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(k), v.end());
+  return v[k];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  if (!parse(argc, argv, a)) return usage();
+
+  tune::PlanCache cache;
+  if (!a.cache_path.empty()) {
+    const std::size_t loaded = cache.load_file(a.cache_path);
+    std::printf("cache: %zu entr%s loaded from %s\n", loaded, loaded == 1 ? "y" : "ies",
+                a.cache_path.c_str());
+  }
+
+  serve::ServeOptions opt;
+  opt.queue_capacity = a.capacity;
+  opt.tenant_share = a.tenant_share;
+  opt.jobs = a.jobs;
+  opt.tune_jobs = a.tune_jobs;
+  opt.live_upgrades = a.live_upgrades;
+  opt.cache = &cache;
+  serve::Server server(opt);
+
+  serve::WorkloadOptions wopt;
+  wopt.lg_min = a.lg_min;
+  wopt.lg_max = a.lg_max;
+  wopt.faults = a.faults;
+  wopt.tenants = a.tenants;
+  wopt.seed = a.seed;
+  serve::Workload workload(wopt);
+
+  std::printf("workload: %" PRIu64 " requests, %d epoch%s, %zu distinct problems, "
+              "%u tenant%s%s\n",
+              a.requests, a.epochs, a.epochs == 1 ? "" : "s",
+              workload.distinct_problems(), a.tenants, a.tenants == 1 ? "" : "s",
+              a.faults ? ", fault mix" : "");
+  std::printf("%-7s %-10s %-10s %-10s %-9s %-12s %-12s\n", "epoch", "served",
+              "infeasible", "hits", "ratio", "p50_us", "p99_us");
+
+  std::uint64_t remaining = a.requests;
+  for (int e = 0; e < a.epochs; ++e) {
+    const std::uint64_t quota =
+        remaining / static_cast<std::uint64_t>(a.epochs - e);
+    remaining -= quota;
+    for (std::uint64_t k = 0; k < quota; ++k) {
+      serve::Request r = workload.next();
+      for (;;) {
+        const serve::Admission adm = server.submit(r);
+        if (adm.admitted) break;
+        if (adm.reason == serve::RejectReason::queue_full ||
+            adm.reason == serve::RejectReason::tenant_over_share) {
+          std::this_thread::yield();  // closed loop: wait out the backpressure
+          continue;
+        }
+        std::fprintf(stderr, "nct_serve: request rejected (%s)\n",
+                     serve::reject_reason_name(adm.reason));
+        return 1;
+      }
+    }
+    const std::vector<serve::Response> responses = server.drain();
+
+    std::uint64_t infeasible = 0, hits = 0;
+    std::vector<double> lat;
+    lat.reserve(responses.size());
+    for (const serve::Response& r : responses) {
+      if (r.status == serve::ServeStatus::infeasible) ++infeasible;
+      if (r.cache_hit) ++hits;
+      lat.push_back(r.service_seconds);
+    }
+    const double ratio =
+        responses.empty() ? 0.0
+                          : static_cast<double>(hits) / static_cast<double>(responses.size());
+    std::printf("%-7d %-10zu %-10" PRIu64 " %-10" PRIu64 " %-9.3f %-12.1f %-12.1f\n",
+                e + 1, responses.size(), infeasible, hits, ratio,
+                percentile(lat, 0.50) * 1e6, percentile(lat, 0.99) * 1e6);
+  }
+
+  server.stop();
+  const serve::ServerStats st = server.stats();
+  std::printf("totals: %" PRIu64 " served in %" PRIu64 " cycle%s / %" PRIu64
+              " batch%s (largest coalesce %" PRIu64 "), hit ratio %.3f\n",
+              st.completed, st.cycles, st.cycles == 1 ? "" : "s", st.batches,
+              st.batches == 1 ? "" : "es", st.coalesced_max, st.hit_ratio());
+  std::printf("tunes:  %" PRIu64 " enqueued, %" PRIu64 " completed, %" PRIu64
+              " published, %" PRIu64 " failed\n",
+              st.tunes_enqueued, st.tunes_completed, st.tunes_published, st.tunes_failed);
+  const tune::CacheStats cs = cache.stats();
+  std::printf("cache:  %zu entries, %" PRIu64 " hits / %" PRIu64 " misses, %" PRIu64
+              " evictions, %" PRIu64 " loaded\n",
+              cache.size(), cs.hits, cs.misses, cs.evictions, cs.loads);
+
+  if (a.metrics) std::printf("\n%s", server.metrics().format().c_str());
+
+  if (!a.cache_path.empty() && !cache.save_file(a.cache_path)) {
+    std::fprintf(stderr, "nct_serve: cannot write %s\n", a.cache_path.c_str());
+    return 1;
+  }
+  return 0;
+}

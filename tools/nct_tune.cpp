@@ -173,9 +173,16 @@ int cmd_tune(const Args& a) {
     }
   }
 
-  if (!a.cache_path.empty() && !cache.save_file(a.cache_path)) {
-    std::fprintf(stderr, "nct_tune: cannot write %s\n", a.cache_path.c_str());
-    return 1;
+  if (!a.cache_path.empty()) {
+    const tune::CacheStats st = cache.stats();
+    std::printf("cache stats: %" PRIu64 " hit%s, %" PRIu64 " miss%s, %" PRIu64
+                " eviction%s, %" PRIu64 " loaded\n",
+                st.hits, st.hits == 1 ? "" : "s", st.misses, st.misses == 1 ? "" : "es",
+                st.evictions, st.evictions == 1 ? "" : "s", st.loads);
+    if (!cache.save_file(a.cache_path)) {
+      std::fprintf(stderr, "nct_tune: cannot write %s\n", a.cache_path.c_str());
+      return 1;
+    }
   }
   return 0;
 }
@@ -264,6 +271,16 @@ int cmd_cache(int argc, char** argv) {
                   tune::stable_hash(e.key), e.choice.describe().c_str(),
                   e.measured_seconds, e.algorithm.c_str());
     }
+    // Tolerant-load stats over the same store: `loads` counts entries the
+    // LRU actually merged, so a partially damaged store shows fewer loads
+    // than the strict listing has entries.
+    tune::PlanCache cache(data.entries.size() + 1);
+    cache.load_file(path);
+    const tune::CacheStats st = cache.stats();
+    std::printf("stats:   %" PRIu64 " loaded, %" PRIu64 " eviction%s, %" PRIu64
+                " hit%s / %" PRIu64 " miss%s this session\n",
+                st.loads, st.evictions, st.evictions == 1 ? "" : "s", st.hits,
+                st.hits == 1 ? "" : "s", st.misses, st.misses == 1 ? "" : "es");
     return 0;
   }
   if (verb == "check") {
