@@ -1,0 +1,89 @@
+// Cross-topology transpose sweep: the BFS-routed planner on k-ary tori,
+// meshes and the Swapped Dragonfly D3(K,M), against the tuned cube
+// algorithms at matched node counts.
+//
+// Shapes to expect: the torus tracks the hypercube closely at these
+// sizes (diameter sum-of-radii/2 vs n), the mesh pays for its missing
+// wraparound links (diameter sum of radii), and the dragonfly's
+// two-hop group reach makes it the latency winner while its single
+// global link per (router, group) pair congests for large blocks.
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "topology/routed.hpp"
+#include "topology/topology.hpp"
+
+namespace {
+
+using namespace nct;
+
+struct TopoCase {
+  const char* label;
+  topo::TopologyId id;
+  cube::word rows, cols;
+};
+
+std::vector<TopoCase> cases_16() {
+  return {{"torus{4,4}", topo::torus_id({4, 4}), 4, 4},
+          {"mesh{4,4}", topo::mesh_id({4, 4}), 4, 4},
+          {"dragonfly(4,2)", topo::dragonfly_id(4, 2), 4, 4}};
+}
+
+std::vector<TopoCase> cases_64() {
+  return {{"torus{4,4,4}", topo::torus_id({4, 4, 4}), 8, 8},
+          {"mesh{8,8}", topo::mesh_id({8, 8}), 8, 8},
+          {"dragonfly(4,4)", topo::dragonfly_id(4, 4), 8, 8}};
+}
+
+double routed_time(const TopoCase& c, int lg, cube::word packet_elements = 0) {
+  const auto t = topo::make_topology(c.id, 0);
+  const cube::word elems = (cube::word{1} << lg) / t->nodes();
+  topo::RoutedOptions opt;
+  opt.packet_elements = packet_elements;
+  const auto prog = topo::plan_routed_transpose(*t, c.rows, c.cols, elems, opt);
+  const auto m =
+      sim::MachineParams::on_topology(c.id, sim::MachineParams::ipsc(0));
+  return bench::simulated_time(prog, m);
+}
+
+void print_series() {
+  for (const int lg : {12, 14, 16}) {
+    bench::Table t({"topology", "nodes", "diameter", "routed_ms"});
+    for (const auto& cases : {cases_16(), cases_64()}) {
+      for (const TopoCase& c : cases) {
+        const auto topology = topo::make_topology(c.id, 0);
+        t.row({c.label, std::to_string(topology->nodes()),
+               std::to_string(topology->diameter()), bench::ms(routed_time(c, lg))});
+      }
+    }
+    const std::string title = "BFS-routed transpose across topologies, 2^" +
+                              std::to_string(lg) + " elements (iPSC constants)";
+    t.print(title.c_str());
+  }
+
+  // Packetisation sweep: smaller messages let the one-port model
+  // interleave the store-and-forward hops.
+  bench::Table p({"topology", "B=all", "B=64", "B=16"});
+  for (const TopoCase& c : cases_64()) {
+    p.row({c.label, bench::ms(routed_time(c, 14, 0)), bench::ms(routed_time(c, 14, 64)),
+           bench::ms(routed_time(c, 14, 16))});
+  }
+  p.print("Routed transpose packet-size sensitivity, 2^14 elements, 64 nodes");
+}
+
+void BM_RoutedTorus(benchmark::State& state) {
+  const auto cs = state.range(0) == 16 ? cases_16() : cases_64();
+  for (auto _ : state) benchmark::DoNotOptimize(routed_time(cs[0], 14));
+}
+BENCHMARK(BM_RoutedTorus)->Arg(16)->Arg(64);
+
+void BM_RoutedDragonfly(benchmark::State& state) {
+  const auto cs = state.range(0) == 16 ? cases_16() : cases_64();
+  for (auto _ : state) benchmark::DoNotOptimize(routed_time(cs[2], 14));
+}
+BENCHMARK(BM_RoutedDragonfly)->Arg(16)->Arg(64);
+
+}  // namespace
+
+NCT_BENCH_MAIN(print_series)

@@ -26,12 +26,14 @@
 
 #include <cstddef>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <vector>
 
 #include "cube/bits.hpp"
 #include "topology/hypercube.hpp"
+#include "topology/topology.hpp"
 
 namespace nct::fault {
 
@@ -126,7 +128,18 @@ class FaultModel {
   /// factors < 1.
   FaultModel(int n, const FaultSpec& spec);
 
+  /// Compile the spec against an arbitrary topology: link faults name
+  /// (node, port) pairs of `t`, node faults take down every wired port of
+  /// the node in both directions.  Throws std::invalid_argument on
+  /// out-of-range nodes/ports, unwired ports, or degrade factors < 1.
+  FaultModel(std::shared_ptr<const topo::Topology> t, const FaultSpec& spec);
+
+  /// Ports per node of the target topology (the directed-link stride;
+  /// historically the cube dimension count, hence the name).
   int dimensions() const noexcept { return n_; }
+  /// The interconnect the model was compiled for (cube when built with
+  /// the dimension-count constructor).
+  const topo::TopologyId& topology_id() const noexcept { return topo_id_; }
   bool empty() const noexcept { return !any_faults_; }
 
   /// Hop-time multiplier of directed link `li` (>= 1).
@@ -151,8 +164,10 @@ class FaultModel {
   bool route_blocked(word src, const std::vector<int>& route) const noexcept;
 
  private:
-  int n_ = 0;
+  int n_ = 0;                                   ///< ports per node (cube: n).
   bool any_faults_ = false;
+  topo::TopologyId topo_id_{};                  ///< cube unless topology-built.
+  std::shared_ptr<const topo::Topology> topo_;  ///< set by the topology ctor.
   std::vector<double> degrade_;                 ///< per-link factor, or empty.
   std::vector<std::vector<Window>> windows_;    ///< per-link outages, or empty.
 };
@@ -162,6 +177,12 @@ class FaultModel {
 /// ascending order, so the chosen shortest route is deterministic.
 /// nullopt when dst is unreachable; empty route when src == dst.
 std::optional<std::vector<int>> route_around(int n, word src, word dst,
+                                             const FaultModel& model);
+
+/// The same deterministic fault-avoiding BFS on an arbitrary topology
+/// (ports expanded in ascending order, first visit wins, unwired and
+/// permanently-down links skipped).
+std::optional<std::vector<int>> route_around(const topo::Topology& t, word src, word dst,
                                              const FaultModel& model);
 
 }  // namespace nct::fault

@@ -52,13 +52,14 @@ std::vector<MessageTrace> messages_of(const TraceSink& trace) {
 
 namespace {
 
-std::string link_str(int n, std::size_t li) {
+std::string link_str(int n, std::size_t li, const topo::Topology* t = nullptr) {
   const word from = static_cast<word>(li / static_cast<std::size_t>(std::max(n, 1)));
   const int dim = static_cast<int>(li % static_cast<std::size_t>(std::max(n, 1)));
+  const word to = t != nullptr ? t->neighbor(from, dim) : cube::flip_bit(from, dim);
   char buf[96];
   std::snprintf(buf, sizeof(buf), "link %llu -d%d-> %llu",
                 static_cast<unsigned long long>(from), dim,
-                static_cast<unsigned long long>(cube::flip_bit(from, dim)));
+                static_cast<unsigned long long>(to));
   return buf;
 }
 
@@ -89,7 +90,9 @@ PathGroups group_paths(const TraceSink& trace, const std::vector<MessageTrace>& 
 
 }  // namespace
 
-CheckResult check_edge_disjoint(const TraceSink& trace) {
+namespace {
+
+CheckResult check_edge_disjoint_impl(const TraceSink& trace, const topo::Topology* t) {
   const auto msgs = messages_of(trace);
   const auto groups = group_paths(trace, msgs);
   for (const auto& [key, seen] : groups) {
@@ -104,15 +107,36 @@ CheckResult check_edge_disjoint(const TraceSink& trace) {
                       static_cast<int>(key.first),
                       static_cast<unsigned long long>(seen[i].first));
         return CheckResult{false, std::string(buf) +
-                                      link_str(trace.dimensions(), key.second)};
+                                      link_str(trace.dimensions(), key.second, t)};
       }
     }
   }
   return CheckResult{};
 }
 
+void require_trace_on(const TraceSink& trace, const topo::Topology& t) {
+  if (t.ports() != trace.dimensions() || t.nodes() != trace.nodes())
+    throw std::invalid_argument("trace/topology shape mismatch");
+}
+
+}  // namespace
+
+CheckResult check_edge_disjoint(const TraceSink& trace) {
+  return check_edge_disjoint_impl(trace, nullptr);
+}
+
+CheckResult check_edge_disjoint(const TraceSink& trace, const topo::Topology& t) {
+  require_trace_on(trace, t);
+  return check_edge_disjoint_impl(trace, &t);
+}
+
 void assert_edge_disjoint(const TraceSink& trace) {
   const CheckResult r = check_edge_disjoint(trace);
+  if (!r.ok) throw ConformanceError("edge-disjointness violated: " + r.message);
+}
+
+void assert_edge_disjoint(const TraceSink& trace, const topo::Topology& t) {
+  const CheckResult r = check_edge_disjoint(trace, t);
   if (!r.ok) throw ConformanceError("edge-disjointness violated: " + r.message);
 }
 
@@ -163,6 +187,16 @@ CheckResult check_one_port(const TraceSink& trace) {
 
 void assert_one_port(const TraceSink& trace) {
   const CheckResult r = check_one_port(trace);
+  if (!r.ok) throw ConformanceError("one-port serialisation violated: " + r.message);
+}
+
+CheckResult check_one_port(const TraceSink& trace, const topo::Topology& t) {
+  require_trace_on(trace, t);
+  return check_one_port(trace);
+}
+
+void assert_one_port(const TraceSink& trace, const topo::Topology& t) {
+  const CheckResult r = check_one_port(trace, t);
   if (!r.ok) throw ConformanceError("one-port serialisation violated: " + r.message);
 }
 

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "obs/trace.hpp"
+#include "topology/topology.hpp"
 
 namespace nct::obs {
 
@@ -62,6 +63,13 @@ CheckResult check_edge_disjoint(const TraceSink& trace);
 /// Throws ConformanceError with the first conflicting link if violated.
 void assert_edge_disjoint(const TraceSink& trace);
 
+/// Topology-aware variants: the trace must have been recorded on `t`
+/// (matching node and port counts — std::invalid_argument otherwise);
+/// violation messages name the real link target via t.neighbor().  The
+/// plain overloads above assume a Boolean cube.
+CheckResult check_edge_disjoint(const TraceSink& trace, const topo::Topology& t);
+void assert_edge_disjoint(const TraceSink& trace, const topo::Topology& t);
+
 /// The largest number of distinct (source, route) path groups crossing
 /// any one directed link within a phase.  1 for globally edge-disjoint
 /// families (SPT); larger for MPT, whose different sources' paths may
@@ -74,6 +82,11 @@ std::size_t max_paths_per_link(const TraceSink& trace);
 /// (send_end events).  Interval endpoints may touch.
 CheckResult check_one_port(const TraceSink& trace);
 void assert_one_port(const TraceSink& trace);
+
+/// Topology-aware variants: validate the trace's shape against `t`
+/// before checking (the check itself is topology-independent).
+CheckResult check_one_port(const TraceSink& trace, const topo::Topology& t);
+void assert_one_port(const TraceSink& trace, const topo::Topology& t);
 
 /// Peak number of simultaneously busy *outgoing* links per node
 /// (derived from hop events).  Index is the node id.

@@ -68,12 +68,15 @@ void write_chrome_trace(const TraceSink& trace, std::ostream& os) {
      << R"({"ph":"M","name":"process_name","pid":1,"tid":0,"args":{"name":"links"}})";
 
   std::vector<bool> node_used(static_cast<std::size_t>(trace.nodes()), false);
-  std::map<std::size_t, bool> link_used;
+  // Link track names take the far endpoint from the hop events themselves
+  // (it equals flip_bit(from, dim) on the cube, and is the only source of
+  // truth on other topologies).
+  std::map<std::size_t, word> link_target;
   for (const TraceEvent& e : trace.events()) {
     switch (e.kind) {
       case EventKind::hop:
       case EventKind::link_down:
-        link_used[topo::link_index(n, {e.node, e.dim})] = true;
+        link_target[topo::link_index(n, {e.node, e.dim})] = e.peer;
         break;
       case EventKind::send_begin:
       case EventKind::send_end:
@@ -96,14 +99,12 @@ void write_chrome_trace(const TraceSink& trace, std::ostream& os) {
        << R"({"ph":"M","name":"thread_name","pid":0,"tid":)" << x
        << R"(,"args":{"name":"node )" << x << "\"}}";
   }
-  for (const auto& [li, used] : link_used) {
-    (void)used;
+  for (const auto& [li, to] : link_target) {
     const word from = static_cast<word>(li / static_cast<std::size_t>(n));
     const int dim = static_cast<int>(li % static_cast<std::size_t>(n));
     os << ",\n"
        << R"({"ph":"M","name":"thread_name","pid":1,"tid":)" << li
-       << R"(,"args":{"name":")" << from << " -d" << dim << "-> "
-       << cube::flip_bit(from, dim) << "\"}}";
+       << R"(,"args":{"name":")" << from << " -d" << dim << "-> " << to << "\"}}";
   }
 
   const auto& labels = trace.phase_labels();
@@ -197,8 +198,11 @@ namespace {
 
 constexpr char kMagic[8] = {'N', 'C', 'T', 'T', 'R', 'A', 'C', 'E'};
 // Version 2 added the fault event kinds (link_down..aborted); the record
-// layout is unchanged, so version-1 files still read.
-constexpr std::uint32_t kVersion = 2;
+// layout is unchanged, so version-1 files still read.  Version 3 added an
+// explicit node count after the dimensions field (the dimensions field
+// now means ports-per-node on non-cube topologies); versions 1 and 2
+// still read, deriving nodes = 2^n.
+constexpr std::uint32_t kVersion = 3;
 
 template <class T>
 void put(std::ostream& os, T v) {
@@ -219,6 +223,7 @@ void write_binary_trace(const TraceSink& trace, std::ostream& os) {
   os.write(kMagic, sizeof(kMagic));
   put<std::uint32_t>(os, kVersion);
   put<std::uint32_t>(os, static_cast<std::uint32_t>(trace.dimensions()));
+  put<std::uint64_t>(os, trace.nodes());
   put<std::uint64_t>(os, trace.events().size());
   put<std::uint32_t>(os, static_cast<std::uint32_t>(trace.phase_labels().size()));
   for (const std::string& l : trace.phase_labels()) {
@@ -254,7 +259,16 @@ TraceSink read_binary_trace(std::istream& is) {
   if (version < 1 || version > kVersion) throw std::runtime_error("unsupported trace version");
   const EventKind max_kind = version == 1 ? EventKind::stage : EventKind::aborted;
   const auto n = get<std::uint32_t>(is);
-  if (n > 63) throw std::runtime_error("implausible cube dimension in trace header");
+  word nnodes = 0;
+  if (version >= 3) {
+    if (n > 4096) throw std::runtime_error("implausible port count in trace header");
+    nnodes = get<std::uint64_t>(is);
+    if (nnodes < 1 || nnodes > (word{1} << 48))
+      throw std::runtime_error("implausible node count in trace header");
+  } else {
+    if (n > 63) throw std::runtime_error("implausible cube dimension in trace header");
+    nnodes = word{1} << n;
+  }
   const auto nevents = get<std::uint64_t>(is);
   const auto nlabels = get<std::uint32_t>(is);
   std::vector<std::string> labels;
@@ -293,7 +307,7 @@ TraceSink read_binary_trace(std::istream& is) {
   if (is.peek() != std::istream::traits_type::eof())
     throw std::runtime_error("trailing bytes after declared event count in trace");
   TraceSink sink;
-  sink.restore(static_cast<int>(n), std::move(labels), std::move(events));
+  sink.restore_topology(nnodes, static_cast<int>(n), std::move(labels), std::move(events));
   return sink;
 }
 

@@ -72,6 +72,17 @@ class TraceSink {
   // ---- engine-facing recording API ------------------------------------
   void begin_run(int n, std::size_t event_hint = 0) {
     n_ = n;
+    nodes_ = word{1} << n;
+    events_.clear();
+    phase_labels_.clear();
+    if (event_hint) events_.reserve(event_hint);
+  }
+
+  /// Begin a run on a non-cube topology: explicit node count and port
+  /// count (the directed-link stride, reported by dimensions()).
+  void begin_run_topology(word nodes, int ports, std::size_t event_hint = 0) {
+    n_ = ports;
+    nodes_ = nodes;
     events_.clear();
     phase_labels_.clear();
     if (event_hint) events_.reserve(event_hint);
@@ -123,8 +134,10 @@ class TraceSink {
   }
 
   // ---- consumer API ----------------------------------------------------
+  /// Ports per node — the directed-link stride used by hop `dim` fields
+  /// and link indices.  Equals the cube dimension count on cube runs.
   int dimensions() const noexcept { return n_; }
-  word nodes() const noexcept { return word{1} << n_; }
+  word nodes() const noexcept { return nodes_; }
   const std::vector<TraceEvent>& events() const noexcept { return events_; }
   const std::vector<std::string>& phase_labels() const noexcept { return phase_labels_; }
   bool empty() const noexcept { return events_.empty(); }
@@ -135,6 +148,14 @@ class TraceSink {
   // Used by the binary reader to reconstruct a sink.
   void restore(int n, std::vector<std::string> labels, std::vector<TraceEvent> events) {
     n_ = n;
+    nodes_ = word{1} << n;
+    phase_labels_ = std::move(labels);
+    events_ = std::move(events);
+  }
+  void restore_topology(word nodes, int ports, std::vector<std::string> labels,
+                        std::vector<TraceEvent> events) {
+    n_ = ports;
+    nodes_ = nodes;
     phase_labels_ = std::move(labels);
     events_ = std::move(events);
   }
@@ -143,6 +164,7 @@ class TraceSink {
   void push(const TraceEvent& e) { events_.push_back(e); }
 
   int n_ = 0;
+  word nodes_ = 1;
   std::vector<TraceEvent> events_;
   std::vector<std::string> phase_labels_;
 };

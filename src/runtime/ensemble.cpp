@@ -24,9 +24,17 @@ void NodeCtx::barrier() { ensemble_.barrier_.arrive_and_wait(); }
 
 Ensemble::Ensemble(int n)
     : n_(n),
+      nodes_(word{1} << n),
       channels_(static_cast<std::size_t>(word{1} << n) *
                 static_cast<std::size_t>(n > 0 ? n : 1)),
       barrier_(static_cast<std::size_t>(word{1} << n)) {}
+
+Ensemble::Ensemble(word nnodes, int ports)
+    : n_(ports),
+      nodes_(nnodes),
+      channels_(static_cast<std::size_t>(nnodes) *
+                static_cast<std::size_t>(ports > 0 ? ports : 1)),
+      barrier_(static_cast<std::size_t>(nnodes)) {}
 
 void Ensemble::run(const std::function<void(NodeCtx&)>& body) {
   std::vector<std::thread> threads;

@@ -54,8 +54,14 @@ class Ensemble {
  public:
   explicit Ensemble(int n);
 
+  /// An ensemble of `nnodes` threads with `ports` channels per node, for
+  /// runs on non-cube topologies.  dimensions() then reports the port
+  /// count; NodeCtx::neighbor (a cube query) must not be used — the
+  /// generic executor steps via its own Topology instead.
+  Ensemble(word nnodes, int ports);
+
   int dimensions() const noexcept { return n_; }
-  word nodes() const noexcept { return word{1} << n_; }
+  word nodes() const noexcept { return nodes_; }
 
   /// Run `body` as one thread per node; returns when all complete.
   /// Exceptions thrown by node bodies are rethrown (first one).
@@ -69,6 +75,7 @@ class Ensemble {
   }
 
   int n_;
+  word nodes_;
   std::vector<Channel<std::vector<double>>> channels_;
   Barrier barrier_;
 };

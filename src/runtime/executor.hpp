@@ -28,6 +28,7 @@
 #include "runtime/fault_injector.hpp"
 #include "sim/program.hpp"
 #include "topology/hypercube.hpp"
+#include "topology/topology.hpp"
 
 namespace nct::runtime {
 
@@ -56,6 +57,8 @@ std::vector<std::vector<T>> run_threads(const sim::Program& program,
                                         fault::RetryPolicy retry = {}) {
   const cube::word nnodes = program.nodes();
   if (memory.size() != nnodes) throw std::invalid_argument("memory/node count mismatch");
+  const auto topology = topo::make_topology(program.topology, program.n);
+  const int ports = topology->ports();
 
   struct Packet {
     std::vector<int> route;
@@ -81,7 +84,9 @@ std::vector<std::vector<T>> run_threads(const sim::Program& program,
       sends_by_node[ph][static_cast<std::size_t>(op.src)].push_back(&op);
       cube::word cur = op.src;
       for (const int d : op.route) {
-        cur = cube::flip_bit(cur, d);
+        cur = topology->neighbor(cur, d);
+        if (cur == topo::kNoNode)
+          throw std::invalid_argument("program route crosses an unwired port");
         incoming[ph][static_cast<std::size_t>(cur)] += 1;
       }
     }
@@ -95,10 +100,10 @@ std::vector<std::vector<T>> run_threads(const sim::Program& program,
 
   std::vector<Channel<Packet>> inbox(static_cast<std::size_t>(nnodes));
 
-  if (inj != nullptr && inj->dimensions() != program.n)
+  if (inj != nullptr && (inj->dimensions() != ports || inj->nodes() != nnodes))
     throw std::invalid_argument("fault injector / program dimension mismatch");
 
-  Ensemble ensemble(program.n);
+  Ensemble ensemble(nnodes, ports);
   ensemble.run([&](NodeCtx& ctx) {
     const cube::word me = ctx.rank();
     auto& local = memory[static_cast<std::size_t>(me)];
@@ -110,7 +115,7 @@ std::vector<std::vector<T>> run_threads(const sim::Program& program,
     const auto forward = [&](Packet&& pk) {
       const int dim = pk.route[pk.hop];
       if (inj != nullptr) {
-        const std::size_t li = topo::link_index(program.n, {me, dim});
+        const std::size_t li = topology->link_index(me, dim);
         const auto start = std::chrono::steady_clock::now();
         auto delay = std::chrono::microseconds{1};
         int tries = 0;
@@ -125,7 +130,7 @@ std::vector<std::vector<T>> run_threads(const sim::Program& program,
           delay = std::min(delay * 2, std::chrono::microseconds{256});
         }
       }
-      const cube::word next = cube::flip_bit(me, dim);
+      const cube::word next = topology->neighbor(me, dim);
       pk.hop += 1;
       inbox[static_cast<std::size_t>(next)].send(std::move(pk));
     };

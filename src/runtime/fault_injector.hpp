@@ -23,6 +23,7 @@
 
 #include "fault/fault.hpp"
 #include "topology/hypercube.hpp"
+#include "topology/topology.hpp"
 
 namespace nct::runtime {
 
@@ -33,6 +34,7 @@ class FaultInjector {
   /// fault (see the header comment) or a link outside the cube.
   FaultInjector(int n, const fault::FaultSpec& spec, int refusals_per_window = 3)
       : n_(n),
+        nodes_(cube::word{1} << n),
         remaining_(static_cast<std::size_t>(cube::word{1} << n) *
                    static_cast<std::size_t>(n > 0 ? n : 1)) {
     if (refusals_per_window < 0)
@@ -60,7 +62,45 @@ class FaultInjector {
     }
   }
 
+  /// Same, but for an arbitrary topology: `fault link outside the cube`
+  /// becomes any port that is out of range or unwired on `t`, and the
+  /// reverse direction of a link follows the topology's reverse port.
+  FaultInjector(const topo::Topology& t, const fault::FaultSpec& spec,
+                int refusals_per_window = 3)
+      : n_(t.ports()), nodes_(t.nodes()), remaining_(t.link_slots()) {
+    if (refusals_per_window < 0)
+      throw std::invalid_argument("refusals_per_window must be non-negative");
+    const auto add = [&](cube::word from, int dim, bool both) {
+      if (dim < 0 || dim >= t.ports() || from >= t.nodes() ||
+          t.neighbor(from, dim) == topo::kNoNode)
+        throw std::invalid_argument("fault link outside the topology");
+      remaining_[t.link_index(from, dim)].fetch_add(refusals_per_window,
+                                                    std::memory_order_relaxed);
+      if (both) {
+        const cube::word to = t.neighbor(from, dim);
+        remaining_[t.link_index(to, t.reverse_port(from, dim))].fetch_add(
+            refusals_per_window, std::memory_order_relaxed);
+      }
+    };
+    for (const auto& f : spec.links) {
+      if (f.when.permanent())
+        throw std::invalid_argument(
+            "FaultInjector models transient faults only; plan around permanent ones");
+      add(f.link.from, f.link.dim, f.both_directions);
+    }
+    for (const auto& f : spec.nodes) {
+      if (f.when.permanent())
+        throw std::invalid_argument(
+            "FaultInjector models transient faults only; plan around permanent ones");
+      for (int d = 0; d < t.ports(); ++d) {
+        if (t.neighbor(f.node, d) != topo::kNoNode) add(f.node, d, true);
+      }
+    }
+  }
+
+  /// Ports per node (== cube dimensions on a cube).
   int dimensions() const noexcept { return n_; }
+  cube::word nodes() const noexcept { return nodes_; }
 
   /// One send attempt over directed link `li`: true = the link carries
   /// the packet, false = refused (one unit of the countdown consumed).
@@ -85,6 +125,7 @@ class FaultInjector {
 
  private:
   int n_;
+  cube::word nodes_;
   std::vector<std::atomic<int>> remaining_;
   std::atomic<std::size_t> refusals_{0};
   std::atomic<std::size_t> give_ups_{0};

@@ -29,7 +29,7 @@ std::string node_slot_str(word node, slot s) {
 bool same_machine(const MachineParams& a, const MachineParams& b) noexcept {
   return a.n == b.n && a.tau == b.tau && a.tc == b.tc && a.tcopy == b.tcopy &&
          a.max_packet_bytes == b.max_packet_bytes && a.element_bytes == b.element_bytes &&
-         a.port == b.port && a.switching == b.switching;
+         a.port == b.port && a.switching == b.switching && a.topology == b.topology;
 }
 
 /// Shared executor for data mode and timing-only mode, writing into a
@@ -52,17 +52,26 @@ template <bool kData, bool kTrace, bool kLean>
 void run_compiled_into(const MachineParams& params, const EngineOptions& options,
                        const CompiledProgram& cp, RunScratch& scratch, RunResult& out) {
   const word nnodes = cp.nodes();
+  const int ports = cp.ports();
 
   obs::TraceSink* const sink = options.trace;
-  if constexpr (kTrace) sink->begin_run(params.n);
+  if constexpr (kTrace) {
+    if (params.topology.is_cube()) {
+      sink->begin_run(params.n);
+    } else {
+      sink->begin_run_topology(nnodes, ports);
+    }
+  }
 
   // Same empty-model drop as the interpreted path: healthy runs execute
   // exactly the pre-fault arithmetic.
   if (options.faults && !options.faults->empty() &&
-      options.faults->dimensions() != params.n)
+      (options.faults->dimensions() != ports ||
+       options.faults->topology_id() != params.topology))
     throw ProgramError("fault model / machine dimension mismatch");
   detail::FaultGate gate{options.faults && !options.faults->empty() ? options.faults : nullptr,
-                         options.retry, kTrace ? sink : nullptr, params.n, 0, 0.0};
+                         options.retry, kTrace ? sink : nullptr, ports, &cp.topology(),
+                         0, 0.0};
 
   const auto& phases = cp.phases();
   const auto& sends = cp.send_ops();
@@ -72,7 +81,7 @@ void run_compiled_into(const MachineParams& params, const EngineOptions& options
   const auto& link_pool = cp.link_pool();
 
   const std::size_t nlinks =
-      static_cast<std::size_t>(nnodes) * static_cast<std::size_t>(std::max(params.n, 1));
+      static_cast<std::size_t>(nnodes) * static_cast<std::size_t>(std::max(ports, 1));
   scratch.ensure(static_cast<std::size_t>(nnodes), nlinks, cp.max_phase_sends());
   scratch.queue.clear();  // no-op unless a faulted run aborted mid-phase
   double* const link_free = scratch.link_free.data();
@@ -287,9 +296,9 @@ void run_compiled_into(const MachineParams& params, const EngineOptions& options
             out.link_trace[links[i]].push_back({lstart, lend, seq});
           if constexpr (kTrace) {
             const word from =
-                static_cast<word>(links[i] / static_cast<std::uint32_t>(params.n));
-            const int dim = static_cast<int>(links[i] % static_cast<std::uint32_t>(params.n));
-            sink->hop(phase_index, from, cube::flip_bit(from, dim), dim, seq, bytes,
+                static_cast<word>(links[i] / static_cast<std::uint32_t>(ports));
+            const int dim = static_cast<int>(links[i] % static_cast<std::uint32_t>(ports));
+            sink->hop(phase_index, from, cp.topology().neighbor(from, dim), dim, seq, bytes,
                       lstart, lend);
           }
         }
@@ -319,7 +328,7 @@ void run_compiled_into(const MachineParams& params, const EngineOptions& options
         start = std::max(start, recv_free[static_cast<std::size_t>(s.dst)]);
       const double recv_gate = start;
       if constexpr (kTrace) {
-        const word from = static_cast<word>(li / static_cast<std::size_t>(params.n));
+        const word from = static_cast<word>(li / static_cast<std::size_t>(ports));
         if (send_gate > link_start)
           sink->port_wait(obs::EventKind::port_wait_send, phase_index, from, seq,
                           link_start, send_gate);
@@ -342,13 +351,14 @@ void run_compiled_into(const MachineParams& params, const EngineOptions& options
       if constexpr (kTrace) {
         const std::size_t bytes =
             static_cast<std::size_t>(s.count) * static_cast<std::size_t>(params.element_bytes);
-        const word from = static_cast<word>(li / static_cast<std::size_t>(params.n));
-        const int dim = static_cast<int>(li % static_cast<std::size_t>(params.n));
+        const word from = static_cast<word>(li / static_cast<std::size_t>(ports));
+        const int dim = static_cast<int>(li % static_cast<std::size_t>(ports));
         if (first_hop) {
           if (s.rerouted) sink->reroute(phase_index, s.src, s.dst, seq, start);
           sink->send_begin(phase_index, s.src, s.dst, seq, bytes, start, end);
         }
-        sink->hop(phase_index, from, cube::flip_bit(from, dim), dim, seq, bytes, start, end);
+        sink->hop(phase_index, from, cp.topology().neighbor(from, dim), dim, seq, bytes,
+                  start, end);
         if (last_hop) sink->send_end(phase_index, s.dst, s.src, seq, bytes, start, end);
       }
 
@@ -419,16 +429,23 @@ RunScratch& thread_scratch() {
 
 CompiledProgram compile(const Program& program, const MachineParams& machine) {
   if (program.n != machine.n) throw ProgramError("program/machine dimension mismatch");
+  if (program.topology != machine.topology)
+    throw ProgramError("program/machine topology mismatch");
 
   CompiledProgram cp;
   cp.n_ = program.n;
   cp.local_slots_ = program.local_slots;
+  cp.topology_ = topo::make_topology(machine.topology, machine.n);
+  cp.nodes_ = cp.topology_->nodes();
+  cp.ports_ = cp.topology_->ports();
   cp.machine_ = machine;
 
+  const topo::Topology& topology = *cp.topology_;
+  const int ports = cp.ports_;
   const word nnodes = program.nodes();
   const word nslots = program.local_slots;
   const std::size_t nlinks =
-      static_cast<std::size_t>(nnodes) * static_cast<std::size_t>(std::max(machine.n, 1));
+      static_cast<std::size_t>(nnodes) * static_cast<std::size_t>(std::max(ports, 1));
 
   std::size_t n_sends = 0, n_copies = 0, n_stages = 0, n_slots = 0, n_links = 0;
   for (const Phase& ph : program.phases) {
@@ -534,11 +551,13 @@ CompiledProgram compile(const Program& program, const MachineParams& machine) {
 
       word at = op.src;
       for (const int d : op.route) {
-        if (d < 0 || d >= machine.n) throw ProgramError("route dimension out of range");
-        const std::size_t li = topo::link_index(machine.n, {at, d});
+        if (d < 0 || d >= ports) throw ProgramError("route dimension out of range");
+        const std::size_t li = topology.link_index(at, d);
+        const word next = topology.neighbor(at, d);
+        if (next == topo::kNoNode) throw ProgramError("route crosses an unwired port");
         link_seen[li] = 1;
         cp.link_pool_.push_back(static_cast<std::uint32_t>(li));
-        at = cube::flip_bit(at, d);
+        at = next;
       }
       s.dst = at;
       see_node(s.src);

@@ -31,11 +31,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "sim/model.hpp"
 #include "sim/program.hpp"
+#include "topology/topology.hpp"
 
 namespace nct::sim {
 
@@ -99,9 +101,14 @@ struct CompiledPhase {
 class CompiledProgram {
  public:
   int n() const noexcept { return n_; }
-  word nodes() const noexcept { return word{1} << n_; }
+  word nodes() const noexcept { return nodes_; }
   word local_slots() const noexcept { return local_slots_; }
   const MachineParams& machine() const noexcept { return machine_; }
+  /// Ports per node of the target topology (the directed-link stride;
+  /// == n on the cube).
+  int ports() const noexcept { return ports_; }
+  /// The interconnect the program was compiled for.
+  const topo::Topology& topology() const noexcept { return *topology_; }
 
   const std::vector<CompiledPhase>& phases() const noexcept { return phases_; }
   const std::vector<CompiledSend>& send_ops() const noexcept { return sends_; }
@@ -138,7 +145,10 @@ class CompiledProgram {
   friend CompiledProgram compile(const Program&, const MachineParams&);
 
   int n_ = 0;
+  word nodes_ = 1;
+  int ports_ = 0;
   word local_slots_ = 0;
+  std::shared_ptr<const topo::Topology> topology_;
   MachineParams machine_;
   std::vector<CompiledPhase> phases_;
   std::vector<CompiledSend> sends_;

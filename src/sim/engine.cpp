@@ -50,30 +50,42 @@ Engine::Engine(MachineParams params, EngineOptions options)
 
 RunResult Engine::run(const Program& program, Memory initial) const {
   if (program.n != params_.n) throw ProgramError("program/machine dimension mismatch");
+  if (program.topology != params_.topology)
+    throw ProgramError("program/machine topology mismatch");
   const word nnodes = program.nodes();
   if (initial.size() != nnodes) throw ProgramError("initial memory has wrong node count");
   for (const auto& m : initial) {
     if (m.size() != program.local_slots) throw ProgramError("node memory has wrong slot count");
   }
 
+  const auto topology = topo::make_topology(params_.topology, params_.n);
+  const int ports = topology->ports();
+
   RunResult result;
   result.memory = std::move(initial);
   Memory& mem = result.memory;
 
   obs::TraceSink* const sink = options_.trace;
-  if (sink) sink->begin_run(params_.n);
+  if (sink) {
+    if (params_.topology.is_cube()) {
+      sink->begin_run(params_.n);
+    } else {
+      sink->begin_run_topology(nnodes, ports);
+    }
+  }
 
   // An empty fault model is dropped here so the healthy path stays
   // arithmetic-for-arithmetic identical to a run without the option.
   if (options_.faults && !options_.faults->empty() &&
-      options_.faults->dimensions() != params_.n)
+      (options_.faults->dimensions() != ports ||
+       options_.faults->topology_id() != params_.topology))
     throw ProgramError("fault model / machine dimension mismatch");
   detail::FaultGate gate{
       options_.faults && !options_.faults->empty() ? options_.faults : nullptr,
-      options_.retry, sink, params_.n, 0, 0.0};
+      options_.retry, sink, ports, topology.get(), 0, 0.0};
 
   const std::size_t nlinks =
-      static_cast<std::size_t>(nnodes) * static_cast<std::size_t>(std::max(params_.n, 1));
+      static_cast<std::size_t>(nnodes) * static_cast<std::size_t>(std::max(ports, 1));
   std::vector<double> link_free(nlinks, 0.0);
   std::vector<double> link_busy_total(nlinks, 0.0);
   std::vector<double> send_free(static_cast<std::size_t>(nnodes), 0.0);
@@ -177,8 +189,9 @@ RunResult Engine::run(const Program& program, Memory initial) const {
         const SendOp& op = phase.sends[k];
         word dst = op.src;
         for (const int d : op.route) {
-          if (d < 0 || d >= params_.n) throw ProgramError("route dimension out of range");
-          dst = cube::flip_bit(dst, d);
+          if (d < 0 || d >= ports) throw ProgramError("route dimension out of range");
+          dst = topology->neighbor(dst, d);
+          if (dst == topo::kNoNode) throw ProgramError("route crosses an unwired port");
         }
         auto& dst_local = mem[static_cast<std::size_t>(dst)];
         const std::size_t dst_base =
@@ -230,8 +243,8 @@ RunResult Engine::run(const Program& program, Memory initial) const {
           std::vector<std::size_t> lidx;
           lidx.reserve(p.op->route.size());
           for (const int d : p.op->route) {
-            lidx.push_back(topo::link_index(params_.n, {cur, d}));
-            cur = cube::flip_bit(cur, d);
+            lidx.push_back(topology->link_index(cur, d));
+            cur = topology->neighbor(cur, d);
           }
           for (const std::size_t li : lidx) start = std::max(start, link_free[li]);
           const double link_start = start;
@@ -273,9 +286,9 @@ RunResult Engine::run(const Program& program, Memory initial) const {
               result.link_trace[lidx[i]].push_back({lstart, lend, p.seq});
             if (sink) {
               const word from =
-                  static_cast<word>(lidx[i] / static_cast<std::size_t>(params_.n));
-              const int dim = static_cast<int>(lidx[i] % static_cast<std::size_t>(params_.n));
-              sink->hop(phase_index, from, cube::flip_bit(from, dim), dim, p.seq, bytes,
+                  static_cast<word>(lidx[i] / static_cast<std::size_t>(ports));
+              const int dim = static_cast<int>(lidx[i] % static_cast<std::size_t>(ports));
+              sink->hop(phase_index, from, topology->neighbor(from, dim), dim, p.seq, bytes,
                         lstart, lend);
             }
           }
@@ -292,8 +305,8 @@ RunResult Engine::run(const Program& program, Memory initial) const {
 
         // Store-and-forward: one hop at a time.
         const int dim = p.op->route[p.hop];
-        const word next = cube::flip_bit(p.at, dim);
-        const std::size_t li = topo::link_index(params_.n, {p.at, dim});
+        const word next = topology->neighbor(p.at, dim);
+        const std::size_t li = topology->link_index(p.at, dim);
         const bool first_hop = p.hop == 0;
         const bool last_hop = p.hop + 1 == p.op->route.size();
 
@@ -328,7 +341,7 @@ RunResult Engine::run(const Program& program, Memory initial) const {
         if (sink) {
           if (first_hop) {
             word dst = p.at;
-            for (const int d : p.op->route) dst = cube::flip_bit(dst, d);
+            for (const int d : p.op->route) dst = topology->neighbor(dst, d);
             if (p.op->rerouted) sink->reroute(phase_index, p.at, dst, p.seq, start);
             sink->send_begin(phase_index, p.at, dst, p.seq, bytes, start, end);
           }

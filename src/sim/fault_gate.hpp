@@ -21,6 +21,7 @@
 
 #include "fault/fault.hpp"
 #include "obs/trace.hpp"
+#include "topology/topology.hpp"
 
 namespace nct::sim::detail {
 
@@ -30,7 +31,8 @@ struct FaultGate {
   const fault::FaultModel* model = nullptr;
   fault::RetryPolicy policy{};
   obs::TraceSink* sink = nullptr;
-  int n = 0;
+  int ports = 0;  ///< directed-link stride (== n on the cube).
+  const topo::Topology* topo = nullptr;  ///< link decode for trace peers.
 
   std::size_t retries = 0;   ///< accumulated across the run.
   double down_wait = 0.0;    ///< summed simulated time blocked on outages.
@@ -44,20 +46,20 @@ struct FaultGate {
     for (;;) {
       const double up = model->up_at(li, cur);
       if (up == cur) return cur;
-      const cube::word from = static_cast<cube::word>(li / static_cast<std::size_t>(n));
-      const int dim = static_cast<int>(li % static_cast<std::size_t>(n));
+      const cube::word from = static_cast<cube::word>(li / static_cast<std::size_t>(ports));
+      const int dim = static_cast<int>(li % static_cast<std::size_t>(ports));
       if (up == fault::kForever)
         give_up(phase, from, dim, seq, cur, "route crosses a permanently failed link");
       if (tries >= policy.max_retries)
         give_up(phase, from, dim, seq, cur, "retry budget exhausted on down link");
       if (up + policy.retry_penalty - t > policy.timeout)
         give_up(phase, from, dim, seq, cur, "timeout waiting for down link");
-      if (sink) sink->link_down(phase, from, cube::flip_bit(from, dim), dim, seq, cur, up);
+      if (sink) sink->link_down(phase, from, topo->neighbor(from, dim), dim, seq, cur, up);
       down_wait += up - cur;
       cur = up + policy.retry_penalty;
       ++tries;
       ++retries;
-      if (sink) sink->retry(phase, from, cube::flip_bit(from, dim), dim, seq, cur);
+      if (sink) sink->retry(phase, from, topo->neighbor(from, dim), dim, seq, cur);
     }
   }
 

@@ -11,8 +11,10 @@
 
 #include <cstddef>
 #include <string>
+#include <utility>
 
 #include "cube/bits.hpp"
+#include "topology/topology.hpp"
 
 namespace nct::sim {
 
@@ -38,13 +40,20 @@ struct MachineParams {
   PortModel port = PortModel::one_port;
   Switching switching = Switching::store_and_forward;
   std::string name = "custom";
+  /// Interconnect of the ensemble.  Defaults to the Boolean n-cube, so
+  /// every existing factory, cache key input and golden run is unchanged;
+  /// generic machines carry their size in the topology shape (and n = 0).
+  topo::TopologyId topology{};
 
   /// Two parameter sets are interchangeable for planning and simulation
   /// exactly when every field (including the display name) matches; the
   /// autotuner's cache keys rely on this equivalence.
   friend bool operator==(const MachineParams&, const MachineParams&) = default;
 
-  word nodes() const noexcept { return word{1} << n; }
+  word nodes() const noexcept { return topology.node_count(n); }
+
+  /// Ports per node (directed-link stride): n on the cube.
+  int ports() const noexcept { return topology.port_count(n); }
 
   double element_tc() const noexcept { return tc * element_bytes; }
   double element_tcopy() const noexcept { return tcopy * element_bytes; }
@@ -111,6 +120,17 @@ struct MachineParams {
     m.switching = Switching::store_and_forward;
     m.name = "n-port";
     return m;
+  }
+
+  /// Retarget a machine's cost constants (tau/tc/tcopy/B_m/port model/
+  /// switching) onto another interconnect.  Off the cube the dimension
+  /// field is meaningless and set to 0; nodes()/ports() come from the
+  /// topology shape.
+  static MachineParams on_topology(topo::TopologyId topology, MachineParams base) {
+    if (!topology.is_cube()) base.n = 0;
+    base.name += "@" + topology.name(base.n);
+    base.topology = std::move(topology);
+    return base;
   }
 };
 

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "cube/bits.hpp"
+#include "topology/topology.hpp"
 
 namespace nct::sim {
 
@@ -19,6 +20,7 @@ Memory make_memory(const std::vector<std::vector<word>>& node_layout, word nodes
 }
 
 Memory apply_data(const Program& program, Memory memory) {
+  const auto topo = topo::make_topology(program.topology, program.n);
   const auto apply_copy = [&](const CopyOp& op) {
     auto& local = memory[static_cast<std::size_t>(op.node)];
     std::vector<word> values(op.src_slots.size());
@@ -42,7 +44,7 @@ Memory apply_data(const Program& program, Memory memory) {
       }
       for (const SendOp& op : phase.sends) {
         word dst = op.src;
-        for (const int d : op.route) dst = cube::flip_bit(dst, d);
+        for (const int d : op.route) dst = topo->neighbor(dst, d);
         for (std::size_t i = 0; i < op.src_slots.size(); ++i) {
           memory[static_cast<std::size_t>(dst)][static_cast<std::size_t>(op.dst_slots[i])] =
               snapshot[static_cast<std::size_t>(op.src)]

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "cube/bits.hpp"
+#include "topology/topology.hpp"
 
 namespace nct::sim {
 
@@ -99,9 +100,17 @@ struct Phase {
 struct Program {
   int n = 0;            ///< cube dimensions the program runs on.
   word local_slots = 0; ///< per-node memory size in slots.
+  /// Interconnect the routes are expressed on.  Defaults to the Boolean
+  /// n-cube, so every cube planner and golden plan is unchanged; routes
+  /// are port numbers of this topology (== cube dimensions on the cube).
+  topo::TopologyId topology{};
   std::vector<Phase> phases;
 
-  word nodes() const noexcept { return word{1} << n; }
+  word nodes() const noexcept { return topology.node_count(n); }
+
+  /// Ports per node of the target topology (route entries are in
+  /// [0, ports())).
+  int ports() const noexcept { return topology.port_count(n); }
 
   /// Total number of messages across all phases.
   std::size_t total_sends() const noexcept {

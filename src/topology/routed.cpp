@@ -1,0 +1,77 @@
+#include "topology/routed.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace nct::topo {
+
+sim::Program plan_routed_permutation(const Topology& t, const std::vector<word>& dest,
+                                     word elements_per_node, const RoutedOptions& opt) {
+  if (dest.size() != static_cast<std::size_t>(t.nodes()))
+    throw std::invalid_argument("routed planner: dest size != node count");
+  std::vector<bool> hit(dest.size(), false);
+  for (const word d : dest) {
+    if (d >= t.nodes() || hit[static_cast<std::size_t>(d)])
+      throw std::invalid_argument("routed planner: dest is not a permutation");
+    hit[static_cast<std::size_t>(d)] = true;
+  }
+
+  sim::Program program;
+  program.n = t.cube_dims();
+  program.topology = t.id();
+  program.local_slots = elements_per_node;
+  sim::Phase phase;
+  phase.label = opt.label;
+
+  const word chunk = opt.packet_elements > 0 ? opt.packet_elements : elements_per_node;
+  for (word src = 0; src < t.nodes(); ++src) {
+    const word dst = dest[static_cast<std::size_t>(src)];
+    if (dst == src || elements_per_node == 0) continue;
+    const std::vector<int> healthy = t.route(src, dst);
+    std::vector<int> route = opt.router ? opt.router(src, dst) : healthy;
+    const bool rerouted = route != healthy;
+    for (word lo = 0; lo < elements_per_node; lo += chunk) {
+      const word hi = std::min(elements_per_node, lo + chunk);
+      sim::SendOp op;
+      op.src = src;
+      op.route = route;
+      op.rerouted = rerouted;
+      op.src_slots.resize(static_cast<std::size_t>(hi - lo));
+      std::iota(op.src_slots.begin(), op.src_slots.end(), static_cast<sim::slot>(lo));
+      op.dst_slots = op.src_slots;
+      phase.sends.push_back(std::move(op));
+    }
+  }
+  if (!phase.empty()) program.phases.push_back(std::move(phase));
+  return program;
+}
+
+std::vector<word> transpose_permutation(const Topology& t, word rows, word cols) {
+  if (rows * cols != t.nodes())
+    throw std::invalid_argument("transpose permutation: rows*cols != node count");
+  std::vector<word> dest(static_cast<std::size_t>(t.nodes()));
+  for (word r = 0; r < rows; ++r) {
+    for (word c = 0; c < cols; ++c) {
+      dest[static_cast<std::size_t>(r * cols + c)] = c * rows + r;
+    }
+  }
+  return dest;
+}
+
+sim::Program plan_routed_transpose(const Topology& t, word rows, word cols,
+                                   word elements_per_node, const RoutedOptions& opt) {
+  return plan_routed_permutation(t, transpose_permutation(t, rows, cols), elements_per_node,
+                                 opt);
+}
+
+std::vector<std::vector<word>> routed_layout(const Topology& t, word elements_per_node) {
+  std::vector<std::vector<word>> layout(static_cast<std::size_t>(t.nodes()));
+  for (word x = 0; x < t.nodes(); ++x) {
+    auto& slots = layout[static_cast<std::size_t>(x)];
+    slots.resize(static_cast<std::size_t>(elements_per_node));
+    std::iota(slots.begin(), slots.end(), x * elements_per_node);
+  }
+  return layout;
+}
+
+}  // namespace nct::topo

@@ -1,0 +1,57 @@
+// Generic BFS-routed planner: valid sim::Programs on any Topology.
+//
+// The paper's SBT/SBnT/MPT planners exploit cube structure; on other
+// interconnects we fall back to per-message shortest-path routing.  The
+// planner emits one phase of store-and-forward sends, each routed by the
+// topology's deterministic BFS (or by a caller-supplied router, e.g. a
+// fault-avoiding `fault::route_around` — the indirection keeps the
+// topology library independent of the fault library).
+//
+// Data convention (matching the transpose tests): element
+// `src * elements_per_node + i` starts in slot i of node src and ends in
+// slot i of node dest[src]; `dest` must be a permutation so no
+// destination slot is written twice.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/program.hpp"
+#include "topology/topology.hpp"
+
+namespace nct::topo {
+
+struct RoutedOptions {
+  /// Route override (e.g. fault::route_around bound to a FaultModel).
+  /// Default: Topology::route.  A send whose route differs from the
+  /// healthy BFS route is marked `rerouted`.
+  std::function<std::vector<int>(word src, word dst)> router;
+
+  /// Split each node's block into messages of at most this many
+  /// elements (0 = one message per node pair).  Smaller messages let
+  /// cut-through machines pipeline and one-port machines interleave.
+  word packet_elements = 0;
+
+  /// Phase label in the emitted program.
+  std::string label = "routed permutation";
+};
+
+/// Plan the permutation node x -> dest[x] (dest.size() == t.nodes(),
+/// bijective) moving `elements_per_node` slots per node.  Throws
+/// std::invalid_argument if dest is not a permutation of the nodes.
+sim::Program plan_routed_permutation(const Topology& t, const std::vector<word>& dest,
+                                     word elements_per_node, const RoutedOptions& opt = {});
+
+/// The transpose permutation on an R x C node grid (node = r*C + c maps
+/// to c*R + r).  rows * cols must equal t.nodes().
+std::vector<word> transpose_permutation(const Topology& t, word rows, word cols);
+
+/// plan_routed_permutation over transpose_permutation(rows, cols).
+sim::Program plan_routed_transpose(const Topology& t, word rows, word cols,
+                                   word elements_per_node, const RoutedOptions& opt = {});
+
+/// The initial node layout for the planner's data convention: node x
+/// holds elements x*elements_per_node .. x*elements_per_node + e - 1.
+std::vector<std::vector<word>> routed_layout(const Topology& t, word elements_per_node);
+
+}  // namespace nct::topo

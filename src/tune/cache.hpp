@@ -41,7 +41,10 @@ namespace nct::tune {
 
 /// On-disk store format version.  Bump on any layout change; old files
 /// then read as empty (tolerant path) or fail loudly (strict path).
-inline constexpr std::uint32_t kStoreVersion = 1;
+/// v2: machine serialization carries the topology signature (kind +
+/// shape), so plans tuned before topologies existed retune rather than
+/// silently matching a differently-wired machine.
+inline constexpr std::uint32_t kStoreVersion = 2;
 
 /// A content key: the exact canonical bytes plus their FNV-1a hash (the
 /// index; the bytes guard against hash collisions).

@@ -73,6 +73,12 @@ void serialize(ByteWriter& w, const sim::MachineParams& m) {
   w.u8(static_cast<std::uint8_t>(m.port));
   w.u8(static_cast<std::uint8_t>(m.switching));
   w.str(m.name);
+  // Topology signature (store version 2+): kind tag plus radix shape.
+  // A hypercube is kind 0 with an empty shape, so cube machines of
+  // different n still hash apart via the leading i32.
+  w.u8(static_cast<std::uint8_t>(m.topology.kind));
+  w.u32(static_cast<std::uint32_t>(m.topology.shape.size()));
+  for (const int radix : m.topology.shape) w.i32(radix);
 }
 
 sim::MachineParams deserialize_machine(ByteReader& r) {
@@ -90,6 +96,18 @@ sim::MachineParams deserialize_machine(ByteReader& r) {
   if (sw > 1) throw SerializeError("bad switching mode");
   m.switching = static_cast<sim::Switching>(sw);
   m.name = r.str();
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(topo::TopoKind::dragonfly))
+    throw SerializeError("bad topology kind");
+  m.topology.kind = static_cast<topo::TopoKind>(kind);
+  const std::uint32_t nshape = r.u32();
+  if (nshape > 64) throw SerializeError("bad topology shape");
+  m.topology.shape.reserve(nshape);
+  for (std::uint32_t i = 0; i < nshape; ++i) {
+    const std::int32_t radix = r.i32();
+    if (radix < 1) throw SerializeError("bad topology radix");
+    m.topology.shape.push_back(radix);
+  }
   return m;
 }
 

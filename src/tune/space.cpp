@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
 #include "analysis/cost_model.hpp"
 #include "core/api.hpp"
@@ -92,6 +93,11 @@ std::vector<word> Space::copy_threshold_grid(const sim::MachineParams& machine,
 
 Space::Space(const cube::PartitionSpec& before, const cube::PartitionSpec& after,
              const sim::MachineParams& machine, SpaceOptions options) {
+  // The candidate families (SBT/SBnT/MPT/...) are Boolean-cube
+  // algorithms; tuning on another topology has no candidates to rank.
+  // Route such machines through topo::plan_routed_permutation instead.
+  if (!machine.topology.is_cube())
+    throw std::invalid_argument("tune::Space requires a hypercube machine");
   const double pq = static_cast<double>(before.shape().elements());
   const bool binary = core::is_binary(before) && core::is_binary(after);
   const bool pairwise = core::is_pairwise_transpose(before, after);

@@ -15,6 +15,8 @@
 #include "core/transpose2d.hpp"
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/routed.hpp"
 
 namespace nct::sim {
 namespace {
@@ -227,6 +229,64 @@ TEST(Engine, TimingOnlySkipsDataDependentErrors) {
   const Memory empty_mem{{kEmptySlot, kEmptySlot}, {kEmptySlot, kEmptySlot}};
   EXPECT_THROW(Engine(m).run(compiled, empty_mem), ProgramError);
   EXPECT_NO_THROW(Engine(m).run_timing(compiled));
+}
+
+TEST(CompileGolden, HypercubeEventStreamIsPinned) {
+  // The exact event stream of a 4-node cube transpose under iPSC
+  // constants, hard-coded.  The topology generalisation (and anything
+  // after it) must keep hypercube runs byte-identical: any drift in
+  // event order, timestamps, link indexing or payload accounting fails
+  // here, not just cross-path agreement.
+  topo::HypercubeTopology t(2);
+  const auto prog = topo::plan_routed_transpose(t, 2, 2, 1);
+  EXPECT_TRUE(prog.topology.is_cube());  // default Program topology is the cube
+  const auto m = MachineParams::ipsc(2);
+  obs::TraceSink trace;
+  EngineOptions opt;
+  opt.trace = &trace;
+  const auto r = Engine(m, opt).run(prog, topo::routed_layout(t, 1));
+  EXPECT_EQ(r.total_time, 0.010008);
+  EXPECT_EQ(r.total_hops, 4u);
+
+  EXPECT_EQ(trace.dimensions(), 2);
+  EXPECT_EQ(trace.nodes(), 4u);
+  EXPECT_EQ(trace.phase_labels(), std::vector<std::string>{"routed permutation"});
+  // One 4-byte hop costs tau + 4 * tc; the literals below are the exact
+  // shortest round-trip representations of the doubles the engine
+  // produced when this stream was pinned (0.010008 is NOT 2 * h in
+  // double arithmetic — do not "simplify" these).
+  const double h = 0.0050039999999999998;
+  const double e2 = 0.010008;
+  const std::vector<obs::TraceEvent> want = {
+      {obs::EventKind::phase_begin, 0, -1, 0, 0, 0, 0, obs::kNoSeq, 0},
+      {obs::EventKind::send_begin, 0, -1, 0, h, 1, 2, 0u, 4},
+      {obs::EventKind::hop, 0, 0, 0, h, 1, 0, 0u, 4},
+      {obs::EventKind::send_begin, 0, -1, 0, h, 2, 1, 1u, 4},
+      {obs::EventKind::hop, 0, 0, 0, h, 2, 3, 1u, 4},
+      {obs::EventKind::hop, 0, 1, h, e2, 0, 2, 0u, 4},
+      {obs::EventKind::send_end, 0, -1, h, e2, 2, 1, 0u, 4},
+      {obs::EventKind::hop, 0, 1, h, e2, 3, 1, 1u, 4},
+      {obs::EventKind::send_end, 0, -1, h, e2, 1, 2, 1u, 4},
+      {obs::EventKind::phase_end, 0, -1, e2, e2, 0, 0, obs::kNoSeq, 0},
+  };
+  ASSERT_EQ(trace.events().size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_TRUE(trace.events()[i] == want[i])
+        << "event " << i << " drifted: got "
+        << obs::event_kind_name(trace.events()[i].kind) << " t0 "
+        << trace.events()[i].t0 << " node " << trace.events()[i].node;
+  }
+
+  // And the compiled paths replay the pinned stream exactly.
+  obs::TraceSink data_trace, timing_trace;
+  EngineOptions opt2;
+  opt2.trace = &data_trace;
+  const auto compiled = compile(prog, m);
+  Engine(m, opt2).run(compiled, topo::routed_layout(t, 1));
+  opt2.trace = &timing_trace;
+  Engine(m, opt2).run_timing(compiled);
+  expect_same_trace(trace, data_trace);
+  expect_same_trace(trace, timing_trace);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <sys/wait.h>
@@ -186,6 +187,55 @@ TEST(NctTuneCli, TuneToleratesACorruptCacheFile) {
   EXPECT_NE(r.output.find("0 entries loaded"), std::string::npos) << r.output;
   // And the rewritten store is healthy again.
   EXPECT_EQ(run_tool("cache check " + path).exit_code, 0);
+}
+
+/// A syntactically-valid, empty store at on-disk version 1 (the format
+/// before topology signatures entered the keys): magic, u32 version,
+/// u64 entry count.
+std::string v1_store(const std::string& name) {
+  const std::string path = temp_path(name);
+  std::string bytes = "NCTPLANC";
+  const std::uint32_t version = 1;
+  const std::uint64_t count = 0;
+  bytes.append(reinterpret_cast<const char*>(&version), sizeof(version));
+  bytes.append(reinterpret_cast<const char*>(&count), sizeof(count));
+  write_file(path, bytes);
+  return path;
+}
+
+TEST(NctTuneCli, CheckNamesBothVersionsOnAV1Store) {
+  // Version 2 added the machine's topology signature to every key; a v1
+  // store must be reported as such, naming both the found and the
+  // expected version so the operator knows retuning is intentional.
+  const auto r = run_tool("cache check " + v1_store("v1.nct"));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("version mismatch"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("store is v1"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("expects v2"), std::string::npos) << r.output;
+}
+
+TEST(NctTuneCli, TuneRetunesOverAV1StoreAndUpgradesIt) {
+  // The tolerant loader treats a stale-version store as empty: tune
+  // succeeds, retunes from scratch, and rewrites the file at the
+  // current version.
+  const std::string path = v1_store("v1-upgrade.nct");
+  const auto r =
+      run_tool("tune --machine ipsc --n 2 --lg 8 --layout 2d --cache " + path);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 entries loaded"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("searched"), std::string::npos) << r.output;
+
+  const auto check = run_tool("cache check " + path);
+  EXPECT_EQ(check.exit_code, 0) << check.output;
+  EXPECT_NE(check.output.find("ok:"), std::string::npos) << check.output;
+
+  // The upgraded file really is v2 on disk.
+  const std::string bytes = read_file(path);
+  ASSERT_GE(bytes.size(), 12u);
+  std::uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + 8, sizeof(version));
+  EXPECT_EQ(version, tune::kStoreVersion);
+  EXPECT_EQ(version, 2u);
 }
 
 }  // namespace

@@ -9,6 +9,10 @@
 //   nct_tune crossover [--machine ipsc|cm] [--lg L] [--jobs J]
 //       Fig 19 decision table: tuned 1D-vs-2D winner per cube size,
 //       against the cost model's predicted crossover
+//   nct_tune crossover --topology [--machine ipsc|cm] [--lg L] [--jobs J]
+//       cross-topology decision table: tuned hypercube transpose vs the
+//       BFS-routed planner on torus / mesh / Swapped Dragonfly at
+//       matched node counts
 //   nct_tune buffer [--machine ipsc] [--n N] [--lg L] [--jobs J]
 //       Fig 11/12 table: buffer-threshold sensitivity and the tuned
 //       B_copy against the closed-form tau/t_copy optimum
@@ -24,11 +28,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "analysis/cost_model.hpp"
+#include "sim/compile.hpp"
+#include "sim/engine.hpp"
 #include "sim/model.hpp"
+#include "topology/routed.hpp"
+#include "topology/topology.hpp"
 #include "tune/cache.hpp"
 #include "tune/layouts.hpp"
 #include "tune/tuner.hpp"
@@ -42,7 +51,8 @@ int usage() {
                "usage: nct_tune tune [--machine ipsc|cm|nport] [--n N] [--lg L]\n"
                "                     [--layout 1d|2d] [--jobs J] [--cache FILE]\n"
                "                     [--fail-link NODE:DIM]...\n"
-               "       nct_tune crossover [--machine ipsc|cm] [--lg L] [--jobs J]\n"
+               "       nct_tune crossover [--topology] [--machine ipsc|cm] [--lg L]\n"
+               "                          [--jobs J]\n"
                "       nct_tune buffer [--machine ipsc|cm] [--n N] [--lg L] [--jobs J]\n"
                "       nct_tune cache list|check FILE\n"
                "       nct_tune cache evict FILE KEYHASH\n");
@@ -58,6 +68,7 @@ struct Args {
   std::string cache_path;
   fault::FaultSpec faults;
   bool have_faults = false;
+  bool topology = false;
 };
 
 bool parse_common(int argc, char** argv, int start, Args& a) {
@@ -105,6 +116,8 @@ bool parse_common(int argc, char** argv, int start, Args& a) {
       a.faults.fail_link(static_cast<cube::word>(std::strtoull(v, nullptr, 10)),
                          std::atoi(colon + 1));
       a.have_faults = true;
+    } else if (s == "--topology") {
+      a.topology = true;
     } else {
       std::fprintf(stderr, "nct_tune: unknown option '%s'\n", s.c_str());
       return false;
@@ -187,7 +200,93 @@ int cmd_tune(const Args& a) {
   return 0;
 }
 
+// Timing-only engine run of a BFS-routed transpose on `id`, on a machine
+// with the same wire/copy constants as the tuned cube machine.
+double routed_transpose_ms(const Args& a, const topo::TopologyId& id, cube::word rows,
+                           cube::word cols, cube::word elems, int* diameter) {
+  const auto t = topo::make_topology(id, 0);
+  sim::MachineParams base;
+  Args ba = a;
+  ba.n = 0;
+  if (!make_machine(ba, base)) throw std::runtime_error("bad machine");
+  const sim::MachineParams m = sim::MachineParams::on_topology(id, base);
+  const sim::Program program = topo::plan_routed_transpose(*t, rows, cols, elems);
+  const sim::CompiledProgram cp = sim::compile(program, m);
+  const sim::Engine engine(m);
+  if (diameter != nullptr) *diameter = t->diameter();
+  return engine.run_timing(cp).total_time * 1e3;
+}
+
+int cmd_crossover_topology(const Args& a) {
+  // Matched-node-count rows: every topology in a block moves the same
+  // 2^lg elements across the same number of nodes, so the table isolates
+  // the wiring (and the routed planner's store-and-forward fallback).
+  struct Row {
+    const char* label;
+    topo::TopologyId id;
+    cube::word rows, cols;
+  };
+  struct Block {
+    int n;  // matched hypercube dimension (nodes = 2^n)
+    std::vector<Row> rows;
+  };
+  const std::vector<Block> blocks = {
+      {4,
+       {{"torus{4,4}", topo::torus_id({4, 4}), 4, 4},
+        {"mesh{4,4}", topo::mesh_id({4, 4}), 4, 4},
+        {"dragonfly(4,2)", topo::dragonfly_id(4, 2), 4, 4}}},
+      {6,
+       {{"torus{4,4,4}", topo::torus_id({4, 4, 4}), 8, 8},
+        {"mesh{8,8}", topo::mesh_id({8, 8}), 8, 8},
+        {"dragonfly(4,4)", topo::dragonfly_id(4, 4), 8, 8}}},
+  };
+
+  std::printf(
+      "cross-topology decision table: tuned hypercube vs BFS-routed transpose,\n"
+      "%s machine constants, 2^%d elements\n",
+      a.machine.c_str(), a.lg);
+  std::printf("%-16s %-7s %-5s %-12s %-12s %-8s\n", "topology", "nodes", "diam",
+              "routed_ms", "cube_ms", "winner");
+  for (const Block& blk : blocks) {
+    Args base = a;
+    base.n = blk.n;
+    sim::MachineParams m;
+    if (!make_machine(base, m)) return 2;
+    const auto pair = tune::fig_layout_2d(a.lg, blk.n);
+    tune::TuneOptions opt;
+    opt.jobs = a.jobs;
+    tune::TunedPlan cube_plan;
+    try {
+      cube_plan = tune::tune_transpose(pair.first, pair.second, m, opt);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "nct_tune: %s\n", e.what());
+      return 1;
+    }
+    const double cube_ms = cube_plan.measured_seconds * 1e3;
+    const cube::word nodes = cube::word{1} << blk.n;
+    const cube::word elems = (cube::word{1} << a.lg) / nodes;
+    std::printf("%-16s %-7llu %-5s %-12s %-12.3f %-8s  (%s)\n", "hypercube",
+                static_cast<unsigned long long>(nodes), std::to_string(blk.n).c_str(), "-",
+                cube_ms, "-", cube_plan.algorithm.c_str());
+    for (const Row& r : blk.rows) {
+      int diam = 0;
+      double ms = 0.0;
+      try {
+        ms = routed_transpose_ms(a, r.id, r.rows, r.cols, elems, &diam);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "nct_tune: %s: %s\n", r.label, e.what());
+        return 1;
+      }
+      std::printf("%-16s %-7llu %-5d %-12.3f %-12.3f %-8s\n", r.label,
+                  static_cast<unsigned long long>(nodes), diam, ms, cube_ms,
+                  ms < cube_ms ? "routed" : "cube");
+    }
+  }
+  return 0;
+}
+
 int cmd_crossover(const Args& a) {
+  if (a.topology) return cmd_crossover_topology(a);
   Args base = a;
   std::printf("Fig 19 decision table: tuned 1D vs 2D winner, %s machine, 2^%d elements\n",
               a.machine.c_str(), a.lg);
