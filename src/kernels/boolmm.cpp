@@ -1,0 +1,250 @@
+#include "kernels/boolmm.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace nct::kernels {
+
+namespace {
+
+std::uint64_t splitmix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::vector<sim::slot> slot_range(word first, word count) {
+  std::vector<sim::slot> slots(static_cast<std::size_t>(count));
+  for (word i = 0; i < count; ++i) slots[static_cast<std::size_t>(i)] = first + i;
+  return slots;
+}
+
+// Word ids: A word (col t, word v) = t*wb + v; B = nb*wb + t*wb + v;
+// final C (row r, word v) = 2*nb*wb + r*wb + v; partial C^(k) =
+// 3*nb*wb + k*nb*wb + r*wb + v.  Areas per node: A [0, rb*wb), B
+// [rb*wb, 2*rb*wb), partial [P, P + nb*wb) dest-major, final
+// [F, F + rb*wb).
+
+class BoolMultiplyStage final : public Stage {
+ public:
+  explicit BoolMultiplyStage(std::shared_ptr<BoolmmState> state)
+      : state_(std::move(state)), name_("bool-multiply") {}
+
+  const std::string& name() const noexcept override { return name_; }
+  bool is_comm() const noexcept override { return false; }
+
+  void reset() override {
+    state_->partial.assign(state_->partial.size(), 0);
+    state_->c.assign(state_->c.size(), 0);
+  }
+
+  sim::Memory expected(const sim::Memory& entry) const override {
+    sim::Memory out = entry;
+    const BoolmmState& st = *state_;
+    const word wb = st.wb, base = 2 * st.rb * st.wb;
+    for (word k = 0; k < st.p; ++k) {
+      auto& node = out.at(static_cast<std::size_t>(k));
+      for (word r = 0; r < st.nb; ++r)
+        for (word v = 0; v < wb; ++v)
+          node.at(static_cast<std::size_t>(base + r * wb + v)) =
+              3 * st.nb * wb + k * st.nb * wb + r * wb + v;
+    }
+    return out;
+  }
+
+  sim::Memory apply(sim::Memory entry) override {
+    const BoolmmState& st = *state_;
+    const word wb = st.wb;
+    for (word k = 0; k < st.p; ++k) {
+      const auto& mem = entry.at(static_cast<std::size_t>(k));
+      for (word t2 = 0; t2 < st.rb; ++t2) {
+        const word t = k * st.rb + t2;
+        for (word v = 0; v < wb; ++v) {
+          require(mem, k, t2 * wb + v, t * wb + v, "A");
+          require(mem, k, st.rb * wb + t2 * wb + v, st.nb * wb + t * wb + v, "B");
+        }
+      }
+      // C^(k) row r |= B row t for every t in k's block with A(r, t).
+      std::uint64_t* part = state_->partial.data() + static_cast<std::size_t>(k) * st.nb * wb;
+      for (word t2 = 0; t2 < st.rb; ++t2) {
+        const word t = k * st.rb + t2;
+        const std::uint64_t* col = state_->a_cols.data() + static_cast<std::size_t>(t) * wb;
+        const std::uint64_t* row = state_->b_rows.data() + static_cast<std::size_t>(t) * wb;
+        for (word r = 0; r < st.nb; ++r) {
+          if ((col[r / 64] >> (r % 64) & 1) == 0) continue;
+          std::uint64_t* dst = part + static_cast<std::size_t>(r) * wb;
+          for (word v = 0; v < wb; ++v) dst[v] |= row[v];
+        }
+      }
+    }
+    return expected(entry);
+  }
+
+ private:
+  void require(const std::vector<word>& mem, word node, word slot, word id,
+               const char* what) const {
+    if (mem.at(static_cast<std::size_t>(slot)) != id)
+      throw PipelineError(name_ + ": node " + std::to_string(node) + " slot " +
+                          std::to_string(slot) + " should hold " + what + " word id " +
+                          std::to_string(id));
+  }
+
+  std::shared_ptr<BoolmmState> state_;
+  std::string name_;
+};
+
+class BoolCombineStage final : public Stage {
+ public:
+  explicit BoolCombineStage(std::shared_ptr<BoolmmState> state)
+      : state_(std::move(state)), name_("bool-combine") {}
+
+  const std::string& name() const noexcept override { return name_; }
+  bool is_comm() const noexcept override { return false; }
+
+  sim::Memory expected(const sim::Memory& entry) const override {
+    sim::Memory out = entry;
+    const BoolmmState& st = *state_;
+    const word wb = st.wb, final_base = 2 * st.rb * wb + st.nb * wb;
+    for (word j = 0; j < st.p; ++j) {
+      auto& node = out.at(static_cast<std::size_t>(j));
+      for (word r2 = 0; r2 < st.rb; ++r2)
+        for (word v = 0; v < wb; ++v)
+          node.at(static_cast<std::size_t>(final_base + r2 * wb + v)) =
+              2 * st.nb * wb + (j * st.rb + r2) * wb + v;
+    }
+    return out;
+  }
+
+  sim::Memory apply(sim::Memory entry) override {
+    const BoolmmState& st = *state_;
+    const word wb = st.wb, part_base = 2 * st.rb * wb, block = st.rb * wb;
+    for (word j = 0; j < st.p; ++j) {
+      const auto& mem = entry.at(static_cast<std::size_t>(j));
+      for (word k = 0; k < st.p; ++k) {
+        for (word r2 = 0; r2 < st.rb; ++r2) {
+          const word r = j * st.rb + r2;
+          for (word v = 0; v < wb; ++v) {
+            const word slot = part_base + k * block + r2 * wb + v;
+            const word id = 3 * st.nb * wb + k * st.nb * wb + r * wb + v;
+            if (mem.at(static_cast<std::size_t>(slot)) != id)
+              throw PipelineError(name_ + ": node " + std::to_string(j) +
+                                  " is missing partial word id " + std::to_string(id) +
+                                  " at slot " + std::to_string(slot));
+            state_->c[static_cast<std::size_t>(r) * wb + v] |=
+                state_->partial[(static_cast<std::size_t>(k) * st.nb + r) * wb + v];
+          }
+        }
+      }
+    }
+    return expected(entry);
+  }
+
+ private:
+  std::shared_ptr<BoolmmState> state_;
+  std::string name_;
+};
+
+std::string make_signature(const sim::MachineParams& machine, word nb) {
+  return "boolmm nb=" + std::to_string(nb) + " p=" + std::to_string(machine.nodes()) +
+         " @ " + machine.topology.name(machine.n);
+}
+
+}  // namespace
+
+BoolmmKernel::BoolmmKernel(const sim::MachineParams& machine, BoolmmOptions options)
+    : state_(std::make_shared<BoolmmState>()),
+      pipeline_(make_signature(machine, options.nb), machine) {
+  BoolmmState& st = *state_;
+  st.nb = options.nb;
+  st.p = machine.nodes();
+  if (st.nb == 0 || st.nb % 64 != 0)
+    throw std::invalid_argument("boolmm: nb must be a positive multiple of 64");
+  if (st.p == 0 || st.nb % st.p != 0)
+    throw std::invalid_argument("boolmm: nb must be a multiple of the node count");
+  if (options.density == 0) throw std::invalid_argument("boolmm: density must be >= 1");
+  st.rb = st.nb / st.p;
+  st.wb = st.nb / 64;
+  st.a_cols.assign(static_cast<std::size_t>(st.nb) * st.wb, 0);
+  st.b_rows.assign(static_cast<std::size_t>(st.nb) * st.wb, 0);
+  st.partial.assign(static_cast<std::size_t>(st.p) * st.nb * st.wb, 0);
+  st.c.assign(static_cast<std::size_t>(st.nb) * st.wb, 0);
+  for (word r = 0; r < st.nb; ++r) {
+    for (word t = 0; t < st.nb; ++t) {
+      if (splitmix(options.seed ^ 0xa11ce5ull ^ (r * st.nb + t)) % options.density == 0)
+        st.a_cols[static_cast<std::size_t>(t) * st.wb + r / 64] |= std::uint64_t{1} << (r % 64);
+      if (splitmix(options.seed ^ 0xb0b5ull ^ (r * st.nb + t)) % options.density == 0)
+        st.b_rows[static_cast<std::size_t>(r) * st.wb + t / 64] |= std::uint64_t{1} << (t % 64);
+    }
+  }
+
+  const word wb = st.wb, block = st.rb * wb;
+  const word part_base = 2 * block;
+  const word local = 2 * block + st.nb * wb + block;
+
+  pipeline_.add(std::make_shared<BoolMultiplyStage>(state_));
+
+  // Scatter: partial row-block j of node k (dest-major at part_base +
+  // j*block) goes to node j, landing source-major at part_base + k*block
+  // — the all-to-all convention, so the exchange family applies on the
+  // cube.
+  {
+    MoveStageSpec spec;
+    spec.name = "scatter";
+    spec.local_slots = local;
+    spec.exchange = true;
+    spec.exchange_block = block;
+    spec.exchange_offset = part_base;
+    for (word k = 0; k < st.p; ++k)
+      for (word j = 0; j < st.p; ++j) {
+        if (k == j) continue;
+        spec.moves.push_back({k, j, slot_range(part_base + j * block, block),
+                              slot_range(part_base + k * block, block), false});
+      }
+    pipeline_.add(std::make_shared<MoveStage>(std::move(spec)));
+  }
+
+  pipeline_.add(std::make_shared<BoolCombineStage>(state_));
+}
+
+sim::Memory BoolmmKernel::initial_memory() const {
+  const BoolmmState& st = *state_;
+  const word wb = st.wb, block = st.rb * wb;
+  const word local = 2 * block + st.nb * wb + block;
+  sim::Memory m(static_cast<std::size_t>(st.p),
+                std::vector<word>(static_cast<std::size_t>(local), sim::kEmptySlot));
+  for (word k = 0; k < st.p; ++k) {
+    auto& node = m[static_cast<std::size_t>(k)];
+    for (word t2 = 0; t2 < st.rb; ++t2) {
+      const word t = k * st.rb + t2;
+      for (word v = 0; v < wb; ++v) {
+        node[static_cast<std::size_t>(t2 * wb + v)] = t * wb + v;
+        node[static_cast<std::size_t>(block + t2 * wb + v)] = st.nb * wb + t * wb + v;
+      }
+    }
+  }
+  return m;
+}
+
+sim::Memory BoolmmKernel::final_memory() const {
+  sim::Memory m = initial_memory();
+  for (const auto& stage : pipeline_.stages()) m = stage->expected(m);
+  return m;
+}
+
+std::vector<std::uint64_t> BoolmmKernel::reference() const {
+  const BoolmmState& st = *state_;
+  std::vector<std::uint64_t> out(static_cast<std::size_t>(st.nb) * st.wb, 0);
+  for (word r = 0; r < st.nb; ++r) {
+    std::uint64_t* dst = out.data() + static_cast<std::size_t>(r) * st.wb;
+    for (word t = 0; t < st.nb; ++t) {
+      if ((st.a_cols[static_cast<std::size_t>(t) * st.wb + r / 64] >> (r % 64) & 1) == 0)
+        continue;
+      const std::uint64_t* row = st.b_rows.data() + static_cast<std::size_t>(t) * st.wb;
+      for (word v = 0; v < st.wb; ++v) dst[v] |= row[v];
+    }
+  }
+  return out;
+}
+
+}  // namespace nct::kernels

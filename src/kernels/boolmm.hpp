@@ -1,0 +1,76 @@
+// Bit-packed Boolean matrix multiplication C = A (and/or) B on the comm
+// substrate, in the style of Karppa & Kaski's broadword Boolean kernels:
+// matrix bits are packed 64 per machine word, multiplication is
+// word-wide OR/AND, and a "matrix element" of the simulator is one
+// packed 64-bit word.
+//
+// Decomposition (outer-product form): node k holds A *column*-block k
+// (packed by column) and B *row*-block k (packed by row).  It computes
+// the full nb x nb partial product C^(k) = A(:, k-block) * B(k-block, :)
+// locally — pure broadword compute, no communication — then a single
+// all-to-all scatter sends each partial row-block j to node j, which
+// ORs the p contributions into final C row-block j.
+//
+// The pipeline is three stages — multiply (compute), scatter (comm,
+// the tunable all-to-all), combine (compute) — each with a full
+// placement contract at word granularity.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernels/pipeline.hpp"
+
+namespace nct::kernels {
+
+struct BoolmmOptions {
+  /// Matrix order; must be a positive multiple of 64 and of the node
+  /// count.
+  word nb = 64;
+  /// Seed for the deterministic host operand bits.
+  std::uint64_t seed = 1;
+  /// Operand density: a bit is set when (hash % den) == 0 (den >= 1).
+  std::uint64_t density = 3;
+};
+
+/// Shared host-side state: packed operand bits, the per-node partial
+/// products, and the final packed product.
+struct BoolmmState {
+  word nb = 0, p = 0, rb = 0, wb = 0;
+  std::vector<std::uint64_t> a_cols;   ///< column t, word v at t*wb + v.
+  std::vector<std::uint64_t> b_rows;   ///< row t, word v at t*wb + v.
+  std::vector<std::uint64_t> partial;  ///< C^(k): [k*nb*wb + r*wb + v].
+  std::vector<std::uint64_t> c;        ///< final rows: [r*wb + v].
+};
+
+class BoolmmKernel {
+ public:
+  BoolmmKernel(const sim::MachineParams& machine, BoolmmOptions options);
+
+  Pipeline& pipeline() noexcept { return pipeline_; }
+  const Pipeline& pipeline() const noexcept { return pipeline_; }
+  const BoolmmState& state() const noexcept { return *state_; }
+  const std::string& signature() const noexcept { return pipeline_.signature(); }
+
+  /// Canonical entry image: node k holds its A column-block (packed
+  /// columns) and B row-block (packed rows); partial and final C areas
+  /// empty.
+  sim::Memory initial_memory() const;
+
+  /// Exit image of the whole pipeline from the canonical entry.
+  sim::Memory final_memory() const;
+
+  /// Host oracle: packed rows of A * B over the Boolean semiring.
+  std::vector<std::uint64_t> reference() const;
+
+  /// The packed product after a pipeline run (row r word v at r*wb + v).
+  const std::vector<std::uint64_t>& result() const noexcept { return state_->c; }
+
+ private:
+  std::shared_ptr<BoolmmState> state_;
+  Pipeline pipeline_;
+};
+
+}  // namespace nct::kernels

@@ -1,0 +1,355 @@
+#include "kernels/matmul.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "cube/gray.hpp"
+
+namespace nct::kernels {
+
+namespace {
+
+std::uint64_t splitmix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Small integer values: every partial sum stays well inside the exact
+/// double range, so the kernel's block-order accumulation and the
+/// oracle's row-order accumulation agree bit-for-bit.
+double small_value(std::uint64_t seed, std::uint64_t index, std::uint64_t salt) {
+  return static_cast<double>(
+      static_cast<std::int64_t>(splitmix(seed ^ (salt * 0x7f4a7c15ull) ^ index) % 7) - 3);
+}
+
+std::vector<sim::slot> slot_range(word first, word count) {
+  std::vector<sim::slot> slots(static_cast<std::size_t>(count));
+  for (word i = 0; i < count; ++i) slots[static_cast<std::size_t>(i)] = first + i;
+  return slots;
+}
+
+word bundle_for(word p, word requested) {
+  if (requested != 0) return requested > p ? p : requested;
+  word k = 1;
+  while (k * k < p) ++k;  // ceil(sqrt(p))
+  return k;
+}
+
+/// The round-l multiply: verify the scheduled operand placement, then
+/// accumulate the K block-products into the shared host accumulator.
+class MultiplyStage final : public Stage {
+ public:
+  MultiplyStage(std::shared_ptr<HsmmState> state, word round)
+      : state_(std::move(state)), round_(round),
+        name_("multiply round " + std::to_string(round)) {}
+
+  const std::string& name() const noexcept override { return name_; }
+  bool is_comm() const noexcept override { return false; }
+
+  void reset() override {
+    if (round_ == 0) state_->c.assign(state_->c.size(), 0.0);
+  }
+
+  sim::Memory expected(const sim::Memory& entry) const override {
+    sim::Memory out = entry;
+    if (round_ != 0) return out;
+    const HsmmState& st = *state_;
+    const word c_base = (st.K + 1) * st.e;
+    for (word rho = 0; rho < st.p; ++rho) {
+      auto& node = out.at(static_cast<std::size_t>(st.ring[static_cast<std::size_t>(rho)]));
+      for (word i = 0; i < st.w; ++i) {
+        for (word col = 0; col < st.nm; ++col) {
+          node.at(static_cast<std::size_t>(c_base + i * st.nm + col)) =
+              2 * st.nm * st.nm + (rho * st.w + i) * st.nm + col;
+        }
+      }
+    }
+    return out;
+  }
+
+  sim::Memory apply(sim::Memory entry) override {
+    const HsmmState& st = *state_;
+    const word kt = st.w * st.w;
+    for (word rho = 0; rho < st.p; ++rho) {
+      const word node = st.ring[static_cast<std::size_t>(rho)];
+      const auto& mem = entry.at(static_cast<std::size_t>(node));
+      // A row-block rho must sit in the A area, row-major.
+      for (word i = 0; i < st.w; ++i) {
+        for (word col = 0; col < st.nm; ++col) {
+          require(mem, node, i * st.nm + col, (rho * st.w + i) * st.nm + col, "A");
+        }
+      }
+      for (word kappa = 0; kappa < st.K; ++kappa) {
+        const word t = round_ * st.K + kappa;
+        if (t >= st.p) continue;  // bundle overhang past the last block.
+        const word j = (rho + t) % st.p;
+        // B copy kappa must hold row-block j, tiled by source column
+        // block: B(j*w + i, x*w + c) at copy_base + x*w^2 + i*w + c.
+        const word copy_base = st.e + kappa * st.e;
+        for (word x = 0; x < st.p; ++x) {
+          for (word i = 0; i < st.w; ++i) {
+            for (word col = 0; col < st.w; ++col) {
+              require(mem, node, copy_base + x * kt + i * st.w + col,
+                      st.nm * st.nm + (j * st.w + i) * st.nm + x * st.w + col, "B");
+            }
+          }
+        }
+        // C rows [rho*w, rho*w + w) += A(:, block j) * B(block j, :).
+        for (word i = 0; i < st.w; ++i) {
+          const word r = rho * st.w + i;
+          for (word cc = 0; cc < st.nm; ++cc) {
+            double s = 0.0;
+            for (word u = 0; u < st.w; ++u)
+              s += state_->a[static_cast<std::size_t>(r * st.nm + j * st.w + u)] *
+                   state_->b[static_cast<std::size_t>((j * st.w + u) * st.nm + cc)];
+            state_->c[static_cast<std::size_t>(r * st.nm + cc)] += s;
+          }
+        }
+      }
+    }
+    if (round_ == 0) return expected(entry);
+    return entry;
+  }
+
+ private:
+  void require(const std::vector<word>& mem, word node, word slot, word id,
+               const char* what) const {
+    if (mem.at(static_cast<std::size_t>(slot)) != id)
+      throw PipelineError(name_ + ": node " + std::to_string(node) + " slot " +
+                          std::to_string(slot) + " should hold " + what + " id " +
+                          std::to_string(id) + ", holds " +
+                          (mem[static_cast<std::size_t>(slot)] == sim::kEmptySlot
+                               ? std::string("<empty>")
+                               : std::to_string(mem[static_cast<std::size_t>(slot)])));
+  }
+
+  std::shared_ptr<HsmmState> state_;
+  word round_;
+  std::string name_;
+};
+
+std::string make_signature(const sim::MachineParams& machine, word nm, word p, word k) {
+  return "hsmm nm=" + std::to_string(nm) + " p=" + std::to_string(p) + " K=" +
+         std::to_string(k) + " @ " + machine.topology.name(machine.n);
+}
+
+}  // namespace
+
+std::vector<word> ring_order(const topo::Topology& t) {
+  const word p = t.nodes();
+  std::vector<word> ring;
+  ring.reserve(static_cast<std::size_t>(p));
+  switch (t.id().kind) {
+    case topo::TopoKind::hypercube:
+      for (word pos = 0; pos < p; ++pos) ring.push_back(cube::gray(pos));
+      break;
+    case topo::TopoKind::torus:
+    case topo::TopoKind::mesh: {
+      // Boustrophedon walk: scan dimension 0, flipping direction at each
+      // boundary so consecutive positions always differ by one step in
+      // exactly one dimension (grid-adjacent, wired on torus and mesh).
+      const std::vector<int>& shape = t.id().shape;
+      const std::size_t dims = shape.size();
+      std::vector<int> coord(dims, 0);
+      std::vector<int> dir(dims, 1);
+      std::vector<word> stride(dims, 1);
+      for (std::size_t d = 1; d < dims; ++d)
+        stride[d] = stride[d - 1] * static_cast<word>(shape[d - 1]);
+      for (word pos = 0; pos < p; ++pos) {
+        word id = 0;
+        for (std::size_t d = 0; d < dims; ++d)
+          id += static_cast<word>(coord[d]) * stride[d];
+        ring.push_back(id);
+        for (std::size_t d = 0; d < dims; ++d) {
+          const int next = coord[d] + dir[d];
+          if (next >= 0 && next < shape[d]) {
+            coord[d] = next;
+            break;
+          }
+          dir[d] = -dir[d];  // carry into the next dimension.
+        }
+      }
+      break;
+    }
+    case topo::TopoKind::dragonfly:
+      for (word pos = 0; pos < p; ++pos) ring.push_back(pos);
+      break;
+  }
+  return ring;
+}
+
+HsmmKernel::HsmmKernel(const sim::MachineParams& machine, HsmmOptions options)
+    : state_(std::make_shared<HsmmState>()),
+      pipeline_(make_signature(machine, options.nm, machine.nodes(),
+                               bundle_for(machine.nodes(), options.bundle)),
+                machine) {
+  HsmmState& st = *state_;
+  st.nm = options.nm;
+  st.p = machine.nodes();
+  if (st.nm == 0 || st.p == 0 || st.nm % st.p != 0)
+    throw std::invalid_argument("hsmm: nm must be a positive multiple of the node count");
+  st.w = st.nm / st.p;
+  st.e = st.w * st.nm;
+  st.K = bundle_for(st.p, options.bundle);
+  st.L = (st.p + st.K - 1) / st.K;
+  st.ring = ring_order(*pipeline_.topology());
+  const std::size_t elems = static_cast<std::size_t>(st.nm) * st.nm;
+  st.a.resize(elems);
+  st.b.resize(elems);
+  st.c.assign(elems, 0.0);
+  for (std::size_t i = 0; i < elems; ++i) {
+    st.a[i] = small_value(options.seed, i, 1);
+    st.b[i] = small_value(options.seed, i, 2);
+  }
+
+  const word e = st.e, p = st.p, K = st.K, kt = st.w * st.w;
+  const word local = (K + 2) * e;
+  const word b_area = K * e;  // all K copies: slots [e, (K+1)e).
+
+  // Stage: transpose-B.  Node x holds B column-block x as p tiles; the
+  // all-to-all makes node j hold row-block j (x's tile at offset x*kt).
+  {
+    MoveStageSpec spec;
+    spec.name = "transpose-B";
+    spec.local_slots = local;
+    spec.exchange = true;
+    spec.exchange_block = kt;
+    spec.exchange_offset = e;
+    for (word x = 0; x < p; ++x) {
+      for (word j = 0; j < p; ++j) {
+        if (x == j) continue;
+        spec.moves.push_back({x, j, slot_range(e + j * kt, kt), slot_range(e + x * kt, kt),
+                              false});
+      }
+    }
+    pipeline_.add(std::make_shared<MoveStage>(std::move(spec)));
+  }
+
+  // Stage: distribute onto the ring — grid node x becomes ring position
+  // x, so block x moves to physical node ring[x].
+  {
+    MoveStageSpec spec;
+    spec.name = "distribute";
+    spec.local_slots = local;
+    for (word x = 0; x < p; ++x) {
+      const word dst = st.ring[static_cast<std::size_t>(x)];
+      if (dst == x) continue;
+      spec.moves.push_back({x, dst, slot_range(0, 2 * e), slot_range(0, 2 * e), false});
+    }
+    pipeline_.add(std::make_shared<MoveStage>(std::move(spec)));
+  }
+
+  // Stage: replicate B (the hyper-systolic bundle): copy kappa at ring
+  // position rho receives copy 0 of position rho + kappa.  The ring
+  // decomposition builds copy s from the neighbour's copy s - 1 in K - 1
+  // single-step phases.
+  if (K > 1) {
+    MoveStageSpec spec;
+    spec.name = "replicate";
+    spec.local_slots = local;
+    for (word rho = 0; rho < p; ++rho) {
+      for (word kappa = 1; kappa < K; ++kappa) {
+        spec.moves.push_back({st.ring[static_cast<std::size_t>((rho + kappa) % p)],
+                              st.ring[static_cast<std::size_t>(rho)], slot_range(e, e),
+                              slot_range(e + kappa * e, e), true});
+      }
+    }
+    spec.ring_phases.resize(static_cast<std::size_t>(K - 1));
+    for (word s = 1; s < K; ++s) {
+      auto& phase = spec.ring_phases[static_cast<std::size_t>(s - 1)];
+      for (word rho = 0; rho < p; ++rho) {
+        phase.push_back({st.ring[static_cast<std::size_t>((rho + 1) % p)],
+                         st.ring[static_cast<std::size_t>(rho)],
+                         slot_range(e + (s - 1) * e, e), slot_range(e + s * e, e), true});
+      }
+    }
+    pipeline_.add(std::make_shared<MoveStage>(std::move(spec)));
+  }
+
+  // L rounds: multiply, then (between rounds) shift all K copies K ring
+  // positions at once — or, in the ring decomposition, K single steps.
+  for (word round = 0; round < st.L; ++round) {
+    pipeline_.add(std::make_shared<MultiplyStage>(state_, round));
+    if (round + 1 == st.L) break;
+    MoveStageSpec spec;
+    spec.name = "shift round " + std::to_string(round);
+    spec.local_slots = local;
+    for (word rho = 0; rho < p; ++rho) {
+      spec.moves.push_back({st.ring[static_cast<std::size_t>((rho + K) % p)],
+                            st.ring[static_cast<std::size_t>(rho)], slot_range(e, b_area),
+                            slot_range(e, b_area), false});
+    }
+    spec.ring_phases.resize(static_cast<std::size_t>(K));
+    for (word s = 0; s < K; ++s) {
+      auto& phase = spec.ring_phases[static_cast<std::size_t>(s)];
+      for (word rho = 0; rho < p; ++rho) {
+        phase.push_back({st.ring[static_cast<std::size_t>((rho + 1) % p)],
+                         st.ring[static_cast<std::size_t>(rho)], slot_range(e, b_area),
+                         slot_range(e, b_area), false});
+      }
+    }
+    pipeline_.add(std::make_shared<MoveStage>(std::move(spec)));
+  }
+
+  // Stage: collect — C row-block rho returns from ring position rho to
+  // grid node rho.
+  {
+    MoveStageSpec spec;
+    spec.name = "collect";
+    spec.local_slots = local;
+    for (word rho = 0; rho < p; ++rho) {
+      const word src = st.ring[static_cast<std::size_t>(rho)];
+      if (src == rho) continue;
+      spec.moves.push_back({src, rho, slot_range((K + 1) * e, e), slot_range((K + 1) * e, e),
+                            false});
+    }
+    pipeline_.add(std::make_shared<MoveStage>(std::move(spec)));
+  }
+}
+
+sim::Memory HsmmKernel::initial_memory() const {
+  const HsmmState& st = *state_;
+  const word e = st.e, kt = st.w * st.w;
+  const word local = (st.K + 2) * e;
+  sim::Memory m(static_cast<std::size_t>(st.p),
+                std::vector<word>(static_cast<std::size_t>(local), sim::kEmptySlot));
+  for (word x = 0; x < st.p; ++x) {
+    auto& node = m[static_cast<std::size_t>(x)];
+    for (word i = 0; i < st.w; ++i)
+      for (word col = 0; col < st.nm; ++col)
+        node[static_cast<std::size_t>(i * st.nm + col)] = (x * st.w + i) * st.nm + col;
+    // B column-block x, tiled: the tile destined for node j (rows
+    // [j*w, (j+1)*w), cols [x*w, (x+1)*w)) contiguous at e + j*kt.
+    for (word j = 0; j < st.p; ++j)
+      for (word i = 0; i < st.w; ++i)
+        for (word col = 0; col < st.w; ++col)
+          node[static_cast<std::size_t>(e + j * kt + i * st.w + col)] =
+              st.nm * st.nm + (j * st.w + i) * st.nm + x * st.w + col;
+  }
+  return m;
+}
+
+sim::Memory HsmmKernel::final_memory() const {
+  sim::Memory m = initial_memory();
+  for (const auto& stage : pipeline_.stages()) m = stage->expected(m);
+  return m;
+}
+
+std::vector<double> HsmmKernel::reference() const {
+  const HsmmState& st = *state_;
+  std::vector<double> out(static_cast<std::size_t>(st.nm) * st.nm, 0.0);
+  for (word r = 0; r < st.nm; ++r)
+    for (word t = 0; t < st.nm; ++t) {
+      const double a = st.a[static_cast<std::size_t>(r * st.nm + t)];
+      if (a == 0.0) continue;
+      for (word c = 0; c < st.nm; ++c)
+        out[static_cast<std::size_t>(r * st.nm + c)] +=
+            a * st.b[static_cast<std::size_t>(t * st.nm + c)];
+    }
+  return out;
+}
+
+}  // namespace nct::kernels

@@ -1,0 +1,103 @@
+// Hyper-systolic dense matrix multiplication C = A * B on the comm
+// substrate (Lippert et al., the hyper-systolic algorithm family).
+//
+// p nodes in a ring embedded in the machine's topology (Gray-code order
+// on the cube, a boustrophedon walk on torus/mesh, identity on the
+// dragonfly — consecutive ring positions are grid neighbours wherever
+// the grid has them).  With w = nm / p:
+//
+//   * ring position rho holds A row-block rho (w x nm) and, initially,
+//     B row-block rho;
+//   * B is *replicated* K times (K ~ sqrt(p), the hyper-systolic
+//     bundle): copy kappa at position rho holds B row-block
+//     (rho + kappa) mod p;
+//   * L = ceil(p / K) compute rounds: in round l, copy kappa holds
+//     block (rho + l*K + kappa) mod p, so each node accumulates K
+//     block-products per round; between rounds all K copies shift K
+//     positions along the ring at once.
+//
+// Start-ups: (K - 1) replication + (L - 1) shifts ~ 2 sqrt(p), versus
+// the p - 1 single-step shifts of the classic systolic ring — the
+// trade the paper's tau-dominated machines (iPSC) care about.
+//
+// The kernel is expressed entirely as a Pipeline: transpose-B (the
+// operand arrives column-partitioned, an all-to-all exchange makes it
+// row-partitioned), distribute onto the ring, replicate, L rounds of
+// multiply + shift, and collect.  Every stage carries its placement
+// contract; multiply stages verify the scheduled B block ids are
+// physically present before touching the host values.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernels/pipeline.hpp"
+
+namespace nct::kernels {
+
+struct HsmmOptions {
+  /// Matrix order; must be a positive multiple of the node count.
+  word nm = 16;
+  /// Hyper-systolic bundle K (0 = ceil(sqrt(p)), clamped to [1, p]).
+  word bundle = 0;
+  /// Seed for the deterministic host operand values (small integers, so
+  /// every double sum is exact and accumulation order cannot matter).
+  std::uint64_t seed = 1;
+};
+
+/// Shared host-side state: the operand values shadowing the placed ids,
+/// and the accumulator the multiply stages fill.
+struct HsmmState {
+  word nm = 0, p = 0, w = 0, e = 0, K = 0, L = 0;
+  std::vector<word> ring;    ///< ring[pos] = physical node id.
+  std::vector<double> a, b;  ///< nm x nm, row-major.
+  std::vector<double> c;     ///< accumulator, reset per run.
+};
+
+class HsmmKernel {
+ public:
+  HsmmKernel(const sim::MachineParams& machine, HsmmOptions options);
+
+  Pipeline& pipeline() noexcept { return pipeline_; }
+  const Pipeline& pipeline() const noexcept { return pipeline_; }
+  const HsmmState& state() const noexcept { return *state_; }
+  const std::string& signature() const noexcept { return pipeline_.signature(); }
+
+  /// Canonical entry image: node x holds A row-block x (row-major in the
+  /// A area) and B *column*-block x, tiled so the tile destined for node
+  /// j is contiguous (the transpose-B stage is then a textbook
+  /// all-to-all).  C and replica areas start empty.
+  sim::Memory initial_memory() const;
+
+  /// The exit image of the whole pipeline from the canonical entry:
+  /// node x ends with C row-block x in the C area.
+  sim::Memory final_memory() const;
+
+  /// Host O(nm^3) oracle: A * B row-major.
+  std::vector<double> reference() const;
+
+  /// The accumulated product after a pipeline run (row-major nm x nm).
+  const std::vector<double>& result() const noexcept { return state_->c; }
+
+  // Id scheme (elements are ids; values live in HsmmState).
+  word id_a(word r, word c) const noexcept { return r * state_->nm + c; }
+  word id_b(word r, word c) const noexcept {
+    return state_->nm * state_->nm + r * state_->nm + c;
+  }
+  word id_c(word r, word c) const noexcept {
+    return 2 * state_->nm * state_->nm + r * state_->nm + c;
+  }
+
+ private:
+  std::shared_ptr<HsmmState> state_;
+  Pipeline pipeline_;
+};
+
+/// The ring embedding used by the kernels: Gray-code order on the cube,
+/// a boustrophedon (snake) walk on torus/mesh — consecutive positions
+/// are grid-adjacent — identity elsewhere.  ring[pos] = node id.
+std::vector<word> ring_order(const topo::Topology& t);
+
+}  // namespace nct::kernels

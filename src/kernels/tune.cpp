@@ -1,0 +1,122 @@
+#include "kernels/tune.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/batch.hpp"
+#include "sim/compile.hpp"
+#include "sim/engine.hpp"
+
+namespace nct::kernels {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+TunedComposition tune_pipeline(const Pipeline& pipeline, const sim::Memory& initial,
+                               const KernelTuneOptions& options) {
+  const sim::MachineParams& machine = pipeline.machine();
+  fault::FaultModel model;
+  if (options.faults != nullptr && !options.faults->empty())
+    model = fault::FaultModel(pipeline.topology(), *options.faults);
+  const fault::FaultModel* faults = model.empty() ? nullptr : &model;
+  const PlanContext ctx{machine, *pipeline.topology(), faults};
+
+  sim::EngineOptions eopt;
+  eopt.faults = faults;
+  const sim::Engine engine(machine, eopt);
+
+  TunedComposition out;
+  sim::Memory current = initial;
+  for (std::size_t i = 0; i < pipeline.stages().size(); ++i) {
+    const Stage& stage = *pipeline.stages()[i];
+    if (!stage.is_comm()) {
+      out.composition.push_back({});
+      current = stage.expected(current);
+      continue;
+    }
+    std::vector<tune::Candidate> candidates = stage.space(machine);
+    if (candidates.empty())
+      throw PipelineError("stage " + stage.name() + " has an empty candidate space");
+    if (candidates.size() > options.max_candidates)
+      candidates.resize(options.max_candidates);
+
+    StageChoice choice;
+    choice.stage = i;
+    choice.name = stage.name();
+
+    const tune::TuneKey key =
+        tune::make_pipeline_key(machine, pipeline.signature(), i, stage.name(),
+                                options.faults, options.max_candidates);
+    bool hit = false;
+    if (options.cache != nullptr) {
+      if (const auto entry = options.cache->find(key)) {
+        choice.candidate = entry->choice;
+        choice.naive_seconds = entry->predicted_seconds;
+        choice.tuned_seconds = entry->measured_seconds;
+        choice.from_cache = true;
+        hit = true;
+      }
+    }
+    if (!hit) {
+      // Build and compile every candidate; a candidate whose plan cannot
+      // avoid the fault set ranks behind every feasible one.
+      std::vector<sim::CompiledProgram> compiled(candidates.size());
+      std::vector<char> buildable(candidates.size(), 0);
+      std::vector<double> seconds(candidates.size(), kInf);
+      for (std::size_t c = 0; c < candidates.size(); ++c) {
+        try {
+          compiled[c] = sim::compile(stage.plan(current, candidates[c], ctx), machine);
+          buildable[c] = 1;
+        } catch (const fault::FaultError&) {
+        } catch (const PipelineError&) {
+        }
+      }
+      std::vector<const sim::CompiledProgram*> progs;
+      std::vector<std::size_t> index;
+      for (std::size_t c = 0; c < candidates.size(); ++c) {
+        if (buildable[c]) {
+          progs.push_back(&compiled[c]);
+          index.push_back(c);
+        }
+      }
+      sim::BatchScratch batch;
+      engine.run_timing_batch(progs, batch, options.jobs);
+      for (std::size_t k = 0; k < progs.size(); ++k) {
+        if (batch.runs[k].ok) seconds[index[k]] = batch.runs[k].result.total_time;
+      }
+      std::size_t best = candidates.size();
+      for (std::size_t c = 0; c < candidates.size(); ++c) {
+        if (seconds[c] == kInf) continue;
+        if (best == candidates.size() || seconds[c] < seconds[best])
+          best = c;  // strict <: ties keep the earlier (naive-first) candidate.
+      }
+      if (best == candidates.size())
+        throw fault::FaultError("stage " + stage.name() +
+                                ": every candidate is infeasible under the fault set");
+      choice.candidate = candidates[best];
+      choice.naive_seconds = seconds[0];
+      choice.tuned_seconds = seconds[best];
+      choice.measured = progs.size();
+      if (options.cache != nullptr) {
+        tune::CacheEntry entry;
+        entry.choice = choice.candidate;
+        entry.predicted_seconds = choice.naive_seconds;
+        entry.measured_seconds = choice.tuned_seconds;
+        entry.algorithm = stage.name() + " (" + choice.candidate.describe() + ")";
+        options.cache->insert(key, std::move(entry));
+      }
+    }
+    out.composition.push_back(choice.candidate);
+    out.naive_seconds += choice.naive_seconds;
+    out.tuned_seconds += choice.tuned_seconds;
+    out.stages.push_back(std::move(choice));
+    current = stage.expected(current);
+  }
+  return out;
+}
+
+}  // namespace nct::kernels

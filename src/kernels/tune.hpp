@@ -1,0 +1,59 @@
+// Composition tuning for kernel pipelines: choose, per comm stage, the
+// algorithm family and packet size that minimise the stage's measured
+// simulated time, reusing the transpose autotuner's measurement engine
+// (build + compile every candidate once, one run_timing_batch, strict-<
+// argmin) and its persistent plan cache (keys signed by the pipeline
+// signature + stage index/name via tune::make_pipeline_key, so entries
+// never collide with transpose plans or with other stages).
+//
+// The composition is advanced *symbolically*: each stage's entry image
+// comes from folding expected() over its predecessors, so tuning never
+// executes compute stages or touches kernel state.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kernels/pipeline.hpp"
+#include "tune/cache.hpp"
+
+namespace nct::kernels {
+
+struct KernelTuneOptions {
+  /// Plan cache (not owned; null = measure every time).  By convention a
+  /// stage entry stores the naive candidate's time in predicted_seconds.
+  tune::PlanCache* cache = nullptr;
+  const fault::FaultSpec* faults = nullptr;
+  /// Per-stage candidate budget (truncates Stage::space(), naive kept).
+  std::size_t max_candidates = 12;
+  /// Measurement worker threads (<= 0 = hardware concurrency).
+  int jobs = 0;
+};
+
+/// One comm stage's tuning outcome.
+struct StageChoice {
+  std::size_t stage = 0;  ///< index into Pipeline::stages().
+  std::string name;
+  tune::Candidate candidate;    ///< the winner.
+  double naive_seconds = 0.0;   ///< measured time of space()[0].
+  double tuned_seconds = 0.0;   ///< measured time of the winner.
+  bool from_cache = false;
+  std::size_t measured = 0;     ///< candidates measured (0 on a cache hit).
+};
+
+struct TunedComposition {
+  /// Parallel to Pipeline::stages(); compute stages hold a default
+  /// candidate (ignored by Pipeline::run).  Feed to
+  /// PipelineOptions::composition.
+  std::vector<tune::Candidate> composition;
+  std::vector<StageChoice> stages;  ///< comm stages only, in order.
+  double naive_seconds = 0.0;       ///< sum of per-stage naive times.
+  double tuned_seconds = 0.0;       ///< sum of per-stage winning times.
+};
+
+/// Tune every comm stage of `pipeline` for the pipeline's machine,
+/// starting from `initial` (the kernel's canonical entry image).
+TunedComposition tune_pipeline(const Pipeline& pipeline, const sim::Memory& initial,
+                               const KernelTuneOptions& options = {});
+
+}  // namespace nct::kernels

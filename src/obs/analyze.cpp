@@ -319,4 +319,28 @@ std::string format_critical_path(const CriticalPath& cp) {
   return out;
 }
 
+std::vector<TraceSink> split_stages(const TraceSink& trace) {
+  std::vector<std::vector<TraceEvent>> slices(1);
+  bool saw_boundary = false;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.kind == EventKind::stage_boundary) {
+      // The first boundary opens slice 0 (nothing precedes it in a
+      // pipeline-merged trace); later boundaries start a new slice.
+      if (saw_boundary || !slices.back().empty()) slices.emplace_back();
+      saw_boundary = true;
+      continue;
+    }
+    slices.back().push_back(e);
+  }
+  std::vector<TraceSink> out;
+  out.reserve(slices.size());
+  const std::vector<std::string> labels(trace.phase_labels());
+  for (auto& events : slices) {
+    TraceSink sink;
+    sink.restore_topology(trace.nodes(), trace.dimensions(), labels, std::move(events));
+    out.push_back(std::move(sink));
+  }
+  return out;
+}
+
 }  // namespace nct::obs

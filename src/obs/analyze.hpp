@@ -117,6 +117,14 @@ struct CriticalPath {
   double wait_time() const noexcept;
 };
 
+/// Window a merged kernel-pipeline trace into per-stage slices at its
+/// stage_boundary markers: slice k holds the events between boundary k
+/// and boundary k+1 (boundary events themselves are dropped), with the
+/// source sink's shape (nodes, ports) preserved, so every analyzer above
+/// can be applied stage-by-stage.  Events before the first boundary (a
+/// trace that never marked stages) land in a single slice.
+std::vector<TraceSink> split_stages(const TraceSink& trace);
+
 /// Extract the critical path of phase `phase` (by index).  Returns a
 /// CriticalPath with seq == kNoSeq when the phase carried no messages.
 CriticalPath phase_critical_path(const TraceSink& trace, std::int32_t phase);

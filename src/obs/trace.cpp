@@ -26,6 +26,7 @@ const char* event_kind_name(EventKind k) noexcept {
     case EventKind::retry: return "retry";
     case EventKind::reroute: return "reroute";
     case EventKind::aborted: return "aborted";
+    case EventKind::stage_boundary: return "stage_boundary";
   }
   return "unknown";
 }
@@ -182,6 +183,11 @@ void write_chrome_trace(const TraceSink& trace, std::ostream& os) {
            << R"({"ph":"i","s":"g","pid":0,"tid":)" << e.node << R"(,"ts":)" << us(e.t0)
            << R"(,"name":"ABORT #)" << e.seq << "\"}";
         break;
+      case EventKind::stage_boundary:
+        os << ",\n"
+           << R"({"ph":"i","s":"g","pid":0,"tid":0,"ts":)" << us(e.t0)
+           << R"(,"name":"pipeline stage )" << e.phase << "\"}";
+        break;
     }
   }
   os << "\n]}\n";
@@ -202,7 +208,8 @@ constexpr char kMagic[8] = {'N', 'C', 'T', 'T', 'R', 'A', 'C', 'E'};
 // explicit node count after the dimensions field (the dimensions field
 // now means ports-per-node on non-cube topologies); versions 1 and 2
 // still read, deriving nodes = 2^n.
-constexpr std::uint32_t kVersion = 3;
+// v4: the stage_boundary event kind (kernel pipelines) is legal.
+constexpr std::uint32_t kVersion = 4;
 
 template <class T>
 void put(std::ostream& os, T v) {
@@ -257,7 +264,9 @@ TraceSink read_binary_trace(std::istream& is) {
     throw std::runtime_error("not an nct trace file (bad magic)");
   const auto version = get<std::uint32_t>(is);
   if (version < 1 || version > kVersion) throw std::runtime_error("unsupported trace version");
-  const EventKind max_kind = version == 1 ? EventKind::stage : EventKind::aborted;
+  const EventKind max_kind = version == 1   ? EventKind::stage
+                             : version <= 3 ? EventKind::aborted
+                                            : EventKind::stage_boundary;
   const auto n = get<std::uint32_t>(is);
   word nnodes = 0;
   if (version >= 3) {

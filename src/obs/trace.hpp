@@ -41,6 +41,9 @@ enum class EventKind : std::uint8_t {
   retry,            ///< instant: the blocked hop re-injects at t0 after a recovery.
   reroute,          ///< instant: message injected on a detour route (node=src, peer=dst).
   aborted,          ///< instant: message given up at `node` (retries/timeout exhausted).
+  // Kernel-pipeline events (src/kernels).  Appended for binary-format
+  // stability, like the fault kinds above.
+  stage_boundary,   ///< instant: pipeline stage `phase` begins at t0 (merged traces).
 };
 
 const char* event_kind_name(EventKind k) noexcept;
@@ -131,6 +134,30 @@ class TraceSink {
   void aborted(std::int32_t phase, word node, std::int32_t dim, std::uint64_t seq,
                double t) {
     push({EventKind::aborted, phase, dim, t, t, node, 0, seq, 0});
+  }
+  /// Kernel pipelines: stage `stage` of the merged pipeline timeline
+  /// begins at simulated time t.  Analyzers window a merged trace into
+  /// per-stage slices at these markers (obs::split_stages).
+  void stage_boundary(std::int32_t stage, double t) {
+    push({EventKind::stage_boundary, stage, -1, t, t, 0, 0, kNoSeq, 0});
+  }
+
+  /// Splice another sink's events onto this one with all timestamps
+  /// shifted by `dt` and phase indices re-based past this sink's
+  /// existing phase labels (each stage program restarts its phase
+  /// numbering at 0; the merged pipeline timeline must not collide).
+  /// Used by kernels::Pipeline to build one Chrome-exportable trace out
+  /// of the per-stage engine runs.
+  void merge_from(const TraceSink& other, double dt) {
+    const std::int32_t base = static_cast<std::int32_t>(phase_labels_.size());
+    for (const std::string& l : other.phase_labels_) phase_labels_.push_back(l);
+    events_.reserve(events_.size() + other.events_.size());
+    for (TraceEvent e : other.events_) {
+      e.phase += base;
+      e.t0 += dt;
+      e.t1 += dt;
+      events_.push_back(e);
+    }
   }
 
   // ---- consumer API ----------------------------------------------------

@@ -38,8 +38,31 @@ namespace nct::serve {
 using TenantId = std::uint32_t;
 using RequestId = std::uint64_t;
 
-/// One transpose request.  `faults` empty = healthy machine.  Higher
-/// `priority` values are served first; ties serve in admission order.
+/// Which kernel pipeline a request asks for.  `none` = a plain
+/// transpose (the before/after spec pair); the kernels run the full
+/// multi-stage pipelines of src/kernels with their placement contracts
+/// verified stage by stage.
+enum class KernelKind : std::uint8_t {
+  none = 0,
+  hsmm = 1,    ///< hyper-systolic C = A*B (kernels::HsmmKernel).
+  boolmm = 2,  ///< bit-packed Boolean matmul (kernels::BoolmmKernel).
+};
+
+/// Kernel-request parameters (ignored when kind == none).  `matrix` is
+/// the square matrix order: hsmm needs a positive multiple of the node
+/// count; boolmm additionally a multiple of 64 (one packed word).
+struct KernelSpec {
+  KernelKind kind = KernelKind::none;
+  std::uint64_t matrix = 0;
+  std::uint64_t bundle = 0;   ///< hsmm shift bundle K (0 = ceil-sqrt default).
+  std::uint64_t seed = 1;     ///< operand generator seed.
+  std::uint64_t density = 3;  ///< boolmm: one bit in `density` set.
+};
+
+/// One request.  `faults` empty = healthy machine.  Higher `priority`
+/// values are served first; ties serve in admission order.  When
+/// `kernel.kind != none` the before/after specs are ignored and the
+/// named kernel pipeline is executed instead.
 struct Request {
   TenantId tenant = 0;
   std::uint8_t priority = 0;
@@ -47,6 +70,7 @@ struct Request {
   cube::PartitionSpec before;
   cube::PartitionSpec after;
   fault::FaultSpec faults;
+  KernelSpec kernel;
 };
 
 /// Why a submit() was refused (RejectReason::none on admission).
@@ -80,10 +104,12 @@ struct Response {
   ServeStatus status = ServeStatus::ok;
   /// The executed plan (family + tuned parameters).  For a cache hit
   /// this is the memoized tuned candidate; for a cold miss it is the
-  /// cost-model-best candidate of the search space.
+  /// cost-model-best candidate of the search space.  Kernel requests
+  /// report their first comm stage's executed candidate.
   tune::Candidate plan;
   /// True when the plan came from the tune::PlanCache (directly, or via
-  /// the epoch's resolution memo of a cache hit).
+  /// the epoch's resolution memo of a cache hit).  Kernel requests: true
+  /// when *every* comm stage resolved from the pipeline plan cache.
   bool cache_hit = false;
   /// Simulated transpose time of the executed plan on the requested
   /// machine (bit-identical to a standalone timing-only engine run).

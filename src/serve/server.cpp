@@ -8,6 +8,9 @@
 #include <unordered_map>
 #include <utility>
 
+#include "kernels/boolmm.hpp"
+#include "kernels/matmul.hpp"
+#include "kernels/tune.hpp"
 #include "sim/compile.hpp"
 #include "sim/engine.hpp"
 #include "tune/serialize.hpp"
@@ -30,6 +33,94 @@ double seconds_since(std::uint64_t start_ns, std::uint64_t end_ns) {
 /// Largest cube the simulator is sized for; requests beyond it are
 /// structurally bad rather than "try and run out of memory".
 constexpr int kMaxCubeDims = 24;
+
+/// Is a kernel request structurally executable on its machine?
+bool kernel_request_ok(const Request& rq) {
+  const std::uint64_t nodes = rq.machine.nodes();
+  const std::uint64_t nm = rq.kernel.matrix;
+  if (nodes == 0 || nm == 0 || nm % nodes != 0) return false;
+  switch (rq.kernel.kind) {
+    case KernelKind::hsmm: return true;
+    case KernelKind::boolmm: return nm % 64 == 0 && rq.kernel.density >= 1;
+    case KernelKind::none: break;
+  }
+  return false;
+}
+
+/// Result of executing one kernel-pipeline request inside a cycle.
+struct KernelOutcome {
+  bool ok = false;
+  bool cache_hit = false;
+  double seconds = 0.0;
+  tune::Candidate plan;
+};
+
+/// Build the requested kernel, resolve its per-stage composition from
+/// the pipeline plan cache (naive space()[0] for cold stages), and run
+/// it on the timing path with every stage's placement contract checked.
+KernelOutcome run_kernel_request(const Request& rq, tune::PlanCache& cache) {
+  KernelOutcome out;
+  try {
+    std::unique_ptr<kernels::HsmmKernel> hsmm;
+    std::unique_ptr<kernels::BoolmmKernel> boolmm;
+    const kernels::Pipeline* pipeline = nullptr;
+    sim::Memory entry;
+    if (rq.kernel.kind == KernelKind::hsmm) {
+      kernels::HsmmOptions opt;
+      opt.nm = rq.kernel.matrix;
+      opt.bundle = rq.kernel.bundle;
+      opt.seed = rq.kernel.seed;
+      hsmm = std::make_unique<kernels::HsmmKernel>(rq.machine, opt);
+      pipeline = &hsmm->pipeline();
+      entry = hsmm->initial_memory();
+    } else {
+      kernels::BoolmmOptions opt;
+      opt.nb = rq.kernel.matrix;
+      opt.seed = rq.kernel.seed;
+      opt.density = rq.kernel.density;
+      boolmm = std::make_unique<kernels::BoolmmKernel>(rq.machine, opt);
+      pipeline = &boolmm->pipeline();
+      entry = boolmm->initial_memory();
+    }
+
+    const fault::FaultSpec* fs = rq.faults.empty() ? nullptr : &rq.faults;
+    kernels::PipelineOptions popt;
+    popt.path = kernels::ExecPath::timing;
+    popt.faults = fs;
+    // Cache keys must match what tune_pipeline wrote: same signature,
+    // stage identity and candidate budget.
+    const std::size_t budget = kernels::KernelTuneOptions{}.max_candidates;
+    const auto& stages = pipeline->stages();
+    bool any_comm = false, all_hits = true, plan_set = false;
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+      if (!stages[i]->is_comm()) {
+        popt.composition.push_back({});
+        continue;
+      }
+      any_comm = true;
+      const tune::TuneKey key = tune::make_pipeline_key(
+          rq.machine, pipeline->signature(), i, stages[i]->name(), fs, budget);
+      if (const auto hit = cache.find(key)) {
+        popt.composition.push_back(hit->choice);
+      } else {
+        all_hits = false;
+        popt.composition.push_back(stages[i]->space(rq.machine).at(0));
+      }
+      if (!plan_set) {
+        out.plan = popt.composition.back();
+        plan_set = true;
+      }
+    }
+    out.cache_hit = any_comm && all_hits;
+    const kernels::PipelineResult result = pipeline->run(std::move(entry), popt);
+    out.seconds = result.seconds;
+    out.ok = true;
+  } catch (const std::exception&) {
+    // Severed faults, an inexpressible shape, or a contract violation:
+    // the request serves infeasible and the cycle proceeds.
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -57,10 +148,16 @@ Admission Server::submit(Request request) {
     stats_.submitted += 1;
   }
   const sim::MachineParams& m = request.machine;
-  const bool bad = m.n < 0 || m.n > kMaxCubeDims ||
-                   request.before.shape().m() != request.after.shape().m() ||
-                   request.before.processor_bits() > m.n ||
-                   request.after.processor_bits() > m.n;
+  bool bad = m.n < 0 || m.n > kMaxCubeDims;
+  if (request.kernel.kind == KernelKind::none) {
+    bad = bad || request.before.shape().m() != request.after.shape().m() ||
+          request.before.processor_bits() > m.n ||
+          request.after.processor_bits() > m.n;
+  } else {
+    // Kernel requests ignore the spec pair; shape/divisibility problems
+    // reject synchronously instead of consuming a queue slot.
+    bad = bad || !kernel_request_ok(request);
+  }
   if (bad) {
     const std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.rejected_bad += 1;
@@ -97,10 +194,18 @@ void Server::serve_cycle(std::vector<Admitted>& items) {
 
   // 1. Resolve every request, in admission order, single-threaded: the
   //    hit/miss pattern depends only on the stream and the cache state
-  //    at the epoch boundary.
-  std::vector<const Resolution*> res(items.size());
-  for (std::size_t i = 0; i < items.size(); ++i)
-    res[i] = &resolver_.resolve(items[i].request);
+  //    at the epoch boundary.  Kernel requests bypass the transpose
+  //    resolver: their composition resolves per stage against the
+  //    pipeline plan cache and they execute immediately (the timing-path
+  //    pipeline run is itself deterministic).
+  std::vector<const Resolution*> res(items.size(), nullptr);
+  std::vector<KernelOutcome> kernel_out(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].request.kernel.kind != KernelKind::none)
+      kernel_out[i] = run_kernel_request(items[i].request, *cache_);
+    else
+      res[i] = &resolver_.resolve(items[i].request);
+  }
 
   // 2. Hand cold misses to the background tuner *before* any response
   //    is written: drain()'s tune barrier triggers on response
@@ -126,7 +231,7 @@ void Server::serve_cycle(std::vector<Admitted>& items) {
   std::vector<Group> groups;
   std::unordered_map<std::string, std::size_t> group_of;
   for (std::size_t i = 0; i < items.size(); ++i) {
-    if (!res[i]->feasible) continue;
+    if (res[i] == nullptr || !res[i]->feasible) continue;
     const auto [it, fresh] = slot_of.try_emplace(res[i], slots.size());
     if (fresh) {
       Slot slot;
@@ -201,14 +306,26 @@ void Server::serve_cycle(std::vector<Admitted>& items) {
   // 5. Responses, in cycle (= admission) order.
   std::vector<Response> out;
   out.reserve(items.size());
-  std::uint64_t infeasible = 0, hits = 0, misses = 0;
+  std::uint64_t infeasible = 0, hits = 0, misses = 0, kernels_ok = 0;
   for (std::size_t i = 0; i < items.size(); ++i) {
     Response r;
     r.id = items[i].id;
     r.tenant = items[i].request.tenant;
     r.queue_seconds = seconds_since(items[i].admitted_ns, cycle_start);
     const Resolution* rs = res[i];
-    if (rs->feasible) {
+    if (rs == nullptr) {
+      const KernelOutcome& k = kernel_out[i];
+      r.plan = k.plan;
+      r.cache_hit = k.cache_hit;
+      k.cache_hit ? ++hits : ++misses;
+      if (k.ok) {
+        r.simulated_seconds = k.seconds;
+        r.batch_size = 1;
+        ++kernels_ok;
+      } else {
+        r.status = ServeStatus::infeasible;
+      }
+    } else if (rs->feasible) {
       const Slot& s = slots[slot_of.at(rs)];
       r.plan = rs->choice;
       r.cache_hit = rs->cache_hit;
@@ -232,6 +349,7 @@ void Server::serve_cycle(std::vector<Admitted>& items) {
     stats_.cycles += 1;
     stats_.completed += items.size();
     stats_.infeasible += infeasible;
+    stats_.kernels_served += kernels_ok;
     stats_.cache_hits += hits;
     stats_.cache_misses += misses;
     for (const Slot& s : slots) {
@@ -426,6 +544,7 @@ obs::MetricsReport Server::metrics() const {
   reg.counter("serve/rejected_bad") = static_cast<double>(s.rejected_bad);
   reg.counter("serve/completed") = static_cast<double>(s.completed);
   reg.counter("serve/infeasible") = static_cast<double>(s.infeasible);
+  reg.counter("serve/kernels_served") = static_cast<double>(s.kernels_served);
   reg.counter("serve/queue_depth") = static_cast<double>(s.queue_depth);
   reg.counter("serve/queue_peak") = static_cast<double>(s.queue_peak);
   reg.counter("serve/queue_capacity") = static_cast<double>(s.queue_capacity);

@@ -96,6 +96,7 @@ struct ServerStats {
   std::uint64_t rejected_bad = 0;
   std::uint64_t completed = 0;   ///< responses written (ok + infeasible).
   std::uint64_t infeasible = 0;
+  std::uint64_t kernels_served = 0;  ///< kernel-pipeline requests executed ok.
   std::uint64_t cache_hits = 0;   ///< requests resolved from the cache.
   std::uint64_t cache_misses = 0; ///< requests resolved from the model.
   std::uint64_t cycles = 0;

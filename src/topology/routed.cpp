@@ -64,6 +64,53 @@ sim::Program plan_routed_transpose(const Topology& t, word rows, word cols,
                                  opt);
 }
 
+sim::Program plan_routed_moves(const Topology& t, const std::vector<SlotMove>& moves,
+                               word local_slots, const RoutedOptions& opt) {
+  sim::Program program;
+  program.n = t.cube_dims();
+  program.topology = t.id();
+  program.local_slots = local_slots;
+  sim::Phase phase;
+  phase.label = opt.label;
+
+  for (const SlotMove& mv : moves) {
+    if (mv.src_slots.size() != mv.dst_slots.size())
+      throw std::invalid_argument("routed moves: src/dst slot count mismatch");
+    if (mv.src >= t.nodes() || mv.dst >= t.nodes())
+      throw std::invalid_argument("routed moves: node out of range");
+    if (mv.src_slots.empty()) continue;
+    if (mv.src == mv.dst) {
+      if (mv.src_slots == mv.dst_slots) continue;  // already in place
+      sim::CopyOp op;
+      op.node = mv.src;
+      op.src_slots = mv.src_slots;
+      op.dst_slots = mv.dst_slots;
+      phase.pre_copies.push_back(std::move(op));
+      continue;
+    }
+    const std::vector<int> healthy = t.route(mv.src, mv.dst);
+    std::vector<int> route = opt.router ? opt.router(mv.src, mv.dst) : healthy;
+    const bool rerouted = route != healthy;
+    const word total = static_cast<word>(mv.src_slots.size());
+    const word chunk = opt.packet_elements > 0 ? opt.packet_elements : total;
+    for (word lo = 0; lo < total; lo += chunk) {
+      const word hi = std::min(total, lo + chunk);
+      sim::SendOp op;
+      op.src = mv.src;
+      op.route = route;
+      op.rerouted = rerouted;
+      op.keep_source = mv.keep_source;
+      op.src_slots.assign(mv.src_slots.begin() + static_cast<std::ptrdiff_t>(lo),
+                          mv.src_slots.begin() + static_cast<std::ptrdiff_t>(hi));
+      op.dst_slots.assign(mv.dst_slots.begin() + static_cast<std::ptrdiff_t>(lo),
+                          mv.dst_slots.begin() + static_cast<std::ptrdiff_t>(hi));
+      phase.sends.push_back(std::move(op));
+    }
+  }
+  if (!phase.empty()) program.phases.push_back(std::move(phase));
+  return program;
+}
+
 std::vector<std::vector<word>> routed_layout(const Topology& t, word elements_per_node) {
   std::vector<std::vector<word>> layout(static_cast<std::size_t>(t.nodes()));
   for (word x = 0; x < t.nodes(); ++x) {

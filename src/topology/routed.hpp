@@ -54,4 +54,30 @@ sim::Program plan_routed_transpose(const Topology& t, word rows, word cols,
 /// holds elements x*elements_per_node .. x*elements_per_node + e - 1.
 std::vector<std::vector<word>> routed_layout(const Topology& t, word elements_per_node);
 
+/// One slot-level transfer of a data-placement contract: the elements in
+/// `src_slots` of node `src` land in `dst_slots` of node `dst` (source
+/// slots vacate unless keep_source).  This is the move primitive the
+/// kernel pipelines (src/kernels) express their stages in: a stage is a
+/// list of moves derived purely from the schedule, never from element
+/// identities, so replicated data (systolic broadcast copies) routes
+/// unambiguously.
+struct SlotMove {
+  word src = 0;
+  word dst = 0;
+  std::vector<sim::slot> src_slots;
+  std::vector<sim::slot> dst_slots;
+  bool keep_source = false;
+};
+
+/// Plan an arbitrary list of slot moves as one phase of routed sends
+/// (plus node-local pre-copies for src == dst moves with differing
+/// slots; identical-slot self-moves are dropped).  Every remote move is
+/// routed by opt.router / BFS and split into opt.packet_elements-sized
+/// messages.  No destination slot may be written twice in the phase —
+/// that is the caller's contract, enforced by the engine.  The returned
+/// program's local_slots is `local_slots` (which must cover every slot
+/// named by the moves).
+sim::Program plan_routed_moves(const Topology& t, const std::vector<SlotMove>& moves,
+                               word local_slots, const RoutedOptions& opt = {});
+
 }  // namespace nct::topo

@@ -36,7 +36,7 @@ CacheEntry decode_entry(const Bytes& payload) {
   e.key.reserve(key_len);
   for (std::uint32_t i = 0; i < key_len; ++i) e.key.push_back(r.u8());
   const std::uint8_t fam = r.u8();
-  if (fam > static_cast<std::uint8_t>(Family::routed))
+  if (fam > static_cast<std::uint8_t>(Family::ring))
     throw SerializeError("bad candidate family");
   e.choice.family = static_cast<Family>(fam);
   e.choice.packet_elements = r.u64();
@@ -289,6 +289,26 @@ TuneKey make_key(const sim::MachineParams& machine, const cube::PartitionSpec& b
   w.u32(static_cast<std::uint32_t>(space.families.size()));
   for (const Family f : space.families) w.u8(static_cast<std::uint8_t>(f));
   w.u64(space.max_candidates);
+  TuneKey key;
+  key.bytes = w.take();
+  key.hash = stable_hash(key.bytes);
+  return key;
+}
+
+TuneKey make_pipeline_key(const sim::MachineParams& machine, const std::string& signature,
+                          std::size_t stage_index, const std::string& stage_name,
+                          const fault::FaultSpec* faults, std::size_t max_candidates) {
+  ByteWriter w;
+  w.u32(kStoreVersion);
+  serialize(w, machine);
+  serialize(w, faults != nullptr ? *faults : fault::FaultSpec{});
+  // A literal tag keeps pipeline keys disjoint from transpose keys even
+  // if a signature string ever mimicked a spec serialisation.
+  w.str("pipeline");
+  w.str(signature);
+  w.u64(stage_index);
+  w.str(stage_name);
+  w.u64(max_candidates);
   TuneKey key;
   key.bytes = w.take();
   key.hash = stable_hash(key.bytes);

@@ -148,4 +148,16 @@ TuneKey make_key(const sim::MachineParams& machine, const cube::PartitionSpec& b
                  const cube::PartitionSpec& after, const fault::FaultSpec* faults,
                  const SpaceOptions& space);
 
+/// Content key for one *kernel-pipeline stage* tuning problem
+/// (src/kernels).  The pipeline `signature` string canonically encodes
+/// the kernel's identity and shape (e.g. "hsmm nm=64 p=16 K=4"); the
+/// stage index and name pin the position within the composition, so two
+/// stages of the same pipeline never collide, and the machine + fault
+/// serialisation is shared with make_key.  By convention a stage entry
+/// stores the *naive* candidate's measured time in predicted_seconds,
+/// so cache hits can still report a naive-vs-tuned ratio.
+TuneKey make_pipeline_key(const sim::MachineParams& machine, const std::string& signature,
+                          std::size_t stage_index, const std::string& stage_name,
+                          const fault::FaultSpec* faults, std::size_t max_candidates);
+
 }  // namespace nct::tune

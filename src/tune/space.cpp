@@ -42,6 +42,7 @@ const char* family_name(Family f) noexcept {
     case Family::exchange: return "exchange";
     case Family::combined: return "combined";
     case Family::routed: return "routed";
+    case Family::ring: return "ring";
   }
   return "?";
 }
@@ -62,6 +63,10 @@ std::string Candidate::describe() const {
           s += " B_copy=" + std::to_string(b_copy_elements);
           break;
       }
+      break;
+    case Family::routed:
+    case Family::ring:
+      if (packet_elements != 0) s += " B=" + std::to_string(packet_elements);
       break;
     default:
       break;
@@ -93,12 +98,31 @@ std::vector<word> Space::copy_threshold_grid(const sim::MachineParams& machine,
 
 Space::Space(const cube::PartitionSpec& before, const cube::PartitionSpec& after,
              const sim::MachineParams& machine, SpaceOptions options) {
-  // The candidate families (SBT/SBnT/MPT/...) are Boolean-cube
-  // algorithms; tuning on another topology has no candidates to rank.
-  // Route such machines through topo::plan_routed_permutation instead.
-  if (!machine.topology.is_cube())
-    throw std::invalid_argument("tune::Space requires a hypercube machine");
   const double pq = static_cast<double>(before.shape().elements());
+  // The paper's candidate families (SBT/SBnT/MPT/...) are Boolean-cube
+  // algorithms.  On another topology the BFS-routed planner is the one
+  // retargetable family: enumerate it (with the packet grid — packet
+  // size is what pipelining over multi-hop routes actually tunes) for
+  // the pairwise whole-block transposes it supports, and reject pairs
+  // it cannot express, as before.
+  if (!machine.topology.is_cube()) {
+    const bool routable = core::is_pairwise_transpose(before, after) &&
+                          before.fields().size() == 2 &&
+                          before.processors() == machine.nodes();
+    if (!routable)
+      throw std::invalid_argument(
+          "tune::Space requires a hypercube machine for this spec pair");
+    std::vector<Candidate> routed;
+    const auto add_routed = [&](Candidate c) {
+      if (family_allowed(options, c.family)) routed.push_back(c);
+    };
+    add_routed({Family::routed, 0, comm::BufferMode::buffered, 0, kInf});
+    for (const word b : packet_grid(machine, pq))
+      add_routed({Family::routed, b, comm::BufferMode::buffered, 0, kInf});
+    const std::size_t keep = std::min(options.max_candidates, routed.size());
+    candidates_.assign(routed.begin(), routed.begin() + static_cast<std::ptrdiff_t>(keep));
+    return;
+  }
   const bool binary = core::is_binary(before) && core::is_binary(after);
   const bool pairwise = core::is_pairwise_transpose(before, after);
   const bool mixed_2d = before.fields().size() == 2 && after.fields().size() == 2 &&

@@ -45,7 +45,11 @@ enum class Family : std::uint8_t {
   direct2d = 4,  ///< one message per pair through the routing logic.
   exchange = 5,  ///< 1D/general exchange algorithm (Sections 5, 8.1).
   combined = 6,  ///< combined transpose + encoding conversion (Section 6.3).
-  routed = 7,    ///< per-dimension element routing (Gray-coded layouts).
+  routed = 7,    ///< per-dimension element routing (Gray-coded layouts); on
+                 ///< non-cube machines, the BFS-routed topo planner.
+  ring = 8,      ///< kernel shift stages decomposed into embedded-ring
+                 ///< neighbor steps (src/kernels; never emitted for
+                 ///< transpose problems).
 };
 
 const char* family_name(Family f) noexcept;

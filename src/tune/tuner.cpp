@@ -10,12 +10,15 @@
 
 #include "comm/rearrange.hpp"
 #include "core/mixed_encoding.hpp"
+#include "fault/fault.hpp"
 #include "core/router.hpp"
 #include "core/transpose1d.hpp"
 #include "core/transpose2d.hpp"
 #include "sim/batch.hpp"
 #include "sim/compile.hpp"
 #include "sim/engine.hpp"
+#include "topology/routed.hpp"
+#include "topology/topology.hpp"
 
 namespace nct::tune {
 
@@ -81,10 +84,33 @@ sim::Program Tuner::build(const cube::PartitionSpec& before,
     case Family::combined:
       return core::transpose_mixed_combined(before, after);
     case Family::routed: {
+      if (!machine_.topology.is_cube()) {
+        // Non-cube machines: the BFS-routed topo planner over the node
+        // grid transpose (the only spec pairs Space enumerates here).
+        const auto t = topo::make_topology(machine_.topology, machine_.n);
+        topo::RoutedOptions opt;
+        opt.packet_elements = candidate.packet_elements;
+        if (faults != nullptr) {
+          const fault::FaultModel* model = faults;
+          const topo::Topology* topology = t.get();
+          opt.router = [model, topology](word src, word dst) {
+            auto route = fault::route_around(*topology, src, dst, *model);
+            if (!route) throw fault::FaultError("routed: no fault-free route");
+            return *route;
+          };
+        }
+        const word rows = word{1} << before.fields()[0].len;
+        const word cols = word{1} << before.fields()[1].len;
+        return topo::plan_routed_transpose(*t, rows, cols, before.local_elements(), opt);
+      }
       core::RouterOptions opt;
       opt.element_bytes = machine_.element_bytes;
       return core::transpose_1d_routed(before, after, machine_.n, opt);
     }
+    case Family::ring:
+      // Ring decompositions exist only inside kernel pipelines (their
+      // shift stages plan them directly); Space never emits them here.
+      throw std::invalid_argument("tune: ring is not a transpose family");
   }
   throw std::invalid_argument("unknown candidate family");
 }

@@ -1,0 +1,115 @@
+// Conformance backfill for kernel traces: every stage of a pipeline
+// run, windowed out of the merged trace at its stage_boundary markers,
+// satisfies the one-port model, and — for a composition whose plans put
+// at most one route per source per phase (exchange / ring / single-move
+// routed stages) — per-source edge disjointness.
+#include <gtest/gtest.h>
+
+#include "kernels/boolmm.hpp"
+#include "kernels/matmul.hpp"
+#include "obs/analyze.hpp"
+#include "sim/engine.hpp"
+
+namespace nct::kernels {
+namespace {
+
+/// Prefer exchange, then ring, falling back to the naive routed plan:
+/// every one of those emits at most one route per source per phase, so
+/// the per-source edge-disjointness analyzer applies stage by stage.
+std::vector<tune::Candidate> disjoint_composition(const Pipeline& pipeline) {
+  std::vector<tune::Candidate> composition;
+  for (const auto& stage : pipeline.stages()) {
+    if (!stage->is_comm()) {
+      composition.push_back({});
+      continue;
+    }
+    const std::vector<tune::Candidate> space = stage->space(pipeline.machine());
+    tune::Candidate pick = space.at(0);
+    for (const tune::Candidate& c : space) {
+      if (c.family == tune::Family::exchange &&
+          c.buffer_mode == comm::BufferMode::buffered) {
+        pick = c;
+        break;
+      }
+      if (c.family == tune::Family::ring) pick = c;
+    }
+    composition.push_back(pick);
+  }
+  return composition;
+}
+
+TEST(KernelConformance, HsmmStagesAreOnePortAndEdgeDisjoint) {
+  const sim::MachineParams machine = sim::MachineParams::ipsc(3);
+  HsmmOptions opt;
+  opt.nm = 16;
+  HsmmKernel kernel(machine, opt);
+
+  obs::TraceSink trace;
+  PipelineOptions popt;
+  popt.trace = &trace;
+  popt.composition = disjoint_composition(kernel.pipeline());
+  const PipelineResult result = kernel.pipeline().run(kernel.initial_memory(), popt);
+  EXPECT_EQ(kernel.result(), kernel.reference());
+
+  const auto topology = kernel.pipeline().topology();
+  const auto stages = obs::split_stages(trace);
+  ASSERT_EQ(stages.size(), kernel.pipeline().stages().size());
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const std::string& name = result.stages[i].name;
+    ASSERT_NO_THROW(obs::assert_one_port(stages[i], *topology)) << "stage " << name;
+    ASSERT_NO_THROW(obs::assert_edge_disjoint(stages[i], *topology)) << "stage " << name;
+    if (result.stages[i].comm && result.stages[i].sends > 0) {
+      EXPECT_FALSE(stages[i].empty()) << "stage " << name;
+    }
+  }
+}
+
+TEST(KernelConformance, BoolmmScatterWindowIsCleanOnTheTorus) {
+  const sim::MachineParams machine =
+      sim::MachineParams::on_topology(topo::torus_id({4, 2}), sim::MachineParams::ipsc(0));
+  BoolmmOptions opt;
+  opt.nb = 64;
+  BoolmmKernel kernel(machine, opt);
+
+  obs::TraceSink trace;
+  PipelineOptions popt;
+  popt.trace = &trace;
+  const PipelineResult result = kernel.pipeline().run(kernel.initial_memory(), popt);
+  EXPECT_EQ(kernel.result(), kernel.reference());
+
+  const auto stages = obs::split_stages(trace);
+  ASSERT_EQ(stages.size(), 3u);  // multiply, scatter, combine.
+  const auto topology = kernel.pipeline().topology();
+  // Compute windows carry no messages; the scatter window does.
+  EXPECT_TRUE(obs::messages_of(stages[0]).empty());
+  EXPECT_FALSE(obs::messages_of(stages[1]).empty());
+  EXPECT_TRUE(obs::messages_of(stages[2]).empty());
+  ASSERT_NO_THROW(obs::assert_one_port(stages[1], *topology));
+  // The naive scatter routes one message per (src, dst) pair: one route
+  // per source... per *destination*; different destinations may share a
+  // first hop, so only the per-link path bound is meaningful here.
+  EXPECT_GE(obs::max_paths_per_link(stages[1]), 1u);
+  (void)result;
+}
+
+TEST(KernelConformance, MergedTraceTimesAreMonotonePerStage) {
+  const sim::MachineParams machine = sim::MachineParams::ipsc(2);
+  HsmmOptions opt;
+  opt.nm = 8;
+  HsmmKernel kernel(machine, opt);
+  obs::TraceSink trace;
+  PipelineOptions popt;
+  popt.trace = &trace;
+  kernel.pipeline().run(kernel.initial_memory(), popt);
+  const auto stages = obs::split_stages(trace);
+  double floor = 0.0;
+  for (const auto& window : stages) {
+    for (const auto& e : window.events()) {
+      EXPECT_GE(e.t0, floor - 1e-12);
+    }
+    for (const auto& e : window.events()) floor = std::max(floor, e.t1);
+  }
+}
+
+}  // namespace
+}  // namespace nct::kernels

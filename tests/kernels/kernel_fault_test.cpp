@@ -1,0 +1,105 @@
+// Fault paths through kernel pipelines: permanent link cuts detour with
+// zero lost elements; a severed node aborts with FaultError naming the
+// stage that hit it.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fault/fault.hpp"
+#include "kernels/boolmm.hpp"
+#include "kernels/matmul.hpp"
+#include "sim/engine.hpp"
+
+namespace nct::kernels {
+namespace {
+
+TEST(KernelFaults, LinkCutDetoursWithZeroLostElements) {
+  const sim::MachineParams machine = sim::MachineParams::ipsc(3);
+  HsmmOptions opt;
+  opt.nm = 16;
+
+  HsmmKernel healthy(machine, opt);
+  const PipelineResult want = healthy.pipeline().run(healthy.initial_memory());
+  const std::vector<double> want_values = healthy.result();
+
+  // Cut one wire permanently (both directions); the routed planners see
+  // the model and detour, so the pipeline completes with identical
+  // placement and identical product.
+  const fault::FaultSpec spec = fault::FaultSpec{}.fail_link(0, 0);
+  HsmmKernel faulty(machine, opt);
+  PipelineOptions popt;
+  popt.faults = &spec;
+  const PipelineResult got = faulty.pipeline().run(faulty.initial_memory(), popt);
+  EXPECT_TRUE(sim::verify_memory(got.memory, want.memory).ok);
+  EXPECT_EQ(faulty.result(), want_values);
+  EXPECT_EQ(faulty.result(), faulty.reference());
+  // The detour costs time, never data.
+  EXPECT_GE(got.seconds, want.seconds);
+}
+
+TEST(KernelFaults, LinkCutOnTorusAlsoDetours) {
+  const sim::MachineParams machine =
+      sim::MachineParams::on_topology(topo::torus_id({4, 2}), sim::MachineParams::ipsc(0));
+  HsmmOptions opt;
+  opt.nm = 16;
+  const fault::FaultSpec spec = fault::FaultSpec{}.fail_link(1, 0);
+  HsmmKernel kernel(machine, opt);
+  PipelineOptions popt;
+  popt.faults = &spec;
+  const PipelineResult got = kernel.pipeline().run(kernel.initial_memory(), popt);
+  EXPECT_TRUE(sim::verify_memory(got.memory, kernel.final_memory()).ok);
+  EXPECT_EQ(kernel.result(), kernel.reference());
+}
+
+TEST(KernelFaults, ThreadsPathExecutesTheDetourPlan) {
+  const sim::MachineParams machine = sim::MachineParams::ipsc(3);
+  HsmmOptions opt;
+  opt.nm = 16;
+  const fault::FaultSpec spec = fault::FaultSpec{}.fail_link(2, 1);
+  HsmmKernel kernel(machine, opt);
+  PipelineOptions popt;
+  popt.faults = &spec;
+  popt.path = ExecPath::threads;
+  const PipelineResult got = kernel.pipeline().run(kernel.initial_memory(), popt);
+  EXPECT_TRUE(sim::verify_memory(got.memory, kernel.final_memory()).ok);
+  EXPECT_EQ(kernel.result(), kernel.reference());
+}
+
+TEST(KernelFaults, SeveredNodeRaisesFaultErrorNamingTheStage) {
+  const sim::MachineParams machine = sim::MachineParams::ipsc(3);
+  HsmmOptions opt;
+  opt.nm = 16;
+  // Node 5 loses every port: no detour exists, so the first comm stage
+  // that must reach it aborts with FaultError carrying the stage name.
+  const fault::FaultSpec spec = fault::FaultSpec{}.fail_node(5);
+  HsmmKernel kernel(machine, opt);
+  PipelineOptions popt;
+  popt.faults = &spec;
+  try {
+    kernel.pipeline().run(kernel.initial_memory(), popt);
+    FAIL() << "expected fault::FaultError";
+  } catch (const fault::FaultError& e) {
+    EXPECT_NE(std::string(e.what()).find("stage "), std::string::npos) << e.what();
+    // The very first comm stage (transpose-B) already needs node 5.
+    EXPECT_NE(std::string(e.what()).find("transpose-B"), std::string::npos) << e.what();
+  }
+}
+
+TEST(KernelFaults, SeveredNodeAbortsBoolmmScatter) {
+  const sim::MachineParams machine = sim::MachineParams::ipsc(2);
+  BoolmmOptions opt;
+  opt.nb = 64;
+  const fault::FaultSpec spec = fault::FaultSpec{}.fail_node(3);
+  BoolmmKernel kernel(machine, opt);
+  PipelineOptions popt;
+  popt.faults = &spec;
+  try {
+    kernel.pipeline().run(kernel.initial_memory(), popt);
+    FAIL() << "expected fault::FaultError";
+  } catch (const fault::FaultError& e) {
+    EXPECT_NE(std::string(e.what()).find("scatter"), std::string::npos) << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace nct::kernels

@@ -1,0 +1,187 @@
+// Pipeline mechanics: slot-move planning, contract verification, the
+// exchange slot-offset adapter, and the merged per-stage trace.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "comm/all_to_all.hpp"
+#include "kernels/pipeline.hpp"
+#include "obs/analyze.hpp"
+#include "sim/engine.hpp"
+#include "topology/routed.hpp"
+
+namespace nct::kernels {
+namespace {
+
+sim::MachineParams cube_machine(int n) { return sim::MachineParams::ipsc(n); }
+
+TEST(ApplyMoves, SnapshotSemanticsSwapCleanly) {
+  // Two nodes swap slot 0 in one phase: reads precede writes.
+  sim::Memory entry{{10, 11}, {20, 21}};
+  std::vector<topo::SlotMove> moves;
+  moves.push_back({0, 1, {0}, {0}, false});
+  moves.push_back({1, 0, {0}, {0}, false});
+  const sim::Memory out = apply_moves(entry, moves);
+  EXPECT_EQ(out[0][0], word{20});
+  EXPECT_EQ(out[1][0], word{10});
+}
+
+TEST(ApplyMoves, KeepSourceReplicates) {
+  sim::Memory entry{{10, sim::kEmptySlot}, {sim::kEmptySlot, sim::kEmptySlot}};
+  std::vector<topo::SlotMove> moves;
+  moves.push_back({0, 1, {0}, {1}, true});
+  const sim::Memory out = apply_moves(entry, moves);
+  EXPECT_EQ(out[0][0], word{10});
+  EXPECT_EQ(out[1][1], word{10});
+}
+
+TEST(PlanRoutedMoves, MatchesApplyMovesOnEveryEnginePath) {
+  const int n = 3;
+  const auto t = topo::make_topology(topo::TopologyId{}, n);
+  const word nodes = t->nodes();
+  std::vector<topo::SlotMove> moves;
+  for (word x = 0; x < nodes; ++x)
+    moves.push_back({x, (x + 3) % nodes, {0, 1}, {2, 3}, false});
+  const sim::Program program = topo::plan_routed_moves(*t, moves, 4);
+  sim::Memory entry(nodes, std::vector<word>(4, sim::kEmptySlot));
+  for (word x = 0; x < nodes; ++x) {
+    entry[x][0] = 100 + x;
+    entry[x][1] = 200 + x;
+  }
+  const sim::Memory want = apply_moves(entry, moves);
+  const auto run = sim::Engine(cube_machine(n)).run(program, entry);
+  EXPECT_TRUE(sim::verify_memory(run.memory, want).ok);
+  EXPECT_TRUE(sim::verify_memory(sim::apply_data(program, entry), want).ok);
+}
+
+TEST(PlanRoutedMoves, SelfMoveWithDifferentSlotsBecomesCopy) {
+  const auto t = topo::make_topology(topo::TopologyId{}, 2);
+  std::vector<topo::SlotMove> moves;
+  moves.push_back({1, 1, {0}, {1}, false});
+  const sim::Program program = topo::plan_routed_moves(*t, moves, 2);
+  ASSERT_EQ(program.phases.size(), 1u);
+  EXPECT_TRUE(program.phases[0].sends.empty());
+  ASSERT_EQ(program.phases[0].pre_copies.size(), 1u);
+  EXPECT_EQ(program.phases[0].pre_copies[0].node, word{1});
+}
+
+TEST(PlanRoutedMoves, PacketSizeSplitsMessages) {
+  const auto t = topo::make_topology(topo::TopologyId{}, 2);
+  std::vector<topo::SlotMove> moves;
+  moves.push_back({0, 3, {0, 1, 2, 3, 4}, {0, 1, 2, 3, 4}, false});
+  topo::RoutedOptions opt;
+  opt.packet_elements = 2;
+  const sim::Program program = topo::plan_routed_moves(*t, moves, 5, opt);
+  ASSERT_EQ(program.phases.size(), 1u);
+  EXPECT_EQ(program.phases[0].sends.size(), 3u);  // 2 + 2 + 1 elements.
+}
+
+TEST(OffsetProgramSlots, EmbedsExchangeInALargerMemory) {
+  const int n = 2;
+  const word block = 4, base = 7;
+  sim::Program program = comm::all_to_all_exchange(n, block);
+  const word nodes = program.nodes();
+  const word local = base + nodes * block + 5;
+  offset_program_slots(program, base, local);
+  EXPECT_EQ(program.local_slots, local);
+  // Run it against an image whose exchange area sits at `base`; the
+  // surrounding slots must be untouched.
+  const sim::Memory plain = comm::all_to_all_initial_memory(n, block);
+  const sim::Memory plain_want = comm::all_to_all_expected_memory(n, block);
+  sim::Memory entry(nodes, std::vector<word>(local, sim::kEmptySlot));
+  for (word x = 0; x < nodes; ++x) {
+    entry[x][0] = 9000 + x;  // sentinel outside the area.
+    for (word s = 0; s < nodes * block; ++s) entry[x][base + s] = plain[x][s];
+  }
+  const auto run = sim::Engine(cube_machine(n)).run(program, entry);
+  for (word x = 0; x < nodes; ++x) {
+    EXPECT_EQ(run.memory[x][0], 9000 + x);
+    for (word s = 0; s < nodes * block; ++s)
+      EXPECT_EQ(run.memory[x][base + s], plain_want[x][s]) << "node " << x << " slot " << s;
+  }
+}
+
+// A deliberately broken stage: plans a program that does not realise its
+// declared contract.
+class LyingStage final : public Stage {
+ public:
+  const std::string& name() const noexcept override { return name_; }
+  bool is_comm() const noexcept override { return true; }
+  sim::Memory expected(const sim::Memory& entry) const override {
+    sim::Memory out = entry;
+    out[0][0] = 424242;  // claims an id that never materialises.
+    return out;
+  }
+  std::vector<tune::Candidate> space(const sim::MachineParams&) const override {
+    return {{tune::Family::routed, 0, comm::BufferMode::buffered, 0, 0.0}};
+  }
+  sim::Program plan(const sim::Memory&, const tune::Candidate&,
+                    const PlanContext& ctx) const override {
+    return topo::plan_routed_moves(ctx.topology, {}, 2);
+  }
+
+ private:
+  std::string name_ = "lying";
+};
+
+TEST(Pipeline, ContractViolationRaisesPipelineErrorNamingTheStage) {
+  Pipeline pipeline("lying-test", cube_machine(2));
+  pipeline.add(std::make_shared<LyingStage>());
+  sim::Memory entry(4, std::vector<word>(2, sim::kEmptySlot));
+  try {
+    pipeline.run(entry);
+    FAIL() << "expected PipelineError";
+  } catch (const PipelineError& e) {
+    EXPECT_NE(std::string(e.what()).find("lying"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Pipeline, StageBoundariesWindowTheMergedTrace) {
+  const sim::MachineParams machine = cube_machine(2);
+  Pipeline pipeline("trace-test", machine);
+  // Two comm stages: rotate slot 0 by one node, then back.
+  for (int dir = 0; dir < 2; ++dir) {
+    MoveStageSpec spec;
+    spec.name = dir == 0 ? "rotate" : "unrotate";
+    spec.local_slots = 1;
+    for (word x = 0; x < 4; ++x) {
+      const word dst = dir == 0 ? (x + 1) % 4 : (x + 3) % 4;
+      spec.moves.push_back({x, dst, {0}, {0}, false});
+    }
+    pipeline.add(std::make_shared<MoveStage>(std::move(spec)));
+  }
+  sim::Memory entry(4, std::vector<word>(1));
+  for (word x = 0; x < 4; ++x) entry[x][0] = x;
+
+  obs::TraceSink trace;
+  PipelineOptions opt;
+  opt.trace = &trace;
+  const PipelineResult result = pipeline.run(entry, opt);
+  EXPECT_TRUE(sim::verify_memory(result.memory, entry).ok);
+
+  const auto stages = obs::split_stages(trace);
+  ASSERT_EQ(stages.size(), 2u);
+  EXPECT_FALSE(stages[0].empty());
+  EXPECT_FALSE(stages[1].empty());
+  // The second stage's events are re-based past the first stage's end.
+  double first_end = 0.0;
+  for (const auto& e : stages[0].events()) first_end = std::max(first_end, e.t1);
+  double second_begin = 1e30;
+  for (const auto& e : stages[1].events()) second_begin = std::min(second_begin, e.t0);
+  EXPECT_GE(second_begin, first_end);
+}
+
+TEST(Pipeline, CompositionSizeMismatchThrows) {
+  Pipeline pipeline("empty", cube_machine(1));
+  MoveStageSpec spec;
+  spec.name = "noop";
+  spec.local_slots = 1;
+  pipeline.add(std::make_shared<MoveStage>(std::move(spec)));
+  PipelineOptions opt;
+  opt.composition.resize(2);
+  EXPECT_THROW(pipeline.run(sim::Memory(2, std::vector<word>(1, sim::kEmptySlot)), opt),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nct::kernels

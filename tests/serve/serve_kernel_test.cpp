@@ -1,0 +1,152 @@
+// Kernel pipelines through the serving layer: admission validation,
+// timing-path execution with verified placement contracts, pipeline
+// plan-cache resolution, fault-carrying kernel requests, and non-cube
+// machines.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kernels/matmul.hpp"
+#include "kernels/tune.hpp"
+#include "serve/server.hpp"
+
+namespace nct::serve {
+namespace {
+
+Request hsmm_request(std::uint64_t nm = 16, int n = 3) {
+  Request r;
+  r.machine = sim::MachineParams::ipsc(n);
+  r.kernel.kind = KernelKind::hsmm;
+  r.kernel.matrix = nm;
+  return r;
+}
+
+Request boolmm_request(std::uint64_t nb = 64, int n = 2) {
+  Request r;
+  r.machine = sim::MachineParams::ipsc(n);
+  r.kernel.kind = KernelKind::boolmm;
+  r.kernel.matrix = nb;
+  return r;
+}
+
+TEST(ServeKernels, HsmmRequestServesWithSimulatedSeconds) {
+  Server server;
+  const Admission adm = server.submit(hsmm_request());
+  ASSERT_TRUE(adm.admitted);
+  const std::vector<Response> out = server.drain();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].status, ServeStatus::ok);
+  EXPECT_FALSE(out[0].cache_hit);  // nothing tuned yet: naive composition
+  EXPECT_GT(out[0].simulated_seconds, 0.0);
+  EXPECT_EQ(server.stats().kernels_served, 1u);
+
+  // The simulated time matches a standalone naive pipeline run.
+  kernels::HsmmOptions kopt;
+  kopt.nm = 16;
+  kernels::HsmmKernel kernel(sim::MachineParams::ipsc(3), kopt);
+  kernels::PipelineOptions popt;
+  popt.path = kernels::ExecPath::timing;
+  const kernels::PipelineResult standalone =
+      kernel.pipeline().run(kernel.initial_memory(), popt);
+  EXPECT_DOUBLE_EQ(out[0].simulated_seconds, standalone.seconds);
+}
+
+TEST(ServeKernels, BoolmmRequestServes) {
+  Server server;
+  ASSERT_TRUE(server.submit(boolmm_request()).admitted);
+  const std::vector<Response> out = server.drain();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].status, ServeStatus::ok);
+  EXPECT_GT(out[0].simulated_seconds, 0.0);
+}
+
+TEST(ServeKernels, BadKernelShapesRejectSynchronously) {
+  Server server;
+  // Not a multiple of the node count.
+  Admission a = server.submit(hsmm_request(/*nm=*/17));
+  EXPECT_FALSE(a.admitted);
+  EXPECT_EQ(a.reason, RejectReason::bad_request);
+  // Zero-order matrix.
+  EXPECT_EQ(server.submit(hsmm_request(/*nm=*/0)).reason, RejectReason::bad_request);
+  // Boolean matmul needs whole packed words.
+  EXPECT_EQ(server.submit(boolmm_request(/*nb=*/96)).reason, RejectReason::bad_request);
+  // Zero density divides by zero in the operand generator.
+  Request bad = boolmm_request();
+  bad.kernel.density = 0;
+  EXPECT_EQ(server.submit(bad).reason, RejectReason::bad_request);
+  EXPECT_EQ(server.stats().rejected_bad, 4u);
+  EXPECT_EQ(server.drain().size(), 0u);
+}
+
+TEST(ServeKernels, TunedCompositionResolvesFromASharedCache) {
+  const sim::MachineParams machine = sim::MachineParams::ipsc(3);
+  kernels::HsmmOptions kopt;
+  kopt.nm = 32;
+  kernels::HsmmKernel kernel(machine, kopt);
+
+  tune::PlanCache cache;
+  kernels::KernelTuneOptions topt;
+  topt.cache = &cache;
+  const kernels::TunedComposition tuned =
+      kernels::tune_pipeline(kernel.pipeline(), kernel.initial_memory(), topt);
+
+  ServeOptions sopt;
+  sopt.cache = &cache;
+  Server server(sopt);
+  ASSERT_TRUE(server.submit(hsmm_request(/*nm=*/32)).admitted);
+  const std::vector<Response> out = server.drain();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].status, ServeStatus::ok);
+  // Every comm stage resolved from the pipeline cache, and the served
+  // time is exactly the tuned composition's time.
+  EXPECT_TRUE(out[0].cache_hit);
+  EXPECT_DOUBLE_EQ(out[0].simulated_seconds, tuned.tuned_seconds);
+  EXPECT_LE(out[0].simulated_seconds, tuned.naive_seconds);
+}
+
+TEST(ServeKernels, SeveredNodeServesInfeasibleNotCrash) {
+  Server server;
+  Request rq = hsmm_request();
+  rq.faults = fault::FaultSpec{}.fail_node(5);
+  ASSERT_TRUE(server.submit(rq).admitted);
+  const std::vector<Response> out = server.drain();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].status, ServeStatus::infeasible);
+  EXPECT_EQ(server.stats().kernels_served, 0u);
+}
+
+TEST(ServeKernels, NonCubeMachinesServeKernels) {
+  Server server;
+  Request rq;
+  rq.machine = sim::MachineParams::on_topology(topo::torus_id({4, 2}),
+                                               sim::MachineParams::ipsc(0));
+  rq.kernel.kind = KernelKind::hsmm;
+  rq.kernel.matrix = 16;
+  ASSERT_TRUE(server.submit(rq).admitted);
+  const std::vector<Response> out = server.drain();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].status, ServeStatus::ok);
+  EXPECT_GT(out[0].simulated_seconds, 0.0);
+}
+
+TEST(ServeKernels, KernelAndTransposeTrafficShareACycle) {
+  Server server;
+  Request transpose;
+  {
+    const int n = 4;
+    transpose.machine = sim::MachineParams::ipsc(n);
+    const auto shape = cube::MatrixShape{5, 5};
+    transpose.before = cube::PartitionSpec::two_dim_consecutive(shape, 2, 2);
+    transpose.after = cube::PartitionSpec::two_dim_consecutive(shape.transposed(), 2, 2);
+  }
+  ASSERT_TRUE(server.submit(transpose).admitted);
+  ASSERT_TRUE(server.submit(hsmm_request()).admitted);
+  ASSERT_TRUE(server.submit(boolmm_request()).admitted);
+  const std::vector<Response> out = server.drain();
+  ASSERT_EQ(out.size(), 3u);
+  for (const Response& r : out) EXPECT_EQ(r.status, ServeStatus::ok);
+  EXPECT_EQ(server.stats().kernels_served, 2u);
+}
+
+}  // namespace
+}  // namespace nct::serve

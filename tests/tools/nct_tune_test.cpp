@@ -238,5 +238,39 @@ TEST(NctTuneCli, TuneRetunesOverAV1StoreAndUpgradesIt) {
   EXPECT_EQ(version, 2u);
 }
 
+TEST(NctTuneCli, KernelPrintsAStageTableWhereTunedBeatsNaive) {
+  const auto r = run_tool("kernel --kernel hsmm --n 3 --matrix 32");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("hsmm nm=32"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("transpose-B"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("total (comm)"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("placement verified"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("matches host reference"), std::string::npos) << r.output;
+  // At least one stage's tuned plan is not the naive routed one.
+  EXPECT_TRUE(r.output.find("exchange") != std::string::npos ||
+              r.output.find("ring") != std::string::npos ||
+              r.output.find("B=") != std::string::npos)
+      << r.output;
+}
+
+TEST(NctTuneCli, KernelCacheRoundTripsPerStageEntries) {
+  const std::string path = temp_path("kernel_cache.plan");
+  std::remove(path.c_str());
+  const auto cold = run_tool("kernel --kernel boolmm --n 2 --matrix 128 --cache " + path);
+  ASSERT_EQ(cold.exit_code, 0) << cold.output;
+  EXPECT_NE(cold.output.find("measured"), std::string::npos) << cold.output;
+  const auto warm = run_tool("kernel --kernel boolmm --n 2 --matrix 128 --cache " + path);
+  ASSERT_EQ(warm.exit_code, 0) << warm.output;
+  EXPECT_NE(warm.output.find("cache"), std::string::npos) << warm.output;
+  EXPECT_EQ(warm.output.find("measured"), std::string::npos) << warm.output;
+  std::remove(path.c_str());
+}
+
+TEST(NctTuneCli, KernelRejectsUnknownKernelName) {
+  const auto r = run_tool("kernel --kernel nope --n 2");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("unknown kernel"), std::string::npos) << r.output;
+}
+
 }  // namespace
 }  // namespace nct

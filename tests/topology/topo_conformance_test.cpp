@@ -168,11 +168,28 @@ TEST(TopoTuneKeys, KeySeparatesMachinesByTopology) {
   EXPECT_NE(k1.bytes, k2.bytes);
 }
 
-TEST(TopoTuneKeys, SpaceRefusesNonCubeMachines) {
+TEST(TopoTuneKeys, SpaceEnumeratesRoutedCandidatesOffCube) {
+  // A pairwise 2-field transpose whose processor count matches the
+  // machine is plannable through the routed planner on any topology, so
+  // Space no longer refuses it (it used to throw unconditionally).
   const auto pair = tune::fig_layout_2d(8, 2);
   const sim::MachineParams torus =
       sim::MachineParams::on_topology(topo::torus_id({2, 2}), sim::MachineParams::ipsc(2));
-  EXPECT_THROW(tune::Space(pair.first, pair.second, torus, {}), std::invalid_argument);
+  const tune::Space space(pair.first, pair.second, torus, {});
+  ASSERT_FALSE(space.candidates().empty());
+  for (const tune::Candidate& c : space.candidates())
+    EXPECT_EQ(c.family, tune::Family::routed) << c.describe();
+  // The naive one-message-per-pair plan leads the enumeration.
+  EXPECT_EQ(space.candidates()[0].packet_elements, 0u);
+}
+
+TEST(TopoTuneKeys, SpaceStillRefusesUnroutableNonCubeSpecs) {
+  // Same spec pair, but the machine has the wrong node count: the routed
+  // planner cannot absorb it, so the old throw path remains.
+  const auto pair = tune::fig_layout_2d(8, 2);
+  const sim::MachineParams six =
+      sim::MachineParams::on_topology(topo::torus_id({2, 3}), sim::MachineParams::ipsc(2));
+  EXPECT_THROW(tune::Space(pair.first, pair.second, six, {}), std::invalid_argument);
 }
 
 TEST(TopoTuneKeys, OnTopologyTagsTheMachineName) {

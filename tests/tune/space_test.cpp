@@ -10,6 +10,7 @@
 #include <cmath>
 
 #include "analysis/cost_model.hpp"
+#include "topology/topology.hpp"
 #include "tune/layouts.hpp"
 
 namespace nct::tune {
@@ -157,6 +158,39 @@ TEST(Space, FamilyRestrictionIsHonoured) {
     EXPECT_TRUE(c.family == Family::spt || c.family == Family::stepwise)
         << c.describe();
   }
+}
+
+TEST(Space, NonCubePairwiseTransposeGetsRoutedFamily) {
+  // PR-8 leftover: Space used to throw for every non-cube machine.  A
+  // pairwise two-field transpose with matching node count now enumerates
+  // the routed family (naive B=0 first, then the packet grid).
+  const SpecPair p = fig_layout_2d(8, 2);
+  const sim::MachineParams mesh =
+      sim::MachineParams::on_topology(topo::mesh_id({2, 2}), sim::MachineParams::ipsc(2));
+  const Space s(p.first, p.second, mesh);
+  ASSERT_FALSE(s.candidates().empty());
+  EXPECT_EQ(s.candidates()[0].family, Family::routed);
+  EXPECT_EQ(s.candidates()[0].packet_elements, 0u);
+  for (const Candidate& c : s.candidates()) EXPECT_EQ(c.family, Family::routed);
+}
+
+TEST(Space, NonCubeFamilyRestrictionStillApplies) {
+  const SpecPair p = fig_layout_2d(8, 2);
+  const sim::MachineParams mesh =
+      sim::MachineParams::on_topology(topo::mesh_id({2, 2}), sim::MachineParams::ipsc(2));
+  SpaceOptions opt;
+  opt.families = {Family::exchange};  // routed excluded -> empty space.
+  const Space s(p.first, p.second, mesh, opt);
+  EXPECT_TRUE(s.candidates().empty());
+}
+
+TEST(Space, NonCubeUnroutableSpecStillThrows) {
+  // One-dimensional layouts are not pairwise transposes; the routed
+  // planner cannot absorb them, so the old throw path is preserved.
+  const SpecPair p = fig_layout_1d(8, 2);
+  const sim::MachineParams mesh =
+      sim::MachineParams::on_topology(topo::mesh_id({2, 2}), sim::MachineParams::ipsc(2));
+  EXPECT_THROW(Space(p.first, p.second, mesh), std::invalid_argument);
 }
 
 TEST(Space, DescribeNamesEveryFamily) {

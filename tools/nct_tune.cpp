@@ -16,6 +16,12 @@
 //   nct_tune buffer [--machine ipsc] [--n N] [--lg L] [--jobs J]
 //       Fig 11/12 table: buffer-threshold sensitivity and the tuned
 //       B_copy against the closed-form tau/t_copy optimum
+//   nct_tune kernel [--kernel hsmm|boolmm] [--machine ipsc|cm|nport] [--n N]
+//                   [--matrix M] [--bundle K] [--jobs J] [--cache FILE]
+//                   [--fail-link NODE:DIM]...
+//       tune a kernel pipeline's per-stage composition and print the
+//       stage table (naive vs tuned plan per comm stage), then execute
+//       the tuned composition end-to-end with placement verification
 //   nct_tune cache list FILE      print every entry of a store file
 //   nct_tune cache check FILE     strict integrity check (nonzero exit +
 //                                 diagnostic on version mismatch,
@@ -24,15 +30,20 @@
 //       drop one entry (KEYHASH as printed by `cache list`, hex)
 //
 // Exit status: 0 ok, 1 operation failed (incl. corrupt store), 2 usage.
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "analysis/cost_model.hpp"
+#include "kernels/boolmm.hpp"
+#include "kernels/matmul.hpp"
+#include "kernels/tune.hpp"
 #include "sim/compile.hpp"
 #include "sim/engine.hpp"
 #include "sim/model.hpp"
@@ -54,6 +65,9 @@ int usage() {
                "       nct_tune crossover [--topology] [--machine ipsc|cm] [--lg L]\n"
                "                          [--jobs J]\n"
                "       nct_tune buffer [--machine ipsc|cm] [--n N] [--lg L] [--jobs J]\n"
+               "       nct_tune kernel [--kernel hsmm|boolmm] [--machine ipsc|cm|nport]\n"
+               "                       [--n N] [--matrix M] [--bundle K] [--jobs J]\n"
+               "                       [--cache FILE] [--fail-link NODE:DIM]...\n"
                "       nct_tune cache list|check FILE\n"
                "       nct_tune cache evict FILE KEYHASH\n");
   return 2;
@@ -69,6 +83,9 @@ struct Args {
   fault::FaultSpec faults;
   bool have_faults = false;
   bool topology = false;
+  std::string kernel = "hsmm";
+  cube::word matrix = 0;  ///< 0 = 4 rows per node.
+  cube::word bundle = 0;  ///< hsmm shift bundle (0 = ceil-sqrt).
 };
 
 bool parse_common(int argc, char** argv, int start, Args& a) {
@@ -118,6 +135,18 @@ bool parse_common(int argc, char** argv, int start, Args& a) {
       a.have_faults = true;
     } else if (s == "--topology") {
       a.topology = true;
+    } else if (s == "--kernel") {
+      const char* v = need_value("--kernel");
+      if (!v) return false;
+      a.kernel = v;
+    } else if (s == "--matrix") {
+      const char* v = need_value("--matrix");
+      if (!v) return false;
+      a.matrix = static_cast<cube::word>(std::strtoull(v, nullptr, 10));
+    } else if (s == "--bundle") {
+      const char* v = need_value("--bundle");
+      if (!v) return false;
+      a.bundle = static_cast<cube::word>(std::strtoull(v, nullptr, 10));
     } else {
       std::fprintf(stderr, "nct_tune: unknown option '%s'\n", s.c_str());
       return false;
@@ -351,6 +380,100 @@ int cmd_buffer(const Args& a) {
   return 0;
 }
 
+int cmd_kernel(const Args& a) {
+  sim::MachineParams m;
+  if (!make_machine(a, m)) return 2;
+  const cube::word nodes = m.nodes();
+
+  std::unique_ptr<kernels::HsmmKernel> hsmm;
+  std::unique_ptr<kernels::BoolmmKernel> boolmm;
+  const kernels::Pipeline* pipeline = nullptr;
+  sim::Memory entry;
+  try {
+    if (a.kernel == "hsmm") {
+      kernels::HsmmOptions opt;
+      opt.nm = a.matrix != 0 ? a.matrix : nodes * 4;
+      opt.bundle = a.bundle;
+      hsmm = std::make_unique<kernels::HsmmKernel>(m, opt);
+      pipeline = &hsmm->pipeline();
+      entry = hsmm->initial_memory();
+    } else if (a.kernel == "boolmm") {
+      kernels::BoolmmOptions opt;
+      opt.nb = a.matrix != 0 ? a.matrix : std::max<cube::word>(64, nodes) * 64 / 64 * 64;
+      while (opt.nb % nodes != 0 || opt.nb % 64 != 0) opt.nb += 64;
+      boolmm = std::make_unique<kernels::BoolmmKernel>(m, opt);
+      pipeline = &boolmm->pipeline();
+      entry = boolmm->initial_memory();
+    } else {
+      std::fprintf(stderr, "nct_tune: unknown kernel '%s'\n", a.kernel.c_str());
+      return 2;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "nct_tune: %s\n", e.what());
+    return 2;
+  }
+
+  tune::PlanCache cache;
+  if (!a.cache_path.empty()) {
+    const std::size_t loaded = cache.load_file(a.cache_path);
+    std::printf("cache: %zu entr%s loaded from %s\n", loaded, loaded == 1 ? "y" : "ies",
+                a.cache_path.c_str());
+  }
+  kernels::KernelTuneOptions topt;
+  topt.jobs = a.jobs;
+  if (a.have_faults) topt.faults = &a.faults;
+  if (!a.cache_path.empty()) topt.cache = &cache;
+
+  kernels::TunedComposition tuned;
+  try {
+    tuned = kernels::tune_pipeline(*pipeline, entry, topt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "nct_tune: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("kernel:    %s on %s\n", pipeline->signature().c_str(), m.name.c_str());
+  std::printf("%-22s %-12s %-26s %-12s %-9s %s\n", "stage", "naive_ms", "tuned_plan",
+              "tuned_ms", "speedup", "source");
+  for (const kernels::StageChoice& s : tuned.stages) {
+    const double speedup =
+        s.tuned_seconds > 0.0 ? s.naive_seconds / s.tuned_seconds : 1.0;
+    std::printf("%-22s %-12.3f %-26s %-12.3f %-9.2f %s\n", s.name.c_str(),
+                s.naive_seconds * 1e3, s.candidate.describe().c_str(),
+                s.tuned_seconds * 1e3, speedup,
+                s.from_cache ? "cache" : "measured");
+  }
+  const double total_speedup =
+      tuned.tuned_seconds > 0.0 ? tuned.naive_seconds / tuned.tuned_seconds : 1.0;
+  std::printf("%-22s %-12.3f %-26s %-12.3f %-9.2f\n", "total (comm)",
+              tuned.naive_seconds * 1e3, "", tuned.tuned_seconds * 1e3, total_speedup);
+
+  // Execute the tuned composition end-to-end: every stage's placement
+  // contract is re-verified, and the product is checked against the
+  // host-side reference.
+  try {
+    kernels::PipelineOptions popt;
+    popt.path = kernels::ExecPath::timing;
+    if (a.have_faults) popt.faults = &a.faults;
+    popt.composition = tuned.composition;
+    const kernels::PipelineResult run = pipeline->run(entry, popt);
+    const bool values_ok = hsmm != nullptr ? hsmm->result() == hsmm->reference()
+                                           : boolmm->result() == boolmm->reference();
+    std::printf("executed:  %.6f s end-to-end, placement verified, product %s\n",
+                run.seconds, values_ok ? "matches host reference" : "MISMATCH");
+    if (!values_ok) return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "nct_tune: tuned run failed: %s\n", e.what());
+    return 1;
+  }
+
+  if (!a.cache_path.empty() && !cache.save_file(a.cache_path)) {
+    std::fprintf(stderr, "nct_tune: cannot write %s\n", a.cache_path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_cache(int argc, char** argv) {
   if (argc < 4) return usage();
   const std::string verb = argv[2];
@@ -428,5 +551,6 @@ int main(int argc, char** argv) {
   if (cmd == "tune") return cmd_tune(a);
   if (cmd == "crossover") return cmd_crossover(a);
   if (cmd == "buffer") return cmd_buffer(a);
+  if (cmd == "kernel") return cmd_kernel(a);
   return usage();
 }
