@@ -159,6 +159,13 @@ class FaultModel {
   /// Sorted, merged outage windows of the link (empty when healthy).
   const std::vector<Window>& windows(std::size_t li) const noexcept;
 
+  /// True if the spec names this link at all (any outage window or a
+  /// degrade factor != 1).  The sharded engine routes events on touched
+  /// links to its serial spine, so the fault gate stays single-writer.
+  bool touches(std::size_t li) const noexcept {
+    return (li < degrade_.size() && degrade_[li] != 1.0) || !windows(li).empty();
+  }
+
   /// True if any link traversed by `route` starting at `src` is
   /// permanently down.
   bool route_blocked(word src, const std::vector<int>& route) const noexcept;

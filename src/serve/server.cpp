@@ -11,6 +11,7 @@
 #include "kernels/boolmm.hpp"
 #include "kernels/matmul.hpp"
 #include "kernels/tune.hpp"
+#include "shard/auto.hpp"
 #include "sim/compile.hpp"
 #include "sim/engine.hpp"
 #include "tune/serialize.hpp"
@@ -290,7 +291,9 @@ void Server::serve_cycle(std::vector<Admitted>& items) {
         sim::EngineOptions eopt;
         eopt.faults = fault_model.empty() ? nullptr : &fault_model;
         const sim::Engine engine(proto.machine, eopt);
-        engine.run_timing_batch(progs, batch_scratch_, options_.jobs);
+        // Bit-identical shard routing for large machines (shard/auto.hpp):
+        // slot times stay independent of the path taken.
+        shard::run_timing_batch_auto(engine, progs, batch_scratch_, options_.jobs);
         for (std::size_t k = 0; k < progs.size(); ++k) {
           const sim::BatchRun& run = batch_scratch_.runs[k];
           slots[prog_slot[k]].executed = true;

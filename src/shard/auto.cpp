@@ -1,0 +1,114 @@
+#include "shard/auto.hpp"
+
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#include "fault/fault.hpp"
+#include "topology/partition.hpp"
+
+namespace nct::shard {
+
+namespace {
+
+/// Parse a non-negative integer environment variable; `fallback` when
+/// unset or unparsable (a misconfigured operator knob must not abort
+/// the service).
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) noexcept {
+  const char* const v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v || *end != '\0') return fallback;
+  return parsed;
+}
+
+}  // namespace
+
+std::uint32_t AutoPolicy::effective_shards() const noexcept {
+  if (shards > 0) return shards;
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? hc : 1;
+}
+
+AutoPolicy AutoPolicy::from_env() noexcept {
+  AutoPolicy p;
+  p.min_nodes = static_cast<word>(env_u64("NCT_SHARD_MIN_NODES", p.min_nodes));
+  p.shards = static_cast<std::uint32_t>(env_u64("NCT_SHARD_THREADS", 0));
+  return p;
+}
+
+std::size_t run_timing_batch_auto(const sim::Engine& engine,
+                                  std::span<const sim::CompiledProgram* const> programs,
+                                  sim::BatchScratch& batch, int jobs, AutoScratch& scratch,
+                                  const AutoPolicy& policy) {
+  const bool sharding_on = policy.min_nodes > 0;
+  bool any_large = false;
+  if (sharding_on) {
+    for (const sim::CompiledProgram* const p : programs) {
+      if (p->nodes() >= policy.min_nodes) {
+        any_large = true;
+        break;
+      }
+    }
+  }
+  if (!any_large) return engine.run_timing_batch(programs, batch, jobs);
+
+  if (batch.runs.size() < programs.size()) batch.runs.resize(programs.size());
+
+  scratch.progs.clear();
+  scratch.index.clear();
+  for (std::size_t i = 0; i < programs.size(); ++i) {
+    if (programs[i]->nodes() < policy.min_nodes) {
+      scratch.progs.push_back(programs[i]);
+      scratch.index.push_back(i);
+    }
+  }
+
+  std::size_t ok = 0;
+
+  // Small programs: one ordinary batch, results swapped back to their
+  // original indices (swap keeps both scratches' storage grow-only).
+  if (!scratch.progs.empty()) {
+    ok += engine.run_timing_batch(scratch.progs, scratch.small, jobs);
+    for (std::size_t k = 0; k < scratch.progs.size(); ++k) {
+      sim::BatchRun& dst = batch.runs[scratch.index[k]];
+      sim::BatchRun& src = scratch.small.runs[k];
+      std::swap(dst.result, src.result);
+      dst.ok = src.ok;
+      dst.error = std::move(src.error);
+    }
+  }
+
+  // Large programs: sharded, one after another (each run parallelises
+  // internally across its shards).  Same per-slot FaultError capture as
+  // the batched engine.
+  const ShardEngine sharded(engine.params(), engine.options());
+  for (std::size_t i = 0; i < programs.size(); ++i) {
+    const sim::CompiledProgram* const p = programs[i];
+    if (p->nodes() < policy.min_nodes) continue;
+    sim::BatchRun& slot = batch.runs[i];
+    const topo::Partition part =
+        topo::make_partition(p->topology(), policy.effective_shards());
+    try {
+      sharded.run_timing(*p, part, scratch.shard, slot.result);
+      slot.ok = true;
+      slot.error.clear();
+      ++ok;
+    } catch (const fault::FaultError& e) {
+      slot.ok = false;
+      slot.error = e.what();
+    }
+  }
+  return ok;
+}
+
+std::size_t run_timing_batch_auto(const sim::Engine& engine,
+                                  std::span<const sim::CompiledProgram* const> programs,
+                                  sim::BatchScratch& batch, int jobs,
+                                  const AutoPolicy& policy) {
+  static thread_local AutoScratch scratch;
+  return run_timing_batch_auto(engine, programs, batch, jobs, scratch, policy);
+}
+
+}  // namespace nct::shard

@@ -1,0 +1,542 @@
+#include "shard/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <exception>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "sim/exec_step.hpp"
+#include "sim/fault_gate.hpp"
+
+namespace nct::shard {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+using Event = detail::EventHeap::Event;
+
+bool ev_less(double r1, std::uint32_t p1, double r2, std::uint32_t p2) noexcept {
+  return r1 != r2 ? r1 < r2 : p1 < p2;
+}
+
+/// Same timing-relevant comparison as the single-thread path
+/// (sim/compile.cpp): stale precomputed costs would silently diverge.
+bool same_machine(const sim::MachineParams& a, const sim::MachineParams& b) noexcept {
+  return a.n == b.n && a.tau == b.tau && a.tc == b.tc && a.tcopy == b.tcopy &&
+         a.max_packet_bytes == b.max_packet_bytes && a.element_bytes == b.element_bytes &&
+         a.port == b.port && a.switching == b.switching && a.topology == b.topology;
+}
+
+/// Control state the coordinator publishes between barriers.  Plain
+/// (non-atomic) fields: every write happens strictly before a barrier
+/// that every reader passes through.
+struct Shared {
+  double clock = 0.0;
+  double w_end = 0.0;
+  bool phase_done = false;
+  bool has_cross = false;
+  double t_ready = 0.0;       ///< serial-spine cut (smallest cross event).
+  std::uint32_t t_pid = 0;
+};
+
+template <bool kTrace, bool kLean>
+void run_sharded(const sim::MachineParams& params, const sim::EngineOptions& options,
+                 const sim::CompiledProgram& cp, const topo::Partition& part,
+                 ShardScratch& ss, sim::RunResult& out, ShardStats* stats_out) {
+  const word nnodes = cp.nodes();
+  const int ports = cp.ports();
+  const std::uint32_t nshards = part.shards;
+
+  obs::TraceSink* const sink = options.trace;
+  if constexpr (kTrace) {
+    if (params.topology.is_cube()) {
+      sink->begin_run(params.n);
+    } else {
+      sink->begin_run_topology(nnodes, ports);
+    }
+  }
+
+  if (options.faults && !options.faults->empty() &&
+      (options.faults->dimensions() != ports ||
+       options.faults->topology_id() != params.topology))
+    throw sim::ProgramError("fault model / machine dimension mismatch");
+  sim::detail::FaultGate gate{
+      options.faults && !options.faults->empty() ? options.faults : nullptr,
+      options.retry, kTrace ? sink : nullptr, ports, &cp.topology(), 0, 0.0};
+
+  const auto& phases = cp.phases();
+  const auto& sends = cp.send_ops();
+  const auto& copies = cp.copy_ops();
+  const auto& stages = cp.stage_ops();
+  const std::uint32_t* const link_pool = cp.link_pool().data();
+  const std::uint32_t* const link_global = cp.active_links().data();
+  const std::uint32_t* const node_owner = part.owner.data();
+
+  // Shared big arrays: compact link state, dense node state — exactly
+  // the single-thread scratch, reset the same way.
+  sim::RunScratch& base = ss.base;
+  const std::size_t nactive = cp.active_links().size();
+  base.ensure(static_cast<std::size_t>(nnodes), nactive, cp.max_phase_sends());
+  double* const link_free = base.link_free.data();
+  double* const link_busy_total = base.link_busy_total.data();
+  double* const send_free = base.send_free.data();
+  double* const recv_free = base.recv_free.data();
+  double* const node_done = base.node_done.data();
+  std::uint32_t* const pkt_hop = base.pkt_hop.data();
+  for (std::size_t ci = 0; ci < nactive; ++ci) {
+    link_free[ci] = 0.0;
+    link_busy_total[ci] = 0.0;
+  }
+  for (const word x : cp.active_nodes()) {
+    const auto xi = static_cast<std::size_t>(x);
+    send_free[xi] = 0.0;
+    recv_free[xi] = 0.0;
+    node_done[xi] = 0.0;
+  }
+
+  // Ownership tables: a directed link belongs to its source node's
+  // shard; a link with any fault window or degrade factor routes its
+  // events to the serial spine (the fault gate is single-writer state).
+  if (ss.link_owner.size() < nactive) ss.link_owner.resize(nactive);
+  for (std::size_t ci = 0; ci < nactive; ++ci)
+    ss.link_owner[ci] =
+        node_owner[static_cast<std::size_t>(link_global[ci]) /
+                   static_cast<std::size_t>(std::max(ports, 1))];
+  const std::uint32_t* const link_owner = ss.link_owner.data();
+  const bool have_faults = !kLean && gate.model != nullptr;
+  if (have_faults) {
+    if (ss.link_faulted.size() < nactive) ss.link_faulted.resize(nactive);
+    for (std::size_t ci = 0; ci < nactive; ++ci)
+      ss.link_faulted[ci] = gate.model->touches(link_global[ci]) ? 1 : 0;
+  }
+  const std::uint8_t* const link_faulted = ss.link_faulted.data();
+
+  if (ss.shards.size() < nshards) ss.shards.resize(nshards);
+  for (std::uint32_t s = 0; s < nshards; ++s) {
+    ShardScratch::PerShard& sh = ss.shards[s];
+    sh.queue.clear();  // residue only after an aborted run
+    sh.window.clear();
+    sh.cross.clear();
+    sh.deliveries.clear();
+    if (sh.outbox.size() < nshards) sh.outbox.resize(nshards);
+    for (auto& box : sh.outbox) box.clear();
+    sh.prefix_end = 0;
+    sh.events = 0;
+  }
+
+  out.total_time = 0.0;
+  out.total_copy_time = 0.0;
+  out.phases.resize(phases.size());
+  out.total_sends = 0;
+  out.total_elements = 0;
+  out.total_hops = 0;
+  out.max_link_busy = 0.0;
+  out.total_reroutes = 0;
+  out.total_retries = 0;
+  out.total_fault_wait = 0.0;
+  out.memory.clear();
+  if (options.record_link_trace) {
+    out.link_trace.assign(
+        static_cast<std::size_t>(nnodes) * static_cast<std::size_t>(std::max(ports, 1)), {});
+  } else {
+    out.link_trace.clear();
+  }
+
+  const bool one_port = params.port == sim::PortModel::one_port;
+  const bool cut_through = params.switching == sim::Switching::cut_through;
+
+  sim::detail::ExecEnv env;
+  env.sends = sends.data();
+  env.link_pool = link_pool;
+  env.link_global = link_global;
+  env.topology = &cp.topology();
+  env.params = &params;
+  env.ports = ports;
+  env.one_port = one_port;
+  env.link_free = link_free;
+  env.link_busy_total = link_busy_total;
+  env.send_free = send_free;
+  env.recv_free = recv_free;
+  env.pkt_hop = pkt_hop;
+  env.sink = sink;
+  env.gate = &gate;
+  env.link_trace = !kLean && options.record_link_trace ? &out.link_trace : nullptr;
+
+  Shared shared;
+  std::atomic<bool> abort{false};
+  std::exception_ptr error;
+  std::size_t windows = 0, serial_events = 0;
+  std::barrier<> sync(static_cast<std::ptrdiff_t>(nshards));
+
+  const auto thread_body = [&](const std::uint32_t me) {
+    ShardScratch::PerShard& sh = ss.shards[me];
+    std::uint64_t global_seq = 0;
+
+    for (std::int32_t phase_index = 0;
+         phase_index < static_cast<std::int32_t>(phases.size()); ++phase_index) {
+      const sim::CompiledPhase& ph = phases[static_cast<std::size_t>(phase_index)];
+      sim::PhaseStats& stats = out.phases[static_cast<std::size_t>(phase_index)];
+      const sim::CompiledSend* const phase_sends = sends.data() + ph.send_begin;
+      const std::uint32_t nsends = ph.send_end - ph.send_begin;
+      const std::uint64_t seq_base = global_seq;
+      global_seq += nsends;
+
+      // Node clocks are read as max(node_done[x], clock), exactly like
+      // the single-thread path (see sim/compile.cpp).
+      const auto charge = [&](word node, double cost, std::uint64_t bytes, bool is_stage) {
+        double& done = node_done[static_cast<std::size_t>(node)];
+        const double base_t = done > shared.clock ? done : shared.clock;
+        if constexpr (kTrace) {
+          if (is_stage) {
+            sink->stage(phase_index, node, bytes, base_t, base_t + cost);
+          } else {
+            sink->copy(phase_index, node, bytes, base_t, base_t + cost);
+          }
+        }
+        done = base_t + cost;
+        if (done > stats.end) stats.end = done;
+      };
+
+      if (me == 0) {
+        stats.label = ph.label;
+        stats.start = shared.clock;
+        stats.end = 0.0;
+        stats.copy_time = ph.copy_time;
+        if constexpr (kTrace) sink->phase_begin(phase_index, ph.label, shared.clock);
+        for (std::uint32_t i = ph.pre_copy_begin; i < ph.pre_copy_end; ++i) {
+          const sim::CompiledCopy& c = copies[i];
+          if (c.charged)
+            charge(c.node, c.cost,
+                   static_cast<std::uint64_t>(c.count) *
+                       static_cast<std::uint64_t>(params.element_bytes),
+                   false);
+        }
+        for (std::uint32_t i = ph.stage_begin; i < ph.stage_end; ++i)
+          charge(stages[i].node, stages[i].cost, stages[i].bytes, true);
+        stats.sends = ph.sends;
+        stats.elements = ph.elements;
+        stats.hops = ph.hops;
+        out.total_sends += stats.sends;
+        out.total_elements += stats.elements;
+        out.total_hops += stats.hops;
+        out.total_reroutes += ph.reroutes;
+      }
+      sync.arrive_and_wait();  // prologue charges visible; node_done stable
+
+      // Injection: each shard enqueues the packets whose first link it
+      // owns (the first hop starts at the source node).
+      for (std::uint32_t pid = 0; pid < nsends; ++pid) {
+        if (node_owner[static_cast<std::size_t>(phase_sends[pid].src)] != me) continue;
+        const double nd = node_done[static_cast<std::size_t>(phase_sends[pid].src)];
+        sh.queue.push({nd > shared.clock ? nd : shared.clock, pid});
+        if (!cut_through) pkt_hop[pid] = 0;
+      }
+      sync.arrive_and_wait();  // all queues primed
+
+      // Event hooks.  `deliver` defers the node-done fold to the phase
+      // barrier (fp max is exact in any order); `forward` re-injects a
+      // store-and-forward packet with its next hop's owner.
+      const auto deliver_deferred = [&](word dst, double end) {
+        sh.deliveries.push_back({dst, end});
+      };
+      const auto forward_local = [&](std::uint32_t pid, double end) {
+        const sim::CompiledSend& s = phase_sends[pid];
+        const std::uint32_t to = link_owner[link_pool[s.link_off + pkt_hop[pid]]];
+        if (to == me) {
+          sh.queue.push({end, pid});
+        } else {
+          sh.outbox[to].push_back({end, pid});
+        }
+      };
+      // Serial-spine hooks (coordinator only, between barriers): push
+      // straight into the owning shard's queue, deliver into shard 0's
+      // log.
+      const auto forward_direct = [&](std::uint32_t pid, double end) {
+        const sim::CompiledSend& s = phase_sends[pid];
+        ss.shards[link_owner[link_pool[s.link_off + pkt_hop[pid]]]].queue.push({end, pid});
+      };
+      const auto deliver_direct = [&](word dst, double end) {
+        ss.shards[0].deliveries.push_back({dst, end});
+      };
+      const auto run_event = [&](const Event& ev, auto&& fwd, auto&& dlv) {
+        const sim::CompiledSend& s = phase_sends[ev.pid];
+        const std::uint64_t seq = seq_base + ev.pid;
+        if (cut_through) {
+          sim::detail::step_cut_through<kTrace, kLean>(env, phase_index, s, ev.ready, seq,
+                                                       dlv);
+        } else {
+          sim::detail::step_store_forward<kTrace, kLean>(env, phase_index, ev.pid, s,
+                                                         ev.ready, seq, fwd, dlv);
+        }
+      };
+
+      // Cross classification: can this event touch state another shard
+      // may also touch this window?  One-port deliveries into a foreign
+      // shard couple through the destination's receive port; any
+      // faulted link couples through the (single-writer) fault gate;
+      // a cut-through route couples through every link it spans.
+      const auto is_cross = [&](const Event& ev) {
+        const sim::CompiledSend& s = phase_sends[ev.pid];
+        if (cut_through) {
+          if (one_port && (node_owner[static_cast<std::size_t>(s.src)] != me ||
+                           node_owner[static_cast<std::size_t>(s.dst)] != me))
+            return true;
+          for (std::uint32_t i = 0; i < s.route_len; ++i) {
+            const std::uint32_t ci = link_pool[s.link_off + i];
+            if (link_owner[ci] != me) return true;
+            if (have_faults && link_faulted[ci]) return true;
+          }
+          return false;
+        }
+        const std::uint32_t hop = pkt_hop[ev.pid];
+        const std::uint32_t ci = link_pool[s.link_off + hop];
+        if (have_faults && link_faulted[ci]) return true;
+        if (one_port && hop + 1 == s.route_len &&
+            node_owner[static_cast<std::size_t>(s.dst)] != me)
+          return true;
+        return false;
+      };
+
+      // A trace sink observes one globally ordered event stream, and a
+      // zero-lookahead phase admits no window: both run the exact
+      // serial sweep (k-way pop over the shard queues — identical
+      // (ready, pid) order to the single-queue engine).
+      const bool serial_phase = kTrace || (!cut_through && ph.lookahead <= 0.0);
+
+      if (nsends > 0 && serial_phase) {
+        if (me == 0) {
+          try {
+            for (;;) {
+              std::uint32_t best = nshards;
+              for (std::uint32_t s = 0; s < nshards; ++s) {
+                if (ss.shards[s].queue.empty()) continue;
+                const Event& t = ss.shards[s].queue.top();
+                if (best == nshards ||
+                    ev_less(t.ready, t.pid, ss.shards[best].queue.top().ready,
+                            ss.shards[best].queue.top().pid))
+                  best = s;
+              }
+              if (best == nshards) break;
+              const Event ev = ss.shards[best].queue.pop();
+              run_event(ev, forward_direct, deliver_direct);
+              ++serial_events;
+            }
+          } catch (...) {
+            error = std::current_exception();
+            abort.store(true);
+          }
+        }
+        sync.arrive_and_wait();
+        if (abort.load()) return;
+      } else if (nsends > 0) {
+        for (;;) {
+          sh.min_ready = sh.queue.empty() ? kInf : sh.queue.top().ready;
+          sync.arrive_and_wait();  // W1: fronts published
+          if (me == 0) {
+            double w0 = kInf;
+            for (std::uint32_t s = 0; s < nshards; ++s)
+              w0 = std::min(w0, ss.shards[s].min_ready);
+            shared.phase_done = w0 == kInf;
+            // Cut-through phases never re-inject: the whole phase is
+            // one window.  Store-and-forward windows span one lookahead.
+            shared.w_end = cut_through ? kInf : w0 + ph.lookahead;
+            if (!shared.phase_done) ++windows;
+          }
+          sync.arrive_and_wait();  // W2: window bounds published
+          if (shared.phase_done) break;
+
+          sh.window.clear();
+          sh.cross.clear();
+          while (!sh.queue.empty() && sh.queue.top().ready < shared.w_end) {
+            const Event ev = sh.queue.pop();
+            if (is_cross(ev)) {
+              sh.cross.push_back(ev);
+            } else {
+              sh.window.push_back(ev);
+            }
+          }
+          sh.has_cross = !sh.cross.empty();
+          if (sh.has_cross) sh.cross_min = sh.cross.front();
+          sync.arrive_and_wait();  // W3: classifications published
+          if (me == 0) {
+            shared.has_cross = false;
+            for (std::uint32_t s = 0; s < nshards; ++s) {
+              const ShardScratch::PerShard& o = ss.shards[s];
+              if (!o.has_cross) continue;
+              if (!shared.has_cross ||
+                  ev_less(o.cross_min.ready, o.cross_min.pid, shared.t_ready, shared.t_pid)) {
+                shared.t_ready = o.cross_min.ready;
+                shared.t_pid = o.cross_min.pid;
+                shared.has_cross = true;
+              }
+            }
+          }
+          sync.arrive_and_wait();  // W4: serial cut published
+
+          // Parallel prefix: strictly before the cut, an event touches
+          // only this shard's links/ports, in exact (ready, pid) order.
+          std::size_t i = 0;
+          for (; i < sh.window.size(); ++i) {
+            const Event& ev = sh.window[i];
+            if (shared.has_cross && !ev_less(ev.ready, ev.pid, shared.t_ready, shared.t_pid))
+              break;
+            run_event(ev, forward_local, deliver_deferred);
+          }
+          sh.prefix_end = i;
+          sh.events += i;
+          sync.arrive_and_wait();  // W5: prefix done
+
+          if (me == 0) {
+            // Serial spine: everything from the cut on, globally merged
+            // back into (ready, pid) order.
+            ss.suffix.clear();
+            for (std::uint32_t s = 0; s < nshards; ++s) {
+              const ShardScratch::PerShard& o = ss.shards[s];
+              ss.suffix.insert(ss.suffix.end(), o.window.begin() + o.prefix_end,
+                               o.window.end());
+              ss.suffix.insert(ss.suffix.end(), o.cross.begin(), o.cross.end());
+            }
+            std::sort(ss.suffix.begin(), ss.suffix.end(),
+                      [](const Event& a, const Event& b) {
+                        return ev_less(a.ready, a.pid, b.ready, b.pid);
+                      });
+            try {
+              for (const Event& ev : ss.suffix) run_event(ev, forward_direct, deliver_direct);
+            } catch (...) {
+              error = std::current_exception();
+              abort.store(true);
+            }
+            serial_events += ss.suffix.size();
+          }
+          sync.arrive_and_wait();  // W6: spine done
+          if (abort.load()) return;
+
+          // Mailbox handoff: adopt packets forwarded into this shard.
+          // Every such event is at or past w_end, i.e. in a later
+          // window.
+          for (std::uint32_t from = 0; from < nshards; ++from) {
+            if (from == me) continue;
+            auto& box = ss.shards[from].outbox[me];
+            for (const Event& ev : box) sh.queue.push(ev);
+            box.clear();
+          }
+        }
+      }
+
+      if (me == 0) {
+        // Fold the deferred deliveries: exact, order-free (fp max).
+        for (std::uint32_t s = 0; s < nshards; ++s) {
+          for (const ShardScratch::Delivery& d : ss.shards[s].deliveries) {
+            double& done = node_done[static_cast<std::size_t>(d.dst)];
+            if (d.end > done) done = d.end;
+            if (d.end > stats.end) stats.end = d.end;
+          }
+          ss.shards[s].deliveries.clear();
+        }
+        for (std::uint32_t i = ph.post_stage_begin; i < ph.post_stage_end; ++i)
+          charge(stages[i].node, stages[i].cost, stages[i].bytes, true);
+        for (std::uint32_t i = ph.post_copy_begin; i < ph.post_copy_end; ++i) {
+          const sim::CompiledCopy& c = copies[i];
+          if (c.charged)
+            charge(c.node, c.cost,
+                   static_cast<std::uint64_t>(c.count) *
+                       static_cast<std::uint64_t>(params.element_bytes),
+                   false);
+        }
+        stats.end = std::max(stats.end, stats.start);
+        if constexpr (kTrace) sink->phase_end(phase_index, stats.end);
+        shared.clock = stats.end;
+        out.total_copy_time += stats.copy_time;
+      }
+      sync.arrive_and_wait();  // epilogue visible (clock, node_done)
+    }
+  };
+
+  if (nshards == 1) {
+    thread_body(0);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(nshards - 1);
+    for (std::uint32_t s = 1; s < nshards; ++s)
+      workers.emplace_back(thread_body, s);
+    thread_body(0);
+    for (std::thread& t : workers) t.join();
+  }
+
+  if (error) {
+    // Leave the scratch clean for the next run (the per-run prepare
+    // also clears, but an aborted run should not look half-finished).
+    for (std::uint32_t s = 0; s < nshards; ++s) ss.shards[s].queue.clear();
+    std::rethrow_exception(error);
+  }
+
+  out.total_time = shared.clock;
+  out.total_retries = gate.retries;
+  out.total_fault_wait = gate.down_wait;
+  double max_busy = 0.0;
+  for (std::size_t ci = 0; ci < nactive; ++ci)
+    max_busy = std::max(max_busy, link_busy_total[ci]);
+  out.max_link_busy = max_busy;
+
+  if (stats_out) {
+    stats_out->shards = nshards;
+    stats_out->windows = windows;
+    stats_out->serial_events = serial_events;
+    stats_out->parallel_events = 0;
+    stats_out->shard_events.assign(nshards, 0);
+    for (std::uint32_t s = 0; s < nshards; ++s) {
+      stats_out->shard_events[s] = ss.shards[s].events;
+      stats_out->parallel_events += ss.shards[s].events;
+    }
+    stats_out->shard_nodes = part.counts();
+  }
+}
+
+}  // namespace
+
+double ShardStats::imbalance() const noexcept {
+  if (shard_events.empty() || parallel_events == 0) return 0.0;
+  std::size_t mx = 0;
+  for (const std::size_t e : shard_events) mx = std::max(mx, e);
+  const double mean =
+      static_cast<double>(parallel_events) / static_cast<double>(shard_events.size());
+  return mean > 0.0 ? static_cast<double>(mx) / mean : 0.0;
+}
+
+ShardEngine::ShardEngine(sim::MachineParams params, sim::EngineOptions options)
+    : params_(params), options_(options) {}
+
+sim::RunResult ShardEngine::run_timing(const sim::CompiledProgram& compiled,
+                                       const topo::Partition& partition) const {
+  sim::RunResult out;
+  ShardScratch scratch;
+  run_timing(compiled, partition, scratch, out);
+  return out;
+}
+
+void ShardEngine::run_timing(const sim::CompiledProgram& compiled,
+                             const topo::Partition& partition, ShardScratch& scratch,
+                             sim::RunResult& out, ShardStats* stats) const {
+  if (!same_machine(compiled.machine(), params_))
+    throw sim::ProgramError("compiled program / shard engine machine mismatch");
+  if (partition.shards < 1 ||
+      partition.owner.size() != static_cast<std::size_t>(compiled.nodes()))
+    throw sim::ProgramError("partition does not cover the compiled machine");
+  for (const std::uint32_t o : partition.owner)
+    if (o >= partition.shards) throw sim::ProgramError("partition owner out of range");
+
+  if (options_.trace) {
+    run_sharded<true, false>(params_, options_, compiled, partition, scratch, out, stats);
+  } else if (options_.record_link_trace ||
+             (options_.faults && !options_.faults->empty())) {
+    run_sharded<false, false>(params_, options_, compiled, partition, scratch, out, stats);
+  } else {
+    run_sharded<false, true>(params_, options_, compiled, partition, scratch, out, stats);
+  }
+}
+
+}  // namespace nct::shard

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 
 #include "cube/bits.hpp"
 #include "sim/engine.hpp"
+#include "sim/exec_step.hpp"
 #include "sim/fault_gate.hpp"
 #include "sim/scratch.hpp"
 #include "topology/hypercube.hpp"
@@ -80,9 +82,11 @@ void run_compiled_into(const MachineParams& params, const EngineOptions& options
   const auto& slot_pool = cp.slot_pool();
   const auto& link_pool = cp.link_pool();
 
-  const std::size_t nlinks =
-      static_cast<std::size_t>(nnodes) * static_cast<std::size_t>(std::max(ports, 1));
-  scratch.ensure(static_cast<std::size_t>(nnodes), nlinks, cp.max_phase_sends());
+  // Link state is compact: one slot per *active* link, not per wired
+  // port of the machine, so a 20-cube transpose allocates for the links
+  // it uses rather than 2^20 x 20 dense tables.
+  const std::size_t nactive = cp.active_links().size();
+  scratch.ensure(static_cast<std::size_t>(nnodes), nactive, cp.max_phase_sends());
   scratch.queue.clear();  // no-op unless a faulted run aborted mid-phase
   double* const link_free = scratch.link_free.data();
   double* const link_busy_total = scratch.link_busy_total.data();
@@ -90,9 +94,9 @@ void run_compiled_into(const MachineParams& params, const EngineOptions& options
   double* const recv_free = scratch.recv_free.data();
   double* const node_done = scratch.node_done.data();
   std::uint32_t* const pkt_hop = scratch.pkt_hop.data();
-  for (const std::uint32_t li : cp.active_links()) {
-    link_free[li] = 0.0;
-    link_busy_total[li] = 0.0;
+  for (std::size_t ci = 0; ci < nactive; ++ci) {
+    link_free[ci] = 0.0;
+    link_busy_total[ci] = 0.0;
   }
   for (const word x : cp.active_nodes()) {
     const auto xi = static_cast<std::size_t>(x);
@@ -113,7 +117,10 @@ void run_compiled_into(const MachineParams& params, const EngineOptions& options
   out.total_fault_wait = 0.0;
   if constexpr (!kData) out.memory.clear();
   if (options.record_link_trace) {
-    out.link_trace.assign(nlinks, {});
+    // The public link_trace stays indexed by global topo::link_index
+    // (it is opt-in and meant for machines small enough to inspect).
+    out.link_trace.assign(
+        static_cast<std::size_t>(nnodes) * static_cast<std::size_t>(std::max(ports, 1)), {});
   } else {
     out.link_trace.clear();
   }
@@ -125,6 +132,25 @@ void run_compiled_into(const MachineParams& params, const EngineOptions& options
 
   const bool one_port = params.port == PortModel::one_port;
   const bool cut_through = params.switching == Switching::cut_through;
+
+  // The per-event arithmetic lives in exec_step.hpp, shared with the
+  // sharded engine (bit-identity by construction, not by re-derivation).
+  detail::ExecEnv env;
+  env.sends = sends.data();
+  env.link_pool = link_pool.data();
+  env.link_global = cp.active_links().data();
+  env.topology = &cp.topology();
+  env.params = &params;
+  env.ports = ports;
+  env.one_port = one_port;
+  env.link_free = link_free;
+  env.link_busy_total = link_busy_total;
+  env.send_free = send_free;
+  env.recv_free = recv_free;
+  env.pkt_hop = pkt_hop;
+  env.sink = sink;
+  env.gate = &gate;
+  env.link_trace = !kLean && options.record_link_trace ? &out.link_trace : nullptr;
 
   double clock = 0.0;
   std::uint64_t global_seq = 0;
@@ -246,129 +272,22 @@ void run_compiled_into(const MachineParams& params, const EngineOptions& options
     out.total_elements += stats.elements;
     out.total_hops += stats.hops;
 
+    const auto deliver = [&](word dst, double end) {
+      double& dst_done = node_done[static_cast<std::size_t>(dst)];
+      if (end > dst_done) dst_done = end;
+      if (end > stats.end) stats.end = end;
+    };
+    const auto forward = [&](std::uint32_t pid, double end) { queue.push(pid, end); };
+
     while (!queue.empty()) {
       const detail::CalendarQueue::Event ev = queue.pop();
       const CompiledSend& s = sends[ph.send_begin + ev.pid];
       const std::uint64_t seq = seq_base + ev.pid;
-
       if (cut_through) {
-        const std::size_t bytes =
-            static_cast<std::size_t>(s.count) * static_cast<std::size_t>(params.element_bytes);
-        double start = ev.ready;
-        const std::uint32_t* links = link_pool.data() + s.link_off;
-        for (std::uint32_t i = 0; i < s.route_len; ++i)
-          start = std::max(start, link_free[links[i]]);
-        const double link_start = start;
-        if (one_port) start = std::max(start, send_free[static_cast<std::size_t>(s.src)]);
-        const double send_gate = start;
-        if (one_port) start = std::max(start, recv_free[static_cast<std::size_t>(s.dst)]);
-        const double recv_gate = start;
-        if constexpr (kTrace) {
-          if (send_gate > link_start)
-            sink->port_wait(obs::EventKind::port_wait_send, phase_index, s.src, seq,
-                            link_start, send_gate);
-          if (recv_gate > send_gate)
-            sink->port_wait(obs::EventKind::port_wait_recv, phase_index, s.dst, seq,
-                            send_gate, recv_gate);
-        }
-        double serialise = s.serialise;
-        if (!kLean && gate.model) {
-          for (std::uint32_t i = 0; i < s.route_len; ++i)
-            start = gate.acquire(links[i], start, phase_index, seq);
-          double deg = 1.0;
-          for (std::uint32_t i = 0; i < s.route_len; ++i)
-            deg = std::max(deg, gate.degrade(links[i]));
-          serialise *= deg;
-        }
-        const double arrive =
-            start + static_cast<double>(s.route_len) * params.tau + serialise;
-        if constexpr (kTrace) {
-          if (s.rerouted) sink->reroute(phase_index, s.src, s.dst, seq, start);
-          sink->send_begin(phase_index, s.src, s.dst, seq, bytes, start,
-                           start + params.tau + serialise);
-        }
-        for (std::uint32_t i = 0; i < s.route_len; ++i) {
-          const double lstart = start + static_cast<double>(i) * params.tau;
-          const double lend = lstart + params.tau + serialise;
-          link_free[links[i]] = lend;
-          link_busy_total[links[i]] += lend - lstart;
-          if (!kLean && options.record_link_trace)
-            out.link_trace[links[i]].push_back({lstart, lend, seq});
-          if constexpr (kTrace) {
-            const word from =
-                static_cast<word>(links[i] / static_cast<std::uint32_t>(ports));
-            const int dim = static_cast<int>(links[i] % static_cast<std::uint32_t>(ports));
-            sink->hop(phase_index, from, cp.topology().neighbor(from, dim), dim, seq, bytes,
-                      lstart, lend);
-          }
-        }
-        if constexpr (kTrace) sink->send_end(phase_index, s.dst, s.src, seq, bytes, start, arrive);
-        if (one_port) {
-          send_free[static_cast<std::size_t>(s.src)] = start + params.tau + serialise;
-          recv_free[static_cast<std::size_t>(s.dst)] = arrive;
-        }
-        double& dst_done = node_done[static_cast<std::size_t>(s.dst)];
-        if (arrive > dst_done) dst_done = arrive;
-        if (arrive > stats.end) stats.end = arrive;
-        continue;
-      }
-
-      // Store-and-forward: one hop at a time.
-      const std::uint32_t hop = pkt_hop[ev.pid];
-      const std::size_t li = link_pool[s.link_off + hop];
-      const bool first_hop = hop == 0;
-      const bool last_hop = hop + 1 == s.route_len;
-
-      double start = std::max(ev.ready, link_free[li]);
-      const double link_start = start;
-      if (one_port && first_hop)
-        start = std::max(start, send_free[static_cast<std::size_t>(s.src)]);
-      const double send_gate = start;
-      if (one_port && last_hop)
-        start = std::max(start, recv_free[static_cast<std::size_t>(s.dst)]);
-      const double recv_gate = start;
-      if constexpr (kTrace) {
-        const word from = static_cast<word>(li / static_cast<std::size_t>(ports));
-        if (send_gate > link_start)
-          sink->port_wait(obs::EventKind::port_wait_send, phase_index, from, seq,
-                          link_start, send_gate);
-        if (recv_gate > send_gate)
-          sink->port_wait(obs::EventKind::port_wait_recv, phase_index, s.dst, seq,
-                          send_gate, recv_gate);
-      }
-      double hop_cost = s.hop_cost;
-      if (!kLean && gate.model) {
-        start = gate.acquire(li, start, phase_index, seq);
-        hop_cost *= gate.degrade(li);
-      }
-
-      const double end = start + hop_cost;
-      link_free[li] = end;
-      link_busy_total[li] += end - start;
-      if (!kLean && options.record_link_trace) out.link_trace[li].push_back({start, end, seq});
-      if (one_port && first_hop) send_free[static_cast<std::size_t>(s.src)] = end;
-      if (one_port && last_hop) recv_free[static_cast<std::size_t>(s.dst)] = end;
-      if constexpr (kTrace) {
-        const std::size_t bytes =
-            static_cast<std::size_t>(s.count) * static_cast<std::size_t>(params.element_bytes);
-        const word from = static_cast<word>(li / static_cast<std::size_t>(ports));
-        const int dim = static_cast<int>(li % static_cast<std::size_t>(ports));
-        if (first_hop) {
-          if (s.rerouted) sink->reroute(phase_index, s.src, s.dst, seq, start);
-          sink->send_begin(phase_index, s.src, s.dst, seq, bytes, start, end);
-        }
-        sink->hop(phase_index, from, cp.topology().neighbor(from, dim), dim, seq, bytes,
-                  start, end);
-        if (last_hop) sink->send_end(phase_index, s.dst, s.src, seq, bytes, start, end);
-      }
-
-      if (last_hop) {
-        double& dst_done = node_done[static_cast<std::size_t>(s.dst)];
-        if (end > dst_done) dst_done = end;
-        if (end > stats.end) stats.end = end;
+        detail::step_cut_through<kTrace, kLean>(env, phase_index, s, ev.ready, seq, deliver);
       } else {
-        pkt_hop[ev.pid] = hop + 1;
-        queue.push(ev.pid, end);
+        detail::step_store_forward<kTrace, kLean>(env, phase_index, ev.pid, s, ev.ready, seq,
+                                                  forward, deliver);
       }
     }
 
@@ -399,8 +318,8 @@ void run_compiled_into(const MachineParams& params, const EngineOptions& options
   out.total_retries = gate.retries;
   out.total_fault_wait = gate.down_wait;
   double max_busy = 0.0;
-  for (const std::uint32_t li : cp.active_links())
-    max_busy = std::max(max_busy, link_busy_total[li]);
+  for (std::size_t ci = 0; ci < nactive; ++ci)
+    max_busy = std::max(max_busy, link_busy_total[ci]);
   out.max_link_busy = max_busy;
 }
 
@@ -444,8 +363,6 @@ CompiledProgram compile(const Program& program, const MachineParams& machine) {
   const int ports = cp.ports_;
   const word nnodes = program.nodes();
   const word nslots = program.local_slots;
-  const std::size_t nlinks =
-      static_cast<std::size_t>(nnodes) * static_cast<std::size_t>(std::max(ports, 1));
 
   std::size_t n_sends = 0, n_copies = 0, n_stages = 0, n_slots = 0, n_links = 0;
   for (const Phase& ph : program.phases) {
@@ -467,14 +384,22 @@ CompiledProgram compile(const Program& program, const MachineParams& machine) {
   cp.link_pool_.reserve(n_links);
 
   // Epoch-stamped delivery map: detects double delivery within a phase
-  // without an O(nodes * slots) clear per phase.
-  std::vector<std::uint32_t> delivered(
-      static_cast<std::size_t>(nnodes) * static_cast<std::size_t>(nslots), 0);
+  // without an O(nodes * slots) clear per phase.  On huge machines the
+  // dense map itself is the problem, so past a size threshold the check
+  // switches to sorting each phase's delivered (node, slot) keys —
+  // O(deliveries log deliveries), independent of machine size.
+  constexpr std::size_t kDenseDeliveredLimit = std::size_t{1} << 24;
+  const std::size_t delivered_slots =
+      static_cast<std::size_t>(nnodes) * static_cast<std::size_t>(nslots);
+  const bool dense_delivered = delivered_slots <= kDenseDeliveredLimit;
+  std::vector<std::uint32_t> delivered(dense_delivered ? delivered_slots : 0, 0);
+  std::vector<std::uint64_t> delivered_keys;  // sparse fallback, per phase.
   std::uint32_t epoch = 0;
 
-  // Membership maps for the active-link / active-node sets the run-time
-  // scratch reset walks (collected sorted by a final index sweep).
-  std::vector<std::uint8_t> link_seen(nlinks, 0);
+  // Active-node membership is a plain O(nodes) byte map (node-indexed
+  // run state stays dense); the active-*link* set is collected by
+  // sorting the link pool afterwards, so nothing here is O(nodes x
+  // ports).
   std::vector<std::uint8_t> node_seen(static_cast<std::size_t>(nnodes), 0);
   const auto see_node = [&](word x) { node_seen[static_cast<std::size_t>(x)] = 1; };
 
@@ -530,6 +455,8 @@ CompiledProgram compile(const Program& program, const MachineParams& machine) {
 
     ph.send_begin = static_cast<std::uint32_t>(cp.sends_.size());
     ++epoch;
+    delivered_keys.clear();
+    double ph_min_dt = std::numeric_limits<double>::infinity();
     std::uint32_t payload_off = 0;
     for (const SendOp& op : phase.sends) {
       if (op.src >= nnodes) throw ProgramError("send src out of range");
@@ -555,7 +482,6 @@ CompiledProgram compile(const Program& program, const MachineParams& machine) {
         const std::size_t li = topology.link_index(at, d);
         const word next = topology.neighbor(at, d);
         if (next == topo::kNoNode) throw ProgramError("route crosses an unwired port");
-        link_seen[li] = 1;
         cp.link_pool_.push_back(static_cast<std::uint32_t>(li));
         at = next;
       }
@@ -571,9 +497,14 @@ CompiledProgram compile(const Program& program, const MachineParams& machine) {
           static_cast<std::size_t>(s.dst) * static_cast<std::size_t>(nslots);
       for (const slot sl : op.dst_slots) {
         if (sl >= nslots) throw ProgramError("send dst slot out of range");
-        if (delivered[dst_base + static_cast<std::size_t>(sl)] == epoch)
-          fail_slot("double delivery to ", s.dst, sl);
-        delivered[dst_base + static_cast<std::size_t>(sl)] = epoch;
+        if (dense_delivered) {
+          if (delivered[dst_base + static_cast<std::size_t>(sl)] == epoch)
+            fail_slot("double delivery to ", s.dst, sl);
+          delivered[dst_base + static_cast<std::size_t>(sl)] = epoch;
+        } else {
+          delivered_keys.push_back(static_cast<std::uint64_t>(dst_base) +
+                                   static_cast<std::uint64_t>(sl));
+        }
         cp.slot_pool_.push_back(sl);
       }
 
@@ -582,10 +513,12 @@ CompiledProgram compile(const Program& program, const MachineParams& machine) {
       s.hop_cost = machine.hop_time(bytes);
       s.serialise = static_cast<double>(bytes) * machine.tc;
 
-      // Natural event spacing for the calendar queue's bucket width.
+      // Natural event spacing for the calendar queue's bucket width,
+      // and the conservative lookahead of the phase (its minimum).
       const double dt = cut_through ? machine.tau + s.serialise : s.hop_cost;
       if (dt > 0.0 && (cp.event_dt_hint_ == 0.0 || dt < cp.event_dt_hint_))
         cp.event_dt_hint_ = dt;
+      ph_min_dt = std::min(ph_min_dt, dt);
 
       ph.sends += 1;
       ph.elements += s.count;
@@ -593,6 +526,16 @@ CompiledProgram compile(const Program& program, const MachineParams& machine) {
       cp.sends_.push_back(s);
     }
     ph.send_end = static_cast<std::uint32_t>(cp.sends_.size());
+    ph.lookahead = ph_min_dt > 0.0 && ph_min_dt < std::numeric_limits<double>::infinity()
+                       ? ph_min_dt
+                       : 0.0;
+    if (!dense_delivered && !delivered_keys.empty()) {
+      std::sort(delivered_keys.begin(), delivered_keys.end());
+      const auto dup = std::adjacent_find(delivered_keys.begin(), delivered_keys.end());
+      if (dup != delivered_keys.end())
+        fail_slot("double delivery to ", static_cast<word>(*dup / nslots),
+                  static_cast<slot>(*dup % nslots));
+    }
     ph.payload_elems = payload_off;
     cp.max_phase_payload_ =
         std::max(cp.max_phase_payload_, static_cast<std::size_t>(payload_off));
@@ -616,8 +559,19 @@ CompiledProgram compile(const Program& program, const MachineParams& machine) {
     cp.phases_.push_back(std::move(ph));
   }
 
-  for (std::size_t li = 0; li < nlinks; ++li)
-    if (link_seen[li]) cp.active_links_.push_back(static_cast<std::uint32_t>(li));
+  // Compact the link space: active_links_ is the sorted unique set of
+  // global link ids the program traverses, and the link pool is remapped
+  // onto indices into it.  Run-time link state is then O(active links),
+  // which is what lets a 20-cube program fit in bounded memory.
+  cp.active_links_ = cp.link_pool_;
+  std::sort(cp.active_links_.begin(), cp.active_links_.end());
+  cp.active_links_.erase(std::unique(cp.active_links_.begin(), cp.active_links_.end()),
+                         cp.active_links_.end());
+  cp.active_links_.shrink_to_fit();
+  for (std::uint32_t& li : cp.link_pool_)
+    li = static_cast<std::uint32_t>(
+        std::lower_bound(cp.active_links_.begin(), cp.active_links_.end(), li) -
+        cp.active_links_.begin());
   for (std::size_t x = 0; x < static_cast<std::size_t>(nnodes); ++x)
     if (node_seen[x]) cp.active_nodes_.push_back(static_cast<word>(x));
 

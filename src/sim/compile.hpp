@@ -93,6 +93,15 @@ struct CompiledPhase {
   std::size_t elements = 0;
   std::size_t hops = 0;
   double copy_time = 0.0;  ///< summed charged copy/staging time.
+  /// Conservative lookahead of the phase: the smallest per-event time
+  /// increment of any of its sends (store-and-forward: hop cost;
+  /// cut-through: header + serialisation).  Every re-injected event
+  /// lands at least this far past its predecessor's ready time — fault
+  /// degradation only multiplies costs by factors >= 1 — so a barrier
+  /// window of this width is null-message-free (see shard/engine.hpp).
+  /// 0 when the phase has a zero-cost send (no usable lookahead) or no
+  /// sends at all.
+  double lookahead = 0.0;
 };
 
 /// A Program validated and flattened for one machine.  Immutable after
@@ -115,6 +124,11 @@ class CompiledProgram {
   const std::vector<CompiledCopy>& copy_ops() const noexcept { return copies_; }
   const std::vector<CompiledStage>& stage_ops() const noexcept { return stages_; }
   const std::vector<slot>& slot_pool() const noexcept { return slot_pool_; }
+  /// Per-hop link ids of every route, as *compact* active-link indices
+  /// in [0, active_links().size()).  The run-time link arrays are sized
+  /// and indexed by compact id, so a sparse program on a huge machine
+  /// costs O(links it actually uses), not O(nodes x ports); the global
+  /// topo::link_index of compact id c is active_links()[c].
   const std::vector<std::uint32_t>& link_pool() const noexcept { return link_pool_; }
 
   /// Largest payload arena any phase needs in data mode.
@@ -125,9 +139,12 @@ class CompiledProgram {
   /// Total message-hops across all phases.
   std::size_t total_hops() const noexcept { return link_pool_.size(); }
 
-  /// Directed links the program ever traverses (sorted, unique).  A run
-  /// on a reused RunScratch resets exactly these entries, making reuse
-  /// O(active state) instead of O(machine).
+  /// Directed links the program ever traverses, as global
+  /// topo::link_index values (sorted, unique).  Doubles as the
+  /// compact-to-global map for link_pool(): active_links()[c] is the
+  /// global id of compact index c.  Run-time link state is sized by
+  /// active_links().size(), so scratch reuse and memory are O(active
+  /// state) instead of O(machine).
   const std::vector<std::uint32_t>& active_links() const noexcept { return active_links_; }
   /// Nodes the program ever touches as source, destination, copy or
   /// stage site (sorted, unique); the node-clock analogue of

@@ -106,6 +106,7 @@ class Engine {
   explicit Engine(MachineParams params, EngineOptions options = {});
 
   const MachineParams& params() const noexcept { return params_; }
+  const EngineOptions& options() const noexcept { return options_; }
 
   /// Execute `program` starting from `initial` node memories
   /// (interpreted: every operand re-validated on this run).

@@ -1,0 +1,203 @@
+// Internal: the per-event timing arithmetic shared by the single-thread
+// compiled engine (sim/compile.cpp) and the sharded conservative engine
+// (shard/engine.cpp).
+//
+// The sharded engine's contract is *bit-identical* simulated times to
+// the single-thread timing path.  The only way to keep that promise
+// under maintenance is for both paths to execute the same instructions:
+// the store-and-forward hop step and the cut-through route step live
+// here, once, templated exactly like the former inline bodies
+// (`kTrace` compiles the event-sink calls out, `kLean` additionally
+// strips fault and link-trace instrumentation).  The golden tests in
+// tests/sim/ and tests/shard/ enforce the equality from both sides.
+//
+// Callers differ only in what happens *around* an event, which is
+// injected through two hooks:
+//  * OnForward(pid, end)  — a store-and-forward packet finished a
+//    non-final hop and must be re-injected at time `end` (serial path:
+//    push into the calendar queue; sharded path: push locally or into a
+//    cross-shard mailbox);
+//  * OnDeliver(dst, end)  — a packet arrived at its destination (serial
+//    path: fold into node_done/phase-end immediately; sharded path:
+//    buffer and fold at the phase barrier — exact, because fp max is
+//    associative and commutative).
+//
+// Link state is indexed by *compact* active-link index (see
+// CompiledProgram::link_pool); the global topo::link_index, needed only
+// by fault/trace instrumentation, is recovered through `link_global`.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "sim/compile.hpp"
+#include "sim/engine.hpp"
+#include "sim/fault_gate.hpp"
+#include "sim/model.hpp"
+#include "topology/topology.hpp"
+
+namespace nct::sim::detail {
+
+/// Everything one timed event reads or writes.  Program fields are set
+/// once per run; the scratch pointers alias RunScratch arrays (compact
+/// link indexing) and may be shared by concurrent shards only under the
+/// ownership discipline documented in shard/engine.hpp.
+struct ExecEnv {
+  // Program (immutable during a run).
+  const CompiledSend* sends = nullptr;        ///< full send array.
+  const std::uint32_t* link_pool = nullptr;   ///< compact link ids per hop.
+  const std::uint32_t* link_global = nullptr; ///< compact -> topo::link_index.
+  const topo::Topology* topology = nullptr;
+  const MachineParams* params = nullptr;
+  int ports = 0;
+  bool one_port = false;
+
+  // Mutable run state (RunScratch-backed).
+  double* link_free = nullptr;        ///< compact-indexed.
+  double* link_busy_total = nullptr;  ///< compact-indexed.
+  double* send_free = nullptr;        ///< node-indexed.
+  double* recv_free = nullptr;        ///< node-indexed.
+  std::uint32_t* pkt_hop = nullptr;   ///< per-pid next hop (store-and-forward).
+
+  // Instrumentation (consulted per kTrace / kLean flags).
+  obs::TraceSink* sink = nullptr;
+  FaultGate* gate = nullptr;
+  /// Global-link-indexed busy intervals, or null when not recording.
+  std::vector<std::vector<LinkBusy>>* link_trace = nullptr;
+};
+
+/// Cut-through: the whole route is reserved at once and the packet
+/// arrives after route_len * tau + serialise; a cut-through send is one
+/// event, never re-injected.
+template <bool kTrace, bool kLean, class OnDeliver>
+inline void step_cut_through(const ExecEnv& env, std::int32_t phase_index,
+                             const CompiledSend& s, double ready, std::uint64_t seq,
+                             OnDeliver&& deliver) {
+  const MachineParams& params = *env.params;
+  const std::size_t bytes =
+      static_cast<std::size_t>(s.count) * static_cast<std::size_t>(params.element_bytes);
+  double start = ready;
+  const std::uint32_t* links = env.link_pool + s.link_off;
+  for (std::uint32_t i = 0; i < s.route_len; ++i)
+    start = std::max(start, env.link_free[links[i]]);
+  const double link_start = start;
+  if (env.one_port) start = std::max(start, env.send_free[static_cast<std::size_t>(s.src)]);
+  const double send_gate = start;
+  if (env.one_port) start = std::max(start, env.recv_free[static_cast<std::size_t>(s.dst)]);
+  const double recv_gate = start;
+  if constexpr (kTrace) {
+    if (send_gate > link_start)
+      env.sink->port_wait(obs::EventKind::port_wait_send, phase_index, s.src, seq,
+                          link_start, send_gate);
+    if (recv_gate > send_gate)
+      env.sink->port_wait(obs::EventKind::port_wait_recv, phase_index, s.dst, seq,
+                          send_gate, recv_gate);
+  }
+  double serialise = s.serialise;
+  if (!kLean && env.gate->model) {
+    for (std::uint32_t i = 0; i < s.route_len; ++i)
+      start = env.gate->acquire(env.link_global[links[i]], start, phase_index, seq);
+    double deg = 1.0;
+    for (std::uint32_t i = 0; i < s.route_len; ++i)
+      deg = std::max(deg, env.gate->degrade(env.link_global[links[i]]));
+    serialise *= deg;
+  }
+  const double arrive = start + static_cast<double>(s.route_len) * params.tau + serialise;
+  if constexpr (kTrace) {
+    if (s.rerouted) env.sink->reroute(phase_index, s.src, s.dst, seq, start);
+    env.sink->send_begin(phase_index, s.src, s.dst, seq, bytes, start,
+                         start + params.tau + serialise);
+  }
+  for (std::uint32_t i = 0; i < s.route_len; ++i) {
+    const double lstart = start + static_cast<double>(i) * params.tau;
+    const double lend = lstart + params.tau + serialise;
+    env.link_free[links[i]] = lend;
+    env.link_busy_total[links[i]] += lend - lstart;
+    if (!kLean && env.link_trace)
+      (*env.link_trace)[env.link_global[links[i]]].push_back({lstart, lend, seq});
+    if constexpr (kTrace) {
+      const std::uint32_t gli = env.link_global[links[i]];
+      const word from = static_cast<word>(gli / static_cast<std::uint32_t>(env.ports));
+      const int dim = static_cast<int>(gli % static_cast<std::uint32_t>(env.ports));
+      env.sink->hop(phase_index, from, env.topology->neighbor(from, dim), dim, seq, bytes,
+                    lstart, lend);
+    }
+  }
+  if constexpr (kTrace)
+    env.sink->send_end(phase_index, s.dst, s.src, seq, bytes, start, arrive);
+  if (env.one_port) {
+    env.send_free[static_cast<std::size_t>(s.src)] = start + params.tau + serialise;
+    env.recv_free[static_cast<std::size_t>(s.dst)] = arrive;
+  }
+  deliver(s.dst, arrive);
+}
+
+/// Store-and-forward: one hop per event.  A non-final hop re-injects via
+/// `forward`; the final hop reports via `deliver`.
+template <bool kTrace, bool kLean, class OnForward, class OnDeliver>
+inline void step_store_forward(const ExecEnv& env, std::int32_t phase_index,
+                               std::uint32_t pid, const CompiledSend& s, double ready,
+                               std::uint64_t seq, OnForward&& forward, OnDeliver&& deliver) {
+  const std::uint32_t hop = env.pkt_hop[pid];
+  const std::uint32_t ci = env.link_pool[s.link_off + hop];
+  const bool first_hop = hop == 0;
+  const bool last_hop = hop + 1 == s.route_len;
+
+  double start = std::max(ready, env.link_free[ci]);
+  const double link_start = start;
+  if (env.one_port && first_hop)
+    start = std::max(start, env.send_free[static_cast<std::size_t>(s.src)]);
+  const double send_gate = start;
+  if (env.one_port && last_hop)
+    start = std::max(start, env.recv_free[static_cast<std::size_t>(s.dst)]);
+  const double recv_gate = start;
+  if constexpr (kTrace) {
+    const std::uint32_t gli = env.link_global[ci];
+    const word from = static_cast<word>(gli / static_cast<std::uint32_t>(env.ports));
+    if (send_gate > link_start)
+      env.sink->port_wait(obs::EventKind::port_wait_send, phase_index, from, seq,
+                          link_start, send_gate);
+    if (recv_gate > send_gate)
+      env.sink->port_wait(obs::EventKind::port_wait_recv, phase_index, s.dst, seq,
+                          send_gate, recv_gate);
+  }
+  double hop_cost = s.hop_cost;
+  if (!kLean && env.gate->model) {
+    const std::uint32_t gli = env.link_global[ci];
+    start = env.gate->acquire(gli, start, phase_index, seq);
+    hop_cost *= env.gate->degrade(gli);
+  }
+
+  const double end = start + hop_cost;
+  env.link_free[ci] = end;
+  env.link_busy_total[ci] += end - start;
+  if (!kLean && env.link_trace)
+    (*env.link_trace)[env.link_global[ci]].push_back({start, end, seq});
+  if (env.one_port && first_hop) env.send_free[static_cast<std::size_t>(s.src)] = end;
+  if (env.one_port && last_hop) env.recv_free[static_cast<std::size_t>(s.dst)] = end;
+  if constexpr (kTrace) {
+    const std::size_t bytes =
+        static_cast<std::size_t>(s.count) * static_cast<std::size_t>(env.params->element_bytes);
+    const std::uint32_t gli = env.link_global[ci];
+    const word from = static_cast<word>(gli / static_cast<std::uint32_t>(env.ports));
+    const int dim = static_cast<int>(gli % static_cast<std::uint32_t>(env.ports));
+    if (first_hop) {
+      if (s.rerouted) env.sink->reroute(phase_index, s.src, s.dst, seq, start);
+      env.sink->send_begin(phase_index, s.src, s.dst, seq, bytes, start, end);
+    }
+    env.sink->hop(phase_index, from, env.topology->neighbor(from, dim), dim, seq, bytes,
+                  start, end);
+    if (last_hop) env.sink->send_end(phase_index, s.dst, s.src, seq, bytes, start, end);
+  }
+
+  if (last_hop) {
+    deliver(s.dst, end);
+  } else {
+    env.pkt_hop[pid] = hop + 1;
+    forward(pid, end);
+  }
+}
+
+}  // namespace nct::sim::detail

@@ -224,10 +224,11 @@ namespace nct::sim {
 /// runs is what makes batch execution allocation-free.
 class RunScratch {
  public:
-  /// Grow the arrays for a machine with `nodes` nodes and `links`
-  /// directed links and phases of up to `max_sends` sends.  Never
-  /// shrinks; new storage is zero-initialised (the per-run active-set
-  /// reset makes stale values unobservable either way).
+  /// Grow the arrays for a machine with `nodes` nodes, a program using
+  /// `links` *active* directed links (compact indexing — see
+  /// CompiledProgram::link_pool) and phases of up to `max_sends` sends.
+  /// Never shrinks; new storage is zero-initialised (the per-run
+  /// active-set reset makes stale values unobservable either way).
   void ensure(std::size_t nodes, std::size_t links, std::size_t max_sends) {
     if (link_free.size() < links) {
       link_free.resize(links, 0.0);
@@ -241,7 +242,9 @@ class RunScratch {
     if (pkt_hop.size() < max_sends) pkt_hop.resize(max_sends, 0);
   }
 
-  // Availability clocks, indexed by topo::link_index / node id.
+  // Availability clocks.  Link arrays are indexed by *compact*
+  // active-link index (O(links the program uses), not O(nodes x
+  // ports)); node arrays stay dense by node id.
   std::vector<double> link_free;
   std::vector<double> link_busy_total;
   std::vector<double> send_free;

@@ -1,0 +1,118 @@
+#include "topology/partition.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace nct::topo {
+
+namespace {
+
+/// Largest power of two <= v (v >= 1).
+std::uint32_t floor_pow2(std::uint32_t v) noexcept {
+  return std::uint32_t{1} << (31 - std::countl_zero(v));
+}
+
+Partition uniform_blocks(word nodes, std::uint32_t shards) {
+  Partition p;
+  p.shards = shards;
+  p.owner.resize(static_cast<std::size_t>(nodes));
+  for (word x = 0; x < nodes; ++x)
+    p.owner[static_cast<std::size_t>(x)] =
+        static_cast<std::uint32_t>(static_cast<std::uint64_t>(x) * shards /
+                                   static_cast<std::uint64_t>(nodes));
+  return p;
+}
+
+}  // namespace
+
+std::vector<std::size_t> Partition::counts() const {
+  std::vector<std::size_t> c(shards, 0);
+  for (const std::uint32_t s : owner) ++c[s];
+  return c;
+}
+
+Partition make_partition(const Topology& t, std::uint32_t shards) {
+  const word nodes = t.nodes();
+  if (shards < 1) shards = 1;
+  // More shards than nodes buys nothing: clamp so every shard owns at
+  // least one node (the 0-d cube always degenerates to one shard).
+  if (static_cast<std::uint64_t>(shards) > static_cast<std::uint64_t>(nodes))
+    shards = static_cast<std::uint32_t>(nodes);
+  if (shards <= 1) {
+    Partition p;
+    p.shards = 1;
+    p.owner.assign(static_cast<std::size_t>(nodes), 0);
+    return p;
+  }
+
+  const TopologyId& id = t.id();
+  switch (id.kind) {
+    case TopoKind::hypercube: {
+      // Subcube mask over the top log2(shards) address bits.
+      shards = floor_pow2(shards);
+      const int k = std::countr_zero(shards);
+      const int shift = t.cube_dims() - k;
+      Partition p;
+      p.shards = shards;
+      p.owner.resize(static_cast<std::size_t>(nodes));
+      for (word x = 0; x < nodes; ++x)
+        p.owner[static_cast<std::size_t>(x)] = static_cast<std::uint32_t>(x >> shift);
+      return p;
+    }
+    case TopoKind::torus:
+    case TopoKind::mesh: {
+      // Block slabs along the largest-radix dimension (ties: lowest
+      // dimension), matching TorusTopology's row-major coordinates.
+      std::size_t dmax = 0;
+      for (std::size_t d = 1; d < id.shape.size(); ++d)
+        if (id.shape[d] > id.shape[dmax]) dmax = d;
+      const word radix = static_cast<word>(id.shape[dmax]);
+      shards = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(shards, static_cast<std::uint64_t>(radix)));
+      if (shards <= 1) {
+        Partition p;
+        p.shards = 1;
+        p.owner.assign(static_cast<std::size_t>(nodes), 0);
+        return p;
+      }
+      word stride = 1;
+      for (std::size_t d = 0; d < dmax; ++d) stride *= static_cast<word>(id.shape[d]);
+      Partition p;
+      p.shards = shards;
+      p.owner.resize(static_cast<std::size_t>(nodes));
+      for (word x = 0; x < nodes; ++x) {
+        const word coord = (x / stride) % radix;
+        p.owner[static_cast<std::size_t>(x)] =
+            static_cast<std::uint32_t>(static_cast<std::uint64_t>(coord) * shards /
+                                       static_cast<std::uint64_t>(radix));
+      }
+      return p;
+    }
+    case TopoKind::dragonfly: {
+      // Whole router groups per shard: node = g*M + r, K*M groups.
+      const word M = static_cast<word>(id.shape.size() > 1 ? id.shape[1] : 1);
+      const word groups = nodes / (M > 0 ? M : 1);
+      shards = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(shards, static_cast<std::uint64_t>(groups)));
+      if (shards <= 1) {
+        Partition p;
+        p.shards = 1;
+        p.owner.assign(static_cast<std::size_t>(nodes), 0);
+        return p;
+      }
+      Partition p;
+      p.shards = shards;
+      p.owner.resize(static_cast<std::size_t>(nodes));
+      for (word x = 0; x < nodes; ++x) {
+        const word g = x / M;
+        p.owner[static_cast<std::size_t>(x)] =
+            static_cast<std::uint32_t>(static_cast<std::uint64_t>(g) * shards /
+                                       static_cast<std::uint64_t>(groups));
+      }
+      return p;
+    }
+  }
+  return uniform_blocks(nodes, shards);
+}
+
+}  // namespace nct::topo

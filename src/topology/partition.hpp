@@ -1,0 +1,52 @@
+// Deterministic node partitioners for the sharded simulation engine.
+//
+// A Partition assigns every node of a topology to one of `shards` host
+// shards.  The sharded engine (src/shard) owns each directed link at
+// its *source* node's shard, so a good partition keeps routes inside a
+// shard as long as possible.  Each topology family gets the natural
+// geometric cut:
+//
+//   * hypercube — subcube masks: the top log2(shards) address bits name
+//     the shard, so every exchange along a low dimension stays inside
+//     its subcube and only the (few) top-dimension phases cross shards;
+//   * torus / mesh — block slabs along the largest-radix dimension:
+//     contiguous coordinate ranges, so only slab-boundary hops cross;
+//   * dragonfly — group-granular: whole router groups per shard, so
+//     local (intra-group) traffic never crosses;
+//   * anything else — contiguous node-id blocks.
+//
+// Every rule is a pure function of (topology id, shards): partitions
+// are reproducible across runs and hosts, which the shard-invariance
+// goldens rely on.  Requests are clamped, never rejected: shards is
+// capped by what the topology can cut (node count; power-of-two
+// subcubes; slab radix; group count), so "8 shards of a 0-d cube"
+// degenerates to one shard instead of failing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace nct::topo {
+
+/// A node -> shard assignment.  `shards` is the clamped shard count
+/// actually used (<= the requested count); `owner[x]` is the shard of
+/// node x, always < shards.
+struct Partition {
+  std::uint32_t shards = 1;
+  std::vector<std::uint32_t> owner;
+
+  std::uint32_t owner_of(word x) const noexcept {
+    return owner[static_cast<std::size_t>(x)];
+  }
+
+  /// Nodes per shard (for balance reporting).
+  std::vector<std::size_t> counts() const;
+};
+
+/// Partition `t` into at most `shards` shards using the family-specific
+/// rule above.  `shards` < 1 is treated as 1.
+Partition make_partition(const Topology& t, std::uint32_t shards);
+
+}  // namespace nct::topo

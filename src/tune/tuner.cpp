@@ -12,6 +12,7 @@
 #include "core/mixed_encoding.hpp"
 #include "fault/fault.hpp"
 #include "core/router.hpp"
+#include "shard/auto.hpp"
 #include "core/transpose1d.hpp"
 #include "core/transpose2d.hpp"
 #include "sim/batch.hpp"
@@ -197,7 +198,10 @@ TunedPlan Tuner::tune(const cube::PartitionSpec& before,
   eopt.faults = faults;
   const sim::Engine engine(machine_, eopt);
   sim::BatchScratch batch;
-  engine.run_timing_batch(progs, batch, jobs);
+  // Large-machine candidates route through the sharded engine (same
+  // results bit-for-bit — see shard/auto.hpp); small ones batch as
+  // before.
+  shard::run_timing_batch_auto(engine, progs, batch, jobs);
   for (std::size_t k = 0; k < progs.size(); ++k) {
     Measurement& m = results[prog_index[k]];
     const sim::BatchRun& run = batch.runs[k];

@@ -1,0 +1,228 @@
+// Chunked spill-to-disk trace streaming (TraceSink::spill_to) and the
+// per-shard balance metrics overload of collect_metrics: round trips,
+// bounded buffering during engine runs, restart-on-begin_run, and the
+// corruption diagnostics the trace_dump tool relies on.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "comm/all_to_all.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/engine.hpp"
+
+namespace nct::obs {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "nct_stream_" + name;
+}
+
+void expect_same_trace(const TraceSink& a, const TraceSink& b) {
+  EXPECT_EQ(a.dimensions(), b.dimensions());
+  EXPECT_EQ(a.nodes(), b.nodes());
+  EXPECT_EQ(a.phase_labels(), b.phase_labels());
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i)
+    ASSERT_EQ(a.events()[i], b.events()[i]) << "event " << i;
+}
+
+/// The same engine run traced twice: once into a plain in-memory sink
+/// (the reference) and once into a sink spilling in tiny chunks.
+struct SpilledRun {
+  TraceSink reference;
+  std::uint64_t spilled = 0;
+  std::size_t peak_buffer = 0;
+};
+
+SpilledRun run_spilled(const std::string& path, std::size_t chunk_events) {
+  const int n = 3;
+  const auto prog = comm::all_to_all_exchange(n, 2);
+  const auto init = comm::all_to_all_initial_memory(n, 2);
+  const auto m = sim::MachineParams::ipsc(n);
+
+  SpilledRun r;
+  sim::EngineOptions ref_opt;
+  ref_opt.trace = &r.reference;
+  sim::Engine(m, ref_opt).run(prog, init);
+
+  TraceSink spilling;
+  EXPECT_TRUE(spilling.spill_to(path, chunk_events));
+  sim::EngineOptions opt;
+  opt.trace = &spilling;
+  sim::Engine(m, opt).run(prog, init);
+  r.peak_buffer = spilling.events().size();
+  r.spilled = spilling.spilled_events();
+  EXPECT_TRUE(spilling.spilling());
+  EXPECT_TRUE(spilling.finish_spill());
+  EXPECT_FALSE(spilling.spilling());
+  EXPECT_TRUE(spilling.events().empty());  // tail flushed to disk
+  return r;
+}
+
+TEST(StreamedTrace, SpilledRunReadsBackIdenticalToInMemoryRun) {
+  const auto path = temp_path("roundtrip.bin");
+  const auto run = run_spilled(path, 64);
+  std::uint64_t chunks = 0;
+  const TraceSink back = read_chunked_trace_file(path, &chunks);
+  expect_same_trace(run.reference, back);
+  EXPECT_EQ(back.events().size(), run.reference.events().size());
+  EXPECT_GT(chunks, 1u) << "chunk size 64 must split this run";
+}
+
+TEST(StreamedTrace, BufferStaysBoundedWhileSpilling) {
+  const auto path = temp_path("bounded.bin");
+  const auto run = run_spilled(path, 16);
+  EXPECT_LT(run.peak_buffer, 16u);  // never a full chunk left buffered
+  EXPECT_GT(run.reference.events().size(), 16u);
+  EXPECT_GE(run.spilled, run.reference.events().size() - 16u);
+}
+
+TEST(StreamedTrace, ReadAnyDispatchesOnMagic) {
+  const auto mono = temp_path("mono.bin");
+  const auto chunked = temp_path("chunked.bin");
+  const auto run = run_spilled(chunked, 32);
+  ASSERT_TRUE(write_binary_trace_file(run.reference, mono));
+
+  std::uint64_t chunks = ~std::uint64_t{0};
+  expect_same_trace(run.reference, read_any_trace_file(mono, &chunks));
+  EXPECT_EQ(chunks, 0u);
+  expect_same_trace(run.reference, read_any_trace_file(chunked, &chunks));
+  EXPECT_GT(chunks, 0u);
+}
+
+TEST(StreamedTrace, BeginRunRestartsTheStream) {
+  const auto path = temp_path("restart.bin");
+  TraceSink sink;
+  ASSERT_TRUE(sink.spill_to(path, 2));
+  sink.begin_run(2);
+  for (int i = 0; i < 8; ++i) sink.copy(0, 0, 8, i, i + 1.0);
+  // A second begin_run discards the first run's spilled chunks.
+  sink.begin_run(2);
+  sink.phase_begin(0, "only", 0.0);
+  sink.copy(0, 1, 8, 0.0, 1.0);
+  sink.phase_end(0, 1.0);
+  ASSERT_TRUE(sink.finish_spill());
+
+  const TraceSink back = read_chunked_trace_file(path);
+  EXPECT_EQ(back.events().size(), 3u);
+  ASSERT_EQ(back.phase_labels().size(), 1u);
+  EXPECT_EQ(back.phase_labels()[0], "only");
+}
+
+TEST(StreamedTrace, EmptyRunStillProducesAReadableFile) {
+  const auto path = temp_path("empty.bin");
+  TraceSink sink;
+  ASSERT_TRUE(sink.spill_to(path));
+  sink.begin_run(4);
+  ASSERT_TRUE(sink.finish_spill());
+  const TraceSink back = read_chunked_trace_file(path);
+  EXPECT_TRUE(back.empty());
+  EXPECT_EQ(back.dimensions(), 4);
+  EXPECT_EQ(back.nodes(), 16u);
+}
+
+TEST(StreamedTrace, TruncatedChunkReportsShardChunk) {
+  const auto path = temp_path("truncchunk.bin");
+  run_spilled(path, 32);
+  // Cut into the middle of a chunk's records (well past the header).
+  const auto full = std::filesystem::file_size(path);
+  ASSERT_GT(full, 200u);
+  std::filesystem::resize_file(path, full / 2);
+  try {
+    read_chunked_trace_file(path);
+    FAIL() << "truncated chunk must not read back";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated shard chunk"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(StreamedTrace, MissingFooterReportsUnfinishedWriter) {
+  const auto path = temp_path("nofooter.bin");
+  TraceSink sink;
+  ASSERT_TRUE(sink.spill_to(path, 2));
+  sink.begin_run(2);
+  for (int i = 0; i < 4; ++i) sink.copy(0, 0, 8, i, i + 1.0);
+  // No finish_spill: the file ends cleanly after a chunk, footer-less.
+  sink = TraceSink();
+  try {
+    read_chunked_trace_file(path);
+    FAIL() << "footer-less stream must not read back";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("footer"), std::string::npos) << e.what();
+  }
+}
+
+TEST(StreamedTrace, FooterMismatchIsCorruption) {
+  const auto path = temp_path("badfooter.bin");
+  TraceSink sink;
+  ASSERT_TRUE(sink.spill_to(path, 2));
+  sink.begin_run(2);
+  for (int i = 0; i < 4; ++i) sink.copy(0, 0, 8, i, i + 1.0);
+  ASSERT_TRUE(sink.finish_spill());
+  // Corrupt the footer's declared chunk count (the u64 that ends 12
+  // bytes before EOF: it is followed only by the empty label table's
+  // u32 count).
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(-12, std::ios::end);
+    const char byte = 0x7f;
+    f.write(&byte, 1);
+  }
+  EXPECT_THROW(read_chunked_trace_file(path), std::runtime_error);
+}
+
+TEST(StreamedTrace, CopyDropsSpillStateButKeepsEvents) {
+  const auto path = temp_path("copy.bin");
+  TraceSink sink;
+  ASSERT_TRUE(sink.spill_to(path, 1000));
+  sink.begin_run(2);
+  sink.copy(0, 0, 8, 0.0, 1.0);
+  TraceSink copy = sink;
+  EXPECT_FALSE(copy.spilling());
+  EXPECT_EQ(copy.events().size(), 1u);
+  EXPECT_TRUE(sink.spilling());
+  EXPECT_TRUE(sink.finish_spill());
+}
+
+TEST(ShardBalanceMetrics, AppendsShardScalarsToTheTraceReport) {
+  TraceSink sink;
+  sink.begin_run(2);
+  sink.phase_begin(0, "exchange", 0.0);
+  sink.hop(0, 0, 1, 0, 0, 8, 0.0, 1.0);
+  sink.phase_end(0, 1.0);
+
+  ShardBalance balance;
+  balance.shards = 4;
+  balance.windows = 10;
+  balance.parallel_events = 900;
+  balance.serial_events = 100;
+  balance.shard_events = {400, 200, 200, 100};
+
+  const auto report = collect_metrics(sink, balance);
+  EXPECT_EQ(report.value("shard/count"), 4.0);
+  EXPECT_EQ(report.value("shard/windows"), 10.0);
+  EXPECT_EQ(report.value("shard/parallel_events"), 900.0);
+  EXPECT_EQ(report.value("shard/serial_events"), 100.0);
+  EXPECT_DOUBLE_EQ(report.value("shard/parallel_share"), 90.0);
+  EXPECT_DOUBLE_EQ(report.value("shard/imbalance"), 400.0 / 225.0);
+  EXPECT_EQ(report.value("shard/events_min"), 100.0);
+  EXPECT_EQ(report.value("shard/events_max"), 400.0);
+  // The base trace metrics are still present.
+  EXPECT_GT(report.value("traffic/hops"), 0.0);
+}
+
+TEST(ShardBalanceMetrics, EmptyBalanceYieldsZeroesNotNaNs) {
+  TraceSink sink;
+  sink.begin_run(1);
+  const auto report = collect_metrics(sink, ShardBalance{});
+  EXPECT_EQ(report.value("shard/parallel_share"), 0.0);
+  EXPECT_EQ(report.value("shard/imbalance"), 0.0);
+}
+
+}  // namespace
+}  // namespace nct::obs

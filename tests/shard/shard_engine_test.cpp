@@ -1,0 +1,389 @@
+// Shard-count invariance goldens: the sharded engine must produce
+// **bit-identical** results to sim::Engine::run_timing for shard counts
+// 1/2/4/8, on every machine model, with faults, link traces and event
+// traces — plus the degenerate cases and the ShardStats contract.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/api.hpp"
+#include "core/transpose1d.hpp"
+#include "fault/fault.hpp"
+#include "obs/trace.hpp"
+#include "shard/auto.hpp"
+#include "shard/engine.hpp"
+#include "sim/batch.hpp"
+#include "sim/compile.hpp"
+#include "sim/engine.hpp"
+#include "topology/partition.hpp"
+#include "topology/routed.hpp"
+#include "topology/topology.hpp"
+
+namespace nct {
+namespace {
+
+using cube::MatrixShape;
+using cube::PartitionSpec;
+using cube::word;
+
+sim::MachineParams cube_machine(int n, sim::Switching sw, sim::PortModel port) {
+  sim::MachineParams m = sim::MachineParams::ipsc(n);
+  m.switching = sw;
+  m.port = port;
+  return m;
+}
+
+/// Exact equality of everything a timing run reports.  EXPECT_EQ on the
+/// doubles deliberately: bit-identity is the contract, not closeness.
+void expect_same_run(const sim::RunResult& a, const sim::RunResult& b,
+                     const std::string& what) {
+  EXPECT_EQ(a.total_time, b.total_time) << what;
+  EXPECT_EQ(a.total_copy_time, b.total_copy_time) << what;
+  EXPECT_EQ(a.total_sends, b.total_sends) << what;
+  EXPECT_EQ(a.total_elements, b.total_elements) << what;
+  EXPECT_EQ(a.total_hops, b.total_hops) << what;
+  EXPECT_EQ(a.max_link_busy, b.max_link_busy) << what;
+  EXPECT_EQ(a.total_reroutes, b.total_reroutes) << what;
+  EXPECT_EQ(a.total_retries, b.total_retries) << what;
+  EXPECT_EQ(a.total_fault_wait, b.total_fault_wait) << what;
+  ASSERT_EQ(a.phases.size(), b.phases.size()) << what;
+  for (std::size_t i = 0; i < a.phases.size(); ++i) {
+    const sim::PhaseStats& pa = a.phases[i];
+    const sim::PhaseStats& pb = b.phases[i];
+    EXPECT_EQ(pa.label, pb.label) << what << " phase " << i;
+    EXPECT_EQ(pa.start, pb.start) << what << " phase " << i;
+    EXPECT_EQ(pa.end, pb.end) << what << " phase " << i;
+    EXPECT_EQ(pa.sends, pb.sends) << what << " phase " << i;
+    EXPECT_EQ(pa.elements, pb.elements) << what << " phase " << i;
+    EXPECT_EQ(pa.hops, pb.hops) << what << " phase " << i;
+    EXPECT_EQ(pa.copy_time, pb.copy_time) << what << " phase " << i;
+  }
+  ASSERT_EQ(a.link_trace.size(), b.link_trace.size()) << what;
+  for (std::size_t li = 0; li < a.link_trace.size(); ++li) {
+    ASSERT_EQ(a.link_trace[li].size(), b.link_trace[li].size()) << what << " link " << li;
+    for (std::size_t k = 0; k < a.link_trace[li].size(); ++k) {
+      EXPECT_EQ(a.link_trace[li][k].start, b.link_trace[li][k].start) << what;
+      EXPECT_EQ(a.link_trace[li][k].end, b.link_trace[li][k].end) << what;
+      EXPECT_EQ(a.link_trace[li][k].send_index, b.link_trace[li][k].send_index) << what;
+    }
+  }
+}
+
+void expect_same_trace(const obs::TraceSink& a, const obs::TraceSink& b,
+                       const std::string& what) {
+  EXPECT_EQ(a.dimensions(), b.dimensions()) << what;
+  EXPECT_EQ(a.nodes(), b.nodes()) << what;
+  EXPECT_EQ(a.phase_labels(), b.phase_labels()) << what;
+  ASSERT_EQ(a.events().size(), b.events().size()) << what;
+  for (std::size_t i = 0; i < a.events().size(); ++i)
+    ASSERT_TRUE(a.events()[i] == b.events()[i])
+        << what << ": first divergent event at index " << i;
+}
+
+/// The golden harness: run serial, then sharded at 1/2/4/8, compare
+/// everything exactly.  `faults` may be null.
+void expect_shard_invariant(const sim::Program& program, const sim::MachineParams& m,
+                            const fault::FaultModel* faults, bool link_trace,
+                            const std::string& what) {
+  const auto compiled = sim::compile(program, m);
+  const auto topology = topo::make_topology(m.topology, m.n);
+
+  sim::EngineOptions opts;
+  opts.faults = faults;
+  opts.record_link_trace = link_trace;
+  const sim::RunResult serial = sim::Engine(m, opts).run_timing(compiled);
+
+  const shard::ShardEngine sharded(m, opts);
+  for (const std::uint32_t s : {1u, 2u, 4u, 8u}) {
+    const auto part = topo::make_partition(*topology, s);
+    shard::ShardScratch scratch;
+    sim::RunResult out;
+    shard::ShardStats stats;
+    sharded.run_timing(compiled, part, scratch, out, &stats);
+    expect_same_run(serial, out, what + " shards=" + std::to_string(s));
+
+    EXPECT_EQ(stats.shards, part.shards) << what;
+    EXPECT_EQ(stats.shard_nodes, part.counts()) << what;
+    std::size_t sum = 0;
+    for (const std::size_t e : stats.shard_events) sum += e;
+    EXPECT_EQ(sum, stats.parallel_events) << what;
+    EXPECT_GE(stats.parallel_fraction(), 0.0) << what;
+    EXPECT_LE(stats.parallel_fraction(), 1.0) << what;
+    // Every send event is accounted for: the per-phase event totals are
+    // at least one event per send (store-and-forward re-injects more).
+    EXPECT_GE(stats.parallel_events + stats.serial_events, compiled.total_sends()) << what;
+
+    // Scratch reuse must not perturb results.
+    sim::RunResult again;
+    sharded.run_timing(compiled, part, scratch, again, nullptr);
+    expect_same_run(serial, again, what + " shards=" + std::to_string(s) + " reused");
+  }
+}
+
+sim::Program transpose_program(int n, sim::PortModel port) {
+  const int half = n / 2;
+  const MatrixShape s{half + 1, n - half + 1};
+  const auto before = PartitionSpec::two_dim_cyclic(s, half, n - half);
+  const auto after = PartitionSpec::two_dim_cyclic(s.transposed(), n - half, half);
+  return core::plan_transpose(before, after,
+                              cube_machine(n, sim::Switching::store_and_forward, port))
+      .program;
+}
+
+sim::Program mpt_program(int n) { return transpose_program(n, sim::PortModel::n_port); }
+sim::Program spt_program(int n) { return transpose_program(n, sim::PortModel::one_port); }
+
+TEST(ShardEngine, TransposeNPortStoreAndForwardInvariant) {
+  expect_shard_invariant(mpt_program(6),
+                         cube_machine(6, sim::Switching::store_and_forward,
+                                      sim::PortModel::n_port),
+                         nullptr, false, "6-cube MPT n-port SF");
+}
+
+TEST(ShardEngine, TransposeOnePortStoreAndForwardInvariant) {
+  expect_shard_invariant(spt_program(6),
+                         cube_machine(6, sim::Switching::store_and_forward,
+                                      sim::PortModel::one_port),
+                         nullptr, false, "6-cube SPT one-port SF");
+}
+
+TEST(ShardEngine, TransposeCutThroughInvariant) {
+  for (const auto port : {sim::PortModel::n_port, sim::PortModel::one_port}) {
+    const auto m = cube_machine(6, sim::Switching::cut_through, port);
+    const MatrixShape s{4, 4};
+    const auto before = PartitionSpec::two_dim_cyclic(s, 3, 3);
+    const auto after = PartitionSpec::two_dim_cyclic(s.transposed(), 3, 3);
+    const auto plan = core::plan_transpose(before, after, m);
+    expect_shard_invariant(plan.program, m, nullptr, false,
+                           std::string("6-cube CT ") +
+                               (port == sim::PortModel::n_port ? "n-port" : "one-port"));
+  }
+}
+
+TEST(ShardEngine, RoutedTransposeOnEveryTopologyInvariant) {
+  struct Config {
+    const char* label;
+    topo::TopologyId id;
+  };
+  for (const Config& c : {Config{"torus4x8", topo::torus_id({4, 8})},
+                          Config{"mesh4x4", topo::mesh_id({4, 4})},
+                          Config{"dragonfly4x2", topo::dragonfly_id(4, 2)}}) {
+    const auto t = topo::make_topology(c.id, 0);
+    word rows = 1;
+    for (word r = 1; r * r <= t->nodes(); ++r)
+      if (t->nodes() % r == 0) rows = r;
+    const auto program = topo::plan_routed_transpose(*t, rows, t->nodes() / rows, 2);
+    sim::MachineParams m = sim::MachineParams::on_topology(c.id, sim::MachineParams::ipsc(0));
+    m.port = sim::PortModel::one_port;
+    expect_shard_invariant(program, m, nullptr, false, c.label);
+  }
+}
+
+TEST(ShardEngine, FaultedRunInvariant) {
+  // Transient outage + a degraded link: retries and fault wait must fold
+  // identically through the serial spine.
+  const auto m = cube_machine(5, sim::Switching::store_and_forward, sim::PortModel::n_port);
+  fault::FaultSpec spec;
+  spec.fail_link(3, 1, fault::Window{0.0, 400.0});
+  spec.degrade_link(0, 2, 3.0);
+  const fault::FaultModel model(5, spec);
+  expect_shard_invariant(mpt_program(5), m, &model, false, "5-cube faulted");
+}
+
+TEST(ShardEngine, LinkTraceInvariant) {
+  const auto m = cube_machine(4, sim::Switching::store_and_forward, sim::PortModel::n_port);
+  expect_shard_invariant(mpt_program(4), m, nullptr, true, "4-cube link trace");
+}
+
+TEST(ShardEngine, EventTraceIdenticalAtEveryShardCount) {
+  const auto m = cube_machine(5, sim::Switching::store_and_forward, sim::PortModel::one_port);
+  const auto program = spt_program(5);
+  const auto compiled = sim::compile(program, m);
+  const auto topology = topo::make_topology(m.topology, m.n);
+
+  obs::TraceSink serial_trace;
+  sim::EngineOptions opts;
+  opts.trace = &serial_trace;
+  const auto serial = sim::Engine(m, opts).run_timing(compiled);
+
+  for (const std::uint32_t s : {1u, 2u, 4u, 8u}) {
+    obs::TraceSink trace;
+    sim::EngineOptions sopts;
+    sopts.trace = &trace;
+    const shard::ShardEngine sharded(m, sopts);
+    const auto out = sharded.run_timing(compiled, topo::make_partition(*topology, s));
+    expect_same_run(serial, out, "trace run shards=" + std::to_string(s));
+    expect_same_trace(serial_trace, trace, "trace shards=" + std::to_string(s));
+  }
+}
+
+TEST(ShardEngine, PermanentFaultAbortsLikeSerial) {
+  const auto m = cube_machine(4, sim::Switching::store_and_forward, sim::PortModel::n_port);
+  const auto program = mpt_program(4);
+  fault::FaultSpec spec;
+  spec.fail_link(0, 0);  // permanent
+  const fault::FaultModel model(4, spec);
+  sim::EngineOptions opts;
+  opts.faults = &model;
+  const auto compiled = sim::compile(program, m);
+  EXPECT_THROW(sim::Engine(m, opts).run_timing(compiled), fault::FaultError);
+  const auto topology = topo::make_topology(m.topology, m.n);
+  const shard::ShardEngine sharded(m, opts);
+  for (const std::uint32_t s : {1u, 2u, 4u}) {
+    EXPECT_THROW(sharded.run_timing(compiled, topo::make_partition(*topology, s)),
+                 fault::FaultError)
+        << "shards=" << s;
+  }
+  // The engine stays usable after an abort (scratch is cleaned up).
+  const fault::FaultModel healthy;
+  sim::EngineOptions hopts;
+  const shard::ShardEngine hsharded(m, hopts);
+  const auto serial = sim::Engine(m, hopts).run_timing(compiled);
+  const auto out = hsharded.run_timing(compiled, topo::make_partition(*topology, 4));
+  expect_same_run(serial, out, "post-abort healthy run");
+}
+
+TEST(ShardEngine, DegenerateZeroDimCube) {
+  // One node, no links: a copy-only program on the 0-d cube.
+  sim::Program prog;
+  prog.n = 0;
+  prog.local_slots = 2;
+  sim::Phase ph;
+  ph.pre_copies.push_back(sim::CopyOp{0, {0}, {1}, true});
+  prog.phases.push_back(ph);
+  const auto m = cube_machine(0, sim::Switching::store_and_forward, sim::PortModel::n_port);
+  expect_shard_invariant(prog, m, nullptr, false, "0-d cube copy only");
+}
+
+TEST(ShardEngine, ShardsExceedingActiveNodes) {
+  // 2-cube, 4 nodes; request 8 shards — the partitioner clamps to 4 and
+  // the run must still match.
+  const MatrixShape s{2, 2};
+  const auto before = PartitionSpec::two_dim_cyclic(s, 1, 1);
+  const auto after = PartitionSpec::two_dim_cyclic(s.transposed(), 1, 1);
+  const auto m = cube_machine(2, sim::Switching::store_and_forward, sim::PortModel::n_port);
+  const auto plan = core::plan_transpose(before, after, m);
+  expect_shard_invariant(plan.program, m, nullptr, false, "2-cube oversharded");
+}
+
+TEST(ShardEngine, RejectsMismatchedPartition) {
+  const auto m = cube_machine(3, sim::Switching::store_and_forward, sim::PortModel::n_port);
+  const auto compiled = sim::compile(mpt_program(3), m);
+  const shard::ShardEngine sharded(m);
+  topo::Partition bad;
+  bad.shards = 2;
+  bad.owner.assign(4, 0);  // wrong node count (8 expected)
+  EXPECT_THROW(sharded.run_timing(compiled, bad), sim::ProgramError);
+  topo::Partition out_of_range;
+  out_of_range.shards = 2;
+  out_of_range.owner.assign(8, 7);  // owners >= shards
+  EXPECT_THROW(sharded.run_timing(compiled, out_of_range), sim::ProgramError);
+}
+
+TEST(ShardEngine, RejectsMismatchedMachine) {
+  const auto m = cube_machine(3, sim::Switching::store_and_forward, sim::PortModel::n_port);
+  const auto compiled = sim::compile(mpt_program(3), m);
+  auto other = m;
+  other.tau *= 2.0;
+  const shard::ShardEngine sharded(other);
+  const auto topology = topo::make_topology(m.topology, m.n);
+  EXPECT_THROW(sharded.run_timing(compiled, topo::make_partition(*topology, 2)),
+               sim::ProgramError);
+}
+
+TEST(ShardEngine, AutoBatchMatchesEngineBatch) {
+  const auto m = cube_machine(5, sim::Switching::store_and_forward, sim::PortModel::n_port);
+  const auto p1 = sim::compile(mpt_program(5), m);
+  const auto p2 = sim::compile(spt_program(5), m);
+  const std::vector<const sim::CompiledProgram*> progs{&p1, &p2, &p1};
+  const sim::Engine engine(m);
+
+  sim::BatchScratch reference;
+  const std::size_t ok_ref = engine.run_timing_batch(progs, reference, 1);
+
+  // Force both paths: threshold 1 routes everything through the sharded
+  // engine; a huge threshold keeps everything on the batched engine.
+  for (const word threshold : {word{1}, word{1} << 40}) {
+    shard::AutoPolicy policy;
+    policy.min_nodes = threshold;
+    policy.shards = 4;
+    sim::BatchScratch batch;
+    shard::AutoScratch scratch;
+    const std::size_t ok =
+        shard::run_timing_batch_auto(engine, progs, batch, 1, scratch, policy);
+    EXPECT_EQ(ok, ok_ref);
+    ASSERT_GE(batch.runs.size(), progs.size());
+    for (std::size_t i = 0; i < progs.size(); ++i) {
+      EXPECT_EQ(batch.runs[i].ok, reference.runs[i].ok) << i;
+      expect_same_run(reference.runs[i].result, batch.runs[i].result,
+                      "auto batch item " + std::to_string(i));
+    }
+  }
+}
+
+TEST(ShardEngine, AutoPolicyReadsEnvironmentKnobs) {
+  ::setenv("NCT_SHARD_MIN_NODES", "1024", 1);
+  ::setenv("NCT_SHARD_THREADS", "3", 1);
+  shard::AutoPolicy p = shard::AutoPolicy::from_env();
+  EXPECT_EQ(p.min_nodes, 1024u);
+  EXPECT_EQ(p.shards, 3u);
+  EXPECT_EQ(p.effective_shards(), 3u);
+
+  // Garbage values fall back to the defaults instead of aborting.
+  ::setenv("NCT_SHARD_MIN_NODES", "lots", 1);
+  ::setenv("NCT_SHARD_THREADS", "", 1);
+  p = shard::AutoPolicy::from_env();
+  EXPECT_EQ(p.min_nodes, shard::AutoPolicy{}.min_nodes);
+  EXPECT_EQ(p.shards, 0u);
+  EXPECT_GE(p.effective_shards(), 1u);  // hardware_concurrency fallback
+
+  ::unsetenv("NCT_SHARD_MIN_NODES");
+  ::unsetenv("NCT_SHARD_THREADS");
+  p = shard::AutoPolicy::from_env();
+  EXPECT_EQ(p.min_nodes, shard::AutoPolicy{}.min_nodes);
+  EXPECT_EQ(p.shards, 0u);
+}
+
+TEST(ShardEngine, AutoBatchConvenienceOverloadUsesThreadLocalScratch) {
+  const auto m = cube_machine(4, sim::Switching::store_and_forward, sim::PortModel::n_port);
+  const auto compiled = sim::compile(mpt_program(4), m);
+  const std::vector<const sim::CompiledProgram*> progs{&compiled};
+  const sim::Engine engine(m);
+
+  sim::BatchScratch reference;
+  engine.run_timing_batch(progs, reference, 1);
+
+  shard::AutoPolicy policy;
+  policy.min_nodes = 1;  // force the sharded path
+  policy.shards = 2;
+  sim::BatchScratch batch;
+  const std::size_t ok = shard::run_timing_batch_auto(engine, progs, batch, 1, policy);
+  EXPECT_EQ(ok, 1u);
+  expect_same_run(reference.runs[0].result, batch.runs[0].result, "convenience overload");
+}
+
+TEST(ShardEngine, AutoBatchCapturesFaultErrorPerSlot) {
+  const auto m = cube_machine(4, sim::Switching::store_and_forward, sim::PortModel::n_port);
+  fault::FaultSpec spec;
+  spec.fail_link(0, 0);  // permanent: MPT routes cross it
+  const fault::FaultModel model(4, spec);
+  sim::EngineOptions opts;
+  opts.faults = &model;
+  const sim::Engine engine(m, opts);
+  const auto compiled = sim::compile(mpt_program(4), m);
+  const std::vector<const sim::CompiledProgram*> progs{&compiled};
+  shard::AutoPolicy policy;
+  policy.min_nodes = 1;  // force the sharded path
+  policy.shards = 2;
+  sim::BatchScratch batch;
+  shard::AutoScratch scratch;
+  const std::size_t ok = shard::run_timing_batch_auto(engine, progs, batch, 1, scratch, policy);
+  EXPECT_EQ(ok, 0u);
+  ASSERT_EQ(batch.runs.size(), 1u);
+  EXPECT_FALSE(batch.runs[0].ok);
+  EXPECT_FALSE(batch.runs[0].error.empty());
+}
+
+}  // namespace
+}  // namespace nct

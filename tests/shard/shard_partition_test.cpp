@@ -1,0 +1,133 @@
+// Deterministic partitioner coverage across all four topology families:
+// ownership ranges, balance, the family-specific geometric guarantees,
+// and the clamping rules the degenerate cases rely on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+#include "topology/partition.hpp"
+#include "topology/topology.hpp"
+
+namespace nct {
+namespace {
+
+using cube::word;
+
+void expect_valid(const topo::Topology& t, const topo::Partition& p) {
+  ASSERT_EQ(p.owner.size(), static_cast<std::size_t>(t.nodes()));
+  ASSERT_GE(p.shards, 1u);
+  const auto counts = p.counts();
+  ASSERT_EQ(counts.size(), static_cast<std::size_t>(p.shards));
+  for (const std::uint32_t o : p.owner) ASSERT_LT(o, p.shards);
+  // Every shard owns at least one node (the clamp guarantees it).
+  for (const std::size_t c : counts) EXPECT_GE(c, 1u);
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), std::size_t{0}),
+            static_cast<std::size_t>(t.nodes()));
+}
+
+TEST(Partition, HypercubeSubcubeMasks) {
+  const auto t = topo::make_topology(topo::TopologyId{}, 6);
+  for (const std::uint32_t req : {1u, 2u, 4u, 8u, 16u}) {
+    const auto p = topo::make_partition(*t, req);
+    expect_valid(*t, p);
+    EXPECT_EQ(p.shards, req);
+    // Top address bits name the shard: each shard is one aligned subcube.
+    const int shift = 6 - std::countr_zero(req);
+    for (word x = 0; x < t->nodes(); ++x)
+      EXPECT_EQ(p.owner_of(x), static_cast<std::uint32_t>(x >> shift));
+    // Perfectly balanced by construction.
+    const auto counts = p.counts();
+    EXPECT_EQ(*std::min_element(counts.begin(), counts.end()),
+              *std::max_element(counts.begin(), counts.end()));
+  }
+}
+
+TEST(Partition, HypercubeClampsToPowerOfTwo) {
+  const auto t = topo::make_topology(topo::TopologyId{}, 5);
+  const auto p = topo::make_partition(*t, 6);  // not a power of two
+  expect_valid(*t, p);
+  EXPECT_EQ(p.shards, 4u);  // floor_pow2(6)
+}
+
+TEST(Partition, TorusSlabsAreContiguous) {
+  const auto id = topo::torus_id({4, 8, 2});
+  const auto t = topo::make_topology(id, 0);
+  const auto p = topo::make_partition(*t, 4);
+  expect_valid(*t, p);
+  EXPECT_EQ(p.shards, 4u);
+  // Cut along the largest-radix dimension (radix 8, dimension 1, row-major
+  // stride 4): the slab index must be monotone in that coordinate.
+  for (word x = 0; x < t->nodes(); ++x) {
+    const word coord = (x / 4) % 8;
+    EXPECT_EQ(p.owner_of(x), static_cast<std::uint32_t>(coord * 4 / 8));
+  }
+}
+
+TEST(Partition, MeshClampsToLargestRadix) {
+  const auto id = topo::mesh_id({3, 5});
+  const auto t = topo::make_topology(id, 0);
+  // Requesting more shards than the largest radix clamps to that radix.
+  const auto p = topo::make_partition(*t, 16);
+  expect_valid(*t, p);
+  EXPECT_EQ(p.shards, 5u);
+  // Same coordinate along the cut dimension -> same shard.
+  for (word x = 0; x < t->nodes(); ++x) {
+    const word coord = (x / 3) % 5;
+    EXPECT_EQ(p.owner_of(x), static_cast<std::uint32_t>(coord * 5 / 5));
+  }
+}
+
+TEST(Partition, DragonflyKeepsGroupsWhole) {
+  const auto id = topo::dragonfly_id(4, 3);  // 12 groups of 3 routers
+  const auto t = topo::make_topology(id, 0);
+  const auto p = topo::make_partition(*t, 4);
+  expect_valid(*t, p);
+  EXPECT_EQ(p.shards, 4u);
+  // All routers of one group share a shard (local traffic never crosses).
+  for (word x = 0; x < t->nodes(); ++x)
+    EXPECT_EQ(p.owner_of(x), p.owner_of((x / 3) * 3));
+}
+
+TEST(Partition, DragonflyClampsToGroupCount) {
+  const auto id = topo::dragonfly_id(2, 2);  // 4 groups
+  const auto t = topo::make_topology(id, 0);
+  const auto p = topo::make_partition(*t, 64);
+  expect_valid(*t, p);
+  EXPECT_EQ(p.shards, 4u);
+}
+
+TEST(Partition, DegenerateZeroDimCube) {
+  const auto t = topo::make_topology(topo::TopologyId{}, 0);
+  const auto p = topo::make_partition(*t, 8);
+  expect_valid(*t, p);
+  EXPECT_EQ(p.shards, 1u);  // one node: one shard, whatever was asked
+  EXPECT_EQ(p.owner_of(0), 0u);
+}
+
+TEST(Partition, ShardsClampedToNodeCount) {
+  const auto t = topo::make_topology(topo::TopologyId{}, 2);
+  const auto p = topo::make_partition(*t, 1000);
+  expect_valid(*t, p);
+  EXPECT_EQ(p.shards, 4u);
+}
+
+TEST(Partition, ZeroRequestMeansOne) {
+  const auto t = topo::make_topology(topo::TopologyId{}, 3);
+  const auto p = topo::make_partition(*t, 0);
+  expect_valid(*t, p);
+  EXPECT_EQ(p.shards, 1u);
+}
+
+TEST(Partition, DeterministicAcrossCalls) {
+  const auto id = topo::torus_id({5, 7});
+  const auto t = topo::make_topology(id, 0);
+  const auto a = topo::make_partition(*t, 3);
+  const auto b = topo::make_partition(*t, 3);
+  EXPECT_EQ(a.shards, b.shards);
+  EXPECT_EQ(a.owner, b.owner);
+}
+
+}  // namespace
+}  // namespace nct
